@@ -1,0 +1,108 @@
+// Figure 8: elements migrated between time steps of the moving-peak problem
+// for (a) RSB, (b) RSB followed by the optimal subset relabeling Π̃, and
+// (c) PNR. The paper: RSB moves 50–100% of the mesh per step; permuted RSB
+// still averages ~21% with 46% peaks at p = 32; PNR averages 1.2% (p=4) to
+// 5.5% (p=32) and is smooth.
+//
+//   --procs=4,8,16,32 --steps=30 --grid=40 --every=5
+//   --paper (steps=100, grid=79) --csv=fig8.csv
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+using namespace pnr;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool paper = cli.get_bool("paper");
+  const auto procs =
+      cli.get_int_list("procs", paper ? std::vector<int>{4, 8, 16, 32}
+                                      : std::vector<int>{4, 8, 16});
+  const int every = cli.get_int("every", paper ? 1 : 2);
+
+  pared::TransientOptions topts;
+  topts.steps = cli.get_int("steps", paper ? 100 : 30);
+  topts.grid_n = cli.get_int("grid", paper ? 79 : 40);
+
+  bench::banner("Figure 8",
+                "elements moved per transient step: RSB, permuted RSB, PNR");
+  util::Timer timer;
+
+  struct Lane {
+    pared::TransientRun run;
+    pared::Session2D session;
+    util::RunningStat moved_pct;
+  };
+  // The RSB lane reports both raw and relabeled migration in one pass.
+  std::vector<Lane> rsb_lanes, pnr_lanes;
+  std::vector<util::RunningStat> remap_pct(procs.size());
+  for (const int p : procs) {
+    rsb_lanes.push_back({pared::TransientRun(topts),
+                         pared::Session2D(pared::Strategy::kRsbRemap,
+                                          static_cast<part::PartId>(p), 5),
+                         {}});
+    pnr_lanes.push_back({pared::TransientRun(topts),
+                         pared::Session2D(pared::Strategy::kPNR,
+                                          static_cast<part::PartId>(p), 5),
+                         {}});
+  }
+
+  std::vector<std::string> header{"Step", "Elems"};
+  for (const int p : procs) header.push_back("RSB/" + std::to_string(p));
+  for (const int p : procs) header.push_back("RSB~/" + std::to_string(p));
+  for (const int p : procs) header.push_back("PNR/" + std::to_string(p));
+  util::Table table(header);
+
+  for (auto& lane : rsb_lanes) lane.session.step(lane.run.mutable_mesh());
+  for (auto& lane : pnr_lanes) lane.session.step(lane.run.mutable_mesh());
+
+  while (!rsb_lanes.front().run.done()) {
+    std::vector<std::int64_t> rsb_moved, remap_moved, pnr_moved;
+    int step = 0;
+    std::int64_t elems = 0;
+    for (std::size_t k = 0; k < rsb_lanes.size(); ++k) {
+      auto& lane = rsb_lanes[k];
+      const auto info = lane.run.advance();
+      step = info.step;
+      const auto report = lane.session.step(lane.run.mutable_mesh());
+      elems = report.elements;
+      rsb_moved.push_back(report.migrated);
+      remap_moved.push_back(report.migrated_remapped);
+      lane.moved_pct.add(100.0 * static_cast<double>(report.migrated) /
+                         static_cast<double>(report.elements));
+      remap_pct[k].add(100.0 *
+                       static_cast<double>(report.migrated_remapped) /
+                       static_cast<double>(report.elements));
+    }
+    for (auto& lane : pnr_lanes) {
+      lane.run.advance();
+      const auto report = lane.session.step(lane.run.mutable_mesh());
+      pnr_moved.push_back(report.migrated);
+      lane.moved_pct.add(100.0 * static_cast<double>(report.migrated) /
+                         static_cast<double>(report.elements));
+    }
+    if (step % every == 0 || rsb_lanes.front().run.done()) {
+      table.row().cell(step).cell(static_cast<long long>(elems));
+      for (const auto v : rsb_moved) table.cell(static_cast<long long>(v));
+      for (const auto v : remap_moved) table.cell(static_cast<long long>(v));
+      for (const auto v : pnr_moved) table.cell(static_cast<long long>(v));
+    }
+  }
+
+  table.print(std::cout);
+  const std::string csv = cli.get("csv", "");
+  if (!csv.empty()) table.save_csv(csv);
+
+  std::printf("\naverage %% of elements moved per step:\n");
+  std::printf("%6s %12s %12s %12s\n", "p", "RSB", "RSB+remap", "PNR");
+  for (std::size_t k = 0; k < procs.size(); ++k)
+    std::printf("%6d %11.1f%% %11.1f%% %11.1f%%  (PNR peak %.1f%%)\n",
+                procs[k], rsb_lanes[k].moved_pct.mean(), remap_pct[k].mean(),
+                pnr_lanes[k].moved_pct.mean(), pnr_lanes[k].moved_pct.max());
+  std::printf("\nexpected shape: RSB ≈ 50-100%%, permuted RSB tens of %% with "
+              "sharp peaks, PNR a few %% and smooth.\n[%.1fs]\n",
+              timer.seconds());
+  return 0;
+}

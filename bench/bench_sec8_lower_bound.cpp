@@ -1,0 +1,91 @@
+// Section 8: the lower estimate of the migration cost. When refinement
+// creates m new elements inside one processor P_o and balance is restored by
+// moving elements only between adjacent processors, the cost is
+//   C_migrate = Σ_{j≠o} d_{o,j}·m/p ≤ 2√p·m (corner of a processor mesh).
+// We build a balanced partition, refine m elements inside one subset,
+// compute the model cost over the measured processor connectivity graph
+// H^t, and compare with the migration PNR actually performs.
+//
+//   --procs=4,8,16,32,64 --grid=40 --rounds=2
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "parallel/model.hpp"
+#include "partition/diffusion.hpp"
+
+using namespace pnr;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto procs =
+      cli.get_int_list("procs", std::vector<int>{4, 8, 16, 32, 64});
+  const int grid = cli.get_int("grid", 40);
+  const int rounds = cli.get_int("rounds", 2);
+
+  bench::banner("Section 8",
+                "migration lower estimate vs PNR's measured migration when "
+                "one processor's region is refined");
+  util::Timer timer;
+
+  util::Table out({"Proc", "m_new", "Model", "CornerBound", "PNR_migrate",
+                   "PNR/Model"});
+
+  const auto field = fem::corner_problem_2d();
+  for (const int p : procs) {
+    // Balanced PNR partition of the base mesh.
+    pared::CornerSeries2D series(grid);
+    mesh::TriMesh mesh = series.mesh();
+    pared::Session2D session(pared::Strategy::kPNR,
+                             static_cast<part::PartId>(p), 9);
+    session.step(mesh);
+
+    // Refine only inside the subset owning the corner (where the indicator
+    // is largest): all marks land on one processor, as Section 8 assumes.
+    const auto leaves0 = mesh.leaf_elements();
+    part::PartId owner = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < leaves0.size(); ++i) {
+      const double eta = fem::element_indicator(mesh, leaves0[i], field);
+      if (eta > best) {
+        best = eta;
+        owner = mesh.tag(leaves0[i]);
+      }
+    }
+    const std::int64_t before = mesh.num_leaves();
+    for (int r = 0; r < rounds; ++r) {
+      std::vector<mesh::ElemIdx> marked;
+      for (const mesh::ElemIdx e : mesh.leaf_elements())
+        if (mesh.tag(e) == owner &&
+            fem::element_indicator(mesh, e, field) > best * 0.01)
+          marked.push_back(e);
+      mesh.refine(marked);
+    }
+    const std::int64_t m = mesh.num_leaves() - before;
+
+    // Model cost on the measured H^t of the carried partition.
+    const auto elems = mesh.leaf_elements();
+    const auto carried = bench::carried(mesh, elems);
+    const auto dual = mesh::fine_dual_graph(mesh);
+    const auto h = part::processor_graph(
+        dual.graph, part::Partition(static_cast<part::PartId>(p), carried));
+    const double model = par::migration_cost_model(h, owner, m);
+    const double bound = par::corner_mesh_bound(p, m);
+
+    const auto report = session.step(mesh);
+    out.row()
+        .cell(p)
+        .cell(static_cast<long long>(m))
+        .cell(model, 0)
+        .cell(bound, 0)
+        .cell(static_cast<long long>(report.migrated))
+        .cell(model > 0 ? static_cast<double>(report.migrated) / model : 0.0,
+              2);
+  }
+  out.print(std::cout);
+  std::printf("\nexpected shape: PNR's migration is within a small factor of "
+              "the Σ d_oj·m/p model and both respect the 2√p·m bound's "
+              "scaling (independent of total mesh size).\n[%.1fs]\n",
+              timer.seconds());
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Standalone partitioner in the spirit of the Chaco/METIS command-line
+// tools: read a mesh (.node/.ele, 2D or 3D) or a METIS graph file,
+// partition it with any of the library's methods, and write the result as
+// a partition file (one subset id per line), plus optional VTK/SVG views
+// for meshes.
+//
+//   ./partition_tool --mesh=path/basename --dim=2 --procs=16 --method=mlkl
+//   ./partition_tool --graph=graph.metis --procs=8 --method=rsb
+//   options: --out=partition.txt --vtk=out.vtk --svg=out.svg --seed=1
+//
+// Exit code 0 on success; prints cut size, shared vertices (meshes) and
+// imbalance.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "graph/io.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/io.hpp"
+#include "mesh/metrics.hpp"
+#include "mesh/svg.hpp"
+#include "partition/partitioner.hpp"
+#include "util/cli.hpp"
+
+using namespace pnr;
+
+namespace {
+
+bool write_partition_file(const std::string& path,
+                          const std::vector<part::PartId>& assign) {
+  std::ofstream f(path);
+  if (!f) return false;
+  for (const part::PartId p : assign) f << p << '\n';
+  return static_cast<bool>(f);
+}
+
+int partition_graph(const graph::Graph& g, const util::Cli& cli,
+                    part::Method method,
+                    std::span<const double> coords, int dim,
+                    std::vector<part::PartId>& out_assign) {
+  const auto p = static_cast<part::PartId>(cli.get_int("procs", 8));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  part::PartitionerOptions opt;
+  opt.method = method;
+  opt.coords = coords;
+  opt.dim = dim;
+  const auto pi = part::make_partition(g, p, rng, opt);
+  std::printf("%s into %d parts: cut=%lld imbalance=%.3f%%\n",
+              part::method_name(method), static_cast<int>(p),
+              static_cast<long long>(part::cut_size(g, pi)),
+              100.0 * part::imbalance(g, pi));
+  out_assign = pi.assign;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string mesh_base = cli.get("mesh", "");
+  const std::string graph_path = cli.get("graph", "");
+  const std::string out = cli.get("out", "partition.txt");
+  const auto method = part::parse_method(cli.get("method", "mlkl"));
+  if (!method) {
+    std::fprintf(stderr, "unknown method; try mlkl|rsb|inertial|rcb|random\n");
+    return 1;
+  }
+  if (mesh_base.empty() == graph_path.empty()) {
+    std::fprintf(stderr, "pass exactly one of --mesh=<basename> (.node/.ele) "
+                         "or --graph=<file> (METIS)\n");
+    return 1;
+  }
+
+  std::vector<part::PartId> assign;
+
+  if (!graph_path.empty()) {
+    const auto g = graph::read_metis(graph_path);
+    if (!g) {
+      std::fprintf(stderr, "failed to read METIS graph %s\n",
+                   graph_path.c_str());
+      return 1;
+    }
+    std::printf("graph: %d vertices, %lld edges\n",
+                static_cast<int>(g->num_vertices()),
+                static_cast<long long>(g->num_edges()));
+    if (partition_graph(*g, cli, *method, {}, 2, assign)) return 1;
+  } else {
+    const int dim = cli.get_int("dim", 2);
+    if (dim == 2) {
+      const auto mesh = mesh::read_triangle_files(mesh_base);
+      if (!mesh) {
+        std::fprintf(stderr, "failed to read %s.node/.ele\n",
+                     mesh_base.c_str());
+        return 1;
+      }
+      const auto dual = mesh::fine_dual_graph(*mesh);
+      const auto coords = mesh::leaf_centroids(*mesh, dual.elems);
+      std::printf("mesh: %lld triangles, %lld vertices\n",
+                  static_cast<long long>(mesh->num_leaves()),
+                  static_cast<long long>(mesh->num_vertices_alive()));
+      if (partition_graph(dual.graph, cli, *method, coords, 2, assign))
+        return 1;
+      std::printf("shared vertices: %lld\n",
+                  static_cast<long long>(
+                      mesh::shared_vertices(*mesh, dual.elems, assign)));
+      const std::string vtk = cli.get("vtk", "");
+      if (!vtk.empty() && mesh::write_vtk(*mesh, dual.elems, assign, vtk))
+        std::printf("wrote %s\n", vtk.c_str());
+      const std::string svg = cli.get("svg", "");
+      if (!svg.empty() &&
+          mesh::write_partition_svg(*mesh, dual.elems, assign, svg))
+        std::printf("wrote %s\n", svg.c_str());
+    } else {
+      const auto mesh = mesh::read_tetgen_files(mesh_base);
+      if (!mesh) {
+        std::fprintf(stderr, "failed to read %s.node/.ele\n",
+                     mesh_base.c_str());
+        return 1;
+      }
+      const auto dual = mesh::fine_dual_graph(*mesh);
+      const auto coords = mesh::leaf_centroids(*mesh, dual.elems);
+      std::printf("mesh: %lld tets, %lld vertices\n",
+                  static_cast<long long>(mesh->num_leaves()),
+                  static_cast<long long>(mesh->num_vertices_alive()));
+      if (partition_graph(dual.graph, cli, *method, coords, 3, assign))
+        return 1;
+      std::printf("shared vertices: %lld\n",
+                  static_cast<long long>(
+                      mesh::shared_vertices(*mesh, dual.elems, assign)));
+      const std::string vtk = cli.get("vtk", "");
+      if (!vtk.empty() && mesh::write_vtk(*mesh, dual.elems, assign, vtk))
+        std::printf("wrote %s\n", vtk.c_str());
+    }
+  }
+
+  if (!write_partition_file(out, assign)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: build an adaptive mesh, refine it toward a corner, and
+// repartition it with PNR, comparing against a from-scratch Multilevel-KL.
+//
+//   ./quickstart [--procs=8] [--levels=4] [--grid=24]
+//
+// This walks exactly the pipeline the paper describes: mesh → refinement
+// history trees → weighted coarse dual graph → nested repartitioning.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/pnr.hpp"
+#include "fem/estimator.hpp"
+#include "fem/problems.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/metrics.hpp"
+#include "partition/mlkl.hpp"
+#include "pared/session.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pnr;
+  const util::Cli cli(argc, argv);
+  const auto p = static_cast<part::PartId>(cli.get_int("procs", 8));
+  const int levels = cli.get_int("levels", 4);
+  const int grid = cli.get_int("grid", 24);
+
+  // 1. A quasi-uniform unstructured mesh of (-1,1)².
+  auto mesh = mesh::structured_tri_mesh(grid, grid, 0.25, /*seed=*/1);
+  std::printf("initial mesh: %d triangles\n",
+              static_cast<int>(mesh.num_leaves()));
+
+  // 2. Two sessions sharing the same mesh sequence: PNR repartitions the
+  //    nested coarse graph; Multilevel-KL partitions the fine mesh from
+  //    scratch every time. (Each session carries its own copy of the mesh
+  //    so the carried element tags don't collide.)
+  auto mesh_mlkl = mesh;
+  pared::Session2D pnr_session(pared::Strategy::kPNR, p, /*seed=*/7);
+  pared::Session2D mlkl_session(pared::Strategy::kMlkl, p, /*seed=*/7);
+
+  const auto field = fem::corner_problem_2d();
+  std::printf("\n%-6s %-9s | %-28s | %-28s\n", "", "", "PNR", "Multilevel-KL");
+  std::printf("%-6s %-9s | %8s %8s %9s | %8s %8s %9s\n", "level", "elems",
+              "shared", "moved", "imbal", "shared", "moved", "imbal");
+
+  for (int level = 0; level <= levels; ++level) {
+    if (level > 0) {
+      // 3. Adapt: refine where the corner solution still changes fast.
+      fem::MarkOptions mark;
+      mark.refine_threshold = 0.02 * std::pow(0.55, level - 1);
+      mark.max_level = level + 3;
+      mesh.refine(fem::mark_for_refinement(mesh, field, mark));
+      mesh_mlkl.refine(fem::mark_for_refinement(mesh_mlkl, field, mark));
+    }
+    // 4. Repartition and report.
+    const auto a = pnr_session.step(mesh);
+    const auto b = mlkl_session.step(mesh_mlkl);
+    std::printf("%-6d %-9lld | %8lld %8lld %8.3f%% | %8lld %8lld %8.3f%%\n",
+                level, static_cast<long long>(a.elements),
+                static_cast<long long>(a.shared_vertices),
+                static_cast<long long>(a.migrated),
+                100.0 * a.imbalance,
+                static_cast<long long>(b.shared_vertices),
+                static_cast<long long>(b.migrated),
+                100.0 * b.imbalance);
+  }
+  std::printf(
+      "\nPNR keeps the moved-element count small at comparable quality —\n"
+      "the paper's headline result.\n");
+  return 0;
+}

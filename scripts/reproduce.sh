@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the test suite, regenerate every paper
+# table/figure at default scale, and (optionally) at the paper's full scale.
+#
+#   scripts/reproduce.sh [--paper] [--asan]
+#
+# Outputs land in results/ (tables as .txt, mesh renderings as .svg).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PAPER=0
+ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --paper) PAPER=1 ;;
+    --asan) ASAN=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 1 ;;
+  esac
+done
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/bench_*; do
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" --outdir=results | tee "results/$name.txt"
+done
+
+if [ "$PAPER" = 1 ]; then
+  echo "== paper-scale runs (this takes tens of minutes)"
+  build/bench/bench_fig3_quality  --paper | tee results/bench_fig3_paper.txt
+  build/bench/bench_fig4_rsb_migration --paper | tee results/bench_fig4_paper.txt
+  build/bench/bench_fig5_pnr_migration --paper | tee results/bench_fig5_paper.txt
+  build/bench/bench_fig7_transient_quality --paper | tee results/bench_fig7_paper.txt
+  build/bench/bench_fig8_transient_migration --paper | tee results/bench_fig8_paper.txt
+  build/bench/bench_fig1_fig6_meshes --paper --outdir=results | tee results/bench_fig1_fig6_paper.txt
+fi
+
+if [ "$ASAN" = 1 ]; then
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+echo "done — see results/ and EXPERIMENTS.md"

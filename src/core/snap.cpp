@@ -1,0 +1,60 @@
+#include "core/snap.hpp"
+
+#include "util/assert.hpp"
+
+namespace pnr::core {
+
+namespace {
+
+template <typename Mesh, typename CoarseOf>
+SnapResult snap_impl(const Mesh& mesh, const std::vector<mesh::ElemIdx>& elems,
+                     const std::vector<part::PartId>& fine_assign,
+                     part::PartId num_parts, CoarseOf&& coarse_of) {
+  PNR_REQUIRE(fine_assign.size() == elems.size());
+  const auto n0 = static_cast<std::size_t>(mesh.num_initial_elements());
+  const auto p = static_cast<std::size_t>(num_parts);
+
+  // votes[c*p + q] = leaves of coarse element c currently on processor q.
+  std::vector<std::int64_t> votes(n0 * p, 0);
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const auto c = static_cast<std::size_t>(coarse_of(elems[i]));
+    ++votes[c * p + static_cast<std::size_t>(fine_assign[i])];
+  }
+
+  SnapResult out;
+  out.coarse_assign.resize(n0, 0);
+  for (std::size_t c = 0; c < n0; ++c) {
+    std::int64_t best = -1;
+    for (std::size_t q = 0; q < p; ++q)
+      if (votes[c * p + q] > best) {
+        best = votes[c * p + q];
+        out.coarse_assign[c] = static_cast<part::PartId>(q);
+      }
+  }
+
+  out.fine_assign.resize(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    out.fine_assign[i] =
+        out.coarse_assign[static_cast<std::size_t>(coarse_of(elems[i]))];
+  return out;
+}
+
+}  // namespace
+
+SnapResult snap_to_coarse(const mesh::TriMesh& mesh,
+                          const std::vector<mesh::ElemIdx>& elems,
+                          const std::vector<part::PartId>& fine_assign,
+                          part::PartId num_parts) {
+  return snap_impl(mesh, elems, fine_assign, num_parts,
+                   [&](mesh::ElemIdx e) { return mesh.tri(e).coarse; });
+}
+
+SnapResult snap_to_coarse(const mesh::TetMesh& mesh,
+                          const std::vector<mesh::ElemIdx>& elems,
+                          const std::vector<part::PartId>& fine_assign,
+                          part::PartId num_parts) {
+  return snap_impl(mesh, elems, fine_assign, num_parts,
+                   [&](mesh::ElemIdx e) { return mesh.tet(e).coarse; });
+}
+
+}  // namespace pnr::core

@@ -1,0 +1,65 @@
+#include "fem/cg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pnr::fem {
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tol, int max_iters) {
+  const auto n = static_cast<std::size_t>(a.size());
+  PNR_REQUIRE(b.size() == n && x.size() == n);
+
+  std::vector<double> inv_diag(n);
+  for (std::int32_t i = 0; i < a.size(); ++i) {
+    const double d = a.diagonal(i);
+    inv_diag[static_cast<std::size_t>(i)] = d != 0.0 ? 1.0 / d : 1.0;
+  }
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.apply(x, ap);
+  double b_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+    b_norm += b[i] * b[i];
+  }
+  b_norm = std::sqrt(b_norm);
+  if (b_norm == 0.0) b_norm = 1.0;
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  CgResult result;
+  for (int it = 1; it <= max_iters; ++it) {
+    a.apply(p, ap);
+    double pap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0.0) break;  // matrix not SPD (should not happen)
+    const double alpha = rz / pap;
+    double r_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+      r_norm += r[i] * r[i];
+    }
+    result.iterations = it;
+    result.residual = std::sqrt(r_norm) / b_norm;
+    if (result.residual <= tol) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    double rz_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace pnr::fem

@@ -1,0 +1,21 @@
+#pragma once
+// Jacobi-preconditioned conjugate gradients for the SPD systems assembled
+// by the P1 discretization.
+
+#include <span>
+
+#include "fem/sparse.hpp"
+
+namespace pnr::fem {
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tol = 1e-9,
+                            int max_iters = 20000);
+
+}  // namespace pnr::fem

@@ -1,0 +1,55 @@
+#include "fem/problems.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pnr::fem {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+ScalarField2 corner_problem_2d() {
+  ScalarField2 field;
+  field.value = [](double x, double y) {
+    return std::cos(kTwoPi * (x - y)) * std::sinh(kTwoPi * (x + y + 2.0)) /
+           std::sinh(8.0 * std::numbers::pi);
+  };
+  // cos(a(x−y))·sinh(a(x+y+c)) is harmonic: the (−2a² + 2a²) terms cancel.
+  field.neg_laplacian = [](double, double) { return 0.0; };
+  return field;
+}
+
+ScalarField3 corner_problem_3d() {
+  ScalarField3 field;
+  const double denom = 2.0 * std::sinh(8.0 * std::numbers::pi);
+  field.value = [denom](double x, double y, double z) {
+    return (std::cos(kTwoPi * (x - y)) * std::sinh(kTwoPi * (x + y + 2.0)) +
+            std::cos(kTwoPi * (y - z)) * std::sinh(kTwoPi * (y + z + 2.0))) /
+           denom;
+  };
+  field.neg_laplacian = [](double, double, double) { return 0.0; };
+  return field;
+}
+
+ScalarField2 moving_peak(double t) {
+  ScalarField2 field;
+  field.value = [t](double x, double y) {
+    const double dx = x + t, dy = y + t;
+    return 1.0 / (1.0 + 100.0 * dx * dx + 100.0 * dy * dy);
+  };
+  field.neg_laplacian = [t](double x, double y) {
+    // u = 1/(1+s), s = 100(dx²+dy²):
+    //   Δu = −(s_xx+s_yy)/(1+s)² + 2(s_x²+s_y²)/(1+s)³.
+    const double dx = x + t, dy = y + t;
+    const double s = 100.0 * (dx * dx + dy * dy);
+    const double sx = 200.0 * dx, sy = 200.0 * dy;
+    const double one = 1.0 + s;
+    const double lap = -400.0 / (one * one) +
+                       2.0 * (sx * sx + sy * sy) / (one * one * one);
+    return -lap;
+  };
+  return field;
+}
+
+}  // namespace pnr::fem

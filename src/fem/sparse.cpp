@@ -1,0 +1,136 @@
+#include "fem/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace pnr::fem {
+
+CsrMatrix CsrMatrix::from_triplets(std::int32_t n,
+                                   const std::vector<std::int32_t>& rows,
+                                   const std::vector<std::int32_t>& cols,
+                                   const std::vector<double>& values) {
+  PNR_REQUIRE(rows.size() == cols.size() && cols.size() == values.size());
+  CsrMatrix m;
+  m.n_ = n;
+
+  std::vector<std::int64_t> count(static_cast<std::size_t>(n), 0);
+  for (const std::int32_t r : rows) {
+    PNR_REQUIRE(r >= 0 && r < n);
+    ++count[static_cast<std::size_t>(r)];
+  }
+  m.xadj_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int32_t r = 0; r < n; ++r)
+    m.xadj_[static_cast<std::size_t>(r) + 1] =
+        m.xadj_[static_cast<std::size_t>(r)] + count[static_cast<std::size_t>(r)];
+
+  std::vector<std::int32_t> tmp_cols(rows.size());
+  std::vector<double> tmp_vals(rows.size());
+  std::vector<std::int64_t> cursor(m.xadj_.begin(), m.xadj_.end() - 1);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto slot = static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(rows[k])]++);
+    tmp_cols[slot] = cols[k];
+    tmp_vals[slot] = values[k];
+  }
+
+  // Sort each row and merge duplicates.
+  m.cols_.reserve(rows.size());
+  m.vals_.reserve(rows.size());
+  std::vector<std::int64_t> new_xadj{0};
+  new_xadj.reserve(static_cast<std::size_t>(n) + 1);
+  std::vector<std::size_t> order;
+  for (std::int32_t r = 0; r < n; ++r) {
+    const auto b = static_cast<std::size_t>(m.xadj_[static_cast<std::size_t>(r)]);
+    const auto e = static_cast<std::size_t>(m.xadj_[static_cast<std::size_t>(r) + 1]);
+    order.resize(e - b);
+    std::iota(order.begin(), order.end(), b);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return tmp_cols[x] < tmp_cols[y];
+    });
+    for (const std::size_t k : order) {
+      if (!m.cols_.empty() &&
+          static_cast<std::int64_t>(m.cols_.size()) > new_xadj.back() &&
+          m.cols_.back() == tmp_cols[k]) {
+        m.vals_.back() += tmp_vals[k];
+      } else {
+        m.cols_.push_back(tmp_cols[k]);
+        m.vals_.push_back(tmp_vals[k]);
+      }
+    }
+    new_xadj.push_back(static_cast<std::int64_t>(m.cols_.size()));
+  }
+  m.xadj_ = std::move(new_xadj);
+  return m;
+}
+
+void CsrMatrix::apply(std::span<const double> x, std::span<double> y) const {
+  PNR_REQUIRE(x.size() == static_cast<std::size_t>(n_));
+  PNR_REQUIRE(y.size() == static_cast<std::size_t>(n_));
+  for (std::int32_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::int64_t k = xadj_[static_cast<std::size_t>(r)];
+         k < xadj_[static_cast<std::size_t>(r) + 1]; ++k)
+      acc += vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+double CsrMatrix::diagonal(std::int32_t row) const {
+  for (std::int64_t k = xadj_[static_cast<std::size_t>(row)];
+       k < xadj_[static_cast<std::size_t>(row) + 1]; ++k)
+    if (cols_[static_cast<std::size_t>(k)] == row)
+      return vals_[static_cast<std::size_t>(k)];
+  return 0.0;
+}
+
+void CsrMatrix::set_dirichlet(std::int32_t i, double value,
+                              std::span<double> rhs) {
+  PNR_REQUIRE(i >= 0 && i < n_);
+  // Zero row i, set diagonal to 1.
+  for (std::int64_t k = xadj_[static_cast<std::size_t>(i)];
+       k < xadj_[static_cast<std::size_t>(i) + 1]; ++k)
+    vals_[static_cast<std::size_t>(k)] =
+        cols_[static_cast<std::size_t>(k)] == i ? 1.0 : 0.0;
+  rhs[static_cast<std::size_t>(i)] = value;
+  // Zero column i in other rows, moving the contribution to the RHS.
+  for (std::int32_t r = 0; r < n_; ++r) {
+    if (r == i) continue;
+    for (std::int64_t k = xadj_[static_cast<std::size_t>(r)];
+         k < xadj_[static_cast<std::size_t>(r) + 1]; ++k)
+      if (cols_[static_cast<std::size_t>(k)] == i) {
+        rhs[static_cast<std::size_t>(r)] -=
+            vals_[static_cast<std::size_t>(k)] * value;
+        vals_[static_cast<std::size_t>(k)] = 0.0;
+      }
+  }
+}
+
+void CsrMatrix::set_dirichlet_all(std::span<const char> constrained,
+                                  std::span<const double> values,
+                                  std::span<double> rhs) {
+  PNR_REQUIRE(constrained.size() == static_cast<std::size_t>(n_));
+  PNR_REQUIRE(values.size() == static_cast<std::size_t>(n_));
+  PNR_REQUIRE(rhs.size() == static_cast<std::size_t>(n_));
+  for (std::int32_t r = 0; r < n_; ++r) {
+    const bool row_fixed = constrained[static_cast<std::size_t>(r)] != 0;
+    for (std::int64_t k = xadj_[static_cast<std::size_t>(r)];
+         k < xadj_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const std::int32_t c = cols_[static_cast<std::size_t>(k)];
+      auto& v = vals_[static_cast<std::size_t>(k)];
+      if (row_fixed) {
+        v = c == r ? 1.0 : 0.0;
+      } else if (constrained[static_cast<std::size_t>(c)]) {
+        rhs[static_cast<std::size_t>(r)] -=
+            v * values[static_cast<std::size_t>(c)];
+        v = 0.0;
+      }
+    }
+    if (row_fixed)
+      rhs[static_cast<std::size_t>(r)] = values[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace pnr::fem

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal CSR sparse matrix for the P1 finite element solver (symmetric
+// positive definite systems from Laplace/Poisson).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pnr::fem {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from unordered (row, col, value) triplets; duplicates accumulate.
+  static CsrMatrix from_triplets(std::int32_t n,
+                                 const std::vector<std::int32_t>& rows,
+                                 const std::vector<std::int32_t>& cols,
+                                 const std::vector<double>& values);
+
+  std::int32_t size() const { return n_; }
+  std::int64_t nonzeros() const { return static_cast<std::int64_t>(vals_.size()); }
+
+  /// y = A x.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  double diagonal(std::int32_t row) const;
+
+  /// Dirichlet elimination: zero row and column `i`, put 1 on the diagonal,
+  /// and adjust `rhs` so the solution satisfies x[i] = value.
+  void set_dirichlet(std::int32_t i, double value, std::span<double> rhs);
+
+  /// Batched Dirichlet elimination in one pass over the nonzeros:
+  /// constrained[i] != 0 forces x[i] = values[i].
+  void set_dirichlet_all(std::span<const char> constrained,
+                         std::span<const double> values,
+                         std::span<double> rhs);
+
+ private:
+  std::int32_t n_ = 0;
+  std::vector<std::int64_t> xadj_{0};
+  std::vector<std::int32_t> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace pnr::fem

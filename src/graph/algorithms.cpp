@@ -1,0 +1,96 @@
+#include "graph/algorithms.hpp"
+
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace pnr::graph {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source) {
+  PNR_REQUIRE(source >= 0 && source < g.num_vertices());
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_vertices()),
+                                 -1);
+  std::queue<VertexId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.neighbors(v))
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        q.push(u);
+      }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Components out;
+  out.label.assign(n, -1);
+  std::vector<VertexId> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (out.label[s] >= 0) continue;
+    const std::int32_t c = out.count++;
+    out.label[s] = c;
+    stack.push_back(static_cast<VertexId>(s));
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.neighbors(v))
+        if (out.label[static_cast<std::size_t>(u)] < 0) {
+          out.label[static_cast<std::size_t>(u)] = c;
+          stack.push_back(u);
+        }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+std::vector<std::int32_t> all_pairs_hops(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::int32_t> dist(n * n, -1);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto row = bfs_distances(g, static_cast<VertexId>(s));
+    for (std::size_t t = 0; t < n; ++t) dist[s * n + t] = row[t];
+  }
+  return dist;
+}
+
+std::int32_t part_components(const Graph& g,
+                             const std::vector<std::int32_t>& part,
+                             std::int32_t which,
+                             std::vector<std::int32_t>& label) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(part.size() == n);
+  label.assign(n, -1);
+  std::int32_t count = 0;
+  std::vector<VertexId> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (part[s] != which || label[s] >= 0) continue;
+    const std::int32_t c = count++;
+    label[s] = c;
+    stack.push_back(static_cast<VertexId>(s));
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.neighbors(v)) {
+        const auto su = static_cast<std::size_t>(u);
+        if (part[su] == which && label[su] < 0) {
+          label[su] = c;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace pnr::graph

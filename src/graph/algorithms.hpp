@@ -1,0 +1,36 @@
+#pragma once
+// Basic graph traversals shared by the partitioners and the Section 8
+// processor-connectivity model: BFS hop distances, connected components,
+// and all-pairs hop distances for small graphs (the processor graph H^t).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pnr::graph {
+
+/// Hop distances from `source` (-1 for unreachable vertices).
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Component label per vertex, labels are 0..num_components-1 assigned in
+/// order of discovery from vertex 0 upward.
+struct Components {
+  std::vector<std::int32_t> label;
+  std::int32_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Dense all-pairs hop distance matrix via n BFS runs; intended for small n
+/// (processor graphs). dist[i*n+j] == -1 when unreachable.
+std::vector<std::int32_t> all_pairs_hops(const Graph& g);
+
+/// Connected components restricted to one part of a partition: labels only
+/// vertices v with part[v]==which; others get -1. Returns component count.
+std::int32_t part_components(const Graph& g,
+                             const std::vector<std::int32_t>& part,
+                             std::int32_t which,
+                             std::vector<std::int32_t>& label);
+
+}  // namespace pnr::graph

@@ -1,0 +1,88 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace pnr::graph {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices)
+    : num_vertices_(num_vertices),
+      half_(static_cast<std::size_t>(num_vertices)),
+      vwgt_(static_cast<std::size_t>(num_vertices), 1) {
+  PNR_REQUIRE(num_vertices >= 0);
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v, Weight w) {
+  PNR_REQUIRE(u >= 0 && u < num_vertices_);
+  PNR_REQUIRE(v >= 0 && v < num_vertices_);
+  PNR_REQUIRE_MSG(u != v, "self loops are not representable");
+  if (u > v) std::swap(u, v);
+  // Accumulate onto an existing entry if present (linear scan: dual-graph
+  // vertices have small bounded degree).
+  auto& list = half_[static_cast<std::size_t>(u)];
+  for (auto& [nbr, wgt] : list)
+    if (nbr == v) {
+      wgt += w;
+      return;
+    }
+  list.emplace_back(v, w);
+}
+
+void GraphBuilder::set_vertex_weight(VertexId v, Weight w) {
+  PNR_REQUIRE(v >= 0 && v < num_vertices_);
+  vwgt_[static_cast<std::size_t>(v)] = w;
+}
+
+void GraphBuilder::add_vertex_weight(VertexId v, Weight w) {
+  PNR_REQUIRE(v >= 0 && v < num_vertices_);
+  vwgt_[static_cast<std::size_t>(v)] += w;
+}
+
+Graph GraphBuilder::build() const {
+  const auto n = static_cast<std::size_t>(num_vertices_);
+  std::vector<std::int64_t> deg(n, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    for (const auto& [v, w] : half_[u]) {
+      (void)w;
+      ++deg[u];
+      ++deg[static_cast<std::size_t>(v)];
+    }
+
+  std::vector<std::int64_t> xadj(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) xadj[v + 1] = xadj[v] + deg[v];
+
+  std::vector<VertexId> adjncy(static_cast<std::size_t>(xadj[n]));
+  std::vector<Weight> adjwgt(adjncy.size());
+  std::vector<std::int64_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (std::size_t u = 0; u < n; ++u)
+    for (const auto& [v, w] : half_[u]) {
+      const auto su = static_cast<std::size_t>(u);
+      const auto sv = static_cast<std::size_t>(v);
+      adjncy[static_cast<std::size_t>(cursor[su])] = v;
+      adjwgt[static_cast<std::size_t>(cursor[su])] = w;
+      ++cursor[su];
+      adjncy[static_cast<std::size_t>(cursor[sv])] = static_cast<VertexId>(u);
+      adjwgt[static_cast<std::size_t>(cursor[sv])] = w;
+      ++cursor[sv];
+    }
+
+  // Sort each adjacency list by neighbor id (stable, deterministic layout).
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto b = static_cast<std::size_t>(xadj[v]);
+    const auto e = static_cast<std::size_t>(xadj[v + 1]);
+    std::vector<std::pair<VertexId, Weight>> tmp;
+    tmp.reserve(e - b);
+    for (std::size_t k = b; k < e; ++k) tmp.emplace_back(adjncy[k], adjwgt[k]);
+    std::sort(tmp.begin(), tmp.end());
+    for (std::size_t k = b; k < e; ++k) {
+      adjncy[k] = tmp[k - b].first;
+      adjwgt[k] = tmp[k - b].second;
+    }
+  }
+
+  return Graph(std::move(xadj), std::move(adjncy), std::move(adjwgt), vwgt_);
+}
+
+}  // namespace pnr::graph

@@ -1,0 +1,35 @@
+#pragma once
+// Incremental construction of symmetric CSR graphs from unordered edge
+// insertions. Duplicate {u,v} insertions accumulate weight, which is exactly
+// what the dual-graph builders need (each adjacent leaf pair contributes 1).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pnr::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices);
+
+  /// Add (or accumulate onto) undirected edge {u,v}. Self loops are rejected.
+  void add_edge(VertexId u, VertexId v, Weight w = 1);
+
+  void set_vertex_weight(VertexId v, Weight w);
+  void add_vertex_weight(VertexId v, Weight w);
+
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Build the CSR graph. The builder may be reused afterwards (it keeps its
+  /// contents); neighbor lists come out sorted by vertex id for determinism.
+  Graph build() const;
+
+ private:
+  VertexId num_vertices_;
+  // Per-vertex half-edges (only u < v stored once; expanded at build time).
+  std::vector<std::vector<std::pair<VertexId, Weight>>> half_;
+  std::vector<Weight> vwgt_;
+};
+
+}  // namespace pnr::graph

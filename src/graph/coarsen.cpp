@@ -1,0 +1,127 @@
+#include "graph/coarsen.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::graph {
+
+namespace {
+
+/// Returns match[v] = partner (or v itself when unmatched).
+std::vector<VertexId> compute_matching(const Graph& g, util::Rng& rng,
+                                       const CoarsenOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<VertexId> match(n, kInvalidVertex);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (VertexId v : order) {
+    const auto sv = static_cast<std::size_t>(v);
+    if (match[sv] != kInvalidVertex) continue;
+    VertexId best = v;
+    Weight best_w = -1;
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId u = nbrs[k];
+      const auto su = static_cast<std::size_t>(u);
+      if (match[su] != kInvalidVertex) continue;
+      if (options.partition &&
+          (*options.partition)[su] != (*options.partition)[sv])
+        continue;
+      if (options.max_vertex_weight > 0 &&
+          g.vertex_weight(v) + g.vertex_weight(u) > options.max_vertex_weight)
+        continue;
+      if (options.random_matching) {
+        // First admissible neighbor in the shuffled visit order is effectively
+        // random; pick uniformly among admissible ones via reservoir step.
+        if (best == v || rng.next_below(2) == 0) best = u;
+      } else if (wgts[k] > best_w ||
+                 (wgts[k] == best_w && best != v && u < best)) {
+        best_w = wgts[k];
+        best = u;
+      }
+    }
+    match[sv] = best;
+    if (best != v) match[static_cast<std::size_t>(best)] = v;
+  }
+  return match;
+}
+
+}  // namespace
+
+CoarseLevel coarsen_once(const Graph& g, util::Rng& rng,
+                         const CoarsenOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (options.partition) PNR_REQUIRE(options.partition->size() == n);
+
+  const auto match = compute_matching(g, rng, options);
+
+  // Assign coarse ids: each matched pair and each singleton gets one.
+  std::vector<VertexId> fine_to_coarse(n, kInvalidVertex);
+  VertexId next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (fine_to_coarse[v] != kInvalidVertex) continue;
+    const VertexId partner = match[v];
+    fine_to_coarse[v] = next;
+    if (partner != static_cast<VertexId>(v))
+      fine_to_coarse[static_cast<std::size_t>(partner)] = next;
+    ++next;
+  }
+
+  GraphBuilder builder(next);
+  std::vector<Weight> cw(static_cast<std::size_t>(next), 0);
+  for (std::size_t v = 0; v < n; ++v)
+    cw[static_cast<std::size_t>(fine_to_coarse[v])] +=
+        g.vertex_weight(static_cast<VertexId>(v));
+  for (VertexId c = 0; c < next; ++c)
+    builder.set_vertex_weight(c, cw[static_cast<std::size_t>(c)]);
+
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId cv = fine_to_coarse[v];
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    const auto wgts = g.edge_weights(static_cast<VertexId>(v));
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId cu = fine_to_coarse[static_cast<std::size_t>(nbrs[k])];
+      // Count each fine edge once (v < nbr) and drop intra-pair edges.
+      if (static_cast<VertexId>(v) < nbrs[k] && cv != cu)
+        builder.add_edge(cv, cu, wgts[k]);
+    }
+  }
+
+  return CoarseLevel{builder.build(), std::move(fine_to_coarse)};
+}
+
+std::vector<CoarseLevel> build_hierarchy(const Graph& g, util::Rng& rng,
+                                         VertexId target_vertices,
+                                         const CoarsenOptions& options) {
+  std::vector<CoarseLevel> levels;
+  const Graph* current = &g;
+  while (current->num_vertices() > target_vertices) {
+    CoarseLevel level = coarsen_once(*current, rng, options);
+    const auto before = current->num_vertices();
+    const auto after = level.graph.num_vertices();
+    if (after >= before - before / 10) break;  // contraction stalled
+    levels.push_back(std::move(level));
+    current = &levels.back().graph;
+  }
+  return levels;
+}
+
+std::vector<std::int32_t> project_partition(
+    const std::vector<VertexId>& fine_to_coarse,
+    const std::vector<std::int32_t>& coarse_part) {
+  std::vector<std::int32_t> fine(fine_to_coarse.size());
+  for (std::size_t v = 0; v < fine_to_coarse.size(); ++v) {
+    const auto c = static_cast<std::size_t>(fine_to_coarse[v]);
+    PNR_ASSERT(c < coarse_part.size());
+    fine[v] = coarse_part[c];
+  }
+  return fine;
+}
+
+}  // namespace pnr::graph

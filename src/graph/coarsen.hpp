@@ -1,0 +1,48 @@
+#pragma once
+// Graph contraction for the multilevel partitioners. Heavy-edge matching
+// (HEM) follows Hendrickson–Leland / Karypis–Kumar: visit vertices in random
+// order and match each unmatched vertex with its unmatched neighbor of
+// heaviest connecting edge. The PNR repartitioner additionally restricts the
+// matching to endpoints in the *same subset* of the current partition so the
+// current assignment survives contraction (Section 9's modification (a)).
+
+#include <optional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::graph {
+
+struct CoarsenOptions {
+  /// Refuse matches that would create a coarse vertex heavier than this
+  /// (0 = no cap). Keeps the coarsest graph balanceable.
+  Weight max_vertex_weight = 0;
+  /// If set, only match vertices u,v with (*partition)[u]==(*partition)[v].
+  const std::vector<std::int32_t>* partition = nullptr;
+  /// Random matching instead of heavy-edge (used by the ablation bench).
+  bool random_matching = false;
+};
+
+struct CoarseLevel {
+  Graph graph;                        ///< contracted graph
+  std::vector<VertexId> fine_to_coarse;  ///< map of size fine n
+};
+
+/// One level of matching + contraction. Unmatched vertices map alone.
+CoarseLevel coarsen_once(const Graph& g, util::Rng& rng,
+                         const CoarsenOptions& options);
+
+/// Full multilevel hierarchy: coarsen until the graph has at most
+/// `target_vertices` vertices or contraction stalls (shrink < 10%).
+/// levels[0] corresponds to one application of coarsen_once on the input.
+std::vector<CoarseLevel> build_hierarchy(const Graph& g, util::Rng& rng,
+                                         VertexId target_vertices,
+                                         const CoarsenOptions& options);
+
+/// Push a coarse partition down one level: part_fine[v] = part_coarse[map[v]].
+std::vector<std::int32_t> project_partition(
+    const std::vector<VertexId>& fine_to_coarse,
+    const std::vector<std::int32_t>& coarse_part);
+
+}  // namespace pnr::graph

@@ -1,0 +1,86 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace pnr::graph {
+
+Graph::Graph(std::vector<std::int64_t> xadj, std::vector<VertexId> adjncy,
+             std::vector<Weight> adjwgt, std::vector<Weight> vwgt)
+    : xadj_(std::move(xadj)),
+      adjncy_(std::move(adjncy)),
+      adjwgt_(std::move(adjwgt)),
+      vwgt_(std::move(vwgt)) {
+  PNR_REQUIRE(xadj_.size() == vwgt_.size() + 1);
+  PNR_REQUIRE(adjncy_.size() == adjwgt_.size());
+  PNR_REQUIRE(xadj_.front() == 0);
+  PNR_REQUIRE(xadj_.back() == static_cast<std::int64_t>(adjncy_.size()));
+}
+
+Weight Graph::total_vertex_weight() const {
+  Weight total = 0;
+  for (Weight w : vwgt_) total += w;
+  return total;
+}
+
+Weight Graph::weighted_degree(VertexId v) const {
+  Weight total = 0;
+  for (std::int64_t e = xadj_[v]; e < xadj_[v + 1]; ++e) total += adjwgt_[e];
+  return total;
+}
+
+Weight Graph::edge_weight(VertexId u, VertexId v) const {
+  for (std::int64_t e = xadj_[u]; e < xadj_[u + 1]; ++e)
+    if (adjncy_[e] == v) return adjwgt_[e];
+  return 0;
+}
+
+bool Graph::set_edge_weight(VertexId u, VertexId v, Weight w) {
+  bool found_uv = false;
+  for (std::int64_t e = xadj_[u]; e < xadj_[u + 1]; ++e)
+    if (adjncy_[e] == v) {
+      adjwgt_[e] = w;
+      found_uv = true;
+      break;
+    }
+  if (!found_uv) return false;
+  for (std::int64_t e = xadj_[v]; e < xadj_[v + 1]; ++e)
+    if (adjncy_[e] == u) {
+      adjwgt_[e] = w;
+      return true;
+    }
+  PNR_REQUIRE_MSG(false, "asymmetric CSR: edge present one way only");
+  return false;
+}
+
+std::string Graph::validate() const {
+  const VertexId n = num_vertices();
+  if (xadj_.size() != static_cast<std::size_t>(n) + 1)
+    return "xadj size mismatch";
+  if (xadj_.front() != 0) return "xadj[0] != 0";
+  for (VertexId v = 0; v < n; ++v)
+    if (xadj_[v] > xadj_[v + 1]) return "xadj not monotone";
+  if (xadj_.back() != static_cast<std::int64_t>(adjncy_.size()))
+    return "xadj back mismatch";
+  if (adjncy_.size() != adjwgt_.size()) return "adjwgt size mismatch";
+
+  for (VertexId v = 0; v < n; ++v) {
+    std::unordered_set<VertexId> seen;
+    for (std::int64_t e = xadj_[v]; e < xadj_[v + 1]; ++e) {
+      const VertexId u = adjncy_[e];
+      if (u < 0 || u >= n) return "neighbor out of range";
+      if (u == v) return "self loop";
+      if (!seen.insert(u).second) return "duplicate edge";
+      if (adjwgt_[e] < 0) return "negative edge weight";
+      if (edge_weight(u, v) != adjwgt_[e]) return "asymmetric edge weight";
+    }
+  }
+  for (VertexId v = 0; v < n; ++v)
+    if (vwgt_[v] < 0) return "negative vertex weight";
+  return {};
+}
+
+}  // namespace pnr::graph

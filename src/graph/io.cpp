@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "util/log.hpp"
+
+namespace pnr::graph {
+
+bool write_metis(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << g.num_vertices() << ' ' << g.num_edges() << " 011\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    f << g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+      f << ' ' << (nbrs[k] + 1) << ' ' << wgts[k];
+    f << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+std::optional<Graph> read_metis(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    PNR_LOG_WARN << "cannot open " << path;
+    return std::nullopt;
+  }
+
+  auto next_line = [&](std::istringstream& out) {
+    std::string line;
+    while (std::getline(f, line)) {
+      if (!line.empty() && line[0] == '%') continue;
+      std::istringstream probe(line);
+      std::string tok;
+      if (probe >> tok) {
+        out = std::istringstream(line);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::istringstream header;
+  if (!next_line(header)) return std::nullopt;
+  long long n = 0, m = 0;
+  std::string fmt = "000";
+  int ncon = 1;
+  header >> n >> m;
+  if (header >> fmt) header >> ncon;
+  if (n <= 0 || m < 0 || ncon != 1) return std::nullopt;
+  if (fmt.size() > 3) return std::nullopt;
+  while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+  const bool has_vsize = fmt[0] == '1';  // METIS "vertex sizes" — unsupported
+  const bool has_vwgt = fmt[1] == '1';
+  const bool has_ewgt = fmt[2] == '1';
+  if (has_vsize) return std::nullopt;
+
+  GraphBuilder builder(static_cast<VertexId>(n));
+  long long arcs = 0;
+  for (long long v = 0; v < n; ++v) {
+    std::istringstream line;
+    if (!next_line(line)) return std::nullopt;
+    if (has_vwgt) {
+      Weight w;
+      if (!(line >> w) || w < 0) return std::nullopt;
+      builder.set_vertex_weight(static_cast<VertexId>(v), w);
+    }
+    long long nbr;
+    while (line >> nbr) {
+      Weight w = 1;
+      if (has_ewgt && !(line >> w)) return std::nullopt;
+      if (nbr < 1 || nbr > n) return std::nullopt;
+      ++arcs;
+      // Each undirected edge appears in both endpoint lines; add it once.
+      if (nbr - 1 > v)
+        builder.add_edge(static_cast<VertexId>(v),
+                         static_cast<VertexId>(nbr - 1), w);
+    }
+  }
+  if (arcs != 2 * m) {
+    PNR_LOG_WARN << path << ": header claims " << m << " edges, found "
+                 << arcs << " arcs";
+    return std::nullopt;
+  }
+  Graph g = builder.build();
+  if (g.num_edges() != m) return std::nullopt;  // asymmetric listing
+  return g;
+}
+
+}  // namespace pnr::graph

@@ -1,0 +1,24 @@
+#pragma once
+// METIS graph-file I/O — the lingua franca of graph partitioners (Chaco,
+// METIS, ParMETIS, Scotch all read it). Format: a header line
+//   <#vertices> <#edges> [fmt [ncon]]
+// where fmt is a 3-digit flag string (001 = edge weights, 010 = vertex
+// weights, 011 = both), followed by one line per vertex listing
+// [vertex weight] (neighbor edge-weight?)* with 1-based neighbor ids.
+// '%' starts a comment line.
+
+#include <optional>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace pnr::graph {
+
+/// Write `g` with both weight kinds (fmt 011). Returns false on I/O error.
+bool write_metis(const Graph& g, const std::string& path);
+
+/// Read a METIS file (any fmt; multi-constraint ncon > 1 is rejected).
+/// Returns nullopt on parse error or asymmetric adjacency.
+std::optional<Graph> read_metis(const std::string& path);
+
+}  // namespace pnr::graph

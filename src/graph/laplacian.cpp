@@ -1,0 +1,90 @@
+#include "graph/laplacian.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pnr::graph {
+
+void laplacian_apply(const Graph& g, std::span<const double> x,
+                     std::span<double> y) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(x.size() == n && y.size() == n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+    const auto wgts = g.edge_weights(static_cast<VertexId>(v));
+    double acc = 0.0;
+    double deg = 0.0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const double w = static_cast<double>(wgts[k]);
+      deg += w;
+      acc += w * x[static_cast<std::size_t>(nbrs[k])];
+    }
+    y[v] = deg * x[v] - acc;
+  }
+}
+
+void deflate_constant(std::span<double> x) {
+  if (x.empty()) return;
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+double normalize(std::span<double> x) {
+  double norm2 = 0.0;
+  for (double v : x) norm2 += v * v;
+  const double norm = std::sqrt(norm2);
+  if (norm > 0.0)
+    for (double& v : x) v /= norm;
+  return norm;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  PNR_REQUIRE(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+int laplacian_solve_cg(const Graph& g, std::span<const double> b,
+                       std::span<double> x, double tol, int max_iters) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(b.size() == n && x.size() == n);
+
+  std::vector<double> r(b.begin(), b.end());
+  deflate_constant(r);
+  std::vector<double> ax(n);
+  for (double& v : x) v = 0.0;
+
+  std::vector<double> p(r);
+  std::vector<double> ap(n);
+  double rr = dot(r, r);
+  const double b_norm = std::sqrt(dot(r, r));
+  if (b_norm == 0.0) return 0;
+  const double stop = tol * b_norm;
+
+  for (int it = 1; it <= max_iters; ++it) {
+    laplacian_apply(g, p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) return -1;  // L is PSD; zero means p in nullspace
+    const double alpha = rr / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    deflate_constant(std::span<double>(r));  // guard against drift
+    const double rr_new = dot(r, r);
+    if (std::sqrt(rr_new) <= stop) {
+      deflate_constant(x);
+      return it;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  return -1;
+}
+
+}  // namespace pnr::graph

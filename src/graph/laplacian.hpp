@@ -1,0 +1,34 @@
+#pragma once
+// Graph Laplacian operations. Two consumers:
+//  * the RSB partitioner's Lanczos iteration (Fiedler vector of L = D - A),
+//  * the Hu–Blake optimal diffusion flow, which solves L x = b on the
+//    processor connectivity graph.
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pnr::graph {
+
+/// y = L x with L = D - A using edge weights.
+void laplacian_apply(const Graph& g, std::span<const double> x,
+                     std::span<double> y);
+
+/// Make x orthogonal to the all-ones vector (deflates the trivial
+/// eigenvector of L).
+void deflate_constant(std::span<double> x);
+
+/// Normalize to unit 2-norm; returns the prior norm (0 if x was zero).
+double normalize(std::span<double> x);
+
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Conjugate gradient for L x = b restricted to the subspace orthogonal to
+/// ones (b must sum to 0 on each connected component; caller guarantees a
+/// connected graph). Returns iterations used, or -1 if not converged.
+int laplacian_solve_cg(const Graph& g, std::span<const double> b,
+                       std::span<double> x, double tol = 1e-10,
+                       int max_iters = 10000);
+
+}  // namespace pnr::graph

@@ -1,0 +1,35 @@
+#include "graph/subgraph.hpp"
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::graph {
+
+Subgraph induced_subgraph(const Graph& g,
+                          const std::vector<VertexId>& vertices) {
+  std::vector<VertexId> to_local(static_cast<std::size_t>(g.num_vertices()),
+                                 kInvalidVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    PNR_REQUIRE(v >= 0 && v < g.num_vertices());
+    PNR_REQUIRE_MSG(to_local[static_cast<std::size_t>(v)] == kInvalidVertex,
+                    "duplicate vertex in subgraph selection");
+    to_local[static_cast<std::size_t>(v)] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    builder.set_vertex_weight(static_cast<VertexId>(i), g.vertex_weight(v));
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const VertexId lu = to_local[static_cast<std::size_t>(nbrs[k])];
+      if (lu != kInvalidVertex && nbrs[k] > v)
+        builder.add_edge(static_cast<VertexId>(i), lu, wgts[k]);
+    }
+  }
+  return Subgraph{builder.build(), vertices};
+}
+
+}  // namespace pnr::graph

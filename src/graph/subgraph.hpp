@@ -1,0 +1,21 @@
+#pragma once
+// Induced subgraph extraction, used by the recursive bisection partitioners
+// (RSB and Multilevel-KL recurse on the two halves of each bisection).
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pnr::graph {
+
+struct Subgraph {
+  Graph graph;
+  /// local vertex id -> original vertex id
+  std::vector<VertexId> to_parent;
+};
+
+/// Subgraph induced by `vertices` (need not be sorted; must be unique).
+/// Edges with one endpoint outside are dropped; weights are preserved.
+Subgraph induced_subgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+}  // namespace pnr::graph

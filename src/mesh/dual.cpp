@@ -1,0 +1,118 @@
+#include "mesh/dual.hpp"
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::mesh {
+
+namespace {
+
+template <typename Mesh, typename ForEachInterface>
+FineDual fine_dual_impl(const Mesh& mesh, ForEachInterface&& for_each) {
+  FineDual out;
+  out.elems = mesh.leaf_elements();
+  out.dense.assign(mesh.element_slots(), -1);
+  for (std::size_t i = 0; i < out.elems.size(); ++i)
+    out.dense[static_cast<std::size_t>(out.elems[i])] =
+        static_cast<graph::VertexId>(i);
+
+  graph::GraphBuilder builder(static_cast<graph::VertexId>(out.elems.size()));
+  for_each([&](ElemIdx e1, ElemIdx e2) {
+    if (e1 == kNoElem || e2 == kNoElem) return;
+    builder.add_edge(out.dense[static_cast<std::size_t>(e1)],
+                     out.dense[static_cast<std::size_t>(e2)], 1);
+  });
+  out.graph = builder.build();
+  return out;
+}
+
+}  // namespace
+
+FineDual fine_dual_graph(const TriMesh& mesh) {
+  return fine_dual_impl(mesh, [&](auto&& emit) {
+    mesh.for_each_leaf_edge(
+        [&](VertIdx, VertIdx, ElemIdx e1, ElemIdx e2) { emit(e1, e2); });
+  });
+}
+
+FineDual fine_dual_graph(const TetMesh& mesh) {
+  return fine_dual_impl(mesh, [&](auto&& emit) {
+    mesh.for_each_leaf_face([&](VertIdx, VertIdx, VertIdx, ElemIdx e1,
+                                ElemIdx e2) { emit(e1, e2); });
+  });
+}
+
+namespace {
+
+/// Both meshes maintain per-coarse leaf counts and interface weights
+/// incrementally (the paper's P1 phase), so assembling G is O(|G|), not
+/// O(fine mesh).
+template <typename Mesh>
+graph::Graph nested_dual_impl2(const Mesh& mesh) {
+  const auto n0 = mesh.num_initial_elements();
+  graph::GraphBuilder builder(n0);
+  for (ElemIdx c = 0; c < n0; ++c)
+    builder.set_vertex_weight(c, mesh.leaf_count(c));
+  mesh.for_each_coarse_interface(
+      [&](ElemIdx c1, ElemIdx c2, std::int64_t w) {
+        builder.add_edge(c1, c2, w);
+      });
+  return builder.build();
+}
+
+}  // namespace
+
+graph::Graph nested_dual_graph(const TriMesh& mesh) {
+  return nested_dual_impl2(mesh);
+}
+
+graph::Graph nested_dual_graph(const TetMesh& mesh) {
+  return nested_dual_impl2(mesh);
+}
+
+std::vector<double> leaf_centroids(const TriMesh& mesh,
+                                   const std::vector<ElemIdx>& elems) {
+  std::vector<double> coords(elems.size() * 2);
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const Point2 c = mesh.centroid(elems[i]);
+    coords[i * 2] = c.x;
+    coords[i * 2 + 1] = c.y;
+  }
+  return coords;
+}
+
+std::vector<double> leaf_centroids(const TetMesh& mesh,
+                                   const std::vector<ElemIdx>& elems) {
+  std::vector<double> coords(elems.size() * 3);
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const Point3 c = mesh.centroid(elems[i]);
+    coords[i * 3] = c.x;
+    coords[i * 3 + 1] = c.y;
+    coords[i * 3 + 2] = c.z;
+  }
+  return coords;
+}
+
+std::vector<part::PartId> project_coarse_assignment(
+    const TriMesh& mesh, const std::vector<ElemIdx>& elems,
+    std::span<const part::PartId> coarse_assign) {
+  PNR_REQUIRE(coarse_assign.size() ==
+              static_cast<std::size_t>(mesh.num_initial_elements()));
+  std::vector<part::PartId> out(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    out[i] = coarse_assign[static_cast<std::size_t>(mesh.tri(elems[i]).coarse)];
+  return out;
+}
+
+std::vector<part::PartId> project_coarse_assignment(
+    const TetMesh& mesh, const std::vector<ElemIdx>& elems,
+    std::span<const part::PartId> coarse_assign) {
+  PNR_REQUIRE(coarse_assign.size() ==
+              static_cast<std::size_t>(mesh.num_initial_elements()));
+  std::vector<part::PartId> out(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    out[i] = coarse_assign[static_cast<std::size_t>(mesh.tet(elems[i]).coarse)];
+  return out;
+}
+
+}  // namespace pnr::mesh

@@ -1,0 +1,52 @@
+#pragma once
+// Dual graph extraction — the bridge between meshes and partitioners.
+//
+// * fine dual graph: one vertex per *leaf* element, an edge when two leaves
+//   share an edge (2D) or face (3D); unit weights. This is what the RSB /
+//   Multilevel-KL baselines partition, exactly as the paper's Section 7 does.
+// * nested (coarse) dual graph: one vertex per *initial* element Ω_a with
+//   weight = number of leaves of its refinement tree τ_a; an edge between
+//   initial elements with weight = number of adjacent leaf pairs across
+//   their interface. This is the graph G that PNR partitions (Section 5).
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "partition/partition.hpp"
+
+namespace pnr::mesh {
+
+struct FineDual {
+  graph::Graph graph;
+  std::vector<ElemIdx> elems;          ///< dense dual vertex -> element id
+  std::vector<graph::VertexId> dense;  ///< element id -> dual vertex (or -1)
+};
+
+FineDual fine_dual_graph(const TriMesh& mesh);
+FineDual fine_dual_graph(const TetMesh& mesh);
+
+/// The PNR coarse graph G of M^0 with leaf-count vertex weights and
+/// adjacent-leaf-pair edge weights.
+graph::Graph nested_dual_graph(const TriMesh& mesh);
+graph::Graph nested_dual_graph(const TetMesh& mesh);
+
+/// Leaf centroids in dense dual-vertex order (row-major n×2 / n×3), for the
+/// geometric partitioner.
+std::vector<double> leaf_centroids(const TriMesh& mesh,
+                                   const std::vector<ElemIdx>& elems);
+std::vector<double> leaf_centroids(const TetMesh& mesh,
+                                   const std::vector<ElemIdx>& elems);
+
+/// Expand a partition of the nested coarse graph to the fine leaves: leaf i
+/// (dense order of `elems`) inherits the subset of its level-0 ancestor.
+std::vector<part::PartId> project_coarse_assignment(
+    const TriMesh& mesh, const std::vector<ElemIdx>& elems,
+    std::span<const part::PartId> coarse_assign);
+std::vector<part::PartId> project_coarse_assignment(
+    const TetMesh& mesh, const std::vector<ElemIdx>& elems,
+    std::span<const part::PartId> coarse_assign);
+
+}  // namespace pnr::mesh

@@ -1,0 +1,273 @@
+#include "mesh/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace pnr::mesh {
+
+namespace {
+
+/// Tokenizer that skips blank lines and '#' comments.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next non-empty, non-comment line split into a token stream.
+  bool next(std::istringstream& out) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream probe(line);
+      std::string tok;
+      if (probe >> tok) {
+        out = std::istringstream(line);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+struct NodeData {
+  std::vector<double> coords;  ///< row-major n×dim
+  int dim = 0;
+  long long first_index = 0;
+};
+
+std::optional<NodeData> read_nodes(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    PNR_LOG_WARN << "cannot open " << path;
+    return std::nullopt;
+  }
+  LineReader reader(f);
+  std::istringstream header;
+  if (!reader.next(header)) return std::nullopt;
+  long long count = 0;
+  int dim = 0, attrs = 0, markers = 0;
+  header >> count >> dim >> attrs >> markers;
+  if (count <= 0 || (dim != 2 && dim != 3)) return std::nullopt;
+
+  NodeData data;
+  data.dim = dim;
+  data.coords.resize(static_cast<std::size_t>(count) * dim);
+  for (long long i = 0; i < count; ++i) {
+    std::istringstream line;
+    if (!reader.next(line)) return std::nullopt;
+    long long id = 0;
+    line >> id;
+    if (i == 0) data.first_index = id;
+    const long long slot = id - data.first_index;
+    if (slot < 0 || slot >= count) return std::nullopt;
+    for (int d = 0; d < dim; ++d) {
+      double v;
+      if (!(line >> v)) return std::nullopt;
+      data.coords[static_cast<std::size_t>(slot) * dim + d] = v;
+    }
+  }
+  return data;
+}
+
+struct EleData {
+  std::vector<VertIdx> verts;  ///< row-major n×nodes_per_elem
+  int nodes_per_elem = 0;
+};
+
+std::optional<EleData> read_elements(const std::string& path,
+                                     long long node_first_index,
+                                     long long num_nodes) {
+  std::ifstream f(path);
+  if (!f) {
+    PNR_LOG_WARN << "cannot open " << path;
+    return std::nullopt;
+  }
+  LineReader reader(f);
+  std::istringstream header;
+  if (!reader.next(header)) return std::nullopt;
+  long long count = 0;
+  int per = 0, attrs = 0;
+  header >> count >> per >> attrs;
+  if (count <= 0 || (per != 3 && per != 4)) return std::nullopt;
+
+  EleData data;
+  data.nodes_per_elem = per;
+  data.verts.resize(static_cast<std::size_t>(count) * per);
+  for (long long i = 0; i < count; ++i) {
+    std::istringstream line;
+    if (!reader.next(line)) return std::nullopt;
+    long long id = 0;
+    line >> id;
+    for (int k = 0; k < per; ++k) {
+      long long v;
+      if (!(line >> v)) return std::nullopt;
+      const long long local = v - node_first_index;
+      if (local < 0 || local >= num_nodes) return std::nullopt;
+      data.verts[static_cast<std::size_t>(i) * per + k] =
+          static_cast<VertIdx>(local);
+    }
+  }
+  return data;
+}
+
+template <typename Mesh, typename WriteElem>
+bool write_triangle_impl(const Mesh& mesh, const std::string& basename,
+                         int dim, int per, WriteElem&& write_elem) {
+  const auto elems = mesh.leaf_elements();
+  // Dense-number the alive vertices.
+  std::vector<std::int64_t> vert_id(mesh.vertex_slots(), -1);
+  std::int64_t next = 1;  // Triangle files are conventionally 1-based
+  std::ofstream node_f(basename + ".node");
+  if (!node_f) return false;
+  std::ostringstream node_body;
+  for (std::size_t v = 0; v < mesh.vertex_slots(); ++v)
+    if (mesh.vertex_alive(static_cast<VertIdx>(v))) {
+      vert_id[v] = next++;
+      const auto& p = mesh.vertex(static_cast<VertIdx>(v));
+      node_body << vert_id[v] << ' ' << p.x << ' ' << p.y;
+      if constexpr (std::is_same_v<Mesh, TetMesh>) node_body << ' ' << p.z;
+      node_body << '\n';
+    }
+  node_f << (next - 1) << ' ' << dim << " 0 0\n" << node_body.str();
+  if (!node_f) return false;
+
+  std::ofstream ele_f(basename + ".ele");
+  if (!ele_f) return false;
+  ele_f << elems.size() << ' ' << per << " 0\n";
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    ele_f << (i + 1);
+    write_elem(ele_f, elems[i], vert_id);
+    ele_f << '\n';
+  }
+  return static_cast<bool>(ele_f);
+}
+
+template <typename Mesh>
+bool write_vtk_impl(const Mesh& mesh, const std::vector<ElemIdx>& elems,
+                    const std::vector<part::PartId>& assign,
+                    const std::string& path, int per, int cell_type) {
+  PNR_REQUIRE(assign.empty() || assign.size() == elems.size());
+  std::ofstream f(path);
+  if (!f) return false;
+
+  std::vector<std::int64_t> vert_id(mesh.vertex_slots(), -1);
+  std::int64_t count = 0;
+  std::ostringstream points;
+  for (std::size_t v = 0; v < mesh.vertex_slots(); ++v)
+    if (mesh.vertex_alive(static_cast<VertIdx>(v))) {
+      vert_id[v] = count++;
+      const auto& p = mesh.vertex(static_cast<VertIdx>(v));
+      points << p.x << ' ' << p.y << ' ';
+      if constexpr (std::is_same_v<Mesh, TetMesh>) points << p.z;
+      else points << 0.0;
+      points << '\n';
+    }
+
+  f << "# vtk DataFile Version 3.0\npnr adaptive mesh\nASCII\n"
+    << "DATASET UNSTRUCTURED_GRID\nPOINTS " << count << " double\n"
+    << points.str();
+  f << "CELLS " << elems.size() << ' ' << elems.size() * (per + 1) << '\n';
+  for (const ElemIdx e : elems) {
+    f << per;
+    const auto& t = [&] {
+      if constexpr (std::is_same_v<Mesh, TetMesh>) return mesh.tet(e);
+      else return mesh.tri(e);
+    }();
+    for (int k = 0; k < per; ++k)
+      f << ' ' << vert_id[static_cast<std::size_t>(t.v[static_cast<std::size_t>(k)])];
+    f << '\n';
+  }
+  f << "CELL_TYPES " << elems.size() << '\n';
+  for (std::size_t i = 0; i < elems.size(); ++i) f << cell_type << '\n';
+  if (!assign.empty()) {
+    f << "CELL_DATA " << elems.size()
+      << "\nSCALARS partition int 1\nLOOKUP_TABLE default\n";
+    for (const part::PartId p : assign) f << p << '\n';
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+bool write_triangle_files(const TriMesh& mesh, const std::string& basename) {
+  return write_triangle_impl(
+      mesh, basename, 2, 3,
+      [&](std::ostream& os, ElemIdx e, const std::vector<std::int64_t>& id) {
+        for (const VertIdx v : mesh.tri(e).v)
+          os << ' ' << id[static_cast<std::size_t>(v)];
+      });
+}
+
+bool write_triangle_files(const TetMesh& mesh, const std::string& basename) {
+  return write_triangle_impl(
+      mesh, basename, 3, 4,
+      [&](std::ostream& os, ElemIdx e, const std::vector<std::int64_t>& id) {
+        for (const VertIdx v : mesh.tet(e).v)
+          os << ' ' << id[static_cast<std::size_t>(v)];
+      });
+}
+
+std::optional<TriMesh> read_triangle_files(const std::string& basename) {
+  const auto nodes = read_nodes(basename + ".node");
+  if (!nodes || nodes->dim != 2) return std::nullopt;
+  const auto num_nodes =
+      static_cast<long long>(nodes->coords.size()) / nodes->dim;
+  const auto eles =
+      read_elements(basename + ".ele", nodes->first_index, num_nodes);
+  if (!eles || eles->nodes_per_elem != 3) return std::nullopt;
+
+  TriMesh mesh;
+  for (long long v = 0; v < num_nodes; ++v)
+    mesh.add_vertex(nodes->coords[static_cast<std::size_t>(v) * 2],
+                    nodes->coords[static_cast<std::size_t>(v) * 2 + 1]);
+  const auto count = eles->verts.size() / 3;
+  for (std::size_t e = 0; e < count; ++e)
+    mesh.add_triangle(eles->verts[e * 3], eles->verts[e * 3 + 1],
+                      eles->verts[e * 3 + 2]);
+  mesh.finalize();
+  return mesh;
+}
+
+std::optional<TetMesh> read_tetgen_files(const std::string& basename) {
+  const auto nodes = read_nodes(basename + ".node");
+  if (!nodes || nodes->dim != 3) return std::nullopt;
+  const auto num_nodes =
+      static_cast<long long>(nodes->coords.size()) / nodes->dim;
+  const auto eles =
+      read_elements(basename + ".ele", nodes->first_index, num_nodes);
+  if (!eles || eles->nodes_per_elem != 4) return std::nullopt;
+
+  TetMesh mesh;
+  for (long long v = 0; v < num_nodes; ++v)
+    mesh.add_vertex(nodes->coords[static_cast<std::size_t>(v) * 3],
+                    nodes->coords[static_cast<std::size_t>(v) * 3 + 1],
+                    nodes->coords[static_cast<std::size_t>(v) * 3 + 2]);
+  const auto count = eles->verts.size() / 4;
+  for (std::size_t e = 0; e < count; ++e)
+    mesh.add_tet(eles->verts[e * 4], eles->verts[e * 4 + 1],
+                 eles->verts[e * 4 + 2], eles->verts[e * 4 + 3]);
+  mesh.finalize();
+  return mesh;
+}
+
+bool write_vtk(const TriMesh& mesh, const std::vector<ElemIdx>& elems,
+               const std::vector<part::PartId>& assign,
+               const std::string& path) {
+  return write_vtk_impl(mesh, elems, assign, path, 3, /*VTK_TRIANGLE=*/5);
+}
+
+bool write_vtk(const TetMesh& mesh, const std::vector<ElemIdx>& elems,
+               const std::vector<part::PartId>& assign,
+               const std::string& path) {
+  return write_vtk_impl(mesh, elems, assign, path, 4, /*VTK_TETRA=*/10);
+}
+
+}  // namespace pnr::mesh

@@ -1,0 +1,41 @@
+#pragma once
+// Mesh file I/O.
+//
+// * Triangle / TetGen format (.node + .ele, Shewchuk's tools): the de facto
+//   exchange format for simplicial meshes. Reading produces a 0-level mesh
+//   ready for adaptation; writing dumps the current leaves as a flat mesh.
+// * VTK legacy format (.vtk, ASCII unstructured grid) with an optional
+//   per-cell "partition" scalar — loadable in ParaView, and the only way to
+//   look at the 3D experiments.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "partition/partition.hpp"
+
+namespace pnr::mesh {
+
+/// Write `basename`.node and `basename`.ele (1-based indices, no attributes)
+/// describing the current leaf mesh. Returns false on I/O failure.
+bool write_triangle_files(const TriMesh& mesh, const std::string& basename);
+bool write_triangle_files(const TetMesh& mesh, const std::string& basename);
+
+/// Read `basename`.node/.ele into a fresh 0-level mesh. Accepts 0- or
+/// 1-based indices, comment lines (#), and optional attribute/marker
+/// columns. Returns nullopt with no partial state on parse failure.
+std::optional<TriMesh> read_triangle_files(const std::string& basename);
+std::optional<TetMesh> read_tetgen_files(const std::string& basename);
+
+/// Legacy-VTK dump of the leaves; `assign` (one entry per element of
+/// `elems`, may be empty) becomes a CELL_DATA scalar named "partition".
+bool write_vtk(const TriMesh& mesh, const std::vector<ElemIdx>& elems,
+               const std::vector<part::PartId>& assign,
+               const std::string& path);
+bool write_vtk(const TetMesh& mesh, const std::vector<ElemIdx>& elems,
+               const std::vector<part::PartId>& assign,
+               const std::string& path);
+
+}  // namespace pnr::mesh

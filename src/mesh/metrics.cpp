@@ -1,0 +1,128 @@
+#include "mesh/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/assert.hpp"
+
+namespace pnr::mesh {
+
+namespace {
+
+/// Counts vertices touched by ≥ 2 subsets given per-leaf vertex spans.
+class SharedVertexCounter {
+ public:
+  explicit SharedVertexCounter(std::size_t vertex_slots)
+      : first_part_(vertex_slots, -2), shared_(vertex_slots, false) {}
+
+  void touch(VertIdx v, part::PartId p) {
+    auto& f = first_part_[static_cast<std::size_t>(v)];
+    if (f == -2) {
+      f = p;
+    } else if (f != p && !shared_[static_cast<std::size_t>(v)]) {
+      shared_[static_cast<std::size_t>(v)] = true;
+      ++count_;
+    }
+  }
+
+  std::int64_t count() const { return count_; }
+
+ private:
+  std::vector<part::PartId> first_part_;
+  std::vector<char> shared_;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace
+
+std::int64_t shared_vertices(const TriMesh& mesh,
+                             const std::vector<ElemIdx>& elems,
+                             std::span<const part::PartId> assign) {
+  PNR_REQUIRE(assign.size() == elems.size());
+  SharedVertexCounter counter(mesh.vertex_slots());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    for (const VertIdx v : mesh.tri(elems[i]).v) counter.touch(v, assign[i]);
+  return counter.count();
+}
+
+std::int64_t shared_vertices(const TetMesh& mesh,
+                             const std::vector<ElemIdx>& elems,
+                             std::span<const part::PartId> assign) {
+  PNR_REQUIRE(assign.size() == elems.size());
+  SharedVertexCounter counter(mesh.vertex_slots());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    for (const VertIdx v : mesh.tet(elems[i]).v) counter.touch(v, assign[i]);
+  return counter.count();
+}
+
+std::vector<std::int32_t> adjacent_subdomains(
+    const graph::Graph& fine_dual, std::span<const part::PartId> assign,
+    part::PartId num_parts) {
+  PNR_REQUIRE(assign.size() ==
+              static_cast<std::size_t>(fine_dual.num_vertices()));
+  const auto p = static_cast<std::size_t>(num_parts);
+  std::vector<char> adj(p * p, false);
+  for (graph::VertexId v = 0; v < fine_dual.num_vertices(); ++v) {
+    const auto pv = static_cast<std::size_t>(assign[static_cast<std::size_t>(v)]);
+    for (graph::VertexId u : fine_dual.neighbors(v)) {
+      const auto pu = static_cast<std::size_t>(assign[static_cast<std::size_t>(u)]);
+      if (pu != pv) adj[pv * p + pu] = true;
+    }
+  }
+  std::vector<std::int32_t> counts(p, 0);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < p; ++j)
+      if (adj[i * p + j]) ++counts[i];
+  return counts;
+}
+
+MeshQuality mesh_quality(const TriMesh& mesh) {
+  MeshQuality q;
+  q.min_angle_deg = 180.0;
+  q.max_angle_deg = 0.0;
+  bool first = true;
+  for (const ElemIdx e : mesh.leaf_elements()) {
+    const auto& t = mesh.tri(e);
+    const double area = mesh.signed_area(e);
+    if (first) {
+      q.min_volume = q.max_volume = area;
+      first = false;
+    } else {
+      q.min_volume = std::min(q.min_volume, area);
+      q.max_volume = std::max(q.max_volume, area);
+    }
+    for (int i = 0; i < 3; ++i) {
+      const Point2& a = mesh.vertex(t.v[static_cast<std::size_t>(i)]);
+      const Point2& b = mesh.vertex(t.v[static_cast<std::size_t>((i + 1) % 3)]);
+      const Point2& c = mesh.vertex(t.v[static_cast<std::size_t>((i + 2) % 3)]);
+      const double ux = b.x - a.x, uy = b.y - a.y;
+      const double vx = c.x - a.x, vy = c.y - a.y;
+      const double dot = ux * vx + uy * vy;
+      const double cross = ux * vy - uy * vx;
+      const double angle =
+          std::atan2(std::abs(cross), dot) * 180.0 / std::numbers::pi;
+      q.min_angle_deg = std::min(q.min_angle_deg, angle);
+      q.max_angle_deg = std::max(q.max_angle_deg, angle);
+    }
+  }
+  return q;
+}
+
+MeshQuality mesh_quality(const TetMesh& mesh) {
+  MeshQuality q;
+  bool first = true;
+  for (const ElemIdx e : mesh.leaf_elements()) {
+    const double vol = mesh.signed_volume(e);
+    if (first) {
+      q.min_volume = q.max_volume = vol;
+      first = false;
+    } else {
+      q.min_volume = std::min(q.min_volume, vol);
+      q.max_volume = std::max(q.max_volume, vol);
+    }
+  }
+  return q;
+}
+
+}  // namespace pnr::mesh

@@ -1,0 +1,43 @@
+#pragma once
+// Mesh-level partition quality measures. The paper reports quality as the
+// "number of shared vertices": mesh vertices adjacent to elements assigned
+// to more than one processor (they carry duplicated unknowns and drive the
+// communication volume of the solver).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "partition/partition.hpp"
+
+namespace pnr::mesh {
+
+/// `assign[i]` is the subset of leaf `elems[i]`. Each vertex touching ≥ 2
+/// distinct subsets counts once.
+std::int64_t shared_vertices(const TriMesh& mesh,
+                             const std::vector<ElemIdx>& elems,
+                             std::span<const part::PartId> assign);
+std::int64_t shared_vertices(const TetMesh& mesh,
+                             const std::vector<ElemIdx>& elems,
+                             std::span<const part::PartId> assign);
+
+/// Number of distinct subsets adjacent to each subset (the paper notes that
+/// on high-latency networks the number of adjacent subdomains matters too).
+/// Returns per-part counts.
+std::vector<std::int32_t> adjacent_subdomains(
+    const graph::Graph& fine_dual, std::span<const part::PartId> assign,
+    part::PartId num_parts);
+
+struct MeshQuality {
+  double min_angle_deg = 0.0;   ///< over all leaf triangles (2D only)
+  double max_angle_deg = 0.0;
+  double min_volume = 0.0;      ///< min leaf area/volume
+  double max_volume = 0.0;
+};
+
+MeshQuality mesh_quality(const TriMesh& mesh);
+MeshQuality mesh_quality(const TetMesh& mesh);  ///< angles left at 0
+
+}  // namespace pnr::mesh

@@ -1,0 +1,489 @@
+#include "mesh/tet_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pnr::mesh {
+
+namespace {
+constexpr std::array<std::array<int, 2>, 6> kTetEdges{{
+    {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}};
+// Face i is opposite vertex i.
+constexpr std::array<std::array<int, 3>, 4> kTetFaces{{
+    {1, 2, 3}, {0, 2, 3}, {0, 1, 3}, {0, 1, 2}}};
+}  // namespace
+
+// ---- construction ----------------------------------------------------------
+
+VertIdx TetMesh::add_vertex(double x, double y, double z) {
+  PNR_REQUIRE_MSG(!finalized_, "add_vertex after finalize");
+  return new_vertex(x, y, z);
+}
+
+ElemIdx TetMesh::add_tet(VertIdx a, VertIdx b, VertIdx c, VertIdx d) {
+  PNR_REQUIRE_MSG(!finalized_, "add_tet after finalize");
+  const ElemIdx e = new_element();
+  Tet& t = tets_[static_cast<std::size_t>(e)];
+  t.v = {a, b, c, d};
+  t.leaf = true;
+  t.coarse = e;
+  return e;
+}
+
+void TetMesh::finalize() {
+  PNR_REQUIRE_MSG(!finalized_, "finalize called twice");
+  PNR_REQUIRE_MSG(!tets_.empty(), "empty mesh");
+  num_initial_ = static_cast<ElemIdx>(tets_.size());
+  leaf_count_.assign(static_cast<std::size_t>(num_initial_), 1);
+  num_leaves_ = num_initial_;
+
+  for (ElemIdx e = 0; e < num_initial_; ++e) {
+    Tet& t = tets_[static_cast<std::size_t>(e)];
+    if (signed_volume(e) < 0.0) std::swap(t.v[2], t.v[3]);
+    PNR_REQUIRE_MSG(signed_volume(e) > 0.0, "degenerate initial tetrahedron");
+    maps_add(e);
+  }
+  finalized_ = true;
+}
+
+// ---- slot management --------------------------------------------------------
+
+VertIdx TetMesh::new_vertex(double x, double y, double z) {
+  ++num_verts_alive_;
+  if (!free_verts_.empty()) {
+    const VertIdx v = free_verts_.back();
+    free_verts_.pop_back();
+    verts_[static_cast<std::size_t>(v)] = {x, y, z};
+    vert_alive_[static_cast<std::size_t>(v)] = true;
+    return v;
+  }
+  verts_.push_back({x, y, z});
+  vert_alive_.push_back(true);
+  return static_cast<VertIdx>(verts_.size() - 1);
+}
+
+ElemIdx TetMesh::new_element() {
+  if (!free_elems_.empty()) {
+    const ElemIdx e = free_elems_.back();
+    free_elems_.pop_back();
+    tets_[static_cast<std::size_t>(e)] = Tet{};
+    tets_[static_cast<std::size_t>(e)].alive = true;
+    return e;
+  }
+  tets_.emplace_back();
+  tets_.back().alive = true;
+  return static_cast<ElemIdx>(tets_.size() - 1);
+}
+
+void TetMesh::release_element(ElemIdx e) {
+  tets_[static_cast<std::size_t>(e)] = Tet{};
+  free_elems_.push_back(e);
+}
+
+void TetMesh::release_vertex(VertIdx v) {
+  vert_alive_[static_cast<std::size_t>(v)] = false;
+  free_verts_.push_back(v);
+  --num_verts_alive_;
+}
+
+// ---- geometry ---------------------------------------------------------------
+
+double TetMesh::signed_volume(ElemIdx e) const {
+  const Tet& t = tets_[static_cast<std::size_t>(e)];
+  const Point3& p0 = verts_[static_cast<std::size_t>(t.v[0])];
+  const Point3& p1 = verts_[static_cast<std::size_t>(t.v[1])];
+  const Point3& p2 = verts_[static_cast<std::size_t>(t.v[2])];
+  const Point3& p3 = verts_[static_cast<std::size_t>(t.v[3])];
+  const double ax = p1.x - p0.x, ay = p1.y - p0.y, az = p1.z - p0.z;
+  const double bx = p2.x - p0.x, by = p2.y - p0.y, bz = p2.z - p0.z;
+  const double cx = p3.x - p0.x, cy = p3.y - p0.y, cz = p3.z - p0.z;
+  return (ax * (by * cz - bz * cy) - ay * (bx * cz - bz * cx) +
+          az * (bx * cy - by * cx)) /
+         6.0;
+}
+
+Point3 TetMesh::centroid(ElemIdx e) const {
+  const Tet& t = tets_[static_cast<std::size_t>(e)];
+  Point3 c;
+  for (const VertIdx v : t.v) {
+    const Point3& p = verts_[static_cast<std::size_t>(v)];
+    c.x += p.x;
+    c.y += p.y;
+    c.z += p.z;
+  }
+  c.x /= 4.0;
+  c.y /= 4.0;
+  c.z /= 4.0;
+  return c;
+}
+
+std::pair<VertIdx, VertIdx> TetMesh::longest_edge(ElemIdx e) const {
+  const Tet& t = tets_[static_cast<std::size_t>(e)];
+  double best_len = -1.0;
+  std::uint64_t best_key = 0;
+  std::pair<VertIdx, VertIdx> best{kNoVert, kNoVert};
+  for (const auto& edge : kTetEdges) {
+    const VertIdx a = t.v[static_cast<std::size_t>(edge[0])];
+    const VertIdx b = t.v[static_cast<std::size_t>(edge[1])];
+    const Point3& pa = verts_[static_cast<std::size_t>(a)];
+    const Point3& pb = verts_[static_cast<std::size_t>(b)];
+    const double len = (pa.x - pb.x) * (pa.x - pb.x) +
+                       (pa.y - pb.y) * (pa.y - pb.y) +
+                       (pa.z - pb.z) * (pa.z - pb.z);
+    const std::uint64_t key = edge_key(a, b);
+    // Ties resolved by the larger canonical key so every incident tet picks
+    // the same edge — this is what makes the propagation terminate.
+    if (len > best_len || (len == best_len && key > best_key)) {
+      best_len = len;
+      best_key = key;
+      best = {a, b};
+    }
+  }
+  return best;
+}
+
+// ---- incidence maps ---------------------------------------------------------
+
+void TetMesh::maps_add(ElemIdx e) {
+  const Tet& t = tets_[static_cast<std::size_t>(e)];
+  for (const auto& face : kTetFaces) {
+    const VertIdx a = t.v[static_cast<std::size_t>(face[0])];
+    const VertIdx b = t.v[static_cast<std::size_t>(face[1])];
+    const VertIdx c = t.v[static_cast<std::size_t>(face[2])];
+    auto [it, inserted] = face_map_.try_emplace(
+        face_key(a, b, c), FaceEntry{a, b, c, {e, kNoElem}});
+    if (!inserted) {
+      PNR_REQUIRE_MSG(it->second.elems[1] == kNoElem,
+                      "non-manifold face: more than two tetrahedra");
+      it->second.elems[1] = e;
+      const ElemIdx c1 =
+          tets_[static_cast<std::size_t>(it->second.elems[0])].coarse;
+      const ElemIdx c2 = t.coarse;
+      if (c1 != c2)
+        ++coarse_interface_[edge_key(std::min(c1, c2), std::max(c1, c2))];
+    }
+  }
+  for (const auto& edge : kTetEdges) {
+    const VertIdx a = t.v[static_cast<std::size_t>(edge[0])];
+    const VertIdx b = t.v[static_cast<std::size_t>(edge[1])];
+    edge_tets_[edge_key(a, b)].push_back(e);
+  }
+}
+
+void TetMesh::maps_remove(ElemIdx e) {
+  const Tet& t = tets_[static_cast<std::size_t>(e)];
+  for (const auto& face : kTetFaces) {
+    const VertIdx a = t.v[static_cast<std::size_t>(face[0])];
+    const VertIdx b = t.v[static_cast<std::size_t>(face[1])];
+    const VertIdx c = t.v[static_cast<std::size_t>(face[2])];
+    auto it = face_map_.find(face_key(a, b, c));
+    PNR_REQUIRE(it != face_map_.end());
+    if (it->second.elems[1] != kNoElem) {
+      const ElemIdx c1 =
+          tets_[static_cast<std::size_t>(it->second.elems[0])].coarse;
+      const ElemIdx c2 =
+          tets_[static_cast<std::size_t>(it->second.elems[1])].coarse;
+      if (c1 != c2) {
+        auto w = coarse_interface_.find(
+            edge_key(std::min(c1, c2), std::max(c1, c2)));
+        PNR_ASSERT(w != coarse_interface_.end() && w->second > 0);
+        if (--w->second == 0) coarse_interface_.erase(w);
+      }
+    }
+    if (it->second.elems[0] == e) it->second.elems[0] = it->second.elems[1];
+    else PNR_REQUIRE(it->second.elems[1] == e);
+    it->second.elems[1] = kNoElem;
+    if (it->second.elems[0] == kNoElem) face_map_.erase(it);
+  }
+  for (const auto& edge : kTetEdges) {
+    const VertIdx a = t.v[static_cast<std::size_t>(edge[0])];
+    const VertIdx b = t.v[static_cast<std::size_t>(edge[1])];
+    auto it = edge_tets_.find(edge_key(a, b));
+    PNR_REQUIRE(it != edge_tets_.end());
+    auto& vec = it->second;
+    const auto pos = std::find(vec.begin(), vec.end(), e);
+    PNR_REQUIRE(pos != vec.end());
+    vec.erase(pos);
+    if (vec.empty()) edge_tets_.erase(it);
+  }
+}
+
+std::vector<ElemIdx> TetMesh::leaf_elements() const {
+  std::vector<ElemIdx> leaves;
+  leaves.reserve(static_cast<std::size_t>(num_leaves_));
+  for (std::size_t e = 0; e < tets_.size(); ++e)
+    if (tets_[e].alive && tets_[e].leaf)
+      leaves.push_back(static_cast<ElemIdx>(e));
+  return leaves;
+}
+
+std::vector<char> TetMesh::boundary_vertex_mask() const {
+  std::vector<char> mask(verts_.size(), false);
+  for (const auto& [key, entry] : face_map_) {
+    (void)key;
+    if (entry.elems[1] == kNoElem) {
+      mask[static_cast<std::size_t>(entry.a)] = true;
+      mask[static_cast<std::size_t>(entry.b)] = true;
+      mask[static_cast<std::size_t>(entry.c)] = true;
+    }
+  }
+  return mask;
+}
+
+// ---- refinement -------------------------------------------------------------
+
+void TetMesh::bisect(ElemIdx e, VertIdx a, VertIdx b, VertIdx m) {
+  PNR_ASSERT(is_leaf(e));
+  maps_remove(e);
+
+  const ElemIdx c0 = new_element();
+  const ElemIdx c1 = new_element();
+  Tet& parent = tets_[static_cast<std::size_t>(e)];
+  Tet& t0 = tets_[static_cast<std::size_t>(c0)];
+  Tet& t1 = tets_[static_cast<std::size_t>(c1)];
+
+  // Child 0 replaces b with m, child 1 replaces a with m; substituting one
+  // endpoint of an edge by its midpoint preserves orientation and halves
+  // the volume.
+  t0.v = parent.v;
+  t1.v = parent.v;
+  for (int k = 0; k < 4; ++k) {
+    if (t0.v[static_cast<std::size_t>(k)] == b)
+      t0.v[static_cast<std::size_t>(k)] = m;
+    if (t1.v[static_cast<std::size_t>(k)] == a)
+      t1.v[static_cast<std::size_t>(k)] = m;
+  }
+  for (Tet* child : {&t0, &t1}) {
+    child->parent = e;
+    child->coarse = parent.coarse;
+    child->tag = parent.tag;
+    child->level = static_cast<std::int16_t>(parent.level + 1);
+    child->leaf = true;
+  }
+  parent.leaf = false;
+  parent.child = {c0, c1};
+  parent.mid = m;
+
+  maps_add(c0);
+  maps_add(c1);
+
+  ++num_leaves_;
+  ++leaf_count_[static_cast<std::size_t>(parent.coarse)];
+}
+
+std::int64_t TetMesh::refine(const std::vector<ElemIdx>& marked) {
+  PNR_REQUIRE_MSG(finalized_, "refine before finalize");
+  std::vector<ElemIdx> stack;
+  stack.reserve(marked.size());
+  for (ElemIdx e : marked)
+    if (is_leaf(e)) stack.push_back(e);
+
+  std::int64_t bisections = 0;
+  std::int64_t guard = 256 * (num_leaves_ + 16) +
+                       4096 * static_cast<std::int64_t>(stack.size());
+  std::vector<ElemIdx> star;
+  while (!stack.empty()) {
+    PNR_REQUIRE_MSG(--guard > 0, "refinement propagation failed to terminate");
+    const ElemIdx t = stack.back();
+    if (!is_leaf(t)) {
+      stack.pop_back();
+      continue;
+    }
+    const auto [a, b] = longest_edge(t);
+    const std::uint64_t key = edge_key(a, b);
+
+    // Every leaf tet around the edge must agree that this is its longest
+    // edge; otherwise refine the disagreeing tets first (Rivara 3D).
+    const auto it = edge_tets_.find(key);
+    PNR_ASSERT(it != edge_tets_.end());
+    star.assign(it->second.begin(), it->second.end());
+    bool compatible = true;
+    for (const ElemIdx s : star) {
+      const auto [sa, sb] = longest_edge(s);
+      if (edge_key(sa, sb) != key) {
+        stack.push_back(s);
+        compatible = false;
+      }
+    }
+    if (!compatible) continue;
+
+    const Point3& pa = verts_[static_cast<std::size_t>(a)];
+    const Point3& pb = verts_[static_cast<std::size_t>(b)];
+    const double mx = 0.5 * (pa.x + pb.x);
+    const double my = 0.5 * (pa.y + pb.y);
+    const double mz = 0.5 * (pa.z + pb.z);
+    const VertIdx m = new_vertex(mx, my, mz);
+    for (const ElemIdx s : star) {
+      bisect(s, a, b, m);
+      ++bisections;
+    }
+    stack.pop_back();
+  }
+  return bisections;
+}
+
+// ---- coarsening -------------------------------------------------------------
+
+std::int64_t TetMesh::coarsen(const std::vector<ElemIdx>& marked) {
+  PNR_REQUIRE_MSG(finalized_, "coarsen before finalize");
+  std::vector<char> want(tets_.size(), false);
+  for (ElemIdx e : marked)
+    if (is_leaf(e)) want[static_cast<std::size_t>(e)] = true;
+
+  std::unordered_map<VertIdx, std::vector<ElemIdx>> by_mid;
+  for (std::size_t e = 0; e < tets_.size(); ++e) {
+    const Tet& t = tets_[e];
+    if (!t.alive || t.leaf) continue;
+    const ElemIdx c0 = t.child[0];
+    const ElemIdx c1 = t.child[1];
+    if (is_leaf(c0) && is_leaf(c1) && want[static_cast<std::size_t>(c0)] &&
+        want[static_cast<std::size_t>(c1)])
+      by_mid[t.mid].push_back(static_cast<ElemIdx>(e));
+  }
+  if (by_mid.empty()) return 0;
+
+  std::vector<std::int32_t> touches(verts_.size(), 0);
+  for (std::size_t e = 0; e < tets_.size(); ++e) {
+    const Tet& t = tets_[e];
+    if (!t.alive || !t.leaf) continue;
+    for (const VertIdx v : t.v) ++touches[static_cast<std::size_t>(v)];
+  }
+
+  std::vector<VertIdx> mids;
+  mids.reserve(by_mid.size());
+  for (const auto& [m, parents] : by_mid) {
+    (void)parents;
+    mids.push_back(m);
+  }
+  std::sort(mids.begin(), mids.end());
+
+  std::int64_t merges = 0;
+  for (const VertIdx m : mids) {
+    const auto& parents = by_mid[m];
+    // The midpoint vanishes only if its entire leaf star is the children of
+    // the candidate parents (2 leaves per parent).
+    if (touches[static_cast<std::size_t>(m)] !=
+        2 * static_cast<std::int32_t>(parents.size()))
+      continue;
+    for (const ElemIdx p : parents) {
+      Tet& parent = tets_[static_cast<std::size_t>(p)];
+      parent.tag = tets_[static_cast<std::size_t>(parent.child[0])].tag;
+      maps_remove(parent.child[0]);
+      maps_remove(parent.child[1]);
+      release_element(parent.child[0]);
+      release_element(parent.child[1]);
+      parent.child = {kNoElem, kNoElem};
+      parent.mid = kNoVert;
+      parent.leaf = true;
+      maps_add(p);
+      --num_leaves_;
+      --leaf_count_[static_cast<std::size_t>(parent.coarse)];
+      ++merges;
+    }
+    release_vertex(m);
+  }
+  return merges;
+}
+
+// ---- validation -------------------------------------------------------------
+
+std::string TetMesh::check_invariants() const {
+  if (!finalized_) return "not finalized";
+  std::int64_t leaves = 0;
+  std::vector<std::int64_t> leaf_count(leaf_count_.size(), 0);
+
+  for (std::size_t e = 0; e < tets_.size(); ++e) {
+    const Tet& t = tets_[e];
+    if (!t.alive) continue;
+    if (t.leaf) {
+      ++leaves;
+      if (t.coarse < 0 || t.coarse >= num_initial_) return "bad coarse id";
+      ++leaf_count[static_cast<std::size_t>(t.coarse)];
+      if (signed_volume(static_cast<ElemIdx>(e)) <= 0.0)
+        return "non-positive leaf volume";
+      for (const VertIdx v : t.v)
+        if (!vert_alive_[static_cast<std::size_t>(v)])
+          return "leaf references dead vertex";
+    } else {
+      if (t.child[0] == kNoElem || t.child[1] == kNoElem)
+        return "interior node missing children";
+      for (const ElemIdx c : t.child) {
+        const Tet& ct = tets_[static_cast<std::size_t>(c)];
+        if (!ct.alive) return "child slot dead";
+        if (ct.parent != static_cast<ElemIdx>(e))
+          return "child parent link broken";
+        if (ct.level != t.level + 1) return "child level wrong";
+        if (ct.coarse != t.coarse) return "child coarse ancestor wrong";
+      }
+      if (t.mid == kNoVert) return "interior node missing midpoint";
+      if (!vert_alive_[static_cast<std::size_t>(t.mid)])
+        return "midpoint vertex dead";
+    }
+  }
+  if (leaves != num_leaves_) return "leaf count cache wrong";
+  for (std::size_t c = 0; c < leaf_count.size(); ++c)
+    if (leaf_count[c] != leaf_count_[c]) return "per-coarse leaf count wrong";
+
+  // Faces: each face of a leaf occurs in at most two leaves, and the face
+  // map reflects exactly the leaf faces (conformity in 3D means no face of
+  // one leaf is a strict sub-face of another's, which would make the counts
+  // disagree).
+  std::unordered_map<std::uint64_t, std::int32_t> expected;
+  for (std::size_t e = 0; e < tets_.size(); ++e) {
+    const Tet& t = tets_[e];
+    if (!t.alive || !t.leaf) continue;
+    for (const auto& face : kTetFaces)
+      ++expected[face_key(t.v[static_cast<std::size_t>(face[0])],
+                          t.v[static_cast<std::size_t>(face[1])],
+                          t.v[static_cast<std::size_t>(face[2])])];
+  }
+  if (expected.size() != face_map_.size()) return "face map size mismatch";
+  for (const auto& [key, count] : expected) {
+    const auto it = face_map_.find(key);
+    if (it == face_map_.end()) return "face missing from map";
+    const int have =
+        (it->second.elems[0] != kNoElem) + (it->second.elems[1] != kNoElem);
+    if (have != count) return "face incidence mismatch";
+    if (count > 2) return "non-manifold face";
+  }
+
+  // Edge incidence map consistency.
+  std::unordered_map<std::uint64_t, std::int32_t> expected_edges;
+  for (std::size_t e = 0; e < tets_.size(); ++e) {
+    const Tet& t = tets_[e];
+    if (!t.alive || !t.leaf) continue;
+    for (const auto& edge : kTetEdges)
+      ++expected_edges[edge_key(t.v[static_cast<std::size_t>(edge[0])],
+                                t.v[static_cast<std::size_t>(edge[1])])];
+  }
+  if (expected_edges.size() != edge_tets_.size())
+    return "edge incidence size mismatch";
+  for (const auto& [key, count] : expected_edges) {
+    const auto it = edge_tets_.find(key);
+    if (it == edge_tets_.end()) return "edge missing from incidence map";
+    if (static_cast<std::int32_t>(it->second.size()) != count)
+      return "edge incidence count mismatch";
+  }
+
+  // Incrementally maintained coarse-interface weights vs a recount.
+  std::unordered_map<std::uint64_t, std::int64_t> recount;
+  for (const auto& [key, entry] : face_map_) {
+    (void)key;
+    if (entry.elems[1] == kNoElem) continue;
+    const ElemIdx c1 = tets_[static_cast<std::size_t>(entry.elems[0])].coarse;
+    const ElemIdx c2 = tets_[static_cast<std::size_t>(entry.elems[1])].coarse;
+    if (c1 != c2) ++recount[edge_key(std::min(c1, c2), std::max(c1, c2))];
+  }
+  if (recount.size() != coarse_interface_.size())
+    return "coarse interface map size mismatch";
+  for (const auto& [key, w] : recount) {
+    const auto it = coarse_interface_.find(key);
+    if (it == coarse_interface_.end() || it->second != w)
+      return "coarse interface weight mismatch";
+  }
+  return {};
+}
+
+}  // namespace pnr::mesh

@@ -1,0 +1,439 @@
+#include "mesh/tri_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pnr::mesh {
+
+// ---- construction ----------------------------------------------------------
+
+VertIdx TriMesh::add_vertex(double x, double y) {
+  PNR_REQUIRE_MSG(!finalized_, "add_vertex after finalize");
+  return new_vertex(x, y);
+}
+
+ElemIdx TriMesh::add_triangle(VertIdx a, VertIdx b, VertIdx c) {
+  PNR_REQUIRE_MSG(!finalized_, "add_triangle after finalize");
+  PNR_REQUIRE(a != b && b != c && a != c);
+  const ElemIdx e = new_element();
+  Tri& t = tris_[static_cast<std::size_t>(e)];
+  t.v = {a, b, c};
+  t.leaf = true;
+  t.coarse = e;
+  return e;
+}
+
+void TriMesh::finalize() {
+  PNR_REQUIRE_MSG(!finalized_, "finalize called twice");
+  PNR_REQUIRE_MSG(!tris_.empty(), "empty mesh");
+  num_initial_ = static_cast<ElemIdx>(tris_.size());
+  leaf_count_.assign(static_cast<std::size_t>(num_initial_), 1);
+  num_leaves_ = num_initial_;
+
+  for (ElemIdx e = 0; e < num_initial_; ++e) {
+    Tri& t = tris_[static_cast<std::size_t>(e)];
+    if (signed_area(e) < 0.0) std::swap(t.v[1], t.v[2]);
+    PNR_REQUIRE_MSG(signed_area(e) > 0.0, "degenerate initial triangle");
+    edge_map_add(e);
+  }
+  finalized_ = true;
+}
+
+// ---- slot management --------------------------------------------------------
+
+VertIdx TriMesh::new_vertex(double x, double y) {
+  ++num_verts_alive_;
+  if (!free_verts_.empty()) {
+    const VertIdx v = free_verts_.back();
+    free_verts_.pop_back();
+    verts_[static_cast<std::size_t>(v)] = {x, y};
+    vert_alive_[static_cast<std::size_t>(v)] = true;
+    return v;
+  }
+  verts_.push_back({x, y});
+  vert_alive_.push_back(true);
+  return static_cast<VertIdx>(verts_.size() - 1);
+}
+
+ElemIdx TriMesh::new_element() {
+  if (!free_elems_.empty()) {
+    const ElemIdx e = free_elems_.back();
+    free_elems_.pop_back();
+    tris_[static_cast<std::size_t>(e)] = Tri{};
+    tris_[static_cast<std::size_t>(e)].alive = true;
+    return e;
+  }
+  tris_.emplace_back();
+  tris_.back().alive = true;
+  return static_cast<ElemIdx>(tris_.size() - 1);
+}
+
+void TriMesh::release_element(ElemIdx e) {
+  tris_[static_cast<std::size_t>(e)] = Tri{};
+  free_elems_.push_back(e);
+}
+
+void TriMesh::release_vertex(VertIdx v) {
+  vert_alive_[static_cast<std::size_t>(v)] = false;
+  free_verts_.push_back(v);
+  --num_verts_alive_;
+}
+
+// ---- geometry ---------------------------------------------------------------
+
+double TriMesh::signed_area(ElemIdx e) const {
+  const Tri& t = tris_[static_cast<std::size_t>(e)];
+  const Point2& p0 = verts_[static_cast<std::size_t>(t.v[0])];
+  const Point2& p1 = verts_[static_cast<std::size_t>(t.v[1])];
+  const Point2& p2 = verts_[static_cast<std::size_t>(t.v[2])];
+  return 0.5 * ((p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y));
+}
+
+Point2 TriMesh::centroid(ElemIdx e) const {
+  const Tri& t = tris_[static_cast<std::size_t>(e)];
+  const Point2& p0 = verts_[static_cast<std::size_t>(t.v[0])];
+  const Point2& p1 = verts_[static_cast<std::size_t>(t.v[1])];
+  const Point2& p2 = verts_[static_cast<std::size_t>(t.v[2])];
+  return {(p0.x + p1.x + p2.x) / 3.0, (p0.y + p1.y + p2.y) / 3.0};
+}
+
+std::pair<VertIdx, VertIdx> TriMesh::longest_edge(ElemIdx e) const {
+  const Tri& t = tris_[static_cast<std::size_t>(e)];
+  double best_len = -1.0;
+  std::uint64_t best_key = 0;
+  std::pair<VertIdx, VertIdx> best{kNoVert, kNoVert};
+  for (int i = 0; i < 3; ++i) {
+    const VertIdx a = t.v[static_cast<std::size_t>(i)];
+    const VertIdx b = t.v[static_cast<std::size_t>((i + 1) % 3)];
+    const Point2& pa = verts_[static_cast<std::size_t>(a)];
+    const Point2& pb = verts_[static_cast<std::size_t>(b)];
+    const double len =
+        (pa.x - pb.x) * (pa.x - pb.x) + (pa.y - pb.y) * (pa.y - pb.y);
+    const std::uint64_t key = edge_key(a, b);
+    // Deterministic tie-break: longer edge wins; equal lengths pick the
+    // larger canonical key so both incident triangles agree.
+    if (len > best_len || (len == best_len && key > best_key)) {
+      best_len = len;
+      best_key = key;
+      best = {a, b};
+    }
+  }
+  return best;
+}
+
+// ---- leaf-edge incidence ----------------------------------------------------
+
+void TriMesh::edge_map_add(ElemIdx e) {
+  const Tri& t = tris_[static_cast<std::size_t>(e)];
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t key =
+        edge_key(t.v[static_cast<std::size_t>(i)],
+                 t.v[static_cast<std::size_t>((i + 1) % 3)]);
+    auto [it, inserted] = edge_map_.try_emplace(key,
+                                                std::array<ElemIdx, 2>{e, kNoElem});
+    if (!inserted) {
+      PNR_REQUIRE_MSG(it->second[1] == kNoElem,
+                      "non-manifold edge: more than two triangles");
+      it->second[1] = e;
+      // The pair just completed: update the coarse interface weight (the
+      // paper's incremental P1 bookkeeping).
+      const ElemIdx c1 = tris_[static_cast<std::size_t>(it->second[0])].coarse;
+      const ElemIdx c2 = t.coarse;
+      if (c1 != c2)
+        ++coarse_interface_[edge_key(std::min(c1, c2), std::max(c1, c2))];
+    }
+  }
+}
+
+void TriMesh::edge_map_remove(ElemIdx e) {
+  const Tri& t = tris_[static_cast<std::size_t>(e)];
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t key =
+        edge_key(t.v[static_cast<std::size_t>(i)],
+                 t.v[static_cast<std::size_t>((i + 1) % 3)]);
+    auto it = edge_map_.find(key);
+    PNR_REQUIRE(it != edge_map_.end());
+    if (it->second[1] != kNoElem) {
+      // Breaking a complete pair: retire its interface contribution.
+      const ElemIdx c1 = tris_[static_cast<std::size_t>(it->second[0])].coarse;
+      const ElemIdx c2 = tris_[static_cast<std::size_t>(it->second[1])].coarse;
+      if (c1 != c2) {
+        auto w = coarse_interface_.find(
+            edge_key(std::min(c1, c2), std::max(c1, c2)));
+        PNR_ASSERT(w != coarse_interface_.end() && w->second > 0);
+        if (--w->second == 0) coarse_interface_.erase(w);
+      }
+    }
+    if (it->second[0] == e) it->second[0] = it->second[1];
+    else PNR_REQUIRE(it->second[1] == e);
+    it->second[1] = kNoElem;
+    if (it->second[0] == kNoElem) edge_map_.erase(it);
+  }
+}
+
+ElemIdx TriMesh::edge_partner(ElemIdx e, VertIdx a, VertIdx b) const {
+  const auto it = edge_map_.find(edge_key(a, b));
+  if (it == edge_map_.end()) return kNoElem;
+  if (it->second[0] == e) return it->second[1];
+  PNR_ASSERT(it->second[1] == e);
+  return it->second[0];
+}
+
+std::vector<ElemIdx> TriMesh::leaf_elements() const {
+  std::vector<ElemIdx> leaves;
+  leaves.reserve(static_cast<std::size_t>(num_leaves_));
+  for (std::size_t e = 0; e < tris_.size(); ++e)
+    if (tris_[e].alive && tris_[e].leaf)
+      leaves.push_back(static_cast<ElemIdx>(e));
+  return leaves;
+}
+
+std::vector<char> TriMesh::boundary_vertex_mask() const {
+  std::vector<char> mask(verts_.size(), false);
+  for (const auto& [key, pair] : edge_map_)
+    if (pair[1] == kNoElem) {
+      mask[static_cast<std::size_t>(key & 0xffffffffull)] = true;
+      mask[static_cast<std::size_t>(key >> 32)] = true;
+    }
+  return mask;
+}
+
+// ---- refinement -------------------------------------------------------------
+
+void TriMesh::bisect(ElemIdx e, VertIdx a, VertIdx b, VertIdx m) {
+  Tri& t = tris_[static_cast<std::size_t>(e)];
+  PNR_ASSERT(t.leaf);
+
+  // Locate {a,b} in t's cyclic order so the children stay CCW.
+  int i = -1;
+  for (int k = 0; k < 3; ++k) {
+    const VertIdx va = t.v[static_cast<std::size_t>(k)];
+    const VertIdx vb = t.v[static_cast<std::size_t>((k + 1) % 3)];
+    if ((va == a && vb == b) || (va == b && vb == a)) {
+      i = k;
+      break;
+    }
+  }
+  PNR_REQUIRE_MSG(i >= 0, "bisection edge not part of the triangle");
+  const VertIdx va = t.v[static_cast<std::size_t>(i)];
+  const VertIdx vb = t.v[static_cast<std::size_t>((i + 1) % 3)];
+  const VertIdx vc = t.v[static_cast<std::size_t>((i + 2) % 3)];
+
+  edge_map_remove(e);
+
+  const ElemIdx c0 = new_element();
+  const ElemIdx c1 = new_element();
+  Tri& parent = tris_[static_cast<std::size_t>(e)];  // re-take: vector grew
+  Tri& t0 = tris_[static_cast<std::size_t>(c0)];
+  Tri& t1 = tris_[static_cast<std::size_t>(c1)];
+  t0.v = {va, m, vc};
+  t1.v = {m, vb, vc};
+  for (Tri* child : {&t0, &t1}) {
+    child->parent = e;
+    child->coarse = parent.coarse;
+    child->tag = parent.tag;
+    child->level = static_cast<std::int16_t>(parent.level + 1);
+    child->leaf = true;
+  }
+  parent.leaf = false;
+  parent.child = {c0, c1};
+  parent.mid = m;
+
+  edge_map_add(c0);
+  edge_map_add(c1);
+
+  ++num_leaves_;  // two children replace one leaf
+  ++leaf_count_[static_cast<std::size_t>(parent.coarse)];
+}
+
+std::int64_t TriMesh::refine(const std::vector<ElemIdx>& marked) {
+  PNR_REQUIRE_MSG(finalized_, "refine before finalize");
+  std::vector<ElemIdx> stack;
+  stack.reserve(marked.size());
+  for (ElemIdx e : marked)
+    if (is_leaf(e)) stack.push_back(e);
+
+  std::int64_t bisections = 0;
+  // Rivara's recursion terminates; the guard only trips on a logic error.
+  std::int64_t guard = 64 * (num_leaves_ + 16) + 1024 * static_cast<std::int64_t>(stack.size());
+  while (!stack.empty()) {
+    PNR_REQUIRE_MSG(--guard > 0, "refinement propagation failed to terminate");
+    const ElemIdx t = stack.back();
+    if (!is_leaf(t)) {  // already bisected through propagation
+      stack.pop_back();
+      continue;
+    }
+    const auto [a, b] = longest_edge(t);
+    const ElemIdx partner = edge_partner(t, a, b);
+    if (partner != kNoElem) {
+      const auto [pa, pb] = longest_edge(partner);
+      if (edge_key(pa, pb) != edge_key(a, b)) {
+        // The partner's longest edge differs: refine it first (Rivara).
+        stack.push_back(partner);
+        continue;
+      }
+    }
+    const Point2& pa = verts_[static_cast<std::size_t>(a)];
+    const Point2& pb = verts_[static_cast<std::size_t>(b)];
+    const VertIdx m = new_vertex(0.5 * (pa.x + pb.x), 0.5 * (pa.y + pb.y));
+    bisect(t, a, b, m);
+    ++bisections;
+    if (partner != kNoElem) {
+      bisect(partner, a, b, m);
+      ++bisections;
+    }
+    stack.pop_back();
+  }
+  return bisections;
+}
+
+// ---- coarsening -------------------------------------------------------------
+
+std::int64_t TriMesh::coarsen(const std::vector<ElemIdx>& marked) {
+  PNR_REQUIRE_MSG(finalized_, "coarsen before finalize");
+  std::vector<char> want(tris_.size(), false);
+  for (ElemIdx e : marked)
+    if (is_leaf(e)) want[static_cast<std::size_t>(e)] = true;
+
+  // Candidate parents: refined elements whose two children are leaves that
+  // both want to coarsen. Grouped by the midpoint their bisection created.
+  std::unordered_map<VertIdx, std::vector<ElemIdx>> by_mid;
+  for (std::size_t e = 0; e < tris_.size(); ++e) {
+    const Tri& t = tris_[e];
+    if (!t.alive || t.leaf) continue;
+    const ElemIdx c0 = t.child[0];
+    const ElemIdx c1 = t.child[1];
+    if (is_leaf(c0) && is_leaf(c1) && want[static_cast<std::size_t>(c0)] &&
+        want[static_cast<std::size_t>(c1)])
+      by_mid[t.mid].push_back(static_cast<ElemIdx>(e));
+  }
+  if (by_mid.empty()) return 0;
+
+  // A midpoint is removable only when *every* leaf using it belongs to the
+  // candidate group — otherwise the merge would leave a hanging node.
+  std::vector<std::int32_t> touches(verts_.size(), 0);
+  for (std::size_t e = 0; e < tris_.size(); ++e) {
+    const Tri& t = tris_[e];
+    if (!t.alive || !t.leaf) continue;
+    for (const VertIdx v : t.v) ++touches[static_cast<std::size_t>(v)];
+  }
+
+  // Deterministic processing order.
+  std::vector<VertIdx> mids;
+  mids.reserve(by_mid.size());
+  for (const auto& [m, parents] : by_mid) {
+    (void)parents;
+    mids.push_back(m);
+  }
+  std::sort(mids.begin(), mids.end());
+
+  std::int64_t merges = 0;
+  for (const VertIdx m : mids) {
+    const auto& parents = by_mid[m];
+    PNR_ASSERT(parents.size() == 1 || parents.size() == 2);
+    if (touches[static_cast<std::size_t>(m)] !=
+        2 * static_cast<std::int32_t>(parents.size()))
+      continue;
+    for (const ElemIdx p : parents) {
+      Tri& parent = tris_[static_cast<std::size_t>(p)];
+      parent.tag = tris_[static_cast<std::size_t>(parent.child[0])].tag;
+      edge_map_remove(parent.child[0]);
+      edge_map_remove(parent.child[1]);
+      release_element(parent.child[0]);
+      release_element(parent.child[1]);
+      parent.child = {kNoElem, kNoElem};
+      parent.mid = kNoVert;
+      parent.leaf = true;
+      edge_map_add(p);
+      --num_leaves_;
+      --leaf_count_[static_cast<std::size_t>(parent.coarse)];
+      ++merges;
+    }
+    release_vertex(m);
+  }
+  return merges;
+}
+
+// ---- validation -------------------------------------------------------------
+
+std::string TriMesh::check_invariants() const {
+  if (!finalized_) return "not finalized";
+  std::int64_t leaves = 0;
+  std::vector<std::int64_t> leaf_count(leaf_count_.size(), 0);
+
+  for (std::size_t e = 0; e < tris_.size(); ++e) {
+    const Tri& t = tris_[e];
+    if (!t.alive) continue;
+    if (t.leaf) {
+      ++leaves;
+      if (t.coarse < 0 || t.coarse >= num_initial_) return "bad coarse id";
+      ++leaf_count[static_cast<std::size_t>(t.coarse)];
+      if (signed_area(static_cast<ElemIdx>(e)) <= 0.0)
+        return "non-positive leaf area";
+      for (const VertIdx v : t.v)
+        if (!vert_alive_[static_cast<std::size_t>(v)])
+          return "leaf references dead vertex";
+    } else {
+      if (t.child[0] == kNoElem || t.child[1] == kNoElem)
+        return "interior node missing children";
+      for (const ElemIdx c : t.child) {
+        const Tri& ct = tris_[static_cast<std::size_t>(c)];
+        if (!ct.alive) return "child slot dead";
+        if (ct.parent != static_cast<ElemIdx>(e)) return "child parent link broken";
+        if (ct.level != t.level + 1) return "child level wrong";
+        if (ct.coarse != t.coarse) return "child coarse ancestor wrong";
+      }
+      if (t.mid == kNoVert) return "interior node missing midpoint";
+      if (!vert_alive_[static_cast<std::size_t>(t.mid)])
+        return "midpoint vertex dead";
+    }
+  }
+  if (leaves != num_leaves_) return "leaf count cache wrong";
+  for (std::size_t c = 0; c < leaf_count.size(); ++c)
+    if (leaf_count[c] != leaf_count_[c]) return "per-coarse leaf count wrong";
+
+  // Edge map must exactly reflect the leaf edges, and every interior edge
+  // must have exactly two leaves (conformity: no hanging nodes).
+  std::unordered_map<std::uint64_t, std::int32_t> expected;
+  for (std::size_t e = 0; e < tris_.size(); ++e) {
+    const Tri& t = tris_[e];
+    if (!t.alive || !t.leaf) continue;
+    for (int i = 0; i < 3; ++i)
+      ++expected[edge_key(t.v[static_cast<std::size_t>(i)],
+                          t.v[static_cast<std::size_t>((i + 1) % 3)])];
+  }
+  if (expected.size() != edge_map_.size()) return "edge map size mismatch";
+  for (const auto& [key, count] : expected) {
+    const auto it = edge_map_.find(key);
+    if (it == edge_map_.end()) return "edge missing from map";
+    const int have = (it->second[0] != kNoElem) + (it->second[1] != kNoElem);
+    if (have != count) return "edge incidence mismatch";
+    if (count > 2) return "non-manifold edge";
+  }
+  // Conformity: a vertex of one leaf lying strictly inside another leaf's
+  // edge would show up as edge-incidence mismatch above, because the two
+  // sides would generate different edge keys; nothing further to check.
+
+  // The incrementally maintained coarse-interface weights must equal a
+  // from-scratch recount.
+  std::unordered_map<std::uint64_t, std::int64_t> recount;
+  for (const auto& [key, pair] : edge_map_) {
+    (void)key;
+    if (pair[1] == kNoElem) continue;
+    const ElemIdx c1 = tris_[static_cast<std::size_t>(pair[0])].coarse;
+    const ElemIdx c2 = tris_[static_cast<std::size_t>(pair[1])].coarse;
+    if (c1 != c2) ++recount[edge_key(std::min(c1, c2), std::max(c1, c2))];
+  }
+  if (recount.size() != coarse_interface_.size())
+    return "coarse interface map size mismatch";
+  for (const auto& [key, w] : recount) {
+    const auto it = coarse_interface_.find(key);
+    if (it == coarse_interface_.end() || it->second != w)
+      return "coarse interface weight mismatch";
+  }
+  return {};
+}
+
+}  // namespace pnr::mesh

@@ -1,0 +1,48 @@
+#pragma once
+// Shared index types and hash keys for the mesh layer. Elements and vertices
+// are referenced by 32-bit indices into flat arrays; edges and faces are
+// identified by packed sorted vertex tuples so they hash identically from
+// either side.
+
+#include <array>
+#include <cstdint>
+
+namespace pnr::mesh {
+
+using VertIdx = std::int32_t;
+using ElemIdx = std::int32_t;
+
+constexpr VertIdx kNoVert = -1;
+constexpr ElemIdx kNoElem = -1;
+
+/// Canonical key for the undirected edge {a, b}.
+inline std::uint64_t edge_key(VertIdx a, VertIdx b) {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  return (hi << 32) | lo;
+}
+
+/// Canonical key for the triangular face {a, b, c}. Vertices fit in 21 bits
+/// each (meshes up to 2M vertices), packed sorted.
+inline std::uint64_t face_key(VertIdx a, VertIdx b, VertIdx c) {
+  VertIdx v0 = a, v1 = b, v2 = c;
+  if (v0 > v1) { const VertIdx t = v0; v0 = v1; v1 = t; }
+  if (v1 > v2) { const VertIdx t = v1; v1 = v2; v2 = t; }
+  if (v0 > v1) { const VertIdx t = v0; v0 = v1; v1 = t; }
+  return (static_cast<std::uint64_t>(v0) << 42) |
+         (static_cast<std::uint64_t>(v1) << 21) |
+         static_cast<std::uint64_t>(v2);
+}
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+}  // namespace pnr::mesh

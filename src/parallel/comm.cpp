@@ -1,0 +1,176 @@
+#include "parallel/comm.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace pnr::par {
+
+namespace {
+// Tags at the top of the range are reserved for the built-in collectives.
+// SPMD discipline (every rank executes the same collective sequence) plus
+// FIFO (src, tag) channels make reuse across successive collectives safe.
+constexpr int kGatherTag = (1 << 30) + 1;
+constexpr int kBcastTag = (1 << 30) + 2;
+constexpr int kReduceTag = (1 << 30) + 3;
+
+Bytes pack_i64(std::int64_t v) {
+  Bytes b(sizeof v);
+  std::memcpy(b.data(), &v, sizeof v);
+  return b;
+}
+std::int64_t unpack_i64(const Bytes& b) {
+  PNR_REQUIRE(b.size() == sizeof(std::int64_t));
+  std::int64_t v;
+  std::memcpy(&v, b.data(), sizeof v);
+  return v;
+}
+Bytes pack_f64(double v) {
+  Bytes b(sizeof v);
+  std::memcpy(b.data(), &v, sizeof v);
+  return b;
+}
+double unpack_f64(const Bytes& b) {
+  PNR_REQUIRE(b.size() == sizeof(double));
+  double v;
+  std::memcpy(&v, b.data(), sizeof v);
+  return v;
+}
+}  // namespace
+
+// ---- Comm -------------------------------------------------------------------
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, Bytes data) {
+  PNR_REQUIRE(dest >= 0 && dest < world_->size());
+  bytes_sent_ += static_cast<std::int64_t>(data.size());
+  ++messages_sent_;
+  world_->deliver(dest, rank_, tag, std::move(data));
+}
+
+Bytes Comm::recv(int src, int tag) {
+  PNR_REQUIRE(src >= 0 && src < world_->size());
+  return world_->take(rank_, src, tag);
+}
+
+void Comm::barrier() { world_->barrier_wait(); }
+
+std::vector<Bytes> Comm::gather(int root, Bytes data) {
+  if (rank_ != root) {
+    send(root, kGatherTag, std::move(data));
+    return {};
+  }
+  std::vector<Bytes> all(static_cast<std::size_t>(size()));
+  all[static_cast<std::size_t>(rank_)] = std::move(data);
+  for (int src = 0; src < size(); ++src)
+    if (src != root) all[static_cast<std::size_t>(src)] = recv(src, kGatherTag);
+  return all;
+}
+
+Bytes Comm::broadcast(int root, Bytes data) {
+  if (rank_ == root) {
+    for (int dest = 0; dest < size(); ++dest)
+      if (dest != root) send(dest, kBcastTag, data);
+    return data;
+  }
+  return recv(root, kBcastTag);
+}
+
+std::int64_t Comm::all_reduce_sum(std::int64_t value) {
+  if (rank_ != 0) {
+    send(0, kReduceTag, pack_i64(value));
+    return unpack_i64(recv(0, kReduceTag));
+  }
+  std::int64_t total = value;
+  for (int src = 1; src < size(); ++src) total += unpack_i64(recv(src, kReduceTag));
+  for (int dest = 1; dest < size(); ++dest) send(dest, kReduceTag, pack_i64(total));
+  return total;
+}
+
+double Comm::all_reduce_max(double value) {
+  if (rank_ != 0) {
+    send(0, kReduceTag, pack_f64(value));
+    return unpack_f64(recv(0, kReduceTag));
+  }
+  double best = value;
+  for (int src = 1; src < size(); ++src)
+    best = std::max(best, unpack_f64(recv(src, kReduceTag)));
+  for (int dest = 1; dest < size(); ++dest) send(dest, kReduceTag, pack_f64(best));
+  return best;
+}
+
+// ---- World ------------------------------------------------------------------
+
+World::World(int num_ranks)
+    : num_ranks_(num_ranks), mailboxes_(static_cast<std::size_t>(num_ranks)) {
+  PNR_REQUIRE(num_ranks >= 1);
+}
+
+void World::deliver(int dest, int src, int tag, Bytes data) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{src, tag}].push_back(std::move(data));
+  }
+  box.cv.notify_all();
+}
+
+Bytes World::take(int dest, int src, int tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto& queue = box.queues[{src, tag}];
+  box.cv.wait(lock, [&] { return !queue.empty(); });
+  Bytes data = std::move(queue.front());
+  queue.pop_front();
+  return data;
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_count_ == num_ranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) comms.push_back(Comm(this, r));
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  for (const Comm& c : comms) {
+    total_bytes_ += c.bytes_sent();
+    total_messages_ += c.messages_sent();
+  }
+  // Leftover undelivered messages would deadlock the *next* run; clear them.
+  for (auto& box : mailboxes_) box.queues.clear();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pnr::par

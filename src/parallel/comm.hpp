@@ -1,0 +1,100 @@
+#pragma once
+// In-process message-passing runtime standing in for MPI (see DESIGN.md,
+// substitutions). Ranks run on std::thread and communicate exclusively
+// through typed mailboxes — point-to-point send/recv with tags, barrier,
+// all-reduce, gather and broadcast, mirroring the MPI subset PARED uses.
+// All traffic is counted so the benches can report logical message volume.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace pnr::par {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class World;
+
+/// Per-rank communicator handle (valid only inside World::run).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Asynchronous point-to-point send (never blocks; mailboxes are unbounded).
+  void send(int dest, int tag, Bytes data);
+
+  /// Blocking receive of the next message from `src` with `tag` (FIFO per
+  /// (src, tag) channel).
+  Bytes recv(int src, int tag);
+
+  void barrier();
+
+  std::int64_t all_reduce_sum(std::int64_t value);
+  double all_reduce_max(double value);
+
+  /// Root receives everyone's buffer (index = rank); non-roots get {}.
+  std::vector<Bytes> gather(int root, Bytes data);
+
+  /// Root's buffer is delivered to everyone.
+  Bytes broadcast(int root, Bytes data);
+
+  /// Logical traffic counters for this rank.
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::int64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t messages_sent_ = 0;
+};
+
+/// Owns the shared mailboxes and runs one function per rank on its own
+/// thread. Any uncaught exception in a rank is rethrown after join.
+class World {
+ public:
+  explicit World(int num_ranks);
+
+  int size() const { return num_ranks_; }
+
+  /// Execute fn on every rank concurrently; returns when all finish.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Total logical traffic of the last run().
+  std::int64_t total_bytes() const { return total_bytes_; }
+  std::int64_t total_messages() const { return total_messages_; }
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // (src, tag) -> FIFO queue
+    std::map<std::pair<int, int>, std::deque<Bytes>> queues;
+  };
+
+  void deliver(int dest, int src, int tag, Bytes data);
+  Bytes take(int dest, int src, int tag);
+  void barrier_wait();
+
+  int num_ranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::int64_t total_bytes_ = 0;
+  std::int64_t total_messages_ = 0;
+};
+
+}  // namespace pnr::par

@@ -1,0 +1,29 @@
+#include "parallel/model.hpp"
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::par {
+
+double migration_cost_model(const graph::Graph& h, std::int32_t origin,
+                            std::int64_t m) {
+  PNR_REQUIRE(origin >= 0 && origin < h.num_vertices());
+  const auto p = static_cast<double>(h.num_vertices());
+  const auto dist = graph::bfs_distances(h, origin);
+  double total = 0.0;
+  for (std::size_t j = 0; j < dist.size(); ++j)
+    if (static_cast<std::int32_t>(j) != origin && dist[j] > 0)
+      total += static_cast<double>(dist[j]) * (static_cast<double>(m) / p);
+  return total;
+}
+
+double corner_mesh_bound(std::int32_t p, std::int64_t m) {
+  PNR_REQUIRE(p >= 1);
+  const double sqrt_p = std::sqrt(static_cast<double>(p));
+  return 2.0 * (sqrt_p - 1.0) * (static_cast<double>(p - 1)) *
+         static_cast<double>(m) / static_cast<double>(p);
+}
+
+}  // namespace pnr::par

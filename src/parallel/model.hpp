@@ -1,0 +1,30 @@
+#pragma once
+// The Section 8 migration-cost model: when m new elements appear on one
+// processor P_o and balance is restored by moving elements only between
+// *adjacent* processors (edges of the processor connectivity graph H^t),
+// the total migration cost is Σ_{j≠o} d_{o,j}·(m/p), where d is the hop
+// distance in H^t. For a √p×√p processor mesh with P_o in a corner this is
+// bounded by 2√p·m — independent of the mesh size, which is exactly the
+// behavior Figure 5 measures for PNR.
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace pnr::graph {
+class Graph;
+}
+
+namespace pnr::par {
+
+/// Σ_{j≠origin} d(origin, j) · (m / p) over the processor graph `h`
+/// (unreachable processors contribute nothing). `m` is the number of new
+/// elements created on `origin`.
+double migration_cost_model(const graph::Graph& h, std::int32_t origin,
+                            std::int64_t m);
+
+/// The closed-form upper bound 2(√p−1)(p−1)·m/p ≤ 2√p·m for a corner origin
+/// on a 2D processor mesh (Section 8's example).
+double corner_mesh_bound(std::int32_t p, std::int64_t m);
+
+}  // namespace pnr::par

@@ -1,0 +1,139 @@
+#pragma once
+// The PARED coordinator protocol of Figure 2, run over the message-passing
+// simulator, for both 2D triangle and 3D tetrahedral meshes. Ranks hold a
+// *replicated* copy of the mesh (our parallel refinement, like the paper's,
+// produces the identical mesh on every rank — see DESIGN.md substitutions)
+// but each refinement-history tree is *owned* by exactly one rank;
+// ownership is what the protocol redistributes.
+//
+//   P0  every rank adapts the mesh (refine + coarsen) deterministically;
+//   P1  each rank computes new vertex/edge weights of the coarse graph G
+//       for the trees it owns;
+//   P2  the weights are sent to the coordinator P_C;
+//   P3  P_C updates G, repartitions it with PNR, and broadcasts the new
+//       assignment; ranks serialize the refinement trees they lose and ship
+//       them to the new owners, which validate the payload.
+//
+// Migration traffic is therefore real serialized bytes proportional to the
+// number of fine elements moved — the quantity the paper's Figures 4/5/8
+// measure.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pnr.hpp"
+#include "fem/estimator.hpp"
+#include "fem/problems.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "parallel/comm.hpp"
+
+namespace pnr::par {
+
+struct StepStats {
+  std::int64_t bisections = 0;      ///< P0 refinements (global)
+  std::int64_t merges = 0;          ///< P0 coarsenings (global)
+  std::int64_t trees_moved = 0;     ///< coarse trees that changed owner
+  std::int64_t elements_moved = 0;  ///< leaves in those trees (C_migrate)
+  std::int64_t payload_bytes = 0;   ///< serialized tree bytes shipped
+  graph::Weight cut_after = 0;      ///< coarse-graph cut of the new Π̂
+  double imbalance_after = 0.0;
+};
+
+namespace detail {
+
+template <typename Mesh>
+struct MeshTraits;
+
+template <>
+struct MeshTraits<mesh::TriMesh> {
+  static constexpr int kVertsPerElem = 3;
+  static constexpr int kDim = 2;
+  using Field = fem::ScalarField2;
+  static const auto& elem(const mesh::TriMesh& m, mesh::ElemIdx e) {
+    return m.tri(e);
+  }
+  static void coords(const mesh::TriMesh& m, mesh::VertIdx v, double* out) {
+    const auto& p = m.vertex(v);
+    out[0] = p.x;
+    out[1] = p.y;
+  }
+  template <typename F>
+  static void for_each_interface(const mesh::TriMesh& m, F&& f) {
+    m.for_each_leaf_edge([&](mesh::VertIdx, mesh::VertIdx, mesh::ElemIdx e1,
+                             mesh::ElemIdx e2) { f(e1, e2); });
+  }
+};
+
+template <>
+struct MeshTraits<mesh::TetMesh> {
+  static constexpr int kVertsPerElem = 4;
+  static constexpr int kDim = 3;
+  using Field = fem::ScalarField3;
+  static const auto& elem(const mesh::TetMesh& m, mesh::ElemIdx e) {
+    return m.tet(e);
+  }
+  static void coords(const mesh::TetMesh& m, mesh::VertIdx v, double* out) {
+    const auto& p = m.vertex(v);
+    out[0] = p.x;
+    out[1] = p.y;
+    out[2] = p.z;
+  }
+  template <typename F>
+  static void for_each_interface(const mesh::TetMesh& m, F&& f) {
+    m.for_each_leaf_face([&](mesh::VertIdx, mesh::VertIdx, mesh::VertIdx,
+                             mesh::ElemIdx e1, mesh::ElemIdx e2) {
+      f(e1, e2);
+    });
+  }
+};
+
+}  // namespace detail
+
+/// One rank's view of the protocol. Construct inside World::run.
+template <typename Mesh>
+class ParedRankT {
+ public:
+  using Traits = detail::MeshTraits<Mesh>;
+  using Field = typename Traits::Field;
+
+  /// Every rank constructs the same initial mesh (replication invariant).
+  ParedRankT(Comm& comm, Mesh mesh, core::PnrOptions options,
+             std::uint64_t seed);
+
+  /// The coordinator computes the initial PNR partition of G and broadcasts
+  /// it; every rank records the resulting tree ownership.
+  void initialize();
+
+  /// One full P0–P3 round against the given field/marking policy.
+  StepStats step(const Field& field, const fem::MarkOptions& mark);
+
+  /// Tree owner per initial element (identical on every rank after a step).
+  const std::vector<part::PartId>& ownership() const { return ownership_; }
+  const Mesh& local_mesh() const { return mesh_; }
+
+  /// Leaves owned by this rank (elements of trees assigned to it).
+  std::int64_t owned_leaves() const;
+
+  static constexpr int kCoordinator = 0;
+
+ private:
+  graph::Graph assemble_coarse_graph(StepStats& stats);
+  void migrate_trees(const std::vector<part::PartId>& next, StepStats& stats);
+  Bytes serialize_tree(mesh::ElemIdx root) const;
+  void validate_tree_payload(const Bytes& payload) const;
+
+  Comm& comm_;
+  Mesh mesh_;
+  core::Pnr pnr_;
+  util::Rng rng_;
+  std::vector<part::PartId> ownership_;  ///< per initial element
+};
+
+using ParedRank = ParedRankT<mesh::TriMesh>;
+using ParedRank3D = ParedRankT<mesh::TetMesh>;
+
+extern template class ParedRankT<mesh::TriMesh>;
+extern template class ParedRankT<mesh::TetMesh>;
+
+}  // namespace pnr::par

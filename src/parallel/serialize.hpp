@@ -1,0 +1,76 @@
+#pragma once
+// Byte-buffer serialization for the message-passing layer: PODs and vectors
+// of PODs, little-endian host layout (the simulator never crosses machines).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/comm.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::par {
+
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto offset = buffer_.size();
+    buffer_.resize(offset + v.size() * sizeof(T));
+    if (!v.empty())
+      std::memcpy(buffer_.data() + offset, v.data(), v.size() * sizeof(T));
+  }
+
+  Bytes take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+class Reader {
+ public:
+  /// Owns the buffer (taken by value) so temporaries — e.g. the result of
+  /// Comm::recv — can be passed directly without dangling.
+  explicit Reader(Bytes bytes) : bytes_(std::move(bytes)) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PNR_REQUIRE_MSG(pos_ + sizeof(T) <= bytes_.size(), "message underflow");
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    const auto n = static_cast<std::size_t>(get<std::uint64_t>());
+    PNR_REQUIRE_MSG(pos_ + n * sizeof(T) <= bytes_.size(), "message underflow");
+    std::vector<T> v(n);
+    if (n) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  Bytes bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pnr::par

@@ -1,0 +1,36 @@
+#include "pared/driver.hpp"
+
+#include "util/timer.hpp"
+
+namespace pnr::pared {
+
+template <typename Mesh>
+DriverReport AdaptiveDriver<Mesh>::step(const Field& field,
+                                        const fem::MarkOptions& mark) {
+  DriverReport report;
+
+  {
+    util::Timer timer;
+    report.merges = mesh_.coarsen(fem::mark_for_coarsening(mesh_, field, mark));
+    report.bisections = mesh_.refine(fem::mark_for_refinement(mesh_, field, mark));
+    report.adapt_seconds = timer.seconds();
+  }
+  {
+    util::Timer timer;
+    report.partition = session_.step(mesh_);
+    report.partition_seconds = timer.seconds();
+  }
+  if (options_.solve) {
+    util::Timer timer;
+    const auto solved = fem::solve_poisson(mesh_, field, options_.solve_tol);
+    report.solve_seconds = timer.seconds();
+    report.solve_error = solved.max_error;
+    report.cg_iterations = solved.cg.iterations;
+  }
+  return report;
+}
+
+template class AdaptiveDriver<mesh::TriMesh>;
+template class AdaptiveDriver<mesh::TetMesh>;
+
+}  // namespace pnr::pared

@@ -1,0 +1,155 @@
+#include "pared/session.hpp"
+
+#include "util/assert.hpp"
+
+namespace pnr::pared {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kRSB: return "RSB";
+    case Strategy::kRsbRemap: return "RSB+remap";
+    case Strategy::kMlkl: return "Multilevel-KL";
+    case Strategy::kMlklRemap: return "Multilevel-KL+remap";
+    case Strategy::kPNR: return "PNR";
+    case Strategy::kDiffusion: return "Diffusion";
+    case Strategy::kMlDiffusion: return "ML-Diffusion";
+  }
+  return "?";
+}
+
+std::optional<Strategy> parse_strategy(const std::string& name) {
+  if (name == "rsb") return Strategy::kRSB;
+  if (name == "rsb-remap") return Strategy::kRsbRemap;
+  if (name == "mlkl") return Strategy::kMlkl;
+  if (name == "mlkl-remap") return Strategy::kMlklRemap;
+  if (name == "pnr") return Strategy::kPNR;
+  if (name == "diffusion") return Strategy::kDiffusion;
+  if (name == "ml-diffusion") return Strategy::kMlDiffusion;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Carried fine assignment from the element tags (dense leaf order);
+/// nullopt when any tag is unset (first step).
+std::optional<std::vector<part::PartId>> carried_assignment(
+    const auto& mesh, const std::vector<mesh::ElemIdx>& elems) {
+  std::vector<part::PartId> out(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    const std::int32_t tag = mesh.tag(elems[i]);
+    if (tag < 0) return std::nullopt;
+    out[i] = tag;
+  }
+  return out;
+}
+
+void adopt(auto& mesh, const std::vector<mesh::ElemIdx>& elems,
+           const std::vector<part::PartId>& assign) {
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    mesh.set_tag(elems[i], assign[i]);
+}
+
+std::int64_t count_moves(const std::vector<part::PartId>& a,
+                         const std::vector<part::PartId>& b) {
+  std::int64_t moves = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) moves += a[i] != b[i];
+  return moves;
+}
+
+}  // namespace
+
+template <typename Mesh>
+StepReport Session<Mesh>::step(Mesh& mesh) {
+  StepReport report;
+  const auto elems = mesh.leaf_elements();
+  report.elements = static_cast<std::int64_t>(elems.size());
+
+  const auto dual = mesh::fine_dual_graph(mesh);
+  auto carried = carried_assignment(mesh, elems);
+  if (carried) {
+    part::Partition prev(p_, *carried);
+    report.cut_prev = part::cut_size(dual.graph, prev);
+  }
+
+  std::vector<part::PartId> fine_new;  // the freshly computed partition Π̂
+  std::vector<part::PartId> adopted;   // what the session carries forward
+
+  switch (strategy_) {
+    case Strategy::kRSB:
+    case Strategy::kRsbRemap:
+    case Strategy::kMlkl:
+    case Strategy::kMlklRemap: {
+      part::Partition pi =
+          (strategy_ == Strategy::kRSB || strategy_ == Strategy::kRsbRemap)
+              ? part::rsb(dual.graph, p_, rng_)
+              : part::multilevel_kl(dual.graph, p_, rng_);
+      fine_new = pi.assign;
+      if (carried) {
+        part::Partition prev(p_, *carried);
+        const auto remapped =
+            part::remap_to_minimize_migration(dual.graph, prev, pi);
+        report.migrated = count_moves(*carried, pi.assign);
+        report.migrated_remapped = count_moves(*carried, remapped.assign);
+        adopted = (strategy_ == Strategy::kRsbRemap ||
+                   strategy_ == Strategy::kMlklRemap)
+                      ? remapped.assign
+                      : pi.assign;
+      } else {
+        adopted = pi.assign;
+      }
+      break;
+    }
+    case Strategy::kDiffusion:
+    case Strategy::kMlDiffusion: {
+      part::Partition pi =
+          carried ? part::Partition(p_, *carried)
+                  : part::multilevel_kl(dual.graph, p_, rng_);
+      if (carried) {
+        if (strategy_ == Strategy::kDiffusion)
+          part::diffusion_rebalance(dual.graph, pi);
+        else
+          part::multilevel_diffusion(dual.graph, pi, rng_);
+        report.migrated = count_moves(*carried, pi.assign);
+        report.migrated_remapped = report.migrated;  // already incremental
+      }
+      fine_new = pi.assign;
+      adopted = pi.assign;
+      break;
+    }
+    case Strategy::kPNR: {
+      const auto coarse = mesh::nested_dual_graph(mesh);
+      if (first_) {
+        coarse_assign_ = pnr_.initial_partition(coarse, rng_).assign;
+      } else {
+        part::Partition current(p_, coarse_assign_);
+        coarse_assign_ = pnr_.repartition(coarse, current, rng_).assign;
+      }
+      adopted = mesh::project_coarse_assignment(mesh, elems, coarse_assign_);
+      fine_new = adopted;
+      if (carried) {
+        report.migrated = count_moves(*carried, adopted);
+        // The optimal relabeling is the identity for PNR (Figure 5): moves
+        // are already minimal, but we report it for completeness.
+        part::Partition prev(p_, *carried);
+        part::Partition next(p_, adopted);
+        const auto remapped =
+            part::remap_to_minimize_migration(dual.graph, prev, next);
+        report.migrated_remapped = count_moves(*carried, remapped.assign);
+      }
+      break;
+    }
+  }
+
+  part::Partition adopted_pi(p_, adopted);
+  report.cut_new = part::cut_size(dual.graph, part::Partition(p_, fine_new));
+  report.imbalance = part::imbalance(dual.graph, adopted_pi);
+  report.shared_vertices = mesh::shared_vertices(mesh, elems, adopted);
+  adopt(mesh, elems, adopted);
+  first_ = false;
+  return report;
+}
+
+template class Session<mesh::TriMesh>;
+template class Session<mesh::TetMesh>;
+
+}  // namespace pnr::pared

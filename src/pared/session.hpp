@@ -1,0 +1,87 @@
+#pragma once
+// Repartitioning session: owns the evolving assignment for one strategy and
+// produces, after every mesh adaptation, the measurements the paper's tables
+// and figures report. The previous assignment is carried across adaptation
+// by the meshes' inherited element tags (children take their parent's
+// processor — exactly how PARED migrates whole refinement trees).
+//
+// Strategies:
+//   kRSB / kMlkl         partition the *fine* dual graph from scratch
+//                        (Section 7's standard heuristics);
+//   kRsbRemap/kMlklRemap same, then apply the optimal Biswas–Oliker subset
+//                        relabeling Π̃ before adopting;
+//   kPNR                 Parallel Nested Repartitioning on the coarse graph;
+//   kDiffusion           Hu–Blake flow + boundary migration on the fine
+//                        dual graph (Walshaw/Schloegel-style baseline).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/pnr.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/metrics.hpp"
+#include "partition/diffusion.hpp"
+#include "partition/mldiffusion.hpp"
+#include "partition/mlkl.hpp"
+#include "partition/remap.hpp"
+#include "partition/rsb.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::pared {
+
+enum class Strategy {
+  kRSB,
+  kRsbRemap,
+  kMlkl,
+  kMlklRemap,
+  kPNR,
+  kDiffusion,
+  kMlDiffusion,  ///< multilevel diffusion on the fine graph (ref. [7] style)
+};
+
+const char* strategy_name(Strategy s);
+std::optional<Strategy> parse_strategy(const std::string& name);
+
+/// One adaptation step's report (all quantities in fine elements/vertices).
+struct StepReport {
+  std::int64_t elements = 0;        ///< |M^t| (leaves)
+  graph::Weight cut_prev = 0;       ///< C_cut of the carried assignment
+  graph::Weight cut_new = 0;        ///< C_cut(Π̂^t) on the fine dual graph
+  std::int64_t shared_vertices = 0; ///< the paper's quality measure
+  std::int64_t migrated = 0;        ///< C_migrate(Π^t, Π̂^t)
+  std::int64_t migrated_remapped = 0;  ///< C_migrate(Π^t, Π̃^t)
+  double imbalance = 0.0;           ///< ε of the adopted partition
+};
+
+template <typename Mesh>
+class Session {
+ public:
+  Session(Strategy strategy, part::PartId p, std::uint64_t seed,
+          core::PnrOptions pnr_options = {})
+      : strategy_(strategy),
+        p_(p),
+        rng_(seed),
+        pnr_(p, pnr_options) {}
+
+  Strategy strategy() const { return strategy_; }
+  part::PartId num_parts() const { return p_; }
+
+  /// Partition the mesh's current leaves, adopt the result (writing it into
+  /// the element tags for the next step) and report the step's measures.
+  StepReport step(Mesh& mesh);
+
+ private:
+  Strategy strategy_;
+  part::PartId p_;
+  util::Rng rng_;
+  core::Pnr pnr_;
+  bool first_ = true;
+  /// PNR keeps its assignment on the (persistent) coarse vertices.
+  std::vector<part::PartId> coarse_assign_;
+};
+
+using Session2D = Session<mesh::TriMesh>;
+using Session3D = Session<mesh::TetMesh>;
+
+}  // namespace pnr::pared

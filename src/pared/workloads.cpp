@@ -1,0 +1,97 @@
+#include "pared/workloads.hpp"
+
+#include <cmath>
+
+#include "mesh/generate.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::pared {
+
+// ---- CornerSeries2D ---------------------------------------------------------
+
+CornerSeries2D::CornerSeries2D(int grid_n, CornerOptions options)
+    : options_(options),
+      field_(fem::corner_problem_2d()),
+      mesh_(mesh::structured_tri_mesh(grid_n, grid_n, 0.25, options.seed)) {}
+
+std::int64_t CornerSeries2D::advance() {
+  ++level_;
+  fem::MarkOptions mark;
+  mark.refine_threshold =
+      options_.tau * std::pow(options_.decay, static_cast<double>(level_ - 1));
+  mark.max_level = level_ + options_.max_level_slack;
+  const auto marked = fem::mark_for_refinement(mesh_, field_, mark);
+  return mesh_.refine(marked);
+}
+
+// ---- CornerSeries3D ---------------------------------------------------------
+
+CornerSeries3D::CornerSeries3D(int grid_n, CornerOptions options)
+    : options_(options),
+      field_(fem::corner_problem_3d()),
+      mesh_(mesh::structured_tet_mesh(grid_n, grid_n, grid_n, 0.2,
+                                      options.seed)) {}
+
+std::int64_t CornerSeries3D::advance() {
+  ++level_;
+  fem::MarkOptions mark;
+  mark.refine_threshold =
+      options_.tau * std::pow(options_.decay, static_cast<double>(level_ - 1));
+  mark.max_level = level_ + options_.max_level_slack;
+  const auto marked = fem::mark_for_refinement(mesh_, field_, mark);
+  return mesh_.refine(marked);
+}
+
+// ---- TransientRun -----------------------------------------------------------
+
+TransientRun::TransientRun(TransientOptions options)
+    : options_(options),
+      mesh_(mesh::structured_tri_mesh(options.grid_n, options.grid_n, 0.25,
+                                      options.seed)),
+      t_(options.t_begin) {
+  PNR_REQUIRE(options.steps >= 1);
+  // Pre-adapt to the initial peak position so step 0 starts converged.
+  const auto field = fem::moving_peak(t_);
+  fem::MarkOptions mark;
+  mark.refine_threshold = options_.refine_threshold;
+  mark.max_level = options_.max_level;
+  for (int round = 0; round < options_.max_level + 2; ++round) {
+    const auto marked = fem::mark_for_refinement(mesh_, field, mark);
+    if (marked.empty()) break;
+    mesh_.refine(marked);
+  }
+}
+
+TransientRun::StepInfo TransientRun::advance() {
+  PNR_REQUIRE(!done());
+  StepInfo info;
+  ++step_;
+  t_ = options_.t_begin + (options_.t_end - options_.t_begin) *
+                              static_cast<double>(step_) /
+                              static_cast<double>(options_.steps);
+  info.step = step_;
+  info.t = t_;
+
+  const auto field = fem::moving_peak(t_);
+  fem::MarkOptions mark;
+  mark.refine_threshold = options_.refine_threshold;
+  mark.coarsen_threshold = options_.coarsen_threshold;
+  mark.max_level = options_.max_level;
+
+  // Coarsen the wake, then refine the front until the indicator settles
+  // (bounded number of rounds: the peak moves a fraction of its width per
+  // step).
+  for (int round = 0; round < 4; ++round) {
+    const auto merged = mesh_.coarsen(fem::mark_for_coarsening(mesh_, field, mark));
+    info.merges += merged;
+    if (merged == 0) break;
+  }
+  for (int round = 0; round < options_.max_level + 2; ++round) {
+    const auto marked = fem::mark_for_refinement(mesh_, field, mark);
+    if (marked.empty()) break;
+    info.bisections += mesh_.refine(marked);
+  }
+  return info;
+}
+
+}  // namespace pnr::pared

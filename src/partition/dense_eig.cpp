@@ -1,0 +1,79 @@
+#include "partition/dense_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+void jacobi_eigensymm(const std::vector<double>& matrix, int n,
+                      std::vector<double>& eigenvalues,
+                      std::vector<double>& eigenvectors) {
+  PNR_REQUIRE(n >= 1);
+  PNR_REQUIRE(matrix.size() == static_cast<std::size_t>(n) * n);
+  std::vector<double> a = matrix;
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+  auto at = [&](std::vector<double>& m, int r, int c) -> double& {
+    return m[static_cast<std::size_t>(r) * n + c];
+  };
+
+  const int max_sweeps = 100;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) off += at(a, p, q) * at(a, p, q);
+    if (off < 1e-22) break;
+
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(a, p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (at(a, q, q) - at(a, p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        const double app = at(a, p, p), aqq = at(a, q, q);
+        at(a, p, p) = app - t * apq;
+        at(a, q, q) = aqq + t * apq;
+        at(a, p, q) = at(a, q, p) = 0.0;
+        for (int k = 0; k < n; ++k) {
+          if (k != p && k != q) {
+            const double akp = at(a, k, p), akq = at(a, k, q);
+            at(a, k, p) = at(a, p, k) = akp - s * (akq + tau * akp);
+            at(a, k, q) = at(a, q, k) = akq + s * (akp - tau * akq);
+          }
+          const double vkp = at(v, k, p), vkq = at(v, k, q);
+          at(v, k, p) = vkp - s * (vkq + tau * vkp);
+          at(v, k, q) = vkq + s * (vkp - tau * vkq);
+        }
+      }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = at(a, i, i);
+  std::sort(idx.begin(), idx.end(),
+            [&](int x, int y) { return diag[static_cast<std::size_t>(x)] <
+                                        diag[static_cast<std::size_t>(y)]; });
+
+  eigenvalues.resize(static_cast<std::size_t>(n));
+  eigenvectors.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int k = 0; k < n; ++k) {
+    const int col = idx[static_cast<std::size_t>(k)];
+    eigenvalues[static_cast<std::size_t>(k)] =
+        diag[static_cast<std::size_t>(col)];
+    for (int r = 0; r < n; ++r)
+      eigenvectors[static_cast<std::size_t>(k) * n + r] = at(v, r, col);
+  }
+}
+
+}  // namespace pnr::part

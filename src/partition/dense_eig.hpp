@@ -1,0 +1,17 @@
+#pragma once
+// Dense symmetric eigensolver (cyclic Jacobi rotations) for the small
+// matrices at the bottom of the multilevel Fiedler computation and for the
+// 2×2/3×3 inertia matrices of the geometric partitioner.
+
+#include <vector>
+
+namespace pnr::part {
+
+/// Eigendecomposition of a symmetric n×n row-major matrix. On return
+/// `eigenvalues` is ascending and row k of `eigenvectors` (row-major n×n)
+/// holds the unit eigenvector for eigenvalues[k].
+void jacobi_eigensymm(const std::vector<double>& matrix, int n,
+                      std::vector<double>& eigenvalues,
+                      std::vector<double>& eigenvectors);
+
+}  // namespace pnr::part

@@ -1,0 +1,117 @@
+#include "partition/diffusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/laplacian.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+graph::Graph processor_graph(const Graph& g, const Partition& pi) {
+  PNR_REQUIRE(pi.valid_for(g));
+  graph::GraphBuilder builder(pi.num_parts);
+  const auto weights = part_weights(g, pi);
+  for (PartId i = 0; i < pi.num_parts; ++i)
+    builder.set_vertex_weight(i, weights[static_cast<std::size_t>(i)]);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId pv = pi.assign[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const PartId pu = pi.assign[static_cast<std::size_t>(nbrs[k])];
+      if (nbrs[k] > v && pu != pv) builder.add_edge(pv, pu, wgts[k]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<double> hu_blake_potentials(const graph::Graph& h,
+                                        const std::vector<double>& load) {
+  const auto p = static_cast<std::size_t>(h.num_vertices());
+  PNR_REQUIRE(load.size() == p);
+  // Hu–Blake uses the unweighted Laplacian of H; rebuild H with unit edge
+  // weights so heavily-connected neighbors are not favored.
+  graph::GraphBuilder builder(h.num_vertices());
+  for (graph::VertexId v = 0; v < h.num_vertices(); ++v)
+    for (graph::VertexId u : h.neighbors(v))
+      if (u > v) builder.add_edge(v, u, 1);
+  const graph::Graph unit = builder.build();
+
+  std::vector<double> lambda(p, 0.0);
+  const int iters =
+      graph::laplacian_solve_cg(unit, load, lambda, 1e-10,
+                                static_cast<int>(p) * 40 + 100);
+  if (iters < 0) return {};
+  return lambda;
+}
+
+DiffusionResult diffusion_rebalance(const Graph& g, Partition& pi,
+                                    const DiffusionOptions& options) {
+  DiffusionResult result;
+  const double avg = static_cast<double>(g.total_vertex_weight()) /
+                     static_cast<double>(pi.num_parts);
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    const auto weights = part_weights(g, pi);
+    double max_excess = 0.0;
+    std::vector<double> load(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      load[i] = static_cast<double>(weights[i]) - avg;
+      max_excess = std::max(max_excess, std::abs(load[i]));
+    }
+    if (max_excess <= std::max(1.0, 0.01 * avg)) break;
+
+    const auto h = processor_graph(g, pi);
+    const auto lambda = hu_blake_potentials(h, load);
+    if (lambda.empty()) break;  // disconnected processor graph
+
+    // Remaining flow to push across each directed adjacent pair.
+    bool moved_any = false;
+    for (PartId i = 0; i < pi.num_parts; ++i) {
+      const auto nbrs = h.neighbors(i);
+      for (graph::VertexId j : nbrs) {
+        double flow = lambda[static_cast<std::size_t>(i)] -
+                      lambda[static_cast<std::size_t>(j)];
+        if (flow <= options.flow_tolerance) continue;
+
+        // Candidates: vertices of subset i on the boundary with subset j,
+        // best cut gain first.
+        struct Cand {
+          Weight gain;
+          graph::VertexId v;
+        };
+        std::vector<Cand> cands;
+        for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+          if (pi.assign[static_cast<std::size_t>(v)] != i) continue;
+          Weight to_j = 0, to_i = 0;
+          const auto vn = g.neighbors(v);
+          const auto vw = g.edge_weights(v);
+          for (std::size_t k = 0; k < vn.size(); ++k) {
+            const PartId pk = pi.assign[static_cast<std::size_t>(vn[k])];
+            if (pk == static_cast<PartId>(j)) to_j += vw[k];
+            else if (pk == i) to_i += vw[k];
+          }
+          if (to_j > 0) cands.push_back({to_j - to_i, v});
+        }
+        std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+          if (a.gain != b.gain) return a.gain > b.gain;
+          return a.v < b.v;
+        });
+        for (const Cand& c : cands) {
+          if (flow <= options.flow_tolerance) break;
+          pi.assign[static_cast<std::size_t>(c.v)] = static_cast<PartId>(j);
+          flow -= static_cast<double>(g.vertex_weight(c.v));
+          ++result.moves;
+          moved_any = true;
+        }
+      }
+    }
+    ++result.sweeps;
+    if (!moved_any) break;
+  }
+  return result;
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,45 @@
+#pragma once
+// Diffusion-based repartitioning baseline in the style of Walshaw et al. [6]
+// and Schloegel–Karypis–Kumar [7]: the load to transfer between adjacent
+// processors is computed with Hu–Blake's optimal diffusion (paper reference
+// [8]) — solve L_H λ = b on the processor connectivity graph, flow on edge
+// (i,j) is λ_i − λ_j — and then boundary vertices are migrated greedily to
+// satisfy the flows while keeping the cut small.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+/// Processor connectivity graph H of a partition: one vertex per subset, an
+/// edge between subsets that share a cut edge (edge weight = total cut weight
+/// between the pair; vertex weight = subset weight).
+graph::Graph processor_graph(const Graph& g, const Partition& pi);
+
+/// Hu–Blake optimal flow: potentials λ on H such that moving (λ_i − λ_j)
+/// load across each edge (i,j) balances the system. `load` is the signed
+/// excess per processor (weight − average), which must sum to ~0.
+/// Returns λ (empty on CG failure, e.g. disconnected H).
+std::vector<double> hu_blake_potentials(const graph::Graph& h,
+                                        const std::vector<double>& load);
+
+struct DiffusionOptions {
+  int max_sweeps = 12;       ///< outer migrate-and-recompute iterations
+  double flow_tolerance = 0.5;  ///< stop when residual flows are below this
+};
+
+struct DiffusionResult {
+  int sweeps = 0;
+  std::int64_t moves = 0;
+};
+
+/// Rebalance `pi` in place by migrating boundary vertices along Hu–Blake
+/// flows. Several sweeps are typically needed — the same regions can move
+/// repeatedly, which is precisely the behavior Section 1 criticizes.
+DiffusionResult diffusion_rebalance(const Graph& g, Partition& pi,
+                                    const DiffusionOptions& options = {});
+
+}  // namespace pnr::part

@@ -1,0 +1,103 @@
+#include "partition/ggg.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+graph::VertexId pseudo_peripheral(const Graph& g, graph::VertexId start) {
+  // Two BFS sweeps: the farthest vertex from the farthest vertex.
+  auto far_of = [&](graph::VertexId s) {
+    const auto dist = graph::bfs_distances(g, s);
+    graph::VertexId best = s;
+    std::int32_t best_d = 0;
+    for (std::size_t v = 0; v < dist.size(); ++v)
+      if (dist[v] > best_d) {
+        best_d = dist[v];
+        best = static_cast<graph::VertexId>(v);
+      }
+    return best;
+  };
+  return far_of(far_of(start));
+}
+
+std::vector<PartId> greedy_grow_bisect(const Graph& g, Weight target0,
+                                       util::Rng& rng) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(n > 0);
+  std::vector<PartId> side(n, 1);
+
+  // Max-gain frontier: gain = (edge weight into side 0) − (into side 1).
+  struct Item {
+    Weight gain;
+    std::uint64_t order;
+    graph::VertexId v;
+    bool operator<(const Item& o) const {
+      if (gain != o.gain) return gain < o.gain;
+      return order > o.order;
+    }
+  };
+  std::priority_queue<Item> frontier;
+  std::vector<Weight> to_zero(n, 0);  // current edge weight into side 0
+  std::vector<char> in_zero(n, false);
+  std::uint64_t order = 0;
+  Weight grown = 0;
+
+  auto push_neighborhood = [&](graph::VertexId v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const auto su = static_cast<std::size_t>(nbrs[k]);
+      if (in_zero[su]) continue;
+      to_zero[su] += wgts[k];
+      const Weight gain =
+          2 * to_zero[su] - g.weighted_degree(nbrs[k]);  // int0 − ext0
+      frontier.push(Item{gain, order++, nbrs[k]});
+    }
+  };
+
+  auto absorb = [&](graph::VertexId v) {
+    in_zero[static_cast<std::size_t>(v)] = true;
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += g.vertex_weight(v);
+    push_neighborhood(v);
+  };
+
+  // Seed from a pseudo-peripheral vertex of a random start.
+  absorb(pseudo_peripheral(
+      g, static_cast<graph::VertexId>(rng.next_below(n))));
+
+  while (grown < target0) {
+    graph::VertexId next = graph::kInvalidVertex;
+    while (!frontier.empty()) {
+      const Item item = frontier.top();
+      frontier.pop();
+      const auto sv = static_cast<std::size_t>(item.v);
+      if (in_zero[sv]) continue;
+      // Accept only entries reflecting the current to_zero (lazy refresh).
+      const Weight gain = 2 * to_zero[sv] - g.weighted_degree(item.v);
+      if (gain != item.gain) {
+        frontier.push(Item{gain, order++, item.v});
+        continue;
+      }
+      next = item.v;
+      break;
+    }
+    if (next == graph::kInvalidVertex) {
+      // Frontier exhausted (disconnected graph): reseed anywhere outside.
+      for (std::size_t v = 0; v < n; ++v)
+        if (!in_zero[v]) {
+          next = static_cast<graph::VertexId>(v);
+          break;
+        }
+      if (next == graph::kInvalidVertex) break;  // everything absorbed
+    }
+    absorb(next);
+  }
+  return side;
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,24 @@
+#pragma once
+// Greedy graph growing: the base-case bisector used on the coarsest graph of
+// Multilevel-KL. Grows subset 0 from a pseudo-peripheral seed, always
+// absorbing the frontier vertex with the best cut gain, until subset 0
+// reaches its target weight.
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+/// Returns a 0/1 side per vertex; side 0 holds ~target0 vertex weight.
+/// Works on disconnected graphs (reseeds in untouched components).
+std::vector<PartId> greedy_grow_bisect(const Graph& g, Weight target0,
+                                       util::Rng& rng);
+
+/// Farthest vertex from `start` by BFS (last vertex settled); a cheap
+/// pseudo-peripheral point.
+graph::VertexId pseudo_peripheral(const Graph& g, graph::VertexId start);
+
+}  // namespace pnr::part

@@ -1,0 +1,24 @@
+#pragma once
+// Geometric (inertial) recursive bisection — the coordinate-based family the
+// paper's Section 3.1 discusses (Miller et al. [21]): project vertices onto
+// the principal axis of their weighted inertia tensor and split at the
+// weighted median. Scalable but lower quality than spectral, which we use in
+// the ablation benches.
+
+#include <span>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+/// `coords` is row-major n×dim (dim = 2 or 3).
+std::vector<PartId> inertial_bisect(const Graph& g,
+                                    std::span<const double> coords, int dim,
+                                    Weight target0);
+
+Partition inertial_partition(const Graph& g, std::span<const double> coords,
+                             int dim, PartId p, util::Rng& rng);
+
+}  // namespace pnr::part

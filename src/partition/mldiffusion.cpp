@@ -1,0 +1,73 @@
+#include "partition/mldiffusion.hpp"
+
+#include <algorithm>
+
+#include "graph/coarsen.hpp"
+#include "partition/rebalance.hpp"
+#include "partition/refine.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+MlDiffusionResult multilevel_diffusion(const Graph& g, Partition& pi,
+                                       util::Rng& rng,
+                                       const MlDiffusionOptions& options) {
+  PNR_REQUIRE(pi.valid_for(g));
+  MlDiffusionResult result;
+  const Partition original = pi;
+
+  // Partition-respecting hierarchy, re-projecting the constraint per level.
+  graph::CoarsenOptions copt;
+  copt.max_vertex_weight =
+      std::max<Weight>(1, g.total_vertex_weight() / (4 * pi.num_parts));
+  const graph::VertexId floor_size = std::max<graph::VertexId>(
+      options.coarsest_size, 4 * pi.num_parts);
+
+  std::vector<graph::CoarseLevel> levels;
+  std::vector<std::vector<PartId>> assigns{pi.assign};
+  {
+    const Graph* cur = &g;
+    while (cur->num_vertices() > floor_size) {
+      copt.partition = &assigns.back();
+      graph::CoarseLevel level = graph::coarsen_once(*cur, rng, copt);
+      const auto before = cur->num_vertices();
+      const auto after = level.graph.num_vertices();
+      if (after >= before - before / 10) break;
+      std::vector<PartId> assign(static_cast<std::size_t>(after), 0);
+      for (std::size_t v = 0; v < level.fine_to_coarse.size(); ++v)
+        assign[static_cast<std::size_t>(level.fine_to_coarse[v])] =
+            assigns.back()[v];
+      assigns.push_back(std::move(assign));
+      levels.push_back(std::move(level));
+      cur = &levels.back().graph;
+    }
+  }
+  result.levels = static_cast<int>(levels.size());
+
+  RefineOptions ropt;
+  ropt.hard_balance = true;
+  ropt.imbalance_tol = options.imbalance_tol;
+  ropt.max_passes = options.kl_passes;
+
+  RebalanceOptions bopt;
+  bopt.tol = options.imbalance_tol / 2.0;
+
+  std::vector<PartId> assign = assigns.back();
+  for (std::size_t k = levels.size() + 1; k-- > 0;) {
+    const Graph& level_graph = k == 0 ? g : levels[k - 1].graph;
+    Partition level_pi(pi.num_parts, std::move(assign));
+    rebalance_greedy(level_graph, level_pi, bopt);
+    refine_partition(level_graph, level_pi, ropt);
+    if (k == 0) rebalance_greedy(level_graph, level_pi, bopt);
+    assign = std::move(level_pi.assign);
+    if (k > 0)
+      assign = graph::project_partition(levels[k - 1].fine_to_coarse, assign);
+  }
+
+  pi.assign = std::move(assign);
+  result.weight_moved = migration_cost(g, original, pi);
+  result.moves = moved_vertices(original, pi);
+  return result;
+}
+
+}  // namespace pnr::part

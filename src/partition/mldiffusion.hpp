@@ -1,0 +1,32 @@
+#pragma once
+// Multilevel diffusion repartitioning in the style of Schloegel, Karypis and
+// Kumar (the paper's reference [7]): contract the graph with the matching
+// restricted to the current subsets, rebalance at the coarsest level with
+// Hu–Blake flows, and refine on the way up with a plain (migration-blind)
+// boundary KL under a hard balance cap. This is the strongest diffusion
+// baseline the related work offers; PNR differs by running on the *nested*
+// coarse graph and by pricing migration inside the KL gain.
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+struct MlDiffusionOptions {
+  graph::VertexId coarsest_size = 64;
+  double imbalance_tol = 0.02;
+  int kl_passes = 8;
+};
+
+struct MlDiffusionResult {
+  std::int64_t moves = 0;     ///< vertices whose subset changed
+  Weight weight_moved = 0;    ///< migration cost
+  int levels = 0;
+};
+
+/// Rebalance + refine `pi` in place.
+MlDiffusionResult multilevel_diffusion(const Graph& g, Partition& pi,
+                                       util::Rng& rng,
+                                       const MlDiffusionOptions& options = {});
+
+}  // namespace pnr::part

@@ -1,0 +1,69 @@
+#include "partition/mlkl.hpp"
+
+#include <algorithm>
+
+#include "graph/coarsen.hpp"
+#include "partition/ggg.hpp"
+#include "partition/recursive.hpp"
+#include "partition/refine.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+std::vector<PartId> mlkl_bisect(const Graph& g, Weight target0,
+                                util::Rng& rng, const MlklOptions& options) {
+  const Weight total = g.total_vertex_weight();
+  PNR_REQUIRE(target0 > 0 && target0 < total);
+
+  graph::CoarsenOptions copt;
+  // Cap coarse vertex weight so the coarsest graph stays bisectable near the
+  // target ratio (Karypis–Kumar use a similar guard).
+  copt.max_vertex_weight = std::max<Weight>(1, total / 20);
+  copt.random_matching = options.random_matching;
+  const auto levels =
+      graph::build_hierarchy(g, rng, options.coarsest_size, copt);
+
+  const Graph& coarsest = levels.empty() ? g : levels.back().graph;
+  std::vector<PartId> side = greedy_grow_bisect(coarsest, target0, rng);
+
+  const std::vector<Weight> targets{target0, total - target0};
+  RefineOptions ropt;
+  ropt.hard_balance = true;
+  ropt.imbalance_tol = options.imbalance_tol;
+  ropt.max_passes = options.fm_passes;
+  ropt.targets = &targets;
+
+  // Refine at the coarsest level, then project down and refine at each
+  // finer level.
+  {
+    Partition pi(2, side);
+    refine_partition(coarsest, pi, ropt);
+    side = std::move(pi.assign);
+  }
+  for (std::size_t k = levels.size(); k > 0; --k) {
+    side = graph::project_partition(levels[k - 1].fine_to_coarse, side);
+    const Graph& level_graph = k >= 2 ? levels[k - 2].graph : g;
+    Partition pi(2, std::move(side));
+    refine_partition(level_graph, pi, ropt);
+    side = std::move(pi.assign);
+  }
+
+  // Guarantee both sides are non-empty (tiny/pathological graphs).
+  bool has0 = false, has1 = false;
+  for (PartId s : side) (s == 0 ? has0 : has1) = true;
+  if (!has0) side.front() = 0;
+  if (!has1) side.back() = 1;
+  return side;
+}
+
+Partition multilevel_kl(const Graph& g, PartId p, util::Rng& rng,
+                        const MlklOptions& options) {
+  return recursive_partition(
+      g, p,
+      [&options](const Graph& sub, Weight target0, util::Rng& r) {
+        return mlkl_bisect(sub, target0, r, options);
+      },
+      rng);
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,27 @@
+#pragma once
+// Multilevel-KL (Hendrickson–Leland style, the Chaco algorithm the paper
+// uses as its quality baseline): heavy-edge-matching contraction, greedy
+// graph growing on the coarsest graph, KL/FM refinement during uncoarsening,
+// applied per bisection inside recursive bisection for p-way partitions.
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+struct MlklOptions {
+  graph::VertexId coarsest_size = 64;  ///< stop contracting below this
+  double imbalance_tol = 0.03;         ///< hard per-bisection balance cap
+  int fm_passes = 6;
+  bool random_matching = false;        ///< ablation: random instead of HEM
+};
+
+/// Multilevel bisection: returns 0/1 sides with side-0 weight ≈ target0.
+std::vector<PartId> mlkl_bisect(const Graph& g, Weight target0,
+                                util::Rng& rng, const MlklOptions& options);
+
+/// p-way Multilevel-KL via recursive multilevel bisection.
+Partition multilevel_kl(const Graph& g, PartId p, util::Rng& rng,
+                        const MlklOptions& options = {});
+
+}  // namespace pnr::part

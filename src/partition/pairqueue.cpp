@@ -1,0 +1,62 @@
+#include "partition/pairqueue.hpp"
+
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+PairQueueTable::PairQueueTable(PartId num_parts)
+    : p_(num_parts),
+      queues_(static_cast<std::size_t>(num_parts) * num_parts) {
+  PNR_REQUIRE(num_parts > 0);
+}
+
+void PairQueueTable::push(graph::VertexId v, PartId from, PartId to,
+                          double gain, std::uint32_t version) {
+  PNR_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_ && from != to);
+  queues_[static_cast<std::size_t>(from) * p_ + to].push(
+      Item{gain, next_order_++, v, version});
+  ++live_hint_;
+}
+
+std::optional<PairQueueTable::Entry> PairQueueTable::pop_best(
+    const std::vector<std::uint32_t>& current_version) {
+  for (;;) {
+    // Scan the p² heads for the best live candidate. p ≤ 128 in all the
+    // paper's experiments, so this scan is cheap relative to gain updates.
+    double best_gain = 0.0;
+    std::uint64_t best_order = 0;
+    std::size_t best_q = queues_.size();
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      auto& pq = queues_[q];
+      // Drop stale heads so the scan sees live gains only.
+      while (!pq.empty() &&
+             pq.top().version !=
+                 current_version[static_cast<std::size_t>(pq.top().v)]) {
+        pq.pop();
+        --live_hint_;
+      }
+      if (pq.empty()) continue;
+      const Item& head = pq.top();
+      if (best_q == queues_.size() || head.gain > best_gain ||
+          (head.gain == best_gain && head.order < best_order)) {
+        best_gain = head.gain;
+        best_order = head.order;
+        best_q = q;
+      }
+    }
+    if (best_q == queues_.size()) return std::nullopt;
+    const Item item = queues_[best_q].top();
+    queues_[best_q].pop();
+    --live_hint_;
+    return Entry{item.v, static_cast<PartId>(best_q / p_),
+                 static_cast<PartId>(best_q % p_), item.gain, item.version};
+  }
+}
+
+void PairQueueTable::clear() {
+  for (auto& q : queues_)
+    while (!q.empty()) q.pop();
+  live_hint_ = 0;
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,61 @@
+#pragma once
+// The p×p table of gain-sorted priority queues described in Section 9 of the
+// paper: entry (i,j) holds candidate vertex moves from subset i to subset j,
+// ordered by potential gain. The refiner repeatedly takes the best head
+// across the table. Entries are versioned so that stale candidates (pushed
+// before a neighboring move changed their gain) are discarded lazily on pop.
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace pnr::part {
+
+class PairQueueTable {
+ public:
+  explicit PairQueueTable(PartId num_parts);
+
+  struct Entry {
+    graph::VertexId v;
+    PartId from;
+    PartId to;
+    double gain;
+    std::uint32_t version;
+  };
+
+  /// Queue a candidate move. `version` must match the vertex's current
+  /// version for the entry to be considered live at pop time.
+  void push(graph::VertexId v, PartId from, PartId to, double gain,
+            std::uint32_t version);
+
+  /// Pop the entry with the largest gain across all p² queues, skipping
+  /// entries whose version is stale according to `current_version`.
+  /// Returns nullopt when every queue is exhausted.
+  std::optional<Entry> pop_best(const std::vector<std::uint32_t>& current_version);
+
+  void clear();
+  std::size_t size() const { return live_hint_; }
+
+ private:
+  struct Item {
+    double gain;
+    std::uint64_t order;  // FIFO tiebreak for determinism
+    graph::VertexId v;
+    std::uint32_t version;
+    bool operator<(const Item& o) const {
+      if (gain != o.gain) return gain < o.gain;
+      return order > o.order;  // earlier push wins ties
+    }
+  };
+
+  PartId p_;
+  std::vector<std::priority_queue<Item>> queues_;  // index = from*p + to
+  std::uint64_t next_order_ = 0;
+  std::size_t live_hint_ = 0;
+};
+
+}  // namespace pnr::part

@@ -1,0 +1,97 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+bool Partition::valid_for(const Graph& g) const {
+  if (num_parts <= 0) return false;
+  if (assign.size() != static_cast<std::size_t>(g.num_vertices())) return false;
+  for (PartId p : assign)
+    if (p < 0 || p >= num_parts) return false;
+  return true;
+}
+
+Weight cut_size(const Graph& g, const Partition& pi) {
+  PNR_REQUIRE(pi.valid_for(g));
+  Weight cut = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+      if (nbrs[k] > v &&
+          pi.assign[static_cast<std::size_t>(nbrs[k])] !=
+              pi.assign[static_cast<std::size_t>(v)])
+        cut += wgts[k];
+  }
+  return cut;
+}
+
+std::vector<Weight> part_weights(const Graph& g, const Partition& pi) {
+  PNR_REQUIRE(pi.valid_for(g));
+  std::vector<Weight> w(static_cast<std::size_t>(pi.num_parts), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    w[static_cast<std::size_t>(pi.assign[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  return w;
+}
+
+double imbalance(const Graph& g, const Partition& pi) {
+  const auto w = part_weights(g, pi);
+  const double avg =
+      static_cast<double>(g.total_vertex_weight()) / pi.num_parts;
+  if (avg == 0.0) return 0.0;
+  Weight max_w = 0;
+  for (Weight x : w) max_w = std::max(max_w, x);
+  return static_cast<double>(max_w) / avg - 1.0;
+}
+
+Weight migration_cost(const Graph& g, const Partition& old_pi,
+                      const Partition& new_pi) {
+  PNR_REQUIRE(old_pi.valid_for(g) && new_pi.valid_for(g));
+  Weight moved = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (old_pi.assign[static_cast<std::size_t>(v)] !=
+        new_pi.assign[static_cast<std::size_t>(v)])
+      moved += g.vertex_weight(v);
+  return moved;
+}
+
+double balance_cost(const Graph& g, const Partition& pi) {
+  const auto w = part_weights(g, pi);
+  const double avg =
+      static_cast<double>(g.total_vertex_weight()) / pi.num_parts;
+  double cost = 0.0;
+  for (Weight x : w) {
+    const double d = static_cast<double>(x) - avg;
+    cost += d * d;
+  }
+  return cost;
+}
+
+double repartition_cost(const Graph& g, const Partition& old_pi,
+                        const Partition& new_pi, double alpha, double beta) {
+  return static_cast<double>(cut_size(g, new_pi)) +
+         alpha * static_cast<double>(migration_cost(g, old_pi, new_pi)) +
+         beta * balance_cost(g, new_pi);
+}
+
+std::int64_t moved_vertices(const Partition& old_pi, const Partition& new_pi) {
+  PNR_REQUIRE(old_pi.assign.size() == new_pi.assign.size());
+  std::int64_t moved = 0;
+  for (std::size_t v = 0; v < old_pi.assign.size(); ++v)
+    if (old_pi.assign[v] != new_pi.assign[v]) ++moved;
+  return moved;
+}
+
+bool all_parts_used(const Graph& g, const Partition& pi) {
+  const auto w = part_weights(g, pi);
+  std::vector<bool> used(static_cast<std::size_t>(pi.num_parts), false);
+  for (PartId p : pi.assign) used[static_cast<std::size_t>(p)] = true;
+  (void)w;
+  return std::all_of(used.begin(), used.end(), [](bool b) { return b; });
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,59 @@
+#pragma once
+// Partition representation and the three cost measures of the paper's
+// repartitioning objective (Section 9, Eq. 1):
+//   C_repartition(Π, Π̂, α, β) = C_cut(Π̂) + α·C_migrate(Π, Π̂) + β·C_balance(Π̂)
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace pnr::part {
+
+using PartId = std::int32_t;
+using graph::Graph;
+using graph::VertexId;
+using graph::Weight;
+
+/// An assignment of every graph vertex to one of `num_parts` subsets.
+struct Partition {
+  PartId num_parts = 0;
+  std::vector<PartId> assign;
+
+  Partition() = default;
+  Partition(PartId p, std::vector<PartId> a)
+      : num_parts(p), assign(std::move(a)) {}
+
+  bool valid_for(const Graph& g) const;
+};
+
+/// Total weight of edges whose endpoints lie in different subsets.
+Weight cut_size(const Graph& g, const Partition& pi);
+
+/// Per-subset vertex weight sums.
+std::vector<Weight> part_weights(const Graph& g, const Partition& pi);
+
+/// max_i(weight_i) / (total/p) − 1; the paper's ε. 0 for an ideal partition.
+double imbalance(const Graph& g, const Partition& pi);
+
+/// Σ_v vwgt(v)·[old.assign[v] != new.assign[v]] — the weight (i.e. number of
+/// fine elements, since weights are leaf counts) that must migrate.
+Weight migration_cost(const Graph& g, const Partition& old_pi,
+                      const Partition& new_pi);
+
+/// Σ_i (weight_i − total/p)² — the paper's squared-deviation balance term.
+double balance_cost(const Graph& g, const Partition& pi);
+
+/// The combined objective of Eq. 1.
+double repartition_cost(const Graph& g, const Partition& old_pi,
+                        const Partition& new_pi, double alpha, double beta);
+
+/// Number of vertices whose subset differs between the two partitions
+/// (counts vertices, not weight; used to report "elements moved" when the
+/// graph is a fine dual graph with unit weights).
+std::int64_t moved_vertices(const Partition& old_pi, const Partition& new_pi);
+
+/// True iff every subset is non-empty.
+bool all_parts_used(const Graph& g, const Partition& pi);
+
+}  // namespace pnr::part

@@ -1,0 +1,37 @@
+#pragma once
+// Facade selecting among the partitioning algorithms by name; the benches
+// and the PARED driver use this single entry point.
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+enum class Method {
+  kMultilevelKL,
+  kRSB,
+  kInertial,  ///< requires coordinates
+  kRCB,       ///< requires coordinates
+  kRandom,    ///< stress-test baseline
+};
+
+struct PartitionerOptions {
+  Method method = Method::kMultilevelKL;
+  double imbalance_tol = 0.03;
+  /// Row-major n×dim coordinates, required by Method::kInertial.
+  std::span<const double> coords;
+  int dim = 2;
+};
+
+/// Parse "mlkl" / "rsb" / "inertial" / "random"; nullopt on unknown.
+std::optional<Method> parse_method(const std::string& name);
+const char* method_name(Method m);
+
+Partition make_partition(const Graph& g, PartId p, util::Rng& rng,
+                         const PartitionerOptions& options = {});
+
+}  // namespace pnr::part

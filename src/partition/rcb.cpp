@@ -1,0 +1,112 @@
+#include "partition/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+std::vector<PartId> rcb_bisect(const Graph& g, std::span<const double> coords,
+                               int dim, Weight target0) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(dim == 2 || dim == 3);
+  PNR_REQUIRE(coords.size() == n * static_cast<std::size_t>(dim));
+  PNR_REQUIRE(n >= 2);
+
+  // Axis of the largest bounding-box extent.
+  int axis = 0;
+  double best_extent = -1.0;
+  for (int d = 0; d < dim; ++d) {
+    double lo = coords[static_cast<std::size_t>(d)];
+    double hi = lo;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double x =
+          coords[v * static_cast<std::size_t>(dim) + static_cast<std::size_t>(d)];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      axis = d;
+    }
+  }
+
+  std::vector<graph::VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](graph::VertexId a, graph::VertexId b) {
+              const double xa = coords[static_cast<std::size_t>(a) * dim + axis];
+              const double xb = coords[static_cast<std::size_t>(b) * dim + axis];
+              if (xa != xb) return xa < xb;
+              return a < b;
+            });
+
+  std::vector<PartId> side(n, 1);
+  Weight grown = 0;
+  for (std::size_t k = 0; k < n - 1 && grown < target0; ++k) {
+    side[static_cast<std::size_t>(order[k])] = 0;
+    grown += g.vertex_weight(order[k]);
+  }
+  if (grown == 0) side[static_cast<std::size_t>(order[0])] = 0;
+  return side;
+}
+
+namespace {
+
+void recurse_rcb(const Graph& g, const std::vector<double>& coords, int dim,
+                 const std::vector<graph::VertexId>& to_parent, PartId p,
+                 PartId offset, std::vector<PartId>& out) {
+  if (p == 1) {
+    for (const graph::VertexId v : to_parent)
+      out[static_cast<std::size_t>(v)] = offset;
+    return;
+  }
+  PartId pl = (p + 1) / 2;
+  const Weight total = g.total_vertex_weight();
+  const auto target0 =
+      static_cast<Weight>(static_cast<double>(total) * pl / p + 0.5);
+  const auto side = rcb_bisect(g, coords, dim, target0);
+
+  std::vector<graph::VertexId> left, right;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    (side[static_cast<std::size_t>(v)] == 0 ? left : right).push_back(v);
+  PNR_REQUIRE(!left.empty() && !right.empty());
+  // Keep each side's part count within its vertex count (extreme weights).
+  pl = std::min<PartId>(pl, static_cast<PartId>(left.size()));
+  pl = std::max<PartId>(pl, p - static_cast<PartId>(right.size()));
+
+  auto split = [&](const std::vector<graph::VertexId>& sel, PartId sub_p,
+                   PartId sub_offset) {
+    auto sub = graph::induced_subgraph(g, sel);
+    std::vector<double> sub_coords(sel.size() * static_cast<std::size_t>(dim));
+    for (std::size_t i = 0; i < sel.size(); ++i)
+      for (int d = 0; d < dim; ++d)
+        sub_coords[i * static_cast<std::size_t>(dim) +
+                   static_cast<std::size_t>(d)] =
+            coords[static_cast<std::size_t>(sel[i]) *
+                       static_cast<std::size_t>(dim) +
+                   static_cast<std::size_t>(d)];
+    for (auto& v : sub.to_parent) v = to_parent[static_cast<std::size_t>(v)];
+    recurse_rcb(sub.graph, sub_coords, dim, sub.to_parent, sub_p, sub_offset,
+                out);
+  };
+  split(left, pl, offset);
+  split(right, p - pl, static_cast<PartId>(offset + pl));
+}
+
+}  // namespace
+
+Partition rcb_partition(const Graph& g, std::span<const double> coords,
+                        int dim, PartId p) {
+  PNR_REQUIRE(p >= 1 && g.num_vertices() >= p);
+  std::vector<PartId> assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<graph::VertexId> identity(assign.size());
+  std::iota(identity.begin(), identity.end(), 0);
+  std::vector<double> local(coords.begin(), coords.end());
+  recurse_rcb(g, local, dim, identity, p, 0, assign);
+  return Partition(p, std::move(assign));
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,22 @@
+#pragma once
+// Recursive Coordinate Bisection: split at the weighted median along the
+// coordinate axis of largest extent, recurse. The simplest member of the
+// geometric family of Section 3.1 — cheaper but lower quality than inertial
+// bisection (which rotates to the principal axis) and far below spectral.
+
+#include <span>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+/// `coords` is row-major n×dim (dim = 2 or 3).
+std::vector<PartId> rcb_bisect(const Graph& g, std::span<const double> coords,
+                               int dim, Weight target0);
+
+Partition rcb_partition(const Graph& g, std::span<const double> coords,
+                        int dim, PartId p);
+
+}  // namespace pnr::part

@@ -1,0 +1,172 @@
+#include "partition/rebalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/diffusion.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+namespace {
+
+/// One flow-directed sweep: move boundary vertices along the Hu–Blake
+/// potentials until each directed flow is (approximately) satisfied.
+/// Vertices move at most once per sweep, which rules out ping-pong.
+struct SweepState {
+  std::vector<Weight> weights;
+  std::vector<std::int64_t> counts;
+  std::vector<char> moved;
+};
+
+std::int64_t run_sweep(const Graph& g, Partition& pi,
+                       const RebalanceOptions& options,
+                       const std::vector<Weight>& targets, SweepState& state,
+                       Weight& weight_moved) {
+  const auto p = static_cast<std::size_t>(pi.num_parts);
+  std::vector<double> load(p);
+  for (std::size_t i = 0; i < p; ++i)
+    load[i] = static_cast<double>(state.weights[i]) -
+              static_cast<double>(targets[i]);
+
+  const auto h = processor_graph(g, pi);
+  const auto lambda = hu_blake_potentials(h, load);
+  if (lambda.empty()) return 0;  // disconnected processor graph
+
+  std::fill(state.moved.begin(), state.moved.end(), false);
+  std::int64_t moves = 0;
+
+  for (PartId i = 0; i < pi.num_parts; ++i) {
+    for (const graph::VertexId j : h.neighbors(i)) {
+      double flow = lambda[static_cast<std::size_t>(i)] -
+                    lambda[static_cast<std::size_t>(j)];
+      if (flow <= 0.5) continue;
+
+      // Candidates of subset i on the boundary with subset j, by gain.
+      struct Cand {
+        double gain;
+        Weight w;
+        graph::VertexId v;
+      };
+      std::vector<Cand> cands;
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto sv = static_cast<std::size_t>(v);
+        if (pi.assign[sv] != i || state.moved[sv]) continue;
+        Weight to_j = 0, internal = 0;
+        const auto nbrs = g.neighbors(v);
+        const auto wgts = g.edge_weights(v);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          const PartId q = pi.assign[static_cast<std::size_t>(nbrs[k])];
+          if (q == static_cast<PartId>(j)) to_j += wgts[k];
+          else if (q == i) internal += wgts[k];
+        }
+        if (to_j == 0) continue;
+        double gain = static_cast<double>(to_j - internal);
+        if (options.alpha > 0.0 && options.home) {
+          const PartId home = (*options.home)[sv];
+          gain += options.alpha * static_cast<double>(g.vertex_weight(v)) *
+                  (static_cast<double>(i != home) -
+                   static_cast<double>(static_cast<PartId>(j) != home));
+        }
+        cands.push_back({gain, g.vertex_weight(v), v});
+      }
+      std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+        if (a.gain != b.gain) return a.gain > b.gain;
+        if (a.w != b.w) return a.w < b.w;
+        return a.v < b.v;
+      });
+
+      auto apply = [&](const Cand& c) {
+        const auto sv = static_cast<std::size_t>(c.v);
+        pi.assign[sv] = static_cast<PartId>(j);
+        state.moved[sv] = true;
+        state.weights[static_cast<std::size_t>(i)] -= c.w;
+        state.weights[static_cast<std::size_t>(j)] += c.w;
+        --state.counts[static_cast<std::size_t>(i)];
+        ++state.counts[static_cast<std::size_t>(j)];
+        flow -= static_cast<double>(c.w);
+        weight_moved += c.w;
+        ++moves;
+      };
+      bool moved_for_pair = false;
+      for (const Cand& c : cands) {
+        if (flow <= 0.5) break;
+        if (state.counts[static_cast<std::size_t>(i)] <= 1) break;
+        // Don't overshoot badly: skip vertices much heavier than the
+        // remaining flow (a lighter candidate may follow).
+        if (static_cast<double>(c.w) > 2.0 * flow) continue;
+        apply(c);
+        moved_for_pair = true;
+      }
+      if (!moved_for_pair && flow > 0.5 &&
+          state.counts[static_cast<std::size_t>(i)] > 1) {
+        // Every candidate was heavier than the flow (deeply refined
+        // regions). Moving the lightest one still helps as long as the
+        // destination does not itself go over its cap.
+        const Cand* lightest = nullptr;
+        for (const Cand& c : cands) {
+          const auto sj = static_cast<std::size_t>(j);
+          const auto cap_j = static_cast<Weight>(std::ceil(
+              static_cast<double>(targets[sj]) * (1.0 + options.tol)));
+          if (state.weights[sj] + c.w > cap_j) continue;
+          if (!lightest || c.w < lightest->w) lightest = &c;
+        }
+        if (lightest) apply(*lightest);
+      }
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
+                                 const RebalanceOptions& options) {
+  RebalanceResult result;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto p = static_cast<std::size_t>(pi.num_parts);
+  PNR_REQUIRE(pi.valid_for(g));
+  if (options.home) PNR_REQUIRE(options.home->size() == n);
+
+  std::vector<Weight> targets;
+  if (options.targets) {
+    PNR_REQUIRE(options.targets->size() == p);
+    targets = *options.targets;
+  } else {
+    const double avg =
+        static_cast<double>(g.total_vertex_weight()) / static_cast<double>(p);
+    targets.assign(p, static_cast<Weight>(std::llround(avg)));
+  }
+
+  SweepState state;
+  state.weights = part_weights(g, pi);
+  state.counts.assign(p, 0);
+  for (const PartId q : pi.assign) ++state.counts[static_cast<std::size_t>(q)];
+  state.moved.assign(n, false);
+
+  auto balanced = [&] {
+    for (std::size_t i = 0; i < p; ++i) {
+      const auto cap = static_cast<Weight>(std::ceil(
+          static_cast<double>(targets[i]) * (1.0 + options.tol)));
+      if (state.weights[i] > cap) return false;
+    }
+    return true;
+  };
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (balanced()) {
+      result.balanced = true;
+      break;
+    }
+    const auto moves =
+        run_sweep(g, pi, options, targets, state, result.weight_moved);
+    result.moves += moves;
+    if (moves == 0) break;
+    if (options.max_moves > 0 && result.moves >= options.max_moves) break;
+  }
+  if (!result.balanced) result.balanced = balanced();
+  return result;
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,37 @@
+#pragma once
+// Greedy rebalancing: after adaptation some subsets exceed their target
+// weight; this pass drains them by repeatedly moving the boundary vertex
+// with the best cut(+migration) gain from the most overweight subset to its
+// lightest adjacent subset, until every subset fits (1+tol)·target. Unlike
+// KL these moves are unconditional — the imbalance itself, not the combined
+// objective, decides when to stop — which is what makes the subsequent
+// hard-constrained KL pass start from a feasible point. The number of moves
+// is close to the Section 8 lower estimate (the excess weight has to go
+// somewhere), which is why PNR's migration stays near that bound.
+
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace pnr::part {
+
+struct RebalanceOptions {
+  double tol = 0.005;  ///< stop when max weight ≤ (1+tol)·target
+  double alpha = 0.0;  ///< migration weight in the vertex-choice gain
+  const std::vector<PartId>* home = nullptr;
+  /// Per-part targets; total/p when null.
+  const std::vector<Weight>* targets = nullptr;
+  /// Safety valve for pathological inputs.
+  std::int64_t max_moves = 0;  ///< 0 = 8·n
+};
+
+struct RebalanceResult {
+  std::int64_t moves = 0;
+  Weight weight_moved = 0;
+  bool balanced = false;  ///< all subsets within tolerance at exit
+};
+
+RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
+                                 const RebalanceOptions& options = {});
+
+}  // namespace pnr::part

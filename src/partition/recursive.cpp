@@ -1,0 +1,72 @@
+#include "partition/recursive.hpp"
+
+#include <algorithm>
+
+#include "graph/subgraph.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+namespace {
+
+void recurse(const Graph& g, const std::vector<graph::VertexId>& to_parent,
+             PartId p, PartId label_offset, const Bisector& bisect,
+             util::Rng& rng, std::vector<PartId>& out) {
+  if (p == 1) {
+    for (graph::VertexId v : to_parent)
+      out[static_cast<std::size_t>(v)] = label_offset;
+    return;
+  }
+  PNR_REQUIRE(g.num_vertices() >= p);
+  PartId pl = (p + 1) / 2;
+  const Weight total = g.total_vertex_weight();
+  const auto target0 =
+      static_cast<Weight>(static_cast<double>(total) * pl / p + 0.5);
+
+  const auto side = bisect(g, target0, rng);
+  PNR_REQUIRE(side.size() == static_cast<std::size_t>(g.num_vertices()));
+
+  std::vector<graph::VertexId> left, right;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    (side[static_cast<std::size_t>(v)] == 0 ? left : right).push_back(v);
+  PNR_REQUIRE_MSG(!left.empty() && !right.empty(),
+                  "bisector produced an empty side");
+
+  // With extreme vertex weights a side can end up smaller than the number
+  // of parts it was meant to host; shift parts to the other side (each side
+  // keeps at least one).
+  pl = std::min<PartId>(pl, static_cast<PartId>(left.size()));
+  pl = std::max<PartId>(pl, p - static_cast<PartId>(right.size()));
+  const PartId pr = p - pl;
+  PNR_REQUIRE(pl >= 1 && pr >= 1);
+
+  auto sub_left = graph::induced_subgraph(g, left);
+  auto sub_right = graph::induced_subgraph(g, right);
+  // Translate local ids back to the original graph's vertex space.
+  for (auto& v : sub_left.to_parent)
+    v = to_parent[static_cast<std::size_t>(v)];
+  for (auto& v : sub_right.to_parent)
+    v = to_parent[static_cast<std::size_t>(v)];
+
+  recurse(sub_left.graph, sub_left.to_parent, pl, label_offset, bisect, rng,
+          out);
+  recurse(sub_right.graph, sub_right.to_parent, pr,
+          static_cast<PartId>(label_offset + pl), bisect, rng, out);
+}
+
+}  // namespace
+
+Partition recursive_partition(const Graph& g, PartId p, const Bisector& bisect,
+                              util::Rng& rng) {
+  PNR_REQUIRE(p >= 1);
+  PNR_REQUIRE(g.num_vertices() >= p);
+  std::vector<PartId> assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<graph::VertexId> identity(
+      static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t v = 0; v < identity.size(); ++v)
+    identity[v] = static_cast<graph::VertexId>(v);
+  recurse(g, identity, p, 0, bisect, rng, assign);
+  return Partition(p, std::move(assign));
+}
+
+}  // namespace pnr::part

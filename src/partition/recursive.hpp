@@ -1,0 +1,23 @@
+#pragma once
+// Recursive bisection driver shared by RSB, Multilevel-KL and the inertial
+// partitioner: split p into ⌈p/2⌉ / ⌊p/2⌋ with proportional weight targets,
+// bisect, extract the two induced subgraphs and recurse.
+
+#include <functional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+/// A bisector maps (graph, target weight of side 0, rng) to a 0/1 labeling.
+using Bisector = std::function<std::vector<PartId>(
+    const Graph&, Weight target0, util::Rng& rng)>;
+
+/// p-way partition by recursive bisection; labels are 0..p-1.
+Partition recursive_partition(const Graph& g, PartId p, const Bisector& bisect,
+                              util::Rng& rng);
+
+}  // namespace pnr::part

@@ -1,0 +1,279 @@
+#include "partition/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/pairqueue.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+namespace {
+
+/// Scratch accumulator for conn(v, ·): edge weight from v into each subset.
+class ConnScratch {
+ public:
+  explicit ConnScratch(PartId p)
+      : conn_(static_cast<std::size_t>(p), 0),
+        seen_(static_cast<std::size_t>(p), false) {}
+
+  /// Recompute for vertex v; afterwards conn(t) and touched() are valid.
+  void gather(const Graph& g, const std::vector<PartId>& part,
+              graph::VertexId v) {
+    for (PartId t : touched_) {
+      conn_[static_cast<std::size_t>(t)] = 0;
+      seen_[static_cast<std::size_t>(t)] = false;
+    }
+    touched_.clear();
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const PartId t = part[static_cast<std::size_t>(nbrs[k])];
+      if (!seen_[static_cast<std::size_t>(t)]) {
+        seen_[static_cast<std::size_t>(t)] = true;
+        touched_.push_back(t);
+      }
+      conn_[static_cast<std::size_t>(t)] += wgts[k];
+    }
+  }
+
+  Weight conn(PartId t) const { return conn_[static_cast<std::size_t>(t)]; }
+  const std::vector<PartId>& touched() const { return touched_; }
+
+ private:
+  std::vector<Weight> conn_;
+  std::vector<char> seen_;
+  std::vector<PartId> touched_;
+};
+
+struct MoveRecord {
+  graph::VertexId v;
+  PartId from;
+  PartId to;
+};
+
+class Refiner {
+ public:
+  Refiner(const Graph& g, Partition& pi, const RefineOptions& opt)
+      : g_(g),
+        pi_(pi),
+        opt_(opt),
+        n_(static_cast<std::size_t>(g.num_vertices())),
+        weights_(part_weights(g, pi)),
+        version_(n_, 0),
+        locked_(n_, false),
+        queue_(pi.num_parts),
+        scratch_(pi.num_parts) {
+    PNR_REQUIRE(pi.valid_for(g));
+    if (opt_.alpha > 0.0) {
+      PNR_REQUIRE_MSG(opt_.home != nullptr,
+                      "alpha > 0 requires the previous assignment");
+      PNR_REQUIRE(opt_.home->size() == n_);
+    }
+    const auto np = static_cast<std::size_t>(pi.num_parts);
+    targets_.resize(np);
+    if (opt_.targets) {
+      PNR_REQUIRE(opt_.targets->size() == np);
+      targets_ = *opt_.targets;
+    } else {
+      const double avg =
+          static_cast<double>(g.total_vertex_weight()) / static_cast<double>(np);
+      for (auto& t : targets_) t = static_cast<Weight>(std::llround(avg));
+    }
+    caps_.resize(np);
+    for (std::size_t i = 0; i < np; ++i)
+      caps_[i] = static_cast<Weight>(std::floor(
+          static_cast<double>(targets_[i]) * (1.0 + opt_.imbalance_tol)));
+    abandon_after_ = opt_.abandon_after > 0
+                         ? opt_.abandon_after
+                         : std::max<std::int64_t>(128, static_cast<std::int64_t>(n_) / 16);
+  }
+
+  RefineResult run() {
+    RefineResult result;
+    for (int pass = 0; pass < opt_.max_passes; ++pass) {
+      const double gain = run_pass(result);
+      ++result.passes;
+      if (gain <= 1e-9) break;
+      result.total_gain += gain;
+    }
+    return result;
+  }
+
+ private:
+  double gain_of(graph::VertexId v, PartId from, PartId to) {
+    scratch_.gather(g_, pi_.assign, v);
+    const auto w = static_cast<double>(g_.vertex_weight(v));
+    double gain = static_cast<double>(scratch_.conn(to) - scratch_.conn(from));
+    if (opt_.alpha > 0.0) {
+      const PartId home = (*opt_.home)[static_cast<std::size_t>(v)];
+      gain += opt_.alpha * w *
+              (static_cast<double>(from != home) -
+               static_cast<double>(to != home));
+    }
+    if (opt_.beta > 0.0) {
+      // Deviations are measured against per-part targets so that bisections
+      // with unequal halves are handled uniformly.
+      const double df =
+          static_cast<double>(weights_[static_cast<std::size_t>(from)]) -
+          static_cast<double>(targets_[static_cast<std::size_t>(from)]);
+      const double dt =
+          static_cast<double>(weights_[static_cast<std::size_t>(to)]) -
+          static_cast<double>(targets_[static_cast<std::size_t>(to)]);
+      gain += opt_.beta * 2.0 * w * (df - dt - w);
+    }
+    return gain;
+  }
+
+  bool legal(graph::VertexId v, PartId from, PartId to) const {
+    const Weight w = g_.vertex_weight(v);
+    const Weight wf = weights_[static_cast<std::size_t>(from)];
+    const Weight wt = weights_[static_cast<std::size_t>(to)];
+    if (wf - w < 0) return false;
+    // Never empty a subset: the number of processors is fixed.
+    if (wf - w == 0 && count_[static_cast<std::size_t>(from)] <= 1) return false;
+    if (!opt_.hard_balance) return true;
+    // Per-move slack of the moving vertex's own weight (classic FM): light
+    // vertices are held to the tight cap; a vertex heavier than the slack
+    // may still cross provided the destination is at or below target.
+    const Weight cap_to = std::max(caps_[static_cast<std::size_t>(to)],
+                                   targets_[static_cast<std::size_t>(to)] + w);
+    const Weight cap_from = caps_[static_cast<std::size_t>(from)];
+    if (wt + w <= cap_to) return true;
+    // Allow strictly rebalancing moves out of an overweight subset even if
+    // the target briefly exceeds the cap (needed when the incoming partition
+    // is worse than the tolerance).
+    return wf > cap_from && wt + w < wf;
+  }
+
+  /// Queue all candidate moves for vertex v at its current version.
+  void queue_vertex(graph::VertexId v) {
+    if (locked_[static_cast<std::size_t>(v)]) return;
+    const PartId from = pi_.assign[static_cast<std::size_t>(v)];
+    scratch_.gather(g_, pi_.assign, v);
+    bool queued_home = false;
+    const PartId home =
+        opt_.alpha > 0.0 ? (*opt_.home)[static_cast<std::size_t>(v)] : from;
+    for (PartId t : scratch_.touched()) {
+      if (t == from) continue;
+      queue_.push(v, from, t, gain_of(v, from, t),
+                  version_[static_cast<std::size_t>(v)]);
+      if (t == home) queued_home = true;
+    }
+    if (opt_.alpha > 0.0 && home != from && !queued_home)
+      queue_.push(v, from, home, gain_of(v, from, home),
+                  version_[static_cast<std::size_t>(v)]);
+  }
+
+  void apply_move(graph::VertexId v, PartId from, PartId to) {
+    pi_.assign[static_cast<std::size_t>(v)] = to;
+    const Weight w = g_.vertex_weight(v);
+    weights_[static_cast<std::size_t>(from)] -= w;
+    weights_[static_cast<std::size_t>(to)] += w;
+    --count_[static_cast<std::size_t>(from)];
+    ++count_[static_cast<std::size_t>(to)];
+  }
+
+  double run_pass(RefineResult& result) {
+    queue_.clear();
+    std::fill(locked_.begin(), locked_.end(), false);
+    count_.assign(static_cast<std::size_t>(pi_.num_parts), 0);
+    for (PartId p : pi_.assign) ++count_[static_cast<std::size_t>(p)];
+
+    for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) queue_vertex(v);
+
+    std::vector<MoveRecord> log;
+    std::vector<PairQueueTable::Entry> deferred;
+    double cum_gain = 0.0;
+    double best_gain = 0.0;
+    std::size_t best_prefix = 0;
+    std::int64_t since_best = 0;
+
+    for (;;) {
+      auto entry = queue_.pop_best(version_);
+      if (!entry) {
+        if (deferred.empty()) break;
+        // Nothing live is legal/fresh; no further move can unblock things.
+        break;
+      }
+      const auto sv = static_cast<std::size_t>(entry->v);
+      if (locked_[sv] || pi_.assign[sv] != entry->from) continue;
+
+      const double now = gain_of(entry->v, entry->from, entry->to);
+      if (std::abs(now - entry->gain) > 1e-9) {
+        queue_.push(entry->v, entry->from, entry->to, now, version_[sv]);
+        continue;
+      }
+      if (!legal(entry->v, entry->from, entry->to)) {
+        deferred.push_back(*entry);
+        continue;
+      }
+
+      apply_move(entry->v, entry->from, entry->to);
+      locked_[sv] = true;
+      ++version_[sv];
+      log.push_back({entry->v, entry->from, entry->to});
+      cum_gain += now;
+      if (cum_gain > best_gain + 1e-9) {
+        best_gain = cum_gain;
+        best_prefix = log.size();
+        since_best = 0;
+      } else if (++since_best > abandon_after_) {
+        break;
+      }
+
+      // Moving v changed the gains of its neighbors; re-queue them fresh.
+      for (graph::VertexId u : g_.neighbors(entry->v)) {
+        const auto su = static_cast<std::size_t>(u);
+        if (locked_[su]) continue;
+        ++version_[su];
+        queue_vertex(u);
+      }
+      // Weight changes may have legalized previously deferred moves.
+      if (!deferred.empty()) {
+        auto pending = std::move(deferred);
+        deferred.clear();
+        for (const auto& d : pending) {
+          const auto sd = static_cast<std::size_t>(d.v);
+          if (locked_[sd] || pi_.assign[sd] != d.from) continue;
+          if (version_[sd] != d.version) continue;  // re-queued already
+          queue_.push(d.v, d.from, d.to, gain_of(d.v, d.from, d.to),
+                      version_[sd]);
+        }
+      }
+    }
+
+    // Roll back the moves after the best prefix (KL hill-climb semantics).
+    for (std::size_t k = log.size(); k > best_prefix; --k) {
+      const MoveRecord& m = log[k - 1];
+      apply_move(m.v, m.to, m.from);
+    }
+    result.moves += static_cast<std::int64_t>(best_prefix);
+    return best_gain;
+  }
+
+  const Graph& g_;
+  Partition& pi_;
+  const RefineOptions& opt_;
+  std::size_t n_;
+  std::vector<Weight> weights_;
+  std::vector<std::int64_t> count_;
+  std::vector<std::uint32_t> version_;
+  std::vector<char> locked_;
+  PairQueueTable queue_;
+  ConnScratch scratch_;
+  std::vector<Weight> targets_;
+  std::vector<Weight> caps_;
+  std::int64_t abandon_after_ = 0;
+};
+
+}  // namespace
+
+RefineResult refine_partition(const Graph& g, Partition& pi,
+                              const RefineOptions& options) {
+  if (g.num_vertices() == 0) return {};
+  Refiner refiner(g, pi, options);
+  return refiner.run();
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,54 @@
+#pragma once
+// p-way Kernighan–Lin refinement with the gain model of Section 9.
+//
+// The gain of moving vertex v from subset f to subset t is
+//   gain = [conn(v,t) − conn(v,f)]                              (cut term)
+//        + α·w(v)·([f ≠ home(v)] − [t ≠ home(v)])               (migration)
+//        + β·2·w(v)·(W_f − W_t − w(v))                          (balance)
+// which is exactly the decrease of C_repartition (Eq. 1) caused by the move.
+// With α = β = 0 and a hard balance constraint this degenerates to the
+// classic multiprocessor KL/FM used inside Multilevel-KL; with the paper's
+// α = 0.1, β = 0.8 and no hard constraint it is PNR's repartitioning pass.
+//
+// Mechanics follow the paper: a p×p table of gain-priority queues, best head
+// selected globally, moved vertices locked for the rest of the pass,
+// neighbor gains re-queued after every move, passes with hill-climbing and
+// rollback to the best prefix, repeated until a pass yields no improvement.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+
+struct RefineOptions {
+  double alpha = 0.0;  ///< migration cost weight (needs `home`)
+  double beta = 0.0;   ///< balance cost weight (soft balance)
+  /// Previous assignment Π^{t-1}; required when alpha > 0.
+  const std::vector<PartId>* home = nullptr;
+  /// Enforce W_t + w ≤ (1+imbalance_tol)·avg as a hard constraint. Standard
+  /// partitioners use this; PNR relies on the β term instead.
+  bool hard_balance = true;
+  double imbalance_tol = 0.03;
+  int max_passes = 8;
+  /// Abandon a pass after this many consecutive non-improving moves
+  /// (0 = choose max(128, n/16) automatically).
+  int abandon_after = 0;
+  /// Per-part target weights (size num_parts). When null every part targets
+  /// total/p. Recursive bisection with unequal halves (odd p) sets this.
+  const std::vector<Weight>* targets = nullptr;
+};
+
+struct RefineResult {
+  int passes = 0;
+  double total_gain = 0.0;     ///< decrease of the objective over all passes
+  std::int64_t moves = 0;      ///< net vertex moves kept after rollbacks
+};
+
+RefineResult refine_partition(const Graph& g, Partition& pi,
+                              const RefineOptions& options);
+
+}  // namespace pnr::part

@@ -1,0 +1,109 @@
+#include "partition/remap.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+std::vector<Weight> overlap_matrix(const Graph& g, const Partition& old_pi,
+                                   const Partition& new_pi) {
+  PNR_REQUIRE(old_pi.valid_for(g) && new_pi.valid_for(g));
+  PNR_REQUIRE(old_pi.num_parts == new_pi.num_parts);
+  const auto p = static_cast<std::size_t>(old_pi.num_parts);
+  std::vector<Weight> overlap(p * p, 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto i = static_cast<std::size_t>(old_pi.assign[static_cast<std::size_t>(v)]);
+    const auto j = static_cast<std::size_t>(new_pi.assign[static_cast<std::size_t>(v)]);
+    overlap[i * p + j] += g.vertex_weight(v);
+  }
+  return overlap;
+}
+
+std::vector<PartId> hungarian_min_cost(const std::vector<Weight>& cost,
+                                       PartId p) {
+  // Jonker–Volgenant-style shortest augmenting path formulation with
+  // potentials; indices are 1-based internally as is conventional.
+  const auto n = static_cast<std::size_t>(p);
+  PNR_REQUIRE(cost.size() == n * n);
+  const Weight kInf = std::numeric_limits<Weight>::max() / 4;
+
+  std::vector<Weight> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<Weight> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      Weight delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const Weight cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<PartId> row_to_col(n, -1);
+  for (std::size_t j = 1; j <= n; ++j)
+    if (match[j] != 0)
+      row_to_col[match[j] - 1] = static_cast<PartId>(j - 1);
+  return row_to_col;
+}
+
+std::vector<PartId> best_relabel(const Graph& g, const Partition& old_pi,
+                                 const Partition& new_pi) {
+  const auto p = static_cast<std::size_t>(old_pi.num_parts);
+  const auto overlap = overlap_matrix(g, old_pi, new_pi);
+  // Maximize retained weight == minimize (max − overlap). Rows are new
+  // labels j, columns are processors i; sigma[j] = chosen processor.
+  Weight max_entry = 0;
+  for (Weight w : overlap) max_entry = std::max(max_entry, w);
+  std::vector<Weight> cost(p * p);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < p; ++i)
+      cost[j * p + i] = max_entry - overlap[i * p + j];
+  return hungarian_min_cost(cost, old_pi.num_parts);
+}
+
+Partition apply_relabel(const Partition& pi, const std::vector<PartId>& sigma) {
+  PNR_REQUIRE(sigma.size() == static_cast<std::size_t>(pi.num_parts));
+  Partition out(pi.num_parts, pi.assign);
+  for (auto& a : out.assign) a = sigma[static_cast<std::size_t>(a)];
+  return out;
+}
+
+Partition remap_to_minimize_migration(const Graph& g, const Partition& old_pi,
+                                      const Partition& new_pi) {
+  return apply_relabel(new_pi, best_relabel(g, old_pi, new_pi));
+}
+
+}  // namespace pnr::part

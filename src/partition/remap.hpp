@@ -1,0 +1,37 @@
+#pragma once
+// The Biswas–Oliker heuristic (paper reference [5]): after a standard
+// partitioner computes a fresh partition Π̂, relabel its subsets so that each
+// new subset lands on the processor that already owns most of its weight —
+// an optimal assignment problem on the p×p overlap matrix, solved exactly
+// with the Hungarian algorithm. The result Π̃ is the permutation of Π̂ that
+// minimizes C_migrate(Π, Π̃).
+
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace pnr::part {
+
+/// overlap[i][j] = total vertex weight assigned to old subset i and new
+/// subset j (row-major p×p).
+std::vector<Weight> overlap_matrix(const Graph& g, const Partition& old_pi,
+                                   const Partition& new_pi);
+
+/// Minimum-cost perfect matching on a p×p cost matrix (row-major, costs may
+/// be any int64). Returns column assigned to each row. O(p³).
+std::vector<PartId> hungarian_min_cost(const std::vector<Weight>& cost,
+                                       PartId p);
+
+/// The label permutation sigma maximizing retained weight: new subset j is
+/// renamed sigma[j].
+std::vector<PartId> best_relabel(const Graph& g, const Partition& old_pi,
+                                 const Partition& new_pi);
+
+/// Apply a relabeling to a partition.
+Partition apply_relabel(const Partition& pi, const std::vector<PartId>& sigma);
+
+/// Convenience: Π̃ = apply_relabel(Π̂, best_relabel(...)).
+Partition remap_to_minimize_migration(const Graph& g, const Partition& old_pi,
+                                      const Partition& new_pi);
+
+}  // namespace pnr::part

@@ -1,0 +1,152 @@
+#include "partition/rsb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/coarsen.hpp"
+#include "graph/laplacian.hpp"
+#include "partition/dense_eig.hpp"
+#include "partition/recursive.hpp"
+#include "partition/refine.hpp"
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+namespace {
+
+std::vector<double> dense_fiedler(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<double> lap(static_cast<std::size_t>(n) * n, 0.0);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    double deg = 0.0;
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const double w = static_cast<double>(wgts[k]);
+      lap[static_cast<std::size_t>(v) * n + nbrs[k]] = -w;
+      deg += w;
+    }
+    lap[static_cast<std::size_t>(v) * n + v] = deg;
+  }
+  std::vector<double> evals, evecs;
+  jacobi_eigensymm(lap, n, evals, evecs);
+  // Second-smallest eigenpair; index 0 is the (near-)zero constant mode.
+  std::vector<double> x(evecs.begin() + n, evecs.begin() + 2 * n);
+  graph::deflate_constant(x);
+  graph::normalize(x);
+  return x;
+}
+
+/// Projected gradient descent on the Rayleigh quotient of L, keeping x
+/// orthogonal to the ones vector.
+void smooth_fiedler(const Graph& g, std::vector<double>& x, int iterations) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  double max_wdeg = 0.0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    max_wdeg = std::max(max_wdeg, static_cast<double>(g.weighted_degree(v)));
+  const double step = max_wdeg > 0.0 ? 1.0 / (2.0 * max_wdeg) : 0.0;
+
+  std::vector<double> y(n);
+  for (int it = 0; it < iterations; ++it) {
+    graph::deflate_constant(x);
+    if (graph::normalize(x) == 0.0) return;
+    graph::laplacian_apply(g, x, y);
+    const double rho = graph::dot(x, y);
+    for (std::size_t i = 0; i < n; ++i) x[i] -= step * (y[i] - rho * x[i]);
+  }
+  graph::deflate_constant(x);
+  graph::normalize(x);
+}
+
+std::vector<double> fiedler_recursive(const Graph& g, util::Rng& rng,
+                                      const RsbOptions& options) {
+  if (g.num_vertices() <= options.dense_threshold) return dense_fiedler(g);
+
+  graph::CoarsenOptions copt;  // plain HEM
+  const auto level = graph::coarsen_once(g, rng, copt);
+  std::vector<double> x;
+  if (level.graph.num_vertices() >=
+      g.num_vertices() - g.num_vertices() / 20) {
+    // Contraction stalled; start from a random vector instead of recursing.
+    x.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  } else {
+    const auto coarse = fiedler_recursive(level.graph, rng, options);
+    x.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (std::size_t v = 0; v < x.size(); ++v)
+      x[v] = coarse[static_cast<std::size_t>(level.fine_to_coarse[v])];
+  }
+  smooth_fiedler(g, x, options.smooth_iterations);
+  if (graph::normalize(x) == 0.0) {
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    smooth_fiedler(g, x, options.smooth_iterations);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> fiedler_vector(const Graph& g, util::Rng& rng,
+                                   const RsbOptions& options) {
+  PNR_REQUIRE(g.num_vertices() >= 2);
+  return fiedler_recursive(g, rng, options);
+}
+
+std::vector<PartId> rsb_bisect(const Graph& g, Weight target0, util::Rng& rng,
+                               const RsbOptions& options) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(n >= 2);
+  const Weight total = g.total_vertex_weight();
+  PNR_REQUIRE(target0 > 0 && target0 < total);
+
+  const auto x = fiedler_vector(g, rng, options);
+
+  // Weighted median split: vertices in ascending Fiedler order fill side 0
+  // until it reaches the target weight.
+  std::vector<graph::VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](graph::VertexId a, graph::VertexId b) {
+    const double xa = x[static_cast<std::size_t>(a)];
+    const double xb = x[static_cast<std::size_t>(b)];
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+
+  std::vector<PartId> side(n, 1);
+  Weight grown = 0;
+  for (std::size_t k = 0; k < n - 1 && grown < target0; ++k) {
+    side[static_cast<std::size_t>(order[k])] = 0;
+    grown += g.vertex_weight(order[k]);
+  }
+  if (grown == 0) side[static_cast<std::size_t>(order[0])] = 0;
+
+  if (options.kl_polish) {
+    const std::vector<Weight> targets{target0, total - target0};
+    RefineOptions ropt;
+    ropt.hard_balance = true;
+    ropt.imbalance_tol = options.imbalance_tol;
+    ropt.max_passes = options.fm_passes;
+    ropt.targets = &targets;
+    Partition pi(2, std::move(side));
+    refine_partition(g, pi, ropt);
+    side = std::move(pi.assign);
+    bool has0 = false, has1 = false;
+    for (PartId s : side) (s == 0 ? has0 : has1) = true;
+    if (!has0) side[static_cast<std::size_t>(order[0])] = 0;
+    if (!has1) side[static_cast<std::size_t>(order[n - 1])] = 1;
+  }
+  return side;
+}
+
+Partition rsb(const Graph& g, PartId p, util::Rng& rng,
+              const RsbOptions& options) {
+  return recursive_partition(
+      g, p,
+      [&options](const Graph& sub, Weight target0, util::Rng& r) {
+        return rsb_bisect(sub, target0, r, options);
+      },
+      rng);
+}
+
+}  // namespace pnr::part

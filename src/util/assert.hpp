@@ -1,0 +1,44 @@
+#pragma once
+// Lightweight contract checks. PNR_ASSERT is for internal invariants and is
+// compiled out in NDEBUG builds; PNR_REQUIRE is for API preconditions and is
+// always on (a violated precondition aborts with a location message).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pnr::util {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const char* msg) {
+  std::fprintf(stderr, "pnr: %s failed: %s at %s:%d%s%s\n", kind, expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pnr::util
+
+#define PNR_REQUIRE(cond)                                                      \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::pnr::util::contract_fail("precondition", #cond, __FILE__, __LINE__,    \
+                                 nullptr);                                     \
+  } while (0)
+
+#define PNR_REQUIRE_MSG(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::pnr::util::contract_fail("precondition", #cond, __FILE__, __LINE__,    \
+                                 msg);                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define PNR_ASSERT(cond) ((void)0)
+#else
+#define PNR_ASSERT(cond)                                                       \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::pnr::util::contract_fail("invariant", #cond, __FILE__, __LINE__,       \
+                                 nullptr);                                     \
+  } while (0)
+#endif

@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pnr::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) {
+      positional_.emplace_back(a);
+      continue;
+    }
+    std::string body(a + 2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_.push_back({body.substr(0, eq), body.substr(eq + 1), true});
+    } else {
+      flags_.push_back({body, "", false});
+    }
+  }
+}
+
+const Cli::Flag* Cli::find(const std::string& name) const {
+  for (const auto& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool Cli::has(const std::string& name) const { return find(name) != nullptr; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const Flag* f = find(name);
+  return f && f->has_value ? f->value : def;
+}
+
+int Cli::get_int(const std::string& name, int def) const {
+  const Flag* f = find(name);
+  return f && f->has_value ? std::atoi(f->value.c_str()) : def;
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const Flag* f = find(name);
+  return f && f->has_value ? std::atof(f->value.c_str()) : def;
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const Flag* f = find(name);
+  if (!f) return def;
+  if (!f->has_value) return true;
+  return f->value != "0" && f->value != "false" && f->value != "no";
+}
+
+std::vector<int> Cli::get_int_list(const std::string& name,
+                                   std::vector<int> def) const {
+  const Flag* f = find(name);
+  if (!f || !f->has_value) return def;
+  std::vector<int> out;
+  std::size_t pos = 0;
+  const std::string& s = f->value;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace pnr::util

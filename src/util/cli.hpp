@@ -1,0 +1,41 @@
+#pragma once
+// Minimal command-line flag parsing for the bench/example binaries.
+// Supports --name=value and boolean --name; anything without a leading
+// "--" is positional (the value-after-space form is deliberately not
+// supported — it makes boolean flags ambiguous).
+
+#include <string>
+#include <vector>
+
+namespace pnr::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Comma-separated int list, e.g. --procs=4,8,16.
+  std::vector<int> get_int_list(const std::string& name,
+                                std::vector<int> def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value;
+    bool has_value;
+  };
+  const Flag* find(const std::string& name) const;
+
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pnr::util

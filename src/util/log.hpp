@@ -1,0 +1,40 @@
+#pragma once
+// Tiny leveled logger. Benches run quiet by default; examples turn on info.
+
+#include <sstream>
+#include <string>
+
+namespace pnr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe emit (single write call per message).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pnr::util
+
+#define PNR_LOG_DEBUG ::pnr::util::detail::LogLine(::pnr::util::LogLevel::kDebug)
+#define PNR_LOG_INFO ::pnr::util::detail::LogLine(::pnr::util::LogLevel::kInfo)
+#define PNR_LOG_WARN ::pnr::util::detail::LogLine(::pnr::util::LogLevel::kWarn)
+#define PNR_LOG_ERROR ::pnr::util::detail::LogLine(::pnr::util::LogLevel::kError)

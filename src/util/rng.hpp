@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic, seedable PRNG used by every randomized component (mesh
+// jitter, matchings, tie-breaks, Lanczos start vectors). We avoid
+// std::mt19937 so that streams are identical across standard libraries.
+
+#include <cstdint>
+#include <vector>
+
+namespace pnr::util {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform signed int in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller (cached spare).
+  double normal();
+
+  /// Fisher–Yates shuffle of an index-like vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Split off an independent stream (for per-rank determinism).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace pnr::util

@@ -1,0 +1,35 @@
+#pragma once
+// Streaming statistics used by the benches to report series summaries
+// (mean/max migration fractions, etc.) exactly as the paper quotes them.
+
+#include <cstddef>
+#include <vector>
+
+namespace pnr::util {
+
+/// Welford running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile over a stored sample (nearest-rank definition).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace pnr::util

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace pnr::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PNR_REQUIRE(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  PNR_REQUIRE_MSG(!rows_.empty(), "call row() before cell()");
+  PNR_REQUIRE_MSG(rows_.back().size() < header_.size(),
+                  "more cells than header columns");
+  rows_.back().push_back(s);
+  return *this;
+}
+
+Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+Table& Table::cell(long v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::size_t v) { return cell(std::to_string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << (c ? "  " : "");
+      for (std::size_t k = s.size(); k < width[c]; ++k) os << ' ';
+      os << s;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  for (std::size_t k = 2; k < total; ++k) os << '-';
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << (c ? "," : "") << cells[c];
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace pnr::util

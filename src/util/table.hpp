@@ -1,0 +1,43 @@
+#pragma once
+// ASCII/CSV table writer used by the benchmark harness to print the paper's
+// tables (Figs. 3, 4, 5) with aligned columns, and optionally dump CSV for
+// plotting the series figures (Figs. 7, 8).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnr::util {
+
+/// A simple column-aligned table. Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(long long v);
+  Table& cell(long v);
+  Table& cell(int v);
+  Table& cell(std::size_t v);
+  /// Fixed-precision floating point cell.
+  Table& cell(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with padded columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (no padding), header first.
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write_csv to a file path; returns false on I/O error.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pnr::util

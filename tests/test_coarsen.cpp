@@ -1,0 +1,141 @@
+// Tests for graph contraction (heavy-edge matching) — the engine under both
+// multilevel partitioners and PNR's partition-respecting coarsening.
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/coarsen.hpp"
+
+namespace pnr::graph {
+namespace {
+
+Graph grid_graph(int nx, int ny) {
+  GraphBuilder b(nx * ny);
+  auto id = [&](int i, int j) { return static_cast<VertexId>(j * nx + i); };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  return b.build();
+}
+
+TEST(Coarsen, PreservesTotalVertexWeight) {
+  const Graph g = grid_graph(8, 8);
+  util::Rng rng(1);
+  const auto level = coarsen_once(g, rng, {});
+  EXPECT_EQ(level.graph.total_vertex_weight(), g.total_vertex_weight());
+}
+
+TEST(Coarsen, ShrinksAndStaysValid) {
+  const Graph g = grid_graph(10, 10);
+  util::Rng rng(2);
+  const auto level = coarsen_once(g, rng, {});
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+  EXPECT_GE(level.graph.num_vertices(), g.num_vertices() / 2);
+  EXPECT_TRUE(level.graph.validate().empty()) << level.graph.validate();
+}
+
+TEST(Coarsen, MapCoversEveryFineVertex) {
+  const Graph g = grid_graph(7, 5);
+  util::Rng rng(3);
+  const auto level = coarsen_once(g, rng, {});
+  ASSERT_EQ(level.fine_to_coarse.size(),
+            static_cast<std::size_t>(g.num_vertices()));
+  for (const VertexId c : level.fine_to_coarse) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, level.graph.num_vertices());
+  }
+}
+
+TEST(Coarsen, EdgeWeightConservation) {
+  // Total edge weight minus intra-pair edge weight must equal coarse total.
+  const Graph g = grid_graph(6, 6);
+  util::Rng rng(4);
+  const auto level = coarsen_once(g, rng, {});
+  Weight fine_total = 0, intra = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+      if (nbrs[k] > v) {
+        fine_total += wgts[k];
+        if (level.fine_to_coarse[static_cast<std::size_t>(v)] ==
+            level.fine_to_coarse[static_cast<std::size_t>(nbrs[k])])
+          intra += wgts[k];
+      }
+  }
+  Weight coarse_total = 0;
+  for (VertexId v = 0; v < level.graph.num_vertices(); ++v) {
+    const auto wgts = level.graph.edge_weights(v);
+    const auto nbrs = level.graph.neighbors(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+      if (nbrs[k] > v) coarse_total += wgts[k];
+  }
+  EXPECT_EQ(coarse_total, fine_total - intra);
+}
+
+TEST(Coarsen, RespectsPartitionConstraint) {
+  const Graph g = grid_graph(8, 8);
+  std::vector<std::int32_t> part(64);
+  for (int v = 0; v < 64; ++v) part[static_cast<std::size_t>(v)] = v % 2;
+  CoarsenOptions opt;
+  opt.partition = &part;
+  util::Rng rng(5);
+  const auto level = coarsen_once(g, rng, opt);
+  // No coarse vertex may mix the two parts.
+  std::vector<std::int32_t> coarse_part(
+      static_cast<std::size_t>(level.graph.num_vertices()), -1);
+  for (std::size_t v = 0; v < 64; ++v) {
+    auto& cp = coarse_part[static_cast<std::size_t>(level.fine_to_coarse[v])];
+    if (cp == -1) cp = part[v];
+    EXPECT_EQ(cp, part[v]);
+  }
+}
+
+TEST(Coarsen, RespectsMaxVertexWeight) {
+  const Graph g = grid_graph(8, 8);
+  CoarsenOptions opt;
+  opt.max_vertex_weight = 1;  // nothing may match
+  util::Rng rng(6);
+  const auto level = coarsen_once(g, rng, opt);
+  EXPECT_EQ(level.graph.num_vertices(), g.num_vertices());
+}
+
+TEST(Hierarchy, ReachesTargetOrStalls) {
+  const Graph g = grid_graph(16, 16);
+  util::Rng rng(7);
+  const auto levels = build_hierarchy(g, rng, 20, {});
+  ASSERT_FALSE(levels.empty());
+  for (std::size_t k = 1; k < levels.size(); ++k)
+    EXPECT_LT(levels[k].graph.num_vertices(),
+              levels[k - 1].graph.num_vertices());
+  EXPECT_LE(levels.back().graph.num_vertices(), 40);
+}
+
+TEST(Projection, RoundTripsThroughMap) {
+  const Graph g = grid_graph(6, 6);
+  util::Rng rng(8);
+  const auto level = coarsen_once(g, rng, {});
+  std::vector<std::int32_t> coarse_part(
+      static_cast<std::size_t>(level.graph.num_vertices()));
+  for (std::size_t c = 0; c < coarse_part.size(); ++c)
+    coarse_part[c] = static_cast<std::int32_t>(c % 3);
+  const auto fine = project_partition(level.fine_to_coarse, coarse_part);
+  for (std::size_t v = 0; v < fine.size(); ++v)
+    EXPECT_EQ(fine[v],
+              coarse_part[static_cast<std::size_t>(level.fine_to_coarse[v])]);
+}
+
+TEST(Coarsen, RandomMatchingAlsoValid) {
+  const Graph g = grid_graph(9, 9);
+  CoarsenOptions opt;
+  opt.random_matching = true;
+  util::Rng rng(9);
+  const auto level = coarsen_once(g, rng, opt);
+  EXPECT_TRUE(level.graph.validate().empty());
+  EXPECT_LT(level.graph.num_vertices(), g.num_vertices());
+}
+
+}  // namespace
+}  // namespace pnr::graph

@@ -1,0 +1,199 @@
+// Tests for the FEM substrate: sparse matrix assembly/merging, CG solving,
+// the analytic problems (harmonicity, RHS calculus), P1 convergence on the
+// paper's test problems and the error-indicator marking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/cg.hpp"
+#include "fem/estimator.hpp"
+#include "fem/p1.hpp"
+#include "fem/problems.hpp"
+#include "fem/sparse.hpp"
+#include "mesh/generate.hpp"
+
+namespace pnr::fem {
+namespace {
+
+TEST(Sparse, TripletsMergeDuplicates) {
+  const auto m = CsrMatrix::from_triplets(
+      2, {0, 0, 0, 1, 1}, {0, 0, 1, 0, 1}, {1.0, 2.0, -1.0, -1.0, 3.0});
+  EXPECT_EQ(m.nonzeros(), 4);
+  EXPECT_DOUBLE_EQ(m.diagonal(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.diagonal(1), 3.0);
+  std::vector<double> x{1.0, 1.0}, y(2);
+  m.apply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(Sparse, DirichletForcesValue) {
+  // 1D Laplacian of 3 nodes, fix u0 = 2.
+  auto m = CsrMatrix::from_triplets(
+      3, {0, 0, 1, 1, 1, 2, 2}, {0, 1, 0, 1, 2, 1, 2},
+      {2, -1, -1, 2, -1, -1, 2});
+  std::vector<double> rhs{0, 0, 0};
+  std::vector<char> constrained{1, 0, 0};
+  std::vector<double> values{2.0, 0.0, 0.0};
+  m.set_dirichlet_all(constrained, values, rhs);
+  std::vector<double> x(3, 0.0);
+  const auto cg = conjugate_gradient(m, rhs, x);
+  EXPECT_TRUE(cg.converged);
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+}
+
+TEST(Cg, SolvesIdentityInstantly) {
+  const auto m = CsrMatrix::from_triplets(3, {0, 1, 2}, {0, 1, 2},
+                                          {1.0, 1.0, 1.0});
+  std::vector<double> b{1, 2, 3}, x(3, 0.0);
+  const auto r = conjugate_gradient(m, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(Problems, CornerIsHarmonic) {
+  // Numerical Laplacian of the corner solution should vanish.
+  const auto f = corner_problem_2d();
+  const double h = 1e-4;
+  for (const auto& [x, y] : std::vector<std::pair<double, double>>{
+           {0.0, 0.0}, {0.5, 0.5}, {-0.7, 0.3}, {0.9, 0.9}}) {
+    const double lap =
+        (f.value(x + h, y) + f.value(x - h, y) + f.value(x, y + h) +
+         f.value(x, y - h) - 4.0 * f.value(x, y)) /
+        (h * h);
+    // The function reaches ~1 near the corner; relative tolerance.
+    EXPECT_NEAR(lap, 0.0, 1e-2 * std::max(1.0, std::abs(f.value(x, y)) * 100));
+  }
+}
+
+TEST(Problems, Corner3dIsHarmonic) {
+  const auto f = corner_problem_3d();
+  const double h = 1e-4;
+  const double x = 0.3, y = -0.2, z = 0.6;
+  const double lap =
+      (f.value(x + h, y, z) + f.value(x - h, y, z) + f.value(x, y + h, z) +
+       f.value(x, y - h, z) + f.value(x, y, z + h) + f.value(x, y, z - h) -
+       6.0 * f.value(x, y, z)) /
+      (h * h);
+  EXPECT_NEAR(lap, 0.0, 1e-2);
+}
+
+TEST(Problems, MovingPeakLaplacianMatchesFiniteDifferences) {
+  const auto f = moving_peak(0.25);
+  const double h = 1e-5;
+  for (const auto& [x, y] : std::vector<std::pair<double, double>>{
+           {-0.25, -0.25}, {-0.2, -0.3}, {0.1, 0.4}}) {
+    const double lap_fd =
+        (f.value(x + h, y) + f.value(x - h, y) + f.value(x, y + h) +
+         f.value(x, y - h) - 4.0 * f.value(x, y)) /
+        (h * h);
+    EXPECT_NEAR(-f.neg_laplacian(x, y), lap_fd,
+                1e-3 * std::max(1.0, std::abs(lap_fd)));
+  }
+}
+
+TEST(Problems, MovingPeakPeaksAtMinusT) {
+  const auto f = moving_peak(0.3);
+  EXPECT_NEAR(f.value(-0.3, -0.3), 1.0, 1e-12);
+  EXPECT_LT(f.value(0.5, 0.5), 0.02);
+}
+
+TEST(P1, SolvesLinearFieldExactly) {
+  // u = x + 2y is harmonic and in the P1 space: error ~ solver tolerance.
+  ScalarField2 field;
+  field.value = [](double x, double y) { return x + 2.0 * y; };
+  field.neg_laplacian = [](double, double) { return 0.0; };
+  const auto mesh = mesh::structured_tri_mesh(6, 6, 0.2, 3);
+  const auto r = solve_poisson(mesh, field, 1e-12);
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_LT(r.max_error, 1e-8);
+}
+
+TEST(P1, CornerProblemConverges) {
+  // Halving h on the uniform mesh should shrink the L∞ error noticeably.
+  const auto field = corner_problem_2d();
+  const auto coarse = mesh::structured_tri_mesh(16, 16, 0.0, 1);
+  const auto fine = mesh::structured_tri_mesh(32, 32, 0.0, 1);
+  const auto ec = solve_poisson(coarse, field, 1e-11).max_error;
+  const auto ef = solve_poisson(fine, field, 1e-11).max_error;
+  EXPECT_LT(ef, ec * 0.5);
+}
+
+TEST(P1, MovingPeakPoissonConverges) {
+  const auto field = moving_peak(0.0);
+  const auto coarse = mesh::structured_tri_mesh(16, 16, 0.0, 1);
+  const auto fine = mesh::structured_tri_mesh(32, 32, 0.0, 1);
+  const auto ec = solve_poisson(coarse, field, 1e-11).max_error;
+  const auto ef = solve_poisson(fine, field, 1e-11).max_error;
+  EXPECT_LT(ef, ec * 0.6);
+}
+
+TEST(P1, AdaptedMeshBeatsUniformAtSimilarSize) {
+  // Adaptive refinement toward the corner should beat the uniform mesh of
+  // comparable element count on the corner problem.
+  const auto field = corner_problem_2d();
+  auto adapted = mesh::structured_tri_mesh(16, 16, 0.0, 1);
+  for (int round = 0; round < 4; ++round) {
+    MarkOptions mark;
+    mark.refine_threshold = 0.02 * std::pow(0.5, round);
+    mark.max_level = round + 3;
+    adapted.refine(mark_for_refinement(adapted, field, mark));
+  }
+  int n = 16;
+  while (2 * n * n < adapted.num_leaves()) ++n;
+  const auto uniform = mesh::structured_tri_mesh(n, n, 0.0, 1);
+  const auto ea = solve_poisson(adapted, field, 1e-11).max_error;
+  const auto eu = solve_poisson(uniform, field, 1e-11).max_error;
+  EXPECT_LT(ea, eu);
+}
+
+TEST(P1, Solves3DLinearFieldExactly) {
+  ScalarField3 field;
+  field.value = [](double x, double y, double z) { return x - y + 2.0 * z; };
+  field.neg_laplacian = [](double, double, double) { return 0.0; };
+  const auto mesh = mesh::structured_tet_mesh(4, 4, 4, 0.1, 3);
+  const auto r = solve_poisson(mesh, field, 1e-12);
+  EXPECT_TRUE(r.cg.converged);
+  EXPECT_LT(r.max_error, 1e-8);
+}
+
+TEST(Estimator, IndicatorLargestNearTheCorner) {
+  const auto field = corner_problem_2d();
+  const auto mesh = mesh::structured_tri_mesh(10, 10, 0.0, 1);
+  double corner_eta = 0.0, far_eta = 0.0;
+  for (const mesh::ElemIdx e : mesh.leaf_elements()) {
+    const auto c = mesh.centroid(e);
+    const double eta = element_indicator(mesh, e, field);
+    if (c.x > 0.7 && c.y > 0.7) corner_eta = std::max(corner_eta, eta);
+    if (c.x < -0.5 && c.y < -0.5) far_eta = std::max(far_eta, eta);
+  }
+  EXPECT_GT(corner_eta, 100.0 * far_eta);
+}
+
+TEST(Estimator, MarkingRespectsThresholdAndLevelCap) {
+  const auto field = corner_problem_2d();
+  auto mesh = mesh::structured_tri_mesh(10, 10, 0.0, 1);
+  MarkOptions mark;
+  mark.refine_threshold = 1e-3;
+  mark.max_level = 0;  // nothing may be refined
+  EXPECT_TRUE(mark_for_refinement(mesh, field, mark).empty());
+  mark.max_level = 5;
+  const auto marked = mark_for_refinement(mesh, field, mark);
+  EXPECT_FALSE(marked.empty());
+  for (const mesh::ElemIdx e : marked)
+    EXPECT_GT(element_indicator(mesh, e, field), mark.refine_threshold);
+}
+
+TEST(Estimator, CoarsenMarkingBelowThresholdOnly) {
+  const auto field = moving_peak(-0.5);
+  auto mesh = mesh::structured_tri_mesh(10, 10, 0.0, 1);
+  MarkOptions mark;
+  mark.coarsen_threshold = 1e-4;
+  for (const mesh::ElemIdx e : mark_for_coarsening(mesh, field, mark))
+    EXPECT_LT(element_indicator(mesh, e, field), mark.coarsen_threshold);
+}
+
+}  // namespace
+}  // namespace pnr::fem

@@ -1,0 +1,194 @@
+// Unit tests for the CSR graph, builder, traversals, Laplacian operations
+// and induced subgraphs.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/laplacian.hpp"
+#include "graph/subgraph.hpp"
+
+namespace pnr::graph {
+namespace {
+
+Graph path_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph grid_graph(int nx, int ny) {
+  GraphBuilder b(nx * ny);
+  auto id = [&](int i, int j) { return static_cast<VertexId>(j * nx + i); };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  return b.build();
+}
+
+TEST(Builder, AccumulatesDuplicateEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 0, 3);  // same undirected edge
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge_weight(0, 1), 5);
+  EXPECT_EQ(g.edge_weight(1, 0), 5);
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(Builder, VertexWeightsDefaultToOne) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.vertex_weight(0), 1);
+  EXPECT_EQ(g.total_vertex_weight(), 2);
+}
+
+TEST(Builder, SortedNeighborLists) {
+  GraphBuilder b(4);
+  b.add_edge(3, 0);
+  b.add_edge(1, 0);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(nbrs[0] < nbrs[1] && nbrs[1] < nbrs[2]);
+}
+
+TEST(Graph, ValidateCatchesNothingOnGoodGraph) {
+  EXPECT_TRUE(grid_graph(5, 4).validate().empty());
+}
+
+TEST(Graph, WeightedDegree) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(0, 2, 5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.weighted_degree(0), 7);
+  EXPECT_EQ(g.weighted_degree(1), 2);
+}
+
+TEST(Graph, SetEdgeWeightBothDirections) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  Graph g = b.build();
+  EXPECT_TRUE(g.set_edge_weight(0, 1, 9));
+  EXPECT_EQ(g.edge_weight(1, 0), 9);
+  EXPECT_FALSE(g.set_edge_weight(0, 0 + 1 - 1, 3));  // self edge absent
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Components, CountsAndLabels) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[4], c.label[0]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(path_graph(4)));
+}
+
+TEST(AllPairs, HopsOnPath) {
+  const Graph g = path_graph(4);
+  const auto d = all_pairs_hops(g);
+  EXPECT_EQ(d[0 * 4 + 3], 3);
+  EXPECT_EQ(d[3 * 4 + 0], 3);
+  EXPECT_EQ(d[1 * 4 + 1], 0);
+}
+
+TEST(PartComponents, RestrictedToOnePart) {
+  const Graph g = path_graph(6);
+  // Parts: 0 0 1 0 0 1 — part 0 splits into {0,1} and {3,4}.
+  std::vector<std::int32_t> part{0, 0, 1, 0, 0, 1};
+  std::vector<std::int32_t> label;
+  EXPECT_EQ(part_components(g, part, 0, label), 2);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_EQ(label[2], -1);
+}
+
+TEST(Laplacian, ApplyOnConstantIsZero) {
+  const Graph g = grid_graph(4, 4);
+  std::vector<double> x(16, 3.0), y(16, -1.0);
+  laplacian_apply(g, x, y);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, QuadraticFormEqualsCutForIndicator) {
+  // xᵀLx = Σ_{(u,v)∈E} w(u,v)(x_u − x_v)² — for a ±1 indicator that is 4·cut.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 4);
+  const Graph g = b.build();
+  std::vector<double> x{1, 1, -1, -1}, y(4);
+  laplacian_apply(g, x, y);
+  EXPECT_NEAR(dot(x, y), 4.0 * 3.0, 1e-12);
+}
+
+TEST(Laplacian, CgSolvesBalancedSystem) {
+  const Graph g = grid_graph(5, 5);
+  std::vector<double> b(25, -1.0);
+  b[0] = 24.0;  // net zero
+  std::vector<double> x(25, 0.0);
+  const int iters = laplacian_solve_cg(g, b, x);
+  ASSERT_GT(iters, 0);
+  std::vector<double> lx(25);
+  laplacian_apply(g, x, lx);
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(lx[i], b[i], 1e-6);
+}
+
+TEST(Subgraph, PreservesWeightsAndDropsOutside) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1, 7);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 1);
+  b.set_vertex_weight(1, 10);
+  const Graph g = b.build();
+  const auto sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 2);
+  EXPECT_EQ(sub.graph.vertex_weight(1), 10);
+  EXPECT_EQ(sub.graph.edge_weight(0, 1), 7);
+  EXPECT_TRUE(sub.graph.validate().empty());
+  EXPECT_EQ(sub.to_parent[2], 2);
+}
+
+TEST(Deflate, RemovesMean) {
+  std::vector<double> x{1, 2, 3, 6};
+  deflate_constant(x);
+  double sum = 0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Normalize, UnitNorm) {
+  std::vector<double> x{3, 4};
+  EXPECT_NEAR(normalize(x), 5.0, 1e-12);
+  EXPECT_NEAR(x[0] * x[0] + x[1] * x[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pnr::graph

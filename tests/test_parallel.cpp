@@ -1,0 +1,236 @@
+// Tests for the message-passing simulator (point-to-point ordering,
+// collectives, traffic accounting), serialization, the Section 8 migration
+// model, and the full P0–P3 coordinator protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "fem/problems.hpp"
+#include "graph/builder.hpp"
+#include "mesh/generate.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/model.hpp"
+#include "parallel/protocol.hpp"
+#include "parallel/serialize.hpp"
+
+namespace pnr::par {
+namespace {
+
+TEST(Comm, PointToPointFifoPerChannel) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int k = 0; k < 10; ++k) {
+        Writer w;
+        w.put(k);
+        c.send(1, 7, w.take());
+      }
+    } else {
+      for (int k = 0; k < 10; ++k) {
+        Reader r(c.recv(0, 7));
+        EXPECT_EQ(r.get<int>(), k);
+      }
+    }
+  });
+}
+
+TEST(Comm, TagsAreIndependentChannels) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      Writer a, b;
+      a.put(1);
+      b.put(2);
+      c.send(1, 100, a.take());
+      c.send(1, 200, b.take());
+    } else {
+      // Receive in the opposite order of sending: tags keep them apart.
+      Reader r2(c.recv(0, 200));
+      Reader r1(c.recv(0, 100));
+      EXPECT_EQ(r2.get<int>(), 2);
+      EXPECT_EQ(r1.get<int>(), 1);
+    }
+  });
+}
+
+TEST(Comm, GatherBroadcastReduce) {
+  World world(4);
+  world.run([](Comm& c) {
+    Writer w;
+    w.put(c.rank() * 10);
+    const auto all = c.gather(0, w.take());
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        Reader reader(all[static_cast<std::size_t>(r)]);
+        EXPECT_EQ(reader.get<int>(), r * 10);
+      }
+    }
+    Bytes b;
+    if (c.rank() == 0) {
+      Writer bw;
+      bw.put(99);
+      b = bw.take();
+    }
+    b = c.broadcast(0, std::move(b));
+    Reader br(b);
+    EXPECT_EQ(br.get<int>(), 99);
+
+    EXPECT_EQ(c.all_reduce_sum(c.rank() + 1), 1 + 2 + 3 + 4);
+    EXPECT_DOUBLE_EQ(c.all_reduce_max(static_cast<double>(c.rank())), 3.0);
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  World world(4);
+  std::atomic<int> phase_one{0};
+  world.run([&](Comm& c) {
+    phase_one.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(phase_one.load(), 4);
+  });
+}
+
+TEST(Comm, TrafficCountersAccumulate) {
+  World world(2);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) c.send(1, 1, Bytes(128));
+    else c.recv(0, 1);
+    c.barrier();
+  });
+  EXPECT_GE(world.total_bytes(), 128);
+  EXPECT_GE(world.total_messages(), 1);
+}
+
+TEST(Comm, ReusableAcrossRuns) {
+  World world(2);
+  for (int round = 0; round < 3; ++round) {
+    world.run([round](Comm& c) {
+      const auto sum = c.all_reduce_sum(round);
+      EXPECT_EQ(sum, 2 * round);
+    });
+  }
+}
+
+TEST(Serialize, RoundTripsPodsAndVectors) {
+  Writer w;
+  w.put<std::int32_t>(-7);
+  w.put<double>(3.25);
+  w.put_vector<std::int64_t>({1, 2, 3});
+  w.put_vector<double>({});
+  Reader r(w.take());
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  const auto v = r.get_vector<std::int64_t>();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_TRUE(r.get_vector<double>().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Model, PathGraphCost) {
+  // 3 processors in a path, origin at the end: d = {0,1,2}, m=6, p=3 →
+  // (1+2)·2 = 6.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const auto h = b.build();
+  EXPECT_DOUBLE_EQ(migration_cost_model(h, 0, 6), 6.0);
+  // Center origin: (1+1)·2 = 4.
+  EXPECT_DOUBLE_EQ(migration_cost_model(h, 1, 6), 4.0);
+}
+
+TEST(Model, CornerBoundFormula) {
+  // 2(√p−1)(p−1)m/p for p=16, m=16: 2·3·15·1 = 90.
+  EXPECT_DOUBLE_EQ(corner_mesh_bound(16, 16), 90.0);
+  EXPECT_LE(corner_mesh_bound(16, 16), 2.0 * 4.0 * 16.0);
+}
+
+class Protocol : public ::testing::TestWithParam<int> {};
+
+TEST_P(Protocol, RunsStepsAndConservesOwnership) {
+  const int procs = GetParam();
+  World world(procs);
+  std::atomic<std::int64_t> moved_total{0};
+  world.run([&](Comm& c) {
+    core::PnrOptions options;
+    ParedRank rank(c, mesh::structured_tri_mesh(10, 10, 0.25, 2), options, 17);
+    rank.initialize();
+
+    for (int step = 0; step < 3; ++step) {
+      const auto field = fem::moving_peak(-0.5 + 0.15 * step);
+      fem::MarkOptions mark;
+      mark.refine_threshold = 0.03;
+      mark.coarsen_threshold = 0.006;
+      mark.max_level = 4;
+      const auto stats = rank.step(field, mark);
+
+      // Global leaf conservation: owned leaves across ranks must equal the
+      // replicated mesh's leaf count.
+      const auto owned = c.all_reduce_sum(rank.owned_leaves());
+      EXPECT_EQ(owned, rank.local_mesh().num_leaves());
+      EXPECT_LE(stats.imbalance_after, 0.25);
+      if (c.rank() == 0) moved_total.fetch_add(stats.elements_moved);
+
+      // Ownership vectors agree across ranks (checked via checksum).
+      std::int64_t checksum = 0;
+      for (std::size_t i = 0; i < rank.ownership().size(); ++i)
+        checksum += static_cast<std::int64_t>(i + 1) * rank.ownership()[i];
+      const auto sum = c.all_reduce_sum(checksum);
+      EXPECT_EQ(sum, checksum * procs);
+    }
+  });
+  EXPECT_GE(moved_total.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, Protocol, ::testing::Values(1, 2, 4, 7));
+
+TEST(Protocol3D, TetrahedralMeshRoundTrips) {
+  World world(3);
+  world.run([&](Comm& c) {
+    core::PnrOptions options;
+    ParedRank3D rank(c, mesh::structured_tet_mesh(4, 4, 4, 0.1, 2), options,
+                     23);
+    rank.initialize();
+    fem::ScalarField3 field = fem::corner_problem_3d();
+    fem::MarkOptions mark;
+    mark.refine_threshold = 0.01;
+    mark.max_level = 3;
+    for (int step = 0; step < 2; ++step) {
+      const auto stats = rank.step(field, mark);
+      EXPECT_GE(stats.bisections, 0);
+      const auto owned = c.all_reduce_sum(rank.owned_leaves());
+      EXPECT_EQ(owned, rank.local_mesh().num_leaves());
+      mark.refine_threshold /= 4.0;  // deepen next step
+    }
+  });
+}
+
+TEST(ProtocolTraffic, PayloadScalesWithMigration) {
+  World world(4);
+  std::atomic<std::int64_t> payload{0};
+  std::atomic<std::int64_t> moved{0};
+  world.run([&](Comm& c) {
+    core::PnrOptions options;
+    ParedRank rank(c, mesh::structured_tri_mesh(8, 8, 0.2, 3), options, 11);
+    rank.initialize();
+    const auto field = fem::moving_peak(-0.2);
+    fem::MarkOptions mark;
+    mark.refine_threshold = 0.02;
+    mark.max_level = 4;
+    const auto stats = rank.step(field, mark);
+    if (c.rank() == 0) {
+      payload.store(stats.payload_bytes);
+      moved.store(stats.elements_moved);
+    }
+  });
+  if (moved.load() > 0) {
+    // Every migrated element costs at least one serialized node record.
+    EXPECT_GE(payload.load(), moved.load() * 10);
+  }
+}
+
+}  // namespace
+}  // namespace pnr::par

@@ -1,0 +1,228 @@
+// Tests for Partition metrics and the KL/FM refinement engine, including
+// the migration-aware gain model (the heart of PNR's Section 9 heuristic).
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "partition/partition.hpp"
+#include "partition/refine.hpp"
+
+namespace pnr::part {
+namespace {
+
+Graph grid_graph(int nx, int ny) {
+  graph::GraphBuilder b(nx * ny);
+  auto id = [&](int i, int j) { return static_cast<graph::VertexId>(j * nx + i); };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  return b.build();
+}
+
+Partition stripes(int nx, int ny, PartId p) {
+  std::vector<PartId> assign(static_cast<std::size_t>(nx) * ny);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      assign[static_cast<std::size_t>(j * nx + i)] =
+          static_cast<PartId>(i * p / nx);
+  return Partition(p, std::move(assign));
+}
+
+TEST(Metrics, CutOfVerticalSplit) {
+  const Graph g = grid_graph(4, 4);
+  const Partition pi = stripes(4, 4, 2);
+  EXPECT_EQ(cut_size(g, pi), 4);  // 4 horizontal edges cross the middle
+}
+
+TEST(Metrics, PartWeightsAndImbalance) {
+  const Graph g = grid_graph(4, 4);
+  const Partition pi = stripes(4, 4, 2);
+  const auto w = part_weights(g, pi);
+  EXPECT_EQ(w[0], 8);
+  EXPECT_EQ(w[1], 8);
+  EXPECT_DOUBLE_EQ(imbalance(g, pi), 0.0);
+  EXPECT_DOUBLE_EQ(balance_cost(g, pi), 0.0);
+}
+
+TEST(Metrics, MigrationCountsWeightMoved) {
+  const Graph g = grid_graph(4, 1);
+  Partition a(2, {0, 0, 1, 1});
+  Partition b(2, {0, 1, 1, 0});
+  EXPECT_EQ(migration_cost(g, a, b), 2);
+  EXPECT_EQ(moved_vertices(a, b), 2);
+  EXPECT_EQ(migration_cost(g, a, a), 0);
+}
+
+TEST(Metrics, RepartitionCostComposition) {
+  const Graph g = grid_graph(2, 2);
+  Partition old_pi(2, {0, 0, 1, 1});
+  Partition new_pi(2, {0, 1, 1, 1});
+  const double expected =
+      static_cast<double>(cut_size(g, new_pi)) +
+      0.5 * static_cast<double>(migration_cost(g, old_pi, new_pi)) +
+      2.0 * balance_cost(g, new_pi);
+  EXPECT_DOUBLE_EQ(repartition_cost(g, old_pi, new_pi, 0.5, 2.0), expected);
+}
+
+TEST(Metrics, AllPartsUsed) {
+  const Graph g = grid_graph(3, 1);
+  EXPECT_TRUE(all_parts_used(g, Partition(2, {0, 1, 0})));
+  EXPECT_FALSE(all_parts_used(g, Partition(3, {0, 1, 0})));
+}
+
+TEST(Refine, ImprovesAJaggedBisection) {
+  const Graph g = grid_graph(8, 8);
+  // Checkerboard start: terrible cut, perfectly balanced.
+  std::vector<PartId> assign(64);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 8; ++i)
+      assign[static_cast<std::size_t>(j * 8 + i)] =
+          static_cast<PartId>((i + j) % 2);
+  Partition pi(2, std::move(assign));
+  const auto before = cut_size(g, pi);
+  RefineOptions opt;
+  opt.max_passes = 10;
+  const auto result = refine_partition(g, pi, opt);
+  EXPECT_GT(result.total_gain, 0.0);
+  EXPECT_LT(cut_size(g, pi), before);
+  EXPECT_LE(imbalance(g, pi), 0.04);
+  EXPECT_TRUE(pi.valid_for(g));
+}
+
+TEST(Refine, NeverWorsensTheObjective) {
+  const Graph g = grid_graph(6, 6);
+  Partition pi = stripes(6, 6, 3);
+  const auto before = cut_size(g, pi);
+  RefineOptions opt;
+  refine_partition(g, pi, opt);
+  EXPECT_LE(cut_size(g, pi), before);
+}
+
+TEST(Refine, HardBalanceRespectsCap) {
+  const Graph g = grid_graph(10, 10);
+  Partition pi = stripes(10, 10, 4);
+  RefineOptions opt;
+  opt.imbalance_tol = 0.1;
+  refine_partition(g, pi, opt);
+  EXPECT_LE(imbalance(g, pi), 0.1 + 1e-9);
+}
+
+TEST(Refine, SoftBalanceRebalancesOverloadedPart) {
+  const Graph g = grid_graph(8, 8);
+  // Everything on part 0 except one vertex: the β term must spread load.
+  std::vector<PartId> assign(64, 0);
+  assign[63] = 1;
+  Partition pi(2, std::move(assign));
+  RefineOptions opt;
+  opt.hard_balance = false;
+  opt.beta = 1.0;
+  opt.max_passes = 20;
+  refine_partition(g, pi, opt);
+  EXPECT_LT(imbalance(g, pi), 0.10);
+}
+
+TEST(Refine, MigrationTermKeepsVerticesHome) {
+  const Graph g = grid_graph(8, 8);
+  Partition home = stripes(8, 8, 2);
+  // Perturb: flip a band of vertices to the wrong side.
+  Partition pi = home;
+  for (int j = 0; j < 8; ++j) pi.assign[static_cast<std::size_t>(j * 8 + 3)] = 1;
+  RefineOptions opt;
+  opt.hard_balance = false;
+  opt.alpha = 5.0;  // migration dominates: vertices should return home
+  opt.beta = 0.0;
+  opt.home = &home.assign;
+  opt.max_passes = 10;
+  refine_partition(g, pi, opt);
+  EXPECT_EQ(migration_cost(g, home, pi), 0);
+}
+
+TEST(Refine, AlphaZeroIgnoresHome) {
+  const Graph g = grid_graph(6, 6);
+  Partition pi = stripes(6, 6, 2);
+  const Partition before = pi;
+  RefineOptions opt;  // alpha = 0, no home needed
+  refine_partition(g, pi, opt);
+  EXPECT_TRUE(pi.valid_for(g));
+  (void)before;
+}
+
+TEST(Refine, NeverEmptiesAPart) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 100);
+  b.add_edge(1, 2, 100);
+  const Graph g = b.build();
+  // Cut-wise it would love to merge everything into one side.
+  Partition pi(2, {0, 1, 1});
+  RefineOptions opt;
+  opt.hard_balance = false;
+  opt.max_passes = 5;
+  refine_partition(g, pi, opt);
+  EXPECT_TRUE(all_parts_used(g, pi));
+}
+
+TEST(Refine, UnequalTargetsHonored) {
+  const Graph g = grid_graph(9, 4);  // 36 vertices
+  Partition pi = stripes(9, 4, 2);
+  const std::vector<Weight> targets{12, 24};
+  RefineOptions opt;
+  opt.targets = &targets;
+  opt.imbalance_tol = 0.05;
+  opt.hard_balance = true;
+  opt.beta = 0.5;
+  refine_partition(g, pi, opt);
+  const auto w = part_weights(g, pi);
+  EXPECT_LE(w[0], static_cast<Weight>(12 * 1.2));
+}
+
+TEST(Refine, ReportedGainEqualsObjectiveDecrease) {
+  // The KL gains must be exact deltas of the objective: the sum of kept
+  // gains equals cost(before) − cost(after). Checked for cut+migration
+  // (hard mode) and for the full Eq. 1 (soft mode, total divisible by p so
+  // the integer targets match the analytic average).
+  const Graph g = grid_graph(8, 8);  // 64 vertices, p=4 → avg 16 exactly
+  Partition home = stripes(8, 8, 4);
+
+  for (const bool hard : {true, false}) {
+    Partition pi = home;
+    util::Rng rng(3);
+    for (auto& a : pi.assign)  // scramble a third of the assignment
+      if (rng.next_below(3) == 0) a = static_cast<PartId>(rng.next_below(4));
+
+    RefineOptions opt;
+    opt.alpha = 0.3;
+    opt.home = &home.assign;
+    opt.hard_balance = hard;
+    opt.beta = hard ? 0.0 : 0.7;
+    opt.max_passes = 6;
+
+    const double before = repartition_cost(g, home, pi, opt.alpha, opt.beta);
+    const auto result = refine_partition(g, pi, opt);
+    const double after = repartition_cost(g, home, pi, opt.alpha, opt.beta);
+    EXPECT_NEAR(result.total_gain, before - after, 1e-6)
+        << (hard ? "hard" : "soft");
+  }
+}
+
+TEST(Refine, WeightedVerticesBalanceByWeight) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.set_vertex_weight(0, 3);
+  b.set_vertex_weight(3, 3);
+  const Graph g = b.build();  // weights 3 1 1 3
+  Partition pi(2, {0, 0, 0, 1});  // weights: 5 vs 3
+  RefineOptions opt;
+  opt.hard_balance = false;
+  opt.beta = 10.0;
+  refine_partition(g, pi, opt);
+  const auto w = part_weights(g, pi);
+  EXPECT_EQ(w[0], 4);
+  EXPECT_EQ(w[1], 4);
+}
+
+}  // namespace
+}  // namespace pnr::part

@@ -1,0 +1,169 @@
+// Tests for the Biswas–Oliker remap (Hungarian assignment) and the
+// Hu–Blake diffusion baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "partition/diffusion.hpp"
+#include "partition/partition.hpp"
+#include "partition/remap.hpp"
+#include "util/rng.hpp"
+
+namespace pnr::part {
+namespace {
+
+Graph grid_graph(int nx, int ny) {
+  graph::GraphBuilder b(nx * ny);
+  auto id = [&](int i, int j) { return static_cast<graph::VertexId>(j * nx + i); };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  return b.build();
+}
+
+Weight assignment_cost(const std::vector<Weight>& cost, PartId p,
+                       const std::vector<PartId>& sigma) {
+  Weight total = 0;
+  for (PartId r = 0; r < p; ++r)
+    total += cost[static_cast<std::size_t>(r) * p +
+                  static_cast<std::size_t>(sigma[static_cast<std::size_t>(r)])];
+  return total;
+}
+
+TEST(Hungarian, MatchesBruteForceOnRandomMatrices) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const PartId p = static_cast<PartId>(2 + rng.next_below(4));  // 2..5
+    std::vector<Weight> cost(static_cast<std::size_t>(p) * p);
+    for (auto& c : cost) c = static_cast<Weight>(rng.next_below(100));
+
+    const auto sigma = hungarian_min_cost(cost, p);
+    // Validate it is a permutation.
+    std::vector<PartId> sorted = sigma;
+    std::sort(sorted.begin(), sorted.end());
+    for (PartId i = 0; i < p; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+
+    // Brute force over all permutations.
+    std::vector<PartId> perm(static_cast<std::size_t>(p));
+    std::iota(perm.begin(), perm.end(), 0);
+    Weight best = assignment_cost(cost, p, perm);
+    do {
+      best = std::min(best, assignment_cost(cost, p, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(assignment_cost(cost, p, sigma), best);
+  }
+}
+
+TEST(Hungarian, IdentityWhenDiagonalIsCheapest) {
+  const PartId p = 4;
+  std::vector<Weight> cost(16, 10);
+  for (PartId i = 0; i < p; ++i)
+    cost[static_cast<std::size_t>(i) * 4 + static_cast<std::size_t>(i)] = 0;
+  const auto sigma = hungarian_min_cost(cost, p);
+  for (PartId i = 0; i < p; ++i) EXPECT_EQ(sigma[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Remap, RecoversALabelShuffle) {
+  const Graph g = grid_graph(8, 8);
+  Partition old_pi(4, std::vector<PartId>(64));
+  for (int v = 0; v < 64; ++v)
+    old_pi.assign[static_cast<std::size_t>(v)] =
+        static_cast<PartId>((v % 8) / 2);
+  // New partition = same subsets, labels rotated by 1.
+  Partition new_pi = old_pi;
+  for (auto& a : new_pi.assign) a = static_cast<PartId>((a + 1) % 4);
+  EXPECT_GT(migration_cost(g, old_pi, new_pi), 0);
+
+  const Partition remapped = remap_to_minimize_migration(g, old_pi, new_pi);
+  EXPECT_EQ(migration_cost(g, old_pi, remapped), 0);
+  EXPECT_EQ(cut_size(g, remapped), cut_size(g, new_pi));
+}
+
+TEST(Remap, NeverIncreasesMigration) {
+  const Graph g = grid_graph(10, 10);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Partition old_pi(5, std::vector<PartId>(100));
+    Partition new_pi(5, std::vector<PartId>(100));
+    for (auto& a : old_pi.assign) a = static_cast<PartId>(rng.next_below(5));
+    for (auto& a : new_pi.assign) a = static_cast<PartId>(rng.next_below(5));
+    const Partition remapped = remap_to_minimize_migration(g, old_pi, new_pi);
+    EXPECT_LE(migration_cost(g, old_pi, remapped),
+              migration_cost(g, old_pi, new_pi));
+    EXPECT_EQ(cut_size(g, remapped), cut_size(g, new_pi));
+  }
+}
+
+TEST(Remap, OverlapMatrixSumsToTotalWeight) {
+  const Graph g = grid_graph(6, 6);
+  Partition a(3, std::vector<PartId>(36));
+  Partition b(3, std::vector<PartId>(36));
+  util::Rng rng(9);
+  for (auto& x : a.assign) x = static_cast<PartId>(rng.next_below(3));
+  for (auto& x : b.assign) x = static_cast<PartId>(rng.next_below(3));
+  const auto overlap = overlap_matrix(g, a, b);
+  Weight total = 0;
+  for (const Weight w : overlap) total += w;
+  EXPECT_EQ(total, g.total_vertex_weight());
+}
+
+TEST(ProcessorGraph, EdgesOnlyBetweenAdjacentParts) {
+  const Graph g = grid_graph(8, 2);
+  // Three horizontal stripes by x: parts 0,1,2 from left to right.
+  Partition pi(3, std::vector<PartId>(16));
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < 8; ++i)
+      pi.assign[static_cast<std::size_t>(j * 8 + i)] =
+          static_cast<PartId>(i / 3);
+  const auto h = processor_graph(g, pi);
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_GT(h.edge_weight(0, 1), 0);
+  EXPECT_GT(h.edge_weight(1, 2), 0);
+  EXPECT_EQ(h.edge_weight(0, 2), 0);  // not adjacent
+  EXPECT_EQ(h.vertex_weight(0), 6 * 1);
+}
+
+TEST(HuBlake, PotentialsBalanceAPath) {
+  // Three processors in a path, loads +2, 0, −2: flow must be 2 across each
+  // edge toward the light end.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph h = b.build();
+  const std::vector<double> load{2.0, 0.0, -2.0};
+  const auto lambda = hu_blake_potentials(h, load);
+  ASSERT_EQ(lambda.size(), 3u);
+  EXPECT_NEAR(lambda[0] - lambda[1], 2.0, 1e-6);
+  EXPECT_NEAR(lambda[1] - lambda[2], 2.0, 1e-6);
+}
+
+TEST(Diffusion, RebalancesSkewedGrid) {
+  const Graph g = grid_graph(12, 12);
+  // Heavily skewed: left quarter is part 1, rest part 0.
+  Partition pi(2, std::vector<PartId>(144));
+  for (int j = 0; j < 12; ++j)
+    for (int i = 0; i < 12; ++i)
+      pi.assign[static_cast<std::size_t>(j * 12 + i)] = i < 3 ? 1 : 0;
+  const double before = imbalance(g, pi);
+  const auto result = diffusion_rebalance(g, pi);
+  EXPECT_GT(result.moves, 0);
+  EXPECT_LT(imbalance(g, pi), before);
+  EXPECT_LT(imbalance(g, pi), 0.10);
+}
+
+TEST(Diffusion, NoopOnBalancedPartition) {
+  const Graph g = grid_graph(8, 8);
+  Partition pi(2, std::vector<PartId>(64));
+  for (int v = 0; v < 64; ++v)
+    pi.assign[static_cast<std::size_t>(v)] = (v % 8) < 4 ? 0 : 1;
+  const auto result = diffusion_rebalance(g, pi);
+  EXPECT_EQ(result.moves, 0);
+}
+
+}  // namespace
+}  // namespace pnr::part

@@ -1,0 +1,111 @@
+// Unit tests for the SVG renderer and the p×p gain-priority-queue table.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "mesh/generate.hpp"
+#include "mesh/svg.hpp"
+#include "partition/pairqueue.hpp"
+
+namespace pnr {
+namespace {
+
+TEST(Svg, WritesPolygonsForEveryLeaf) {
+  auto mesh = mesh::structured_tri_mesh(4, 4, 0.0, 1);
+  mesh.refine({0, 1});
+  const auto elems = mesh.leaf_elements();
+  std::vector<part::PartId> assign(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    assign[i] = static_cast<part::PartId>(i % 3);
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("pnr_svg_" + std::to_string(::getpid()) + ".svg");
+  ASSERT_TRUE(mesh::write_partition_svg(mesh, elems, assign, path.string()));
+
+  std::ifstream f(path);
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  const std::string content = buffer.str();
+  std::filesystem::remove(path);
+
+  std::size_t polygons = 0, pos = 0;
+  while ((pos = content.find("<polygon", pos)) != std::string::npos) {
+    ++polygons;
+    pos += 8;
+  }
+  EXPECT_EQ(polygons, elems.size());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, BareMeshUsesNeutralFill) {
+  auto mesh = mesh::structured_tri_mesh(2, 2, 0.0, 1);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("pnr_svg_bare_" + std::to_string(::getpid()) + ".svg");
+  ASSERT_TRUE(mesh::write_partition_svg(mesh, mesh.leaf_elements(), {},
+                                        path.string()));
+  std::ifstream f(path);
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  std::filesystem::remove(path);
+  EXPECT_NE(buffer.str().find("#f2f2f2"), std::string::npos);
+}
+
+TEST(PairQueue, PopsInGainOrderAcrossPairs) {
+  part::PairQueueTable table(3);
+  std::vector<std::uint32_t> version(10, 0);
+  table.push(0, 0, 1, 5.0, 0);
+  table.push(1, 1, 2, 9.0, 0);
+  table.push(2, 2, 0, 7.0, 0);
+
+  auto a = table.pop_best(version);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->v, 1);
+  EXPECT_DOUBLE_EQ(a->gain, 9.0);
+  EXPECT_EQ(a->from, 1);
+  EXPECT_EQ(a->to, 2);
+
+  auto b = table.pop_best(version);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->v, 2);
+  auto c = table.pop_best(version);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->v, 0);
+  EXPECT_FALSE(table.pop_best(version).has_value());
+}
+
+TEST(PairQueue, StaleVersionsAreSkipped) {
+  part::PairQueueTable table(2);
+  std::vector<std::uint32_t> version(4, 0);
+  table.push(0, 0, 1, 10.0, 0);
+  version[0] = 1;  // invalidate
+  table.push(1, 0, 1, 3.0, 0);
+  auto e = table.pop_best(version);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->v, 1);
+  EXPECT_FALSE(table.pop_best(version).has_value());
+}
+
+TEST(PairQueue, FifoTieBreakIsDeterministic) {
+  part::PairQueueTable table(2);
+  std::vector<std::uint32_t> version(4, 0);
+  table.push(2, 0, 1, 4.0, 0);
+  table.push(3, 0, 1, 4.0, 0);  // same gain, pushed later
+  EXPECT_EQ(table.pop_best(version)->v, 2);
+  EXPECT_EQ(table.pop_best(version)->v, 3);
+}
+
+TEST(PairQueue, ClearEmptiesEverything) {
+  part::PairQueueTable table(2);
+  std::vector<std::uint32_t> version(4, 0);
+  table.push(0, 0, 1, 1.0, 0);
+  table.clear();
+  EXPECT_FALSE(table.pop_best(version).has_value());
+}
+
+}  // namespace
+}  // namespace pnr

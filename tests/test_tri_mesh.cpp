@@ -1,0 +1,313 @@
+// Tests for the 2D adaptive triangle mesh: generation, Rivara refinement
+// (conformity, forest invariants, leaf accounting), coarsening round-trips
+// and dual-graph extraction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/metrics.hpp"
+#include "mesh/tri_mesh.hpp"
+
+namespace pnr::mesh {
+namespace {
+
+TriMesh unit_square(int n = 4, double jitter = 0.0, std::uint64_t seed = 1) {
+  return structured_tri_mesh(n, n, jitter, seed);
+}
+
+std::vector<ElemIdx> leaves_in_disc(const TriMesh& m, double cx, double cy,
+                                    double r) {
+  std::vector<ElemIdx> out;
+  for (const ElemIdx e : m.leaf_elements()) {
+    const Point2 c = m.centroid(e);
+    if ((c.x - cx) * (c.x - cx) + (c.y - cy) * (c.y - cy) < r * r)
+      out.push_back(e);
+  }
+  return out;
+}
+
+TEST(Generate, StructuredCountsMatch) {
+  const TriMesh m = unit_square(4);
+  EXPECT_EQ(m.num_initial_elements(), 32);
+  EXPECT_EQ(m.num_leaves(), 32);
+  EXPECT_EQ(m.num_vertices_alive(), 25);
+  EXPECT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+}
+
+TEST(Generate, PaperMeshSize) {
+  const TriMesh m = paper_initial_tri_mesh();
+  EXPECT_EQ(m.num_initial_elements(), 2 * 79 * 79);
+  EXPECT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+}
+
+TEST(Generate, JitterKeepsPositiveAreas) {
+  const TriMesh m = unit_square(8, 0.3, 42);
+  for (const ElemIdx e : m.leaf_elements())
+    EXPECT_GT(m.signed_area(e), 0.0);
+}
+
+TEST(Generate, TotalAreaIsDomainArea) {
+  const TriMesh m = unit_square(6, 0.25, 3);
+  double area = 0.0;
+  for (const ElemIdx e : m.leaf_elements()) area += m.signed_area(e);
+  EXPECT_NEAR(area, 4.0, 1e-9);
+}
+
+TEST(Refine, SingleMarkBisectsAndStaysConforming) {
+  TriMesh m = unit_square(4);
+  const auto before = m.num_leaves();
+  const auto bisections = m.refine({0});
+  EXPECT_GE(bisections, 1);
+  EXPECT_EQ(m.num_leaves(), before + bisections);
+  EXPECT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+}
+
+TEST(Refine, MarkedElementIsNoLongerLeaf) {
+  TriMesh m = unit_square(4);
+  m.refine({5});
+  EXPECT_FALSE(m.is_leaf(5));
+  EXPECT_EQ(m.tri(5).child[0] != kNoElem, true);
+}
+
+TEST(Refine, AreaConservedThroughRefinement) {
+  TriMesh m = unit_square(4, 0.2, 7);
+  m.refine(m.leaf_elements());
+  m.refine(leaves_in_disc(m, 0.5, 0.5, 0.5));
+  double area = 0.0;
+  for (const ElemIdx e : m.leaf_elements()) area += m.signed_area(e);
+  EXPECT_NEAR(area, 4.0, 1e-9);
+  EXPECT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+}
+
+TEST(Refine, UniformRefinementDoublesLeaves) {
+  TriMesh m = unit_square(4);
+  const auto n0 = m.num_leaves();
+  m.refine(m.leaf_elements());
+  // Every leaf bisected at least once; propagation may add more.
+  EXPECT_GE(m.num_leaves(), 2 * n0);
+  EXPECT_TRUE(m.check_invariants().empty());
+}
+
+TEST(Refine, DeepLocalRefinementTerminatesAndConforms) {
+  TriMesh m = unit_square(8, 0.25, 11);
+  for (int round = 0; round < 8; ++round) {
+    const auto marked = leaves_in_disc(m, 0.9, 0.9, 0.3);
+    ASSERT_FALSE(marked.empty());
+    m.refine(marked);
+    ASSERT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+  }
+  EXPECT_GT(m.num_leaves(), 500);
+}
+
+TEST(Refine, LeafCountsTrackCoarseAncestors) {
+  TriMesh m = unit_square(4);
+  m.refine({3});
+  std::int64_t total = 0;
+  for (ElemIdx c = 0; c < m.num_initial_elements(); ++c)
+    total += m.leaf_count(c);
+  EXPECT_EQ(total, m.num_leaves());
+  EXPECT_GE(m.leaf_count(3), 2);
+}
+
+TEST(Refine, LevelsIncreaseMonotonically) {
+  TriMesh m = unit_square(4);
+  m.refine(m.leaf_elements());
+  m.refine(m.leaf_elements());
+  for (const ElemIdx e : m.leaf_elements()) {
+    const auto& t = m.tri(e);
+    EXPECT_GE(t.level, 1);
+    EXPECT_LE(t.level, 4);  // propagation bound for two uniform rounds
+  }
+}
+
+TEST(Coarsen, UndoesSimpleRefinement) {
+  TriMesh m = unit_square(4);
+  const auto initial_leaves = m.num_leaves();
+  const auto initial_verts = m.num_vertices_alive();
+  m.refine({0});
+  const auto merges = m.coarsen(m.leaf_elements());
+  EXPECT_GT(merges, 0);
+  EXPECT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+  // Coarsening everything marked must return to the initial mesh (possibly
+  // needing several passes for deep trees — one suffices for one round).
+  EXPECT_EQ(m.num_leaves(), initial_leaves);
+  EXPECT_EQ(m.num_vertices_alive(), initial_verts);
+}
+
+TEST(Coarsen, MultiPassReturnsToInitialMesh) {
+  TriMesh m = unit_square(4, 0.2, 5);
+  const auto initial_leaves = m.num_leaves();
+  for (int round = 0; round < 3; ++round)
+    m.refine(leaves_in_disc(m, 0.0, 0.0, 0.8));
+  while (m.coarsen(m.leaf_elements()) > 0) {
+    ASSERT_TRUE(m.check_invariants().empty()) << m.check_invariants();
+  }
+  EXPECT_EQ(m.num_leaves(), initial_leaves);
+  for (ElemIdx c = 0; c < m.num_initial_elements(); ++c)
+    EXPECT_EQ(m.leaf_count(c), 1);
+}
+
+TEST(Coarsen, RefusesWhenMidpointStillUsed) {
+  TriMesh m = unit_square(4);
+  m.refine({0});
+  // Mark only one child: its sibling is unmarked, so nothing may coarsen.
+  ElemIdx child = m.tri(0).child[0];
+  const auto merges = m.coarsen({child});
+  EXPECT_EQ(merges, 0);
+}
+
+TEST(Coarsen, SlotsAreRecycled) {
+  TriMesh m = unit_square(4);
+  m.refine(m.leaf_elements());
+  const auto slots_after_refine = m.element_slots();
+  while (m.coarsen(m.leaf_elements()) > 0) {
+  }
+  m.refine(m.leaf_elements());
+  EXPECT_EQ(m.element_slots(), slots_after_refine);
+}
+
+TEST(Dual, FineDualMatchesLeafCount) {
+  TriMesh m = unit_square(4);
+  m.refine({0, 1, 2});
+  const auto dual = fine_dual_graph(m);
+  EXPECT_EQ(dual.graph.num_vertices(),
+            static_cast<graph::VertexId>(m.num_leaves()));
+  EXPECT_TRUE(dual.graph.validate().empty()) << dual.graph.validate();
+  // Every dual vertex weight is 1 (fine graph counts elements).
+  for (graph::VertexId v = 0; v < dual.graph.num_vertices(); ++v)
+    EXPECT_EQ(dual.graph.vertex_weight(v), 1);
+}
+
+TEST(Dual, FineDualDegreesAtMostThree) {
+  TriMesh m = unit_square(5, 0.2, 9);
+  m.refine(leaves_in_disc(m, 0.5, 0.5, 0.6));
+  const auto dual = fine_dual_graph(m);
+  for (graph::VertexId v = 0; v < dual.graph.num_vertices(); ++v)
+    EXPECT_LE(dual.graph.degree(v), 3);
+}
+
+TEST(Dual, NestedWeightsSumToLeaves) {
+  TriMesh m = unit_square(4);
+  for (int round = 0; round < 3; ++round)
+    m.refine(leaves_in_disc(m, 0.9, 0.9, 0.4));
+  const auto g = nested_dual_graph(m);
+  EXPECT_EQ(g.num_vertices(), m.num_initial_elements());
+  EXPECT_EQ(g.total_vertex_weight(), m.num_leaves());
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(Dual, NestedEdgeWeightsCountAdjacentLeafPairs) {
+  // Refine one element heavily; edges of its coarse vertex must gain weight.
+  TriMesh m = unit_square(2);  // 8 initial triangles
+  const auto g0 = nested_dual_graph(m);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<ElemIdx> marked;
+    for (const ElemIdx e : m.leaf_elements())
+      if (m.tri(e).coarse == 0) marked.push_back(e);
+    m.refine(marked);
+  }
+  const auto g1 = nested_dual_graph(m);
+  EXPECT_GT(g1.vertex_weight(0), g0.vertex_weight(0));
+  EXPECT_GE(g1.weighted_degree(0), g0.weighted_degree(0));
+}
+
+TEST(Dual, IncrementalInterfaceWeightsMatchBruteForce) {
+  // The nested graph is assembled from incrementally maintained interface
+  // counters; they must agree with a scan of the fine leaf edges after an
+  // arbitrary refine/coarsen history.
+  TriMesh m = unit_square(5, 0.2, 23);
+  for (int round = 0; round < 3; ++round) {
+    m.refine(leaves_in_disc(m, 0.4, -0.2, 0.7));
+    m.coarsen(leaves_in_disc(m, -0.5, 0.5, 0.5));
+  }
+  const auto g = nested_dual_graph(m);
+
+  graph::GraphBuilder brute(m.num_initial_elements());
+  for (ElemIdx c = 0; c < m.num_initial_elements(); ++c)
+    brute.set_vertex_weight(c, m.leaf_count(c));
+  m.for_each_leaf_edge([&](VertIdx, VertIdx, ElemIdx e1, ElemIdx e2) {
+    if (e1 == kNoElem || e2 == kNoElem) return;
+    if (m.tri(e1).coarse != m.tri(e2).coarse)
+      brute.add_edge(m.tri(e1).coarse, m.tri(e2).coarse, 1);
+  });
+  const auto expected = brute.build();
+
+  ASSERT_EQ(g.num_vertices(), expected.num_vertices());
+  ASSERT_EQ(g.num_edges(), expected.num_edges());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.vertex_weight(v), expected.vertex_weight(v));
+    for (const graph::VertexId u : expected.neighbors(v))
+      EXPECT_EQ(g.edge_weight(v, u), expected.edge_weight(v, u));
+  }
+}
+
+TEST(Dual, ProjectionAssignsAncestorSubset) {
+  TriMesh m = unit_square(2);
+  m.refine(m.leaf_elements());
+  const auto leaves = m.leaf_elements();
+  std::vector<part::PartId> coarse(static_cast<std::size_t>(m.num_initial_elements()));
+  for (std::size_t c = 0; c < coarse.size(); ++c)
+    coarse[c] = static_cast<part::PartId>(c % 2);
+  const auto fine = project_coarse_assignment(m, leaves, coarse);
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    EXPECT_EQ(fine[i],
+              coarse[static_cast<std::size_t>(m.tri(leaves[i]).coarse)]);
+}
+
+TEST(Metrics, SharedVerticesSimpleSplit) {
+  // 2×2 grid split left/right: the three middle-column vertices are shared.
+  TriMesh m = unit_square(2);
+  const auto leaves = m.leaf_elements();
+  std::vector<part::PartId> assign(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    assign[i] = m.centroid(leaves[i]).x < 0.0 ? 0 : 1;
+  EXPECT_EQ(shared_vertices(m, leaves, assign), 3);
+}
+
+TEST(Metrics, NoSharedVerticesForSinglePart) {
+  TriMesh m = unit_square(3);
+  const auto leaves = m.leaf_elements();
+  std::vector<part::PartId> assign(leaves.size(), 0);
+  EXPECT_EQ(shared_vertices(m, leaves, assign), 0);
+}
+
+TEST(Metrics, AdjacentSubdomainsOnStripes) {
+  // Three vertical stripes: the middle one touches both others, the outer
+  // ones touch only the middle.
+  TriMesh m = unit_square(6);
+  const auto dual = fine_dual_graph(m);
+  std::vector<part::PartId> assign(dual.elems.size());
+  for (std::size_t i = 0; i < dual.elems.size(); ++i) {
+    const double x = m.centroid(dual.elems[i]).x;
+    assign[i] = x < -0.33 ? 0 : (x < 0.33 ? 1 : 2);
+  }
+  const auto counts = adjacent_subdomains(dual.graph, assign, 3);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(Metrics, QualityAnglesBounded) {
+  const TriMesh m = unit_square(6, 0.25, 13);
+  const auto q = mesh_quality(m);
+  EXPECT_GT(q.min_angle_deg, 5.0);
+  EXPECT_LT(q.max_angle_deg, 175.0);
+  EXPECT_GT(q.min_volume, 0.0);
+}
+
+TEST(Boundary, MaskMarksPerimeterOnly) {
+  const TriMesh m = unit_square(3);
+  const auto mask = m.boundary_vertex_mask();
+  int boundary = 0;
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(m.vertex_slots()); ++v)
+    boundary += mask[static_cast<std::size_t>(v)] ? 1 : 0;
+  EXPECT_EQ(boundary, 12);  // 4×4 grid: 16 vertices, 4 interior
+}
+
+}  // namespace
+}  // namespace pnr::mesh

@@ -1,0 +1,239 @@
+// Unit tests for pnr::util — RNG determinism and distribution sanity,
+// streaming statistics, table formatting and CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "util/table.hpp"
+
+namespace pnr::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.add(rng.normal());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(21);
+  Rng b = a.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+}
+
+TEST(Table, AlignedPrint) {
+  Table t({"a", "long_header"});
+  t.row().cell(1).cell("x");
+  t.row().cell(22).cell(3.5, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("3.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.row().cell(1).cell(2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Log, LevelThresholdRoundTrip) {
+  const auto prior = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are dropped (no crash, no output assertion
+  // possible on stderr here — exercised for coverage).
+  PNR_LOG_DEBUG << "dropped";
+  PNR_LOG_ERROR << "emitted to stderr (expected in test logs)";
+  set_log_level(prior);
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  const std::string path = "/tmp/pnr_table_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, LongAndSizeTCells) {
+  Table t({"x"});
+  t.row().cell(static_cast<long>(-5));
+  t.row().cell(static_cast<std::size_t>(7));
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\n-5\n7\n");
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--procs=4,8",
+                        "--verbose", "input.txt"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 0.5);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.get_bool("quiet"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  const auto procs = cli.get_int_list("procs", {});
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0], 4);
+  EXPECT_EQ(procs[1], 8);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(Cli, BareFlagIsBooleanValueIsPositional) {
+  const char* argv[] = {"prog", "--n=3", "--m", "4"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 3);
+  EXPECT_TRUE(cli.get_bool("m"));
+  EXPECT_EQ(cli.get_int("m", -1), -1);  // bare flag carries no value
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "4");
+}
+
+TEST(Timer, MonotoneAndResettable) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + i * 1e-9;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.millis(), 0.0);
+  t.reset();
+  EXPECT_LE(t.seconds(), b);  // reset rewinds the origin
+}
+
+using ContractDeath = ::testing::Test;
+
+TEST(ContractDeath, RequireAbortsWithMessage) {
+  EXPECT_DEATH(
+      { PNR_REQUIRE_MSG(false, "intentional test failure"); },
+      "intentional test failure");
+}
+
+TEST(ContractDeath, TableRejectsTooManyCells) {
+  EXPECT_DEATH(
+      {
+        Table t({"only"});
+        t.row().cell(1).cell(2);
+      },
+      "more cells than header");
+}
+
+TEST(ContractDeath, RngRejectsZeroBound) {
+  EXPECT_DEATH(
+      {
+        Rng rng(1);
+        rng.next_below(0);
+      },
+      "bound > 0");
+}
+
+}  // namespace
+}  // namespace pnr::util
