@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nested.dir/bench_ablation_nested.cpp.o"
+  "CMakeFiles/bench_ablation_nested.dir/bench_ablation_nested.cpp.o.d"
+  "bench_ablation_nested"
+  "bench_ablation_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

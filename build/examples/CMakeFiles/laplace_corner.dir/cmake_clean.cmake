@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_corner.dir/laplace_corner.cpp.o"
+  "CMakeFiles/laplace_corner.dir/laplace_corner.cpp.o.d"
+  "laplace_corner"
+  "laplace_corner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_corner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

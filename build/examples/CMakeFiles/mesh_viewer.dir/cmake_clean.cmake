@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_viewer.dir/mesh_viewer.cpp.o"
+  "CMakeFiles/mesh_viewer.dir/mesh_viewer.cpp.o.d"
+  "mesh_viewer"
+  "mesh_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

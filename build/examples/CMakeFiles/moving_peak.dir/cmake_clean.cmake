@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_peak.dir/moving_peak.cpp.o"
+  "CMakeFiles/moving_peak.dir/moving_peak.cpp.o.d"
+  "moving_peak"
+  "moving_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_tool.dir/partition_tool.cpp.o"
+  "CMakeFiles/partition_tool.dir/partition_tool.cpp.o.d"
+  "partition_tool"
+  "partition_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_core.dir/pnr.cpp.o"
+  "CMakeFiles/pnr_core.dir/pnr.cpp.o.d"
+  "CMakeFiles/pnr_core.dir/snap.cpp.o"
+  "CMakeFiles/pnr_core.dir/snap.cpp.o.d"
+  "libpnr_core.a"
+  "libpnr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/cg.cpp" "src/fem/CMakeFiles/pnr_fem.dir/cg.cpp.o" "gcc" "src/fem/CMakeFiles/pnr_fem.dir/cg.cpp.o.d"
+  "/root/repo/src/fem/estimator.cpp" "src/fem/CMakeFiles/pnr_fem.dir/estimator.cpp.o" "gcc" "src/fem/CMakeFiles/pnr_fem.dir/estimator.cpp.o.d"
+  "/root/repo/src/fem/p1.cpp" "src/fem/CMakeFiles/pnr_fem.dir/p1.cpp.o" "gcc" "src/fem/CMakeFiles/pnr_fem.dir/p1.cpp.o.d"
+  "/root/repo/src/fem/problems.cpp" "src/fem/CMakeFiles/pnr_fem.dir/problems.cpp.o" "gcc" "src/fem/CMakeFiles/pnr_fem.dir/problems.cpp.o.d"
+  "/root/repo/src/fem/sparse.cpp" "src/fem/CMakeFiles/pnr_fem.dir/sparse.cpp.o" "gcc" "src/fem/CMakeFiles/pnr_fem.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/pnr_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pnr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pnr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pnr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_fem.dir/cg.cpp.o"
+  "CMakeFiles/pnr_fem.dir/cg.cpp.o.d"
+  "CMakeFiles/pnr_fem.dir/estimator.cpp.o"
+  "CMakeFiles/pnr_fem.dir/estimator.cpp.o.d"
+  "CMakeFiles/pnr_fem.dir/p1.cpp.o"
+  "CMakeFiles/pnr_fem.dir/p1.cpp.o.d"
+  "CMakeFiles/pnr_fem.dir/problems.cpp.o"
+  "CMakeFiles/pnr_fem.dir/problems.cpp.o.d"
+  "CMakeFiles/pnr_fem.dir/sparse.cpp.o"
+  "CMakeFiles/pnr_fem.dir/sparse.cpp.o.d"
+  "libpnr_fem.a"
+  "libpnr_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

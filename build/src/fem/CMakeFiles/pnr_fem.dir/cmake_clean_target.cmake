@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpnr_fem.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/pnr_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/pnr_graph.dir/builder.cpp.o"
+  "CMakeFiles/pnr_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/pnr_graph.dir/coarsen.cpp.o"
+  "CMakeFiles/pnr_graph.dir/coarsen.cpp.o.d"
+  "CMakeFiles/pnr_graph.dir/csr.cpp.o"
+  "CMakeFiles/pnr_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/pnr_graph.dir/io.cpp.o"
+  "CMakeFiles/pnr_graph.dir/io.cpp.o.d"
+  "CMakeFiles/pnr_graph.dir/laplacian.cpp.o"
+  "CMakeFiles/pnr_graph.dir/laplacian.cpp.o.d"
+  "CMakeFiles/pnr_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/pnr_graph.dir/subgraph.cpp.o.d"
+  "libpnr_graph.a"
+  "libpnr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/dual.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/dual.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/dual.cpp.o.d"
+  "/root/repo/src/mesh/generate.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/generate.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/generate.cpp.o.d"
+  "/root/repo/src/mesh/io.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/io.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/io.cpp.o.d"
+  "/root/repo/src/mesh/metrics.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/metrics.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/metrics.cpp.o.d"
+  "/root/repo/src/mesh/svg.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/svg.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/svg.cpp.o.d"
+  "/root/repo/src/mesh/tet_mesh.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/tet_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/tet_mesh.cpp.o.d"
+  "/root/repo/src/mesh/tri_mesh.cpp" "src/mesh/CMakeFiles/pnr_mesh.dir/tri_mesh.cpp.o" "gcc" "src/mesh/CMakeFiles/pnr_mesh.dir/tri_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pnr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/pnr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pnr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_mesh.dir/dual.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/dual.cpp.o.d"
+  "CMakeFiles/pnr_mesh.dir/generate.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/generate.cpp.o.d"
+  "CMakeFiles/pnr_mesh.dir/io.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/io.cpp.o.d"
+  "CMakeFiles/pnr_mesh.dir/metrics.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/metrics.cpp.o.d"
+  "CMakeFiles/pnr_mesh.dir/svg.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/svg.cpp.o.d"
+  "CMakeFiles/pnr_mesh.dir/tet_mesh.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/tet_mesh.cpp.o.d"
+  "CMakeFiles/pnr_mesh.dir/tri_mesh.cpp.o"
+  "CMakeFiles/pnr_mesh.dir/tri_mesh.cpp.o.d"
+  "libpnr_mesh.a"
+  "libpnr_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_parallel.dir/comm.cpp.o"
+  "CMakeFiles/pnr_parallel.dir/comm.cpp.o.d"
+  "CMakeFiles/pnr_parallel.dir/model.cpp.o"
+  "CMakeFiles/pnr_parallel.dir/model.cpp.o.d"
+  "CMakeFiles/pnr_parallel.dir/protocol.cpp.o"
+  "CMakeFiles/pnr_parallel.dir/protocol.cpp.o.d"
+  "libpnr_parallel.a"
+  "libpnr_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_pared.dir/driver.cpp.o"
+  "CMakeFiles/pnr_pared.dir/driver.cpp.o.d"
+  "CMakeFiles/pnr_pared.dir/session.cpp.o"
+  "CMakeFiles/pnr_pared.dir/session.cpp.o.d"
+  "CMakeFiles/pnr_pared.dir/workloads.cpp.o"
+  "CMakeFiles/pnr_pared.dir/workloads.cpp.o.d"
+  "libpnr_pared.a"
+  "libpnr_pared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_pared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

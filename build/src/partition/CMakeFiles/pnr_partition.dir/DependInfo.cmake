@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/dense_eig.cpp" "src/partition/CMakeFiles/pnr_partition.dir/dense_eig.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/dense_eig.cpp.o.d"
+  "/root/repo/src/partition/diffusion.cpp" "src/partition/CMakeFiles/pnr_partition.dir/diffusion.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/diffusion.cpp.o.d"
+  "/root/repo/src/partition/ggg.cpp" "src/partition/CMakeFiles/pnr_partition.dir/ggg.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/ggg.cpp.o.d"
+  "/root/repo/src/partition/inertial.cpp" "src/partition/CMakeFiles/pnr_partition.dir/inertial.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/inertial.cpp.o.d"
+  "/root/repo/src/partition/mldiffusion.cpp" "src/partition/CMakeFiles/pnr_partition.dir/mldiffusion.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/mldiffusion.cpp.o.d"
+  "/root/repo/src/partition/mlkl.cpp" "src/partition/CMakeFiles/pnr_partition.dir/mlkl.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/mlkl.cpp.o.d"
+  "/root/repo/src/partition/pairqueue.cpp" "src/partition/CMakeFiles/pnr_partition.dir/pairqueue.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/pairqueue.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/partition/CMakeFiles/pnr_partition.dir/partition.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/partition.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/pnr_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/rcb.cpp" "src/partition/CMakeFiles/pnr_partition.dir/rcb.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/rcb.cpp.o.d"
+  "/root/repo/src/partition/rebalance.cpp" "src/partition/CMakeFiles/pnr_partition.dir/rebalance.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/rebalance.cpp.o.d"
+  "/root/repo/src/partition/recursive.cpp" "src/partition/CMakeFiles/pnr_partition.dir/recursive.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/recursive.cpp.o.d"
+  "/root/repo/src/partition/refine.cpp" "src/partition/CMakeFiles/pnr_partition.dir/refine.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/refine.cpp.o.d"
+  "/root/repo/src/partition/remap.cpp" "src/partition/CMakeFiles/pnr_partition.dir/remap.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/remap.cpp.o.d"
+  "/root/repo/src/partition/rsb.cpp" "src/partition/CMakeFiles/pnr_partition.dir/rsb.cpp.o" "gcc" "src/partition/CMakeFiles/pnr_partition.dir/rsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pnr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pnr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_partition.dir/dense_eig.cpp.o"
+  "CMakeFiles/pnr_partition.dir/dense_eig.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/diffusion.cpp.o"
+  "CMakeFiles/pnr_partition.dir/diffusion.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/ggg.cpp.o"
+  "CMakeFiles/pnr_partition.dir/ggg.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/inertial.cpp.o"
+  "CMakeFiles/pnr_partition.dir/inertial.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/mldiffusion.cpp.o"
+  "CMakeFiles/pnr_partition.dir/mldiffusion.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/mlkl.cpp.o"
+  "CMakeFiles/pnr_partition.dir/mlkl.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/pairqueue.cpp.o"
+  "CMakeFiles/pnr_partition.dir/pairqueue.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/partition.cpp.o"
+  "CMakeFiles/pnr_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/pnr_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/rcb.cpp.o"
+  "CMakeFiles/pnr_partition.dir/rcb.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/rebalance.cpp.o"
+  "CMakeFiles/pnr_partition.dir/rebalance.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/recursive.cpp.o"
+  "CMakeFiles/pnr_partition.dir/recursive.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/refine.cpp.o"
+  "CMakeFiles/pnr_partition.dir/refine.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/remap.cpp.o"
+  "CMakeFiles/pnr_partition.dir/remap.cpp.o.d"
+  "CMakeFiles/pnr_partition.dir/rsb.cpp.o"
+  "CMakeFiles/pnr_partition.dir/rsb.cpp.o.d"
+  "libpnr_partition.a"
+  "libpnr_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

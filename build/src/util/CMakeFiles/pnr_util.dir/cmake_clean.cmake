@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_util.dir/cli.cpp.o"
+  "CMakeFiles/pnr_util.dir/cli.cpp.o.d"
+  "CMakeFiles/pnr_util.dir/log.cpp.o"
+  "CMakeFiles/pnr_util.dir/log.cpp.o.d"
+  "CMakeFiles/pnr_util.dir/rng.cpp.o"
+  "CMakeFiles/pnr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pnr_util.dir/stats.cpp.o"
+  "CMakeFiles/pnr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pnr_util.dir/table.cpp.o"
+  "CMakeFiles/pnr_util.dir/table.cpp.o.d"
+  "libpnr_util.a"
+  "libpnr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pared.dir/test_pared.cpp.o"
+  "CMakeFiles/test_pared.dir/test_pared.cpp.o.d"
+  "test_pared"
+  "test_pared.pdb"
+  "test_pared[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

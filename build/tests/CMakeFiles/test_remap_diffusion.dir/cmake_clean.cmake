@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remap_diffusion.dir/test_remap_diffusion.cpp.o"
+  "CMakeFiles/test_remap_diffusion.dir/test_remap_diffusion.cpp.o.d"
+  "test_remap_diffusion"
+  "test_remap_diffusion.pdb"
+  "test_remap_diffusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remap_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

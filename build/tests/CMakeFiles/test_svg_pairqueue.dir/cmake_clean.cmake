@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svg_pairqueue.dir/test_svg_pairqueue.cpp.o"
+  "CMakeFiles/test_svg_pairqueue.dir/test_svg_pairqueue.cpp.o.d"
+  "test_svg_pairqueue"
+  "test_svg_pairqueue.pdb"
+  "test_svg_pairqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svg_pairqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

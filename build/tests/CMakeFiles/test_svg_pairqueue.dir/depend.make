@@ -1,0 +1,2 @@
+# Empty dependencies file for test_svg_pairqueue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tri_mesh.dir/test_tri_mesh.cpp.o"
+  "CMakeFiles/test_tri_mesh.dir/test_tri_mesh.cpp.o.d"
+  "test_tri_mesh"
+  "test_tri_mesh.pdb"
+  "test_tri_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tri_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_coarsen[1]_include.cmake")
+include("/root/repo/build/tests/test_tri_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_tet_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioners[1]_include.cmake")
+include("/root/repo/build/tests/test_remap_diffusion[1]_include.cmake")
+include("/root/repo/build/tests/test_pnr[1]_include.cmake")
+include("/root/repo/build/tests/test_fem[1]_include.cmake")
+include("/root/repo/build/tests/test_rebalance[1]_include.cmake")
+include("/root/repo/build/tests/test_pared[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_io[1]_include.cmake")
+include("/root/repo/build/tests/test_svg_pairqueue[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
