@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_pipeline.json perf trajectories (schema pnr.bench_pipeline.v1).
+
+    python3 scripts/bench_diff.py BENCH_before.json BENCH_after.json
+        [--threshold=0.05]   relative phase-time change worth printing
+        [--all]              print every phase regardless of threshold
+        [--fail-over=PCT]    exit 1 if any workload's total time regressed
+                             by more than PCT percent
+
+Workloads and phases are matched by name/path; entries present on only
+one side are reported as added/removed. See docs/OBSERVABILITY.md for the
+schema.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: {e}")
+    schema = doc.get("schema", "")
+    if not schema.startswith("pnr.bench_pipeline."):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return doc
+
+
+def pct(old, new):
+    if old == 0:
+        return "     n/a" if new == 0 else "    +inf"
+    return f"{100.0 * (new - old) / old:+7.1f}%"
+
+
+def diff_scalar(label, old, new, fmt="{:.4g}"):
+    print(f"  {label:<28} {fmt.format(old):>12} -> {fmt.format(new):>12}  {pct(old, new)}")
+
+
+def diff_workload(old, new, args):
+    regression = 0.0
+    diff_scalar("total_seconds", old["total_seconds"], new["total_seconds"])
+    diff_scalar("cut_final", old["cut_final"], new["cut_final"], "{:d}")
+    diff_scalar("elements_final", old["elements_final"], new["elements_final"], "{:d}")
+    diff_scalar("migration_fraction_mean", old["migration_fraction_mean"],
+                new["migration_fraction_mean"])
+    diff_scalar("peak_rss_bytes", old["peak_rss_bytes"], new["peak_rss_bytes"], "{:d}")
+    if old["total_seconds"] > 0:
+        regression = (new["total_seconds"] - old["total_seconds"]) / old["total_seconds"]
+
+    old_phases = {p["path"]: p for p in old.get("phases", [])}
+    new_phases = {p["path"]: p for p in new.get("phases", [])}
+    rows = []
+    for path in sorted(old_phases.keys() | new_phases.keys()):
+        a, b = old_phases.get(path), new_phases.get(path)
+        if a is None:
+            rows.append((path, f"(added)      {b['seconds'] * 1e3:10.2f} ms"))
+        elif b is None:
+            rows.append((path, f"(removed)    {a['seconds'] * 1e3:10.2f} ms was"))
+        else:
+            rel = abs(b["seconds"] - a["seconds"]) / a["seconds"] if a["seconds"] else 0.0
+            if args.all or rel >= args.threshold:
+                rows.append((path, f"{a['seconds'] * 1e3:10.2f} -> {b['seconds'] * 1e3:10.2f} ms"
+                                   f"  {pct(a['seconds'], b['seconds'])}"))
+    if rows:
+        print("  phases (>= {:.0%} change):".format(args.threshold)
+              if not args.all else "  phases:")
+        for path, text in rows:
+            print(f"    {path:<56} {text}")
+    return regression
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("before")
+    ap.add_argument("after")
+    ap.add_argument("--threshold", type=float, default=0.05)
+    ap.add_argument("--all", action="store_true")
+    ap.add_argument("--fail-over", type=float, default=None,
+                    help="exit 1 on a total-time regression above this percent")
+    args = ap.parse_args()
+
+    before, after = load(args.before), load(args.after)
+    if before.get("mode") != after.get("mode"):
+        print(f"warning: comparing mode={before.get('mode')} against "
+              f"mode={after.get('mode')} — timings are not like-for-like")
+
+    old_w = {w["name"]: w for w in before["workloads"]}
+    new_w = {w["name"]: w for w in after["workloads"]}
+    worst = 0.0
+    for name in sorted(old_w.keys() | new_w.keys()):
+        print(f"== {name}")
+        if name not in old_w:
+            print("  (new workload)")
+        elif name not in new_w:
+            print("  (workload removed)")
+        else:
+            worst = max(worst, diff_workload(old_w[name], new_w[name], args))
+
+    if args.fail_over is not None and worst * 100.0 > args.fail_over:
+        print(f"FAIL: worst total-time regression {worst:+.1%} exceeds "
+              f"--fail-over={args.fail_over}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

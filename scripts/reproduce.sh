@@ -18,9 +18,10 @@ for arg in "$@"; do
   esac
 done
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+# Canonical Tier-1 invocation (see ROADMAP.md); default generator on purpose.
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
 
 mkdir -p results
 for b in build/bench/bench_*; do
@@ -40,10 +41,10 @@ if [ "$PAPER" = 1 ]; then
 fi
 
 if [ "$ASAN" = 1 ]; then
-  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
-  cmake --build build-asan
-  ctest --test-dir build-asan --output-on-failure
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j
 fi
 
 echo "done — see results/ and EXPERIMENTS.md"

@@ -6,6 +6,7 @@
 #include "partition/rebalance.hpp"
 #include "partition/refine.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::core {
 
@@ -16,6 +17,7 @@ Pnr::Pnr(part::PartId p, PnrOptions options) : p_(p), options_(options) {
 
 part::Partition Pnr::initial_partition(const graph::Graph& g,
                                        util::Rng& rng) const {
+  PNR_PROF_SPAN("pnr.initial_partition");
   part::PartitionerOptions popt;
   popt.method = options_.initial_method;
   popt.imbalance_tol = options_.initial_imbalance_tol;
@@ -46,6 +48,7 @@ part::Partition Pnr::repartition(const graph::Graph& g,
                                  const part::Partition& current,
                                  util::Rng& rng,
                                  RepartitionStats* stats) const {
+  PNR_PROF_SPAN("pnr.repartition");
   PNR_REQUIRE(current.valid_for(g));
   PNR_REQUIRE(current.num_parts == p_);
 
@@ -67,6 +70,7 @@ part::Partition Pnr::repartition(const graph::Graph& g,
   std::vector<graph::CoarseLevel> levels;
   std::vector<std::vector<part::PartId>> homes{current.assign};
   {
+    PNR_PROF_SPAN("pnr.contract");
     // Never contract below a few vertices per subset, or the coarsest
     // level could not even represent the partition.
     const graph::VertexId floor_size =
@@ -89,6 +93,7 @@ part::Partition Pnr::repartition(const graph::Graph& g,
     }
   }
   if (stats) stats->levels = static_cast<int>(levels.size());
+  prof::count("pnr.levels", static_cast<std::int64_t>(levels.size()));
 
   // Start from the projected current assignment (modification (a)) or, in
   // the ablation, partition the coarsest graph from scratch.
@@ -122,6 +127,7 @@ part::Partition Pnr::repartition(const graph::Graph& g,
 
   // Refine at the coarsest level, then uncoarsen and refine at each finer
   // level — the migration-aware KL of Section 9 at every step.
+  PNR_PROF_SPAN("pnr.uncoarsen_refine");
   for (std::size_t k = levels.size() + 1; k-- > 0;) {
     const graph::Graph& level_graph = k == 0 ? g : levels[k - 1].graph;
     if (options_.hard_balance) {

@@ -5,6 +5,7 @@
 
 #include "graph/builder.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::graph {
 
@@ -56,6 +57,9 @@ std::vector<VertexId> compute_matching(const Graph& g, util::Rng& rng,
 
 CoarseLevel coarsen_once(const Graph& g, util::Rng& rng,
                          const CoarsenOptions& options) {
+  PNR_PROF_SPAN("coarsen.once");
+  // Matching and contraction both scan every adjacency list once.
+  prof::count("coarsen.edges_scanned", 2 * g.num_edges());
   const auto n = static_cast<std::size_t>(g.num_vertices());
   if (options.partition) PNR_REQUIRE(options.partition->size() == n);
 
@@ -99,6 +103,7 @@ CoarseLevel coarsen_once(const Graph& g, util::Rng& rng,
 std::vector<CoarseLevel> build_hierarchy(const Graph& g, util::Rng& rng,
                                          VertexId target_vertices,
                                          const CoarsenOptions& options) {
+  PNR_PROF_SPAN("coarsen.hierarchy");
   std::vector<CoarseLevel> levels;
   const Graph* current = &g;
   while (current->num_vertices() > target_vertices) {
@@ -109,6 +114,7 @@ std::vector<CoarseLevel> build_hierarchy(const Graph& g, util::Rng& rng,
     levels.push_back(std::move(level));
     current = &levels.back().graph;
   }
+  prof::count("coarsen.levels", static_cast<std::int64_t>(levels.size()));
   return levels;
 }
 

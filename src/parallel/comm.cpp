@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::par {
 
@@ -49,6 +50,8 @@ void Comm::send(int dest, int tag, Bytes data) {
   PNR_REQUIRE(dest >= 0 && dest < world_->size());
   bytes_sent_ += static_cast<std::int64_t>(data.size());
   ++messages_sent_;
+  prof::count("par.messages_sent");
+  prof::count("par.bytes_sent", static_cast<std::int64_t>(data.size()));
   world_->deliver(dest, rank_, tag, std::move(data));
 }
 

@@ -7,6 +7,7 @@
 #include "mesh/dual.hpp"
 #include "parallel/serialize.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::par {
 
@@ -61,6 +62,7 @@ std::int64_t ParedRankT<Mesh>::owned_leaves() const {
 
 template <typename Mesh>
 graph::Graph ParedRankT<Mesh>::assemble_coarse_graph(StepStats& stats) {
+  PNR_PROF_SPAN("protocol.weights");
   // P1: weights for the trees this rank owns. An interface edge (a, b) is
   // reported by the owner of min(a, b) so exactly one rank sends it.
   std::vector<mesh::ElemIdx> owned;
@@ -182,6 +184,9 @@ void ParedRankT<Mesh>::validate_tree_payload(const Bytes& payload) const {
 template <typename Mesh>
 void ParedRankT<Mesh>::migrate_trees(const std::vector<part::PartId>& next,
                                      StepStats& stats) {
+  PNR_PROF_SPAN("protocol.migrate");
+  const std::int64_t payload_before = stats.payload_bytes;
+  const std::int64_t elements_before = stats.elements_moved;
   const int me = comm_.rank();
   // Count and serialize outgoing trees per destination.
   std::vector<std::vector<mesh::ElemIdx>> outgoing(
@@ -214,18 +219,27 @@ void ParedRankT<Mesh>::migrate_trees(const std::vector<part::PartId>& next,
       validate_tree_payload(comm_.recv(src, kTagTree));
   }
   ownership_ = next;
+  // This rank's own contributions (the step()'s all-reduce would multiply
+  // global numbers by the rank count).
+  prof::count("protocol.payload_bytes", stats.payload_bytes - payload_before);
+  prof::count("protocol.elements_moved",
+              stats.elements_moved - elements_before);
 }
 
 template <typename Mesh>
 StepStats ParedRankT<Mesh>::step(const Field& field,
                                  const fem::MarkOptions& mark) {
+  PNR_PROF_SPAN("protocol.step");
   StepStats stats;
 
   // P0: deterministic replicated adaptation.
-  const auto to_coarsen = fem::mark_for_coarsening(mesh_, field, mark);
-  stats.merges = mesh_.coarsen(to_coarsen);
-  const auto to_refine = fem::mark_for_refinement(mesh_, field, mark);
-  stats.bisections = mesh_.refine(to_refine);
+  {
+    PNR_PROF_SPAN("protocol.adapt");
+    const auto to_coarsen = fem::mark_for_coarsening(mesh_, field, mark);
+    stats.merges = mesh_.coarsen(to_coarsen);
+    const auto to_refine = fem::mark_for_refinement(mesh_, field, mark);
+    stats.bisections = mesh_.refine(to_refine);
+  }
 
   // P1 + P2: weights to the coordinator. P3: repartition and broadcast.
   graph::Graph g = assemble_coarse_graph(stats);

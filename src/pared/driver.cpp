@@ -1,5 +1,6 @@
 #include "pared/driver.hpp"
 
+#include "util/prof.hpp"
 #include "util/timer.hpp"
 
 namespace pnr::pared {
@@ -10,17 +11,20 @@ DriverReport AdaptiveDriver<Mesh>::step(const Field& field,
   DriverReport report;
 
   {
+    PNR_PROF_SPAN("driver.adapt");
     util::Timer timer;
     report.merges = mesh_.coarsen(fem::mark_for_coarsening(mesh_, field, mark));
     report.bisections = mesh_.refine(fem::mark_for_refinement(mesh_, field, mark));
     report.adapt_seconds = timer.seconds();
   }
   {
+    PNR_PROF_SPAN("driver.repartition");
     util::Timer timer;
     report.partition = session_.step(mesh_);
     report.partition_seconds = timer.seconds();
   }
   if (options_.solve) {
+    PNR_PROF_SPAN("driver.solve");
     util::Timer timer;
     const auto solved = fem::solve_poisson(mesh_, field, options_.solve_tol);
     report.solve_seconds = timer.seconds();

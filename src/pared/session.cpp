@@ -1,6 +1,7 @@
 #include "pared/session.hpp"
 
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::pared {
 
@@ -60,11 +61,15 @@ std::int64_t count_moves(const std::vector<part::PartId>& a,
 
 template <typename Mesh>
 StepReport Session<Mesh>::step(Mesh& mesh) {
+  PNR_PROF_SPAN("session.step");
   StepReport report;
   const auto elems = mesh.leaf_elements();
   report.elements = static_cast<std::int64_t>(elems.size());
 
-  const auto dual = mesh::fine_dual_graph(mesh);
+  const auto dual = [&] {
+    PNR_PROF_SPAN("session.dual_graph");
+    return mesh::fine_dual_graph(mesh);
+  }();
   auto carried = carried_assignment(mesh, elems);
   if (carried) {
     part::Partition prev(p_, *carried);
@@ -74,6 +79,9 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
   std::vector<part::PartId> fine_new;  // the freshly computed partition Π̂
   std::vector<part::PartId> adopted;   // what the session carries forward
 
+  // Closed by hand before the metrics tail so the span measures only the
+  // strategy's partitioning work.
+  std::optional<prof::Span> partition_span(std::in_place, "session.partition");
   switch (strategy_) {
     case Strategy::kRSB:
     case Strategy::kRsbRemap:
@@ -140,6 +148,9 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
     }
   }
 
+  partition_span.reset();
+
+  PNR_PROF_SPAN("session.metrics");
   part::Partition adopted_pi(p_, adopted);
   report.cut_new = part::cut_size(dual.graph, part::Partition(p_, fine_new));
   report.imbalance = part::imbalance(dual.graph, adopted_pi);

@@ -57,6 +57,7 @@ class CornerSeries3D {
 
   int level() const { return level_; }
   const mesh::TetMesh& mesh() const { return mesh_; }
+  mesh::TetMesh& mutable_mesh() { return mesh_; }
   const fem::ScalarField3& field() const { return field_; }
 
  private:

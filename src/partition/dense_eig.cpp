@@ -5,12 +5,14 @@
 #include <numeric>
 
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
 void jacobi_eigensymm(const std::vector<double>& matrix, int n,
                       std::vector<double>& eigenvalues,
                       std::vector<double>& eigenvectors) {
+  PNR_PROF_SPAN("eig.jacobi");
   PNR_REQUIRE(n >= 1);
   PNR_REQUIRE(matrix.size() == static_cast<std::size_t>(n) * n);
   std::vector<double> a = matrix;
@@ -27,6 +29,7 @@ void jacobi_eigensymm(const std::vector<double>& matrix, int n,
     for (int p = 0; p < n; ++p)
       for (int q = p + 1; q < n; ++q) off += at(a, p, q) * at(a, p, q);
     if (off < 1e-22) break;
+    prof::count("eig.jacobi_sweeps");
 
     for (int p = 0; p < n; ++p)
       for (int q = p + 1; q < n; ++q) {

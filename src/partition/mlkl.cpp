@@ -7,11 +7,13 @@
 #include "partition/recursive.hpp"
 #include "partition/refine.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
 std::vector<PartId> mlkl_bisect(const Graph& g, Weight target0,
                                 util::Rng& rng, const MlklOptions& options) {
+  PNR_PROF_SPAN("mlkl.bisect");
   const Weight total = g.total_vertex_weight();
   PNR_REQUIRE(target0 > 0 && target0 < total);
 

@@ -5,6 +5,7 @@
 
 #include "partition/pairqueue.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
@@ -272,8 +273,14 @@ class Refiner {
 RefineResult refine_partition(const Graph& g, Partition& pi,
                               const RefineOptions& options) {
   if (g.num_vertices() == 0) return {};
+  PNR_PROF_SPAN("kl.refine");
   Refiner refiner(g, pi, options);
-  return refiner.run();
+  const RefineResult result = refiner.run();
+  // Per-pass statistics are accumulated inside the pass loop and emitted
+  // once here so the hot path stays probe-free.
+  prof::count("kl.passes", result.passes);
+  prof::count("kl.moves", result.moves);
+  return result;
 }
 
 }  // namespace pnr::part

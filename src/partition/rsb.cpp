@@ -10,12 +10,14 @@
 #include "partition/recursive.hpp"
 #include "partition/refine.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
 namespace {
 
 std::vector<double> dense_fiedler(const Graph& g) {
+  PNR_PROF_SPAN("rsb.dense_eig");
   const int n = g.num_vertices();
   std::vector<double> lap(static_cast<std::size_t>(n) * n, 0.0);
   for (graph::VertexId v = 0; v < n; ++v) {
@@ -41,6 +43,7 @@ std::vector<double> dense_fiedler(const Graph& g) {
 /// Projected gradient descent on the Rayleigh quotient of L, keeping x
 /// orthogonal to the ones vector.
 void smooth_fiedler(const Graph& g, std::vector<double>& x, int iterations) {
+  prof::count("rsb.smooth_iterations", iterations);
   const auto n = static_cast<std::size_t>(g.num_vertices());
   double max_wdeg = 0.0;
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
@@ -90,11 +93,13 @@ std::vector<double> fiedler_recursive(const Graph& g, util::Rng& rng,
 std::vector<double> fiedler_vector(const Graph& g, util::Rng& rng,
                                    const RsbOptions& options) {
   PNR_REQUIRE(g.num_vertices() >= 2);
+  PNR_PROF_SPAN("rsb.fiedler");
   return fiedler_recursive(g, rng, options);
 }
 
 std::vector<PartId> rsb_bisect(const Graph& g, Weight target0, util::Rng& rng,
                                const RsbOptions& options) {
+  PNR_PROF_SPAN("rsb.bisect");
   const auto n = static_cast<std::size_t>(g.num_vertices());
   PNR_REQUIRE(n >= 2);
   const Weight total = g.total_vertex_weight();

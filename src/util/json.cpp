@@ -1,0 +1,304 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pnr::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ != Type::kObject) {
+    *this = object();
+  }
+  for (auto& [k, v] : object_)
+    if (k == key) return v;
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no inf/nan
+      }
+      break;
+    }
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        append_newline(out, indent, depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) append_newline(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        append_newline(out, indent, depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) append_newline(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_ && error_->empty())
+      *error_ = std::string(what) + " at offset " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    fail("invalid literal");
+    return false;
+  }
+
+  std::optional<std::string> string_body() {
+    // Called with pos_ at the opening quote.
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          // UTF-8 encode (basic-plane only; enough for our exports).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    if (is_double) return Json(std::strtod(tok.c_str(), nullptr));
+    return Json(static_cast<std::int64_t>(std::strtoll(tok.c_str(), nullptr, 10)));
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      Json obj = Json::object();
+      if (consume('}')) return obj;
+      for (;;) {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '"') {
+          fail("expected object key");
+          return std::nullopt;
+        }
+        auto key = string_body();
+        if (!key) return std::nullopt;
+        if (!consume(':')) {
+          fail("expected ':'");
+          return std::nullopt;
+        }
+        auto member = value();
+        if (!member) return std::nullopt;
+        obj[*key] = std::move(*member);
+        if (consume(',')) continue;
+        if (consume('}')) return obj;
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      Json arr = Json::array();
+      if (consume(']')) return arr;
+      for (;;) {
+        auto element = value();
+        if (!element) return std::nullopt;
+        arr.push_back(std::move(*element));
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto s = string_body();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (c == 't') return literal("true") ? std::optional<Json>(Json(true))
+                                         : std::nullopt;
+    if (c == 'f') return literal("false") ? std::optional<Json>(Json(false))
+                                          : std::nullopt;
+    if (c == 'n') return literal("null") ? std::optional<Json>(Json())
+                                         : std::nullopt;
+    return number();
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace pnr::util

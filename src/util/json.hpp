@@ -1,0 +1,85 @@
+#pragma once
+// Minimal JSON document: build, serialize, parse. Backs the machine-readable
+// exports (pnr::prof trajectories, BENCH_pipeline.json) without an external
+// dependency. Objects preserve insertion order so serialized output is
+// stable and diffs cleanly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pnr::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json array() { return Json(Type::kArray); }
+  static Json object() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  /// Numeric accessors convert between the int/double representations.
+  std::int64_t as_int() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+
+  // Array interface.
+  void push_back(Json v) { array_.push_back(std::move(v)); }
+  std::size_t size() const { return array_.size(); }
+  const Json& at(std::size_t i) const { return array_[i]; }
+  const std::vector<Json>& elements() const { return array_; }
+
+  // Object interface. operator[] inserts a null member when absent.
+  Json& operator[](const std::string& key);
+  /// Member lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  /// Serialize. indent == 0 is compact single-line; indent > 0 pretty-prints
+  /// with that many spaces per nesting level.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing junk is an error). Returns
+  /// nullopt on malformed input and, when `error` is non-null, a short
+  /// description with the byte offset.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+ private:
+  explicit Json(Type t) : type_(t) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace pnr::util

@@ -1,0 +1,195 @@
+#include "util/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace pnr::prof {
+
+namespace {
+
+struct SpanAgg {
+  std::int64_t calls = 0;
+  std::uint64_t ns = 0;
+};
+
+/// Global registry. A plain mutex is enough: probes fire at phase
+/// granularity, not per edge, so contention is negligible even with the
+/// simulator's ranks recording concurrently.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SpanAgg> spans;
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The open-span path of this thread ("a/b/c"). Spans truncate it back on
+/// close, so it never outgrows the deepest live nesting.
+thread_local std::string t_path;
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.spans.clear();
+  r.counters.clear();
+  r.gauges.clear();
+}
+
+Report snapshot() {
+  Report out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  out.spans.reserve(r.spans.size());
+  for (const auto& [path, agg] : r.spans)
+    out.spans.push_back({path, agg.calls, static_cast<double>(agg.ns) * 1e-9});
+  out.counters.reserve(r.counters.size());
+  for (const auto& [name, value] : r.counters)
+    out.counters.push_back({name, value});
+  out.gauges.reserve(r.gauges.size());
+  for (const auto& [name, value] : r.gauges) out.gauges.push_back({name, value});
+  return out;
+}
+
+std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+#ifndef PNR_PROF_DISABLE
+
+void count(const char* name, std::int64_t delta) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters[name] += delta;
+}
+
+void gauge_max(const char* name, std::int64_t value) {
+  if (!enabled()) return;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto [it, inserted] = r.gauges.emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+void sample_peak_rss() { gauge_max("peak_rss_bytes", peak_rss_bytes()); }
+
+Span::Span(const char* name) : active_(enabled()) {
+  if (!active_) return;
+  parent_len_ = static_cast<std::uint32_t>(t_path.size());
+  if (!t_path.empty()) t_path += '/';
+  t_path += name;
+  start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t elapsed = now_ns() - start_ns_;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    SpanAgg& agg = r.spans[t_path];
+    ++agg.calls;
+    agg.ns += elapsed;
+  }
+  t_path.resize(parent_len_);
+}
+
+#endif  // PNR_PROF_DISABLE
+
+void write_summary(std::ostream& os) {
+  const Report report = snapshot();
+  if (!report.spans.empty()) {
+    util::Table table({"span", "calls", "total ms", "ms/call"});
+    for (const SpanRow& s : report.spans) {
+      // Indent by nesting depth so the tree reads at a glance.
+      const auto depth = std::count(s.path.begin(), s.path.end(), '/');
+      const auto leaf = s.path.rfind('/');
+      const std::string name =
+          std::string(static_cast<std::size_t>(2 * depth), ' ') +
+          (leaf == std::string::npos ? s.path : s.path.substr(leaf + 1));
+      table.row()
+          .cell(name)
+          .cell(s.calls)
+          .cell(s.seconds * 1e3, 3)
+          .cell(s.calls > 0 ? s.seconds * 1e3 / static_cast<double>(s.calls)
+                            : 0.0,
+                4);
+    }
+    table.print(os);
+  }
+  if (!report.counters.empty()) {
+    util::Table table({"counter", "value"});
+    for (const CounterRow& c : report.counters)
+      table.row().cell(c.name).cell(c.value);
+    table.print(os);
+  }
+  if (!report.gauges.empty()) {
+    util::Table table({"gauge", "max"});
+    for (const CounterRow& g : report.gauges)
+      table.row().cell(g.name).cell(g.value);
+    table.print(os);
+  }
+}
+
+std::string to_json() {
+  const Report report = snapshot();
+  util::Json doc = util::Json::object();
+  util::Json spans = util::Json::array();
+  for (const SpanRow& s : report.spans) {
+    util::Json row = util::Json::object();
+    row["path"] = s.path;
+    row["calls"] = s.calls;
+    row["seconds"] = s.seconds;
+    spans.push_back(std::move(row));
+  }
+  doc["spans"] = std::move(spans);
+  util::Json counters = util::Json::object();
+  for (const CounterRow& c : report.counters) counters[c.name] = c.value;
+  doc["counters"] = std::move(counters);
+  util::Json gauges = util::Json::object();
+  for (const CounterRow& g : report.gauges) gauges[g.name] = g.value;
+  doc["gauges"] = std::move(gauges);
+  return doc.dump(2);
+}
+
+}  // namespace pnr::prof

@@ -1,0 +1,264 @@
+// pnr::prof (spans, counters, gauges, exporters) and the pnr::util::Json
+// document type it exports through.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/json.hpp"
+#include "util/prof.hpp"
+
+namespace {
+
+using pnr::prof::CounterRow;
+using pnr::prof::Report;
+using pnr::prof::SpanRow;
+using pnr::util::Json;
+
+const SpanRow* find_span(const Report& report, const std::string& path) {
+  for (const SpanRow& s : report.spans)
+    if (s.path == path) return &s;
+  return nullptr;
+}
+
+const CounterRow* find_counter(const std::vector<CounterRow>& rows,
+                               const std::string& name) {
+  for (const CounterRow& c : rows)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+/// Every test starts from a clean, enabled registry and leaves profiling
+/// off (the process-wide default the other suites rely on).
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pnr::prof::reset();
+    pnr::prof::set_enabled(true);
+#ifdef PNR_PROF_DISABLE
+    // Probes are compiled out; only the disabled-path contract can be
+    // checked in this configuration.
+    if (!probes_compiled_in()) GTEST_SKIP() << "built with -DPNR_PROF=OFF";
+#endif
+  }
+  void TearDown() override {
+    pnr::prof::set_enabled(false);
+    pnr::prof::reset();
+  }
+
+  /// Overridden by tests that stay meaningful when probes are stubs.
+  virtual bool probes_compiled_in() const { return false; }
+};
+
+class ProfDisabledPathTest : public ProfTest {
+  bool probes_compiled_in() const override { return true; }
+};
+
+TEST_F(ProfTest, SpansAggregateByNestingPath) {
+  for (int i = 0; i < 3; ++i) {
+    PNR_PROF_SPAN("outer");
+    { PNR_PROF_SPAN("inner"); }
+    { PNR_PROF_SPAN("inner"); }
+  }
+  { PNR_PROF_SPAN("inner"); }  // top level: distinct path from outer/inner
+
+  const Report report = pnr::prof::snapshot();
+  const SpanRow* outer = find_span(report, "outer");
+  const SpanRow* nested = find_span(report, "outer/inner");
+  const SpanRow* top = find_span(report, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(outer->calls, 3);
+  EXPECT_EQ(nested->calls, 6);
+  EXPECT_EQ(top->calls, 1);
+  EXPECT_GE(outer->seconds, nested->seconds);  // inclusive timing
+}
+
+TEST_F(ProfTest, DeepNestingRestoresThePathOnUnwind) {
+  {
+    PNR_PROF_SPAN("a");
+    {
+      PNR_PROF_SPAN("b");
+      { PNR_PROF_SPAN("c"); }
+    }
+    { PNR_PROF_SPAN("d"); }
+  }
+  { PNR_PROF_SPAN("e"); }
+
+  const Report report = pnr::prof::snapshot();
+  EXPECT_NE(find_span(report, "a/b/c"), nullptr);
+  EXPECT_NE(find_span(report, "a/d"), nullptr);
+  EXPECT_NE(find_span(report, "e"), nullptr);
+  EXPECT_EQ(find_span(report, "a/b/c/d"), nullptr);
+}
+
+TEST_F(ProfTest, CountersAccumulateAndGaugesKeepTheMax) {
+  pnr::prof::count("edges");
+  pnr::prof::count("edges", 41);
+  pnr::prof::gauge_max("rss", 100);
+  pnr::prof::gauge_max("rss", 50);
+  pnr::prof::gauge_max("rss", 700);
+
+  const Report report = pnr::prof::snapshot();
+  const CounterRow* edges = find_counter(report.counters, "edges");
+  const CounterRow* rss = find_counter(report.gauges, "rss");
+  ASSERT_NE(edges, nullptr);
+  ASSERT_NE(rss, nullptr);
+  EXPECT_EQ(edges->value, 42);
+  EXPECT_EQ(rss->value, 700);
+}
+
+TEST_F(ProfTest, CountersMergeAcrossThreads) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) pnr::prof::count("thread.ticks");
+      PNR_PROF_SPAN("thread.work");
+    });
+  for (auto& t : threads) t.join();
+
+  const Report report = pnr::prof::snapshot();
+  const CounterRow* ticks = find_counter(report.counters, "thread.ticks");
+  const SpanRow* work = find_span(report, "thread.work");
+  ASSERT_NE(ticks, nullptr);
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(ticks->value, 400);
+  EXPECT_EQ(work->calls, 4);
+}
+
+TEST_F(ProfDisabledPathTest, DisabledProbesRecordNothing) {
+  pnr::prof::set_enabled(false);
+  {
+    PNR_PROF_SPAN("ghost");
+    pnr::prof::count("ghost_counter", 7);
+    pnr::prof::gauge_max("ghost_gauge", 7);
+  }
+  const Report report = pnr::prof::snapshot();
+  EXPECT_TRUE(report.spans.empty());
+  EXPECT_TRUE(report.counters.empty());
+  EXPECT_TRUE(report.gauges.empty());
+}
+
+TEST_F(ProfDisabledPathTest, ResetClearsEverything) {
+  { PNR_PROF_SPAN("x"); }
+  pnr::prof::count("c");
+  pnr::prof::reset();
+  const Report report = pnr::prof::snapshot();
+  EXPECT_TRUE(report.spans.empty());
+  EXPECT_TRUE(report.counters.empty());
+  EXPECT_TRUE(pnr::prof::enabled());  // reset keeps the switch
+}
+
+TEST_F(ProfTest, PeakRssIsPositiveOnSupportedPlatforms) {
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(pnr::prof::peak_rss_bytes(), 0);
+  pnr::prof::sample_peak_rss();
+  const Report report = pnr::prof::snapshot();
+  const CounterRow* rss = find_counter(report.gauges, "peak_rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_EQ(rss->value, pnr::prof::peak_rss_bytes());
+#endif
+}
+
+TEST_F(ProfTest, JsonExportRoundTrips) {
+  for (int i = 0; i < 2; ++i) {
+    PNR_PROF_SPAN("phase");
+    { PNR_PROF_SPAN("sub"); }
+  }
+  pnr::prof::count("moves", 13);
+  pnr::prof::gauge_max("peak", 99);
+
+  std::string error;
+  const auto doc = Json::parse(pnr::prof::to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  const Json* spans = doc->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  bool found_sub = false;
+  for (const Json& row : spans->elements()) {
+    if (row.find("path")->as_string() == "phase/sub") {
+      found_sub = true;
+      EXPECT_EQ(row.find("calls")->as_int(), 2);
+      EXPECT_GE(row.find("seconds")->as_double(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_sub);
+  ASSERT_NE(doc->find("counters"), nullptr);
+  EXPECT_EQ(doc->find("counters")->find("moves")->as_int(), 13);
+  EXPECT_EQ(doc->find("gauges")->find("peak")->as_int(), 99);
+}
+
+TEST_F(ProfTest, SummaryTableListsSpansAndCounters) {
+  { PNR_PROF_SPAN("alpha"); }
+  pnr::prof::count("beta", 5);
+  std::ostringstream os;
+  pnr::prof::write_summary(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("beta"), std::string::npos);
+}
+
+// ---- pnr::util::Json ----
+
+TEST(JsonTest, BuildsAndDumpsStableOutput) {
+  Json doc = Json::object();
+  doc["name"] = "pnr";
+  doc["count"] = std::int64_t{3};
+  doc["ratio"] = 0.5;
+  doc["ok"] = true;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  doc["list"] = std::move(arr);
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"pnr\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"list\":[1,\"two\"]}");
+}
+
+TEST(JsonTest, ParsesNestedDocuments) {
+  const std::string text =
+      R"({"a": [1, 2.5, {"b": "x\ny"}], "c": null, "d": false})";
+  std::string error;
+  const auto doc = Json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const Json* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(a->at(1).as_double(), 2.5);
+  EXPECT_EQ(a->at(2).find("b")->as_string(), "x\ny");
+  EXPECT_TRUE(doc->find("c")->is_null());
+  EXPECT_FALSE(doc->find("d")->as_bool());
+}
+
+TEST(JsonTest, DumpParseRoundTripPreservesStructure) {
+  Json doc = Json::object();
+  doc["text"] = "quote \" backslash \\ tab \t";
+  doc["negative"] = std::int64_t{-17};
+  doc["tiny"] = 1.25e-8;
+  Json inner = Json::object();
+  inner["empty_list"] = Json::array();
+  doc["inner"] = std::move(inner);
+
+  for (const int indent : {0, 2}) {
+    const auto parsed = Json::parse(doc.dump(indent));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("text")->as_string(), doc.find("text")->as_string());
+    EXPECT_EQ(parsed->find("negative")->as_int(), -17);
+    EXPECT_DOUBLE_EQ(parsed->find("tiny")->as_double(), 1.25e-8);
+    EXPECT_EQ(parsed->find("inner")->find("empty_list")->size(), 0u);
+  }
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::parse("[1, 2,]", nullptr).has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated", nullptr).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": 1} junk", nullptr).has_value());
+  EXPECT_FALSE(Json::parse("nul", nullptr).has_value());
+}
+
+}  // namespace
