@@ -1,0 +1,204 @@
+// Microbenchmark for the incremental KL/FM refinement engine — the dominant
+// hot path of the repartitioning pipeline. Isolates refine_partition on the
+// paper's workload graphs (fine dual graphs of the Section 6/7 mesh series)
+// so queue/connectivity changes can be measured without the rest of the
+// pipeline, and emits the machine-readable trajectory BENCH_refine.json
+// (schema "pnr.bench_refine.v1", documented in docs/OBSERVABILITY.md).
+//
+// Each case partitions a workload graph with Multilevel-KL (the "home"
+// assignment Π^{t-1}), perturbs ~1/8 of the vertices to random other subsets
+// (standing in for the carried assignment after an adaptation step), and
+// refines back. Hard mode (hard balance, α = 0.1, β = 0) is the PNR
+// uncoarsening configuration; soft mode (β = 0.8, no hard constraint)
+// exercises the verify-on-pop path of the β term.
+//
+//   --quick      reduced sizes for CI (~1 s total)
+//   --procs=8    subset count
+//   --reps=5     repetitions per case (min and mean are reported)
+//   --out=<path> output JSON (default BENCH_refine.json)
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "partition/mlkl.hpp"
+#include "partition/refine.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+using namespace pnr;
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  std::string mode;  // "hard" | "soft"
+  graph::VertexId vertices = 0;
+  std::int64_t edges = 0;
+  graph::Weight cut_before = 0;
+  graph::Weight cut_after = 0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  part::RefineResult stats;  // from the min-time rep (all reps identical)
+};
+
+/// Move ~1/8 of the vertices to a random other subset. Deterministic in the
+/// seed, so every rep (and every run) refines the same starting point.
+void perturb(const graph::Graph& g, part::Partition& pi, util::Rng& rng) {
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (rng.next_below(8) != 0) continue;
+    const auto sv = static_cast<std::size_t>(v);
+    const auto shift =
+        1 + static_cast<part::PartId>(rng.next_below(
+                static_cast<std::uint64_t>(pi.num_parts - 1)));
+    pi.assign[sv] =
+        static_cast<part::PartId>((pi.assign[sv] + shift) % pi.num_parts);
+  }
+}
+
+CaseResult run_case(const std::string& name, const graph::Graph& g,
+                    part::PartId p, bool soft, int reps, std::uint64_t seed) {
+  CaseResult r;
+  r.name = name;
+  r.mode = soft ? "soft" : "hard";
+  r.vertices = g.num_vertices();
+  r.edges = g.num_edges();
+
+  util::Rng rng(seed);
+  const part::Partition home = part::multilevel_kl(g, p, rng);
+  part::Partition start = home;
+  perturb(g, start, rng);
+  r.cut_before = part::cut_size(g, start);
+
+  part::RefineOptions opt;
+  opt.alpha = 0.1;
+  opt.home = &home.assign;
+  if (soft) {
+    opt.hard_balance = false;
+    opt.beta = 0.8;
+  } else {
+    opt.hard_balance = true;
+    opt.imbalance_tol = 0.05;
+  }
+
+  r.min_ms = 1e30;
+  double sum_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    part::Partition pi = start;
+    util::Timer timer;
+    const part::RefineResult stats = part::refine_partition(g, pi, opt);
+    const double ms = timer.seconds() * 1e3;
+    sum_ms += ms;
+    if (ms < r.min_ms) {
+      r.min_ms = ms;
+      r.stats = stats;
+      r.cut_after = part::cut_size(g, pi);
+    }
+  }
+  r.mean_ms = sum_ms / reps;
+  return r;
+}
+
+util::Json to_json(const CaseResult& r, part::PartId procs, int reps) {
+  util::Json doc = util::Json::object();
+  doc["name"] = r.name;
+  doc["mode"] = r.mode;
+  doc["procs"] = static_cast<std::int64_t>(procs);
+  doc["reps"] = static_cast<std::int64_t>(reps);
+  doc["vertices"] = static_cast<std::int64_t>(r.vertices);
+  doc["edges"] = r.edges;
+  doc["cut_before"] = static_cast<std::int64_t>(r.cut_before);
+  doc["cut_after"] = static_cast<std::int64_t>(r.cut_after);
+  doc["min_ms"] = r.min_ms;
+  doc["mean_ms"] = r.mean_ms;
+  util::Json counters = util::Json::object();
+  counters["kl.passes"] = static_cast<std::int64_t>(r.stats.passes);
+  counters["kl.moves"] = r.stats.moves;
+  counters["kl.boundary_seeded"] = r.stats.boundary_seeded;
+  counters["kl.queue_pushes"] = r.stats.queue_pushes;
+  counters["kl.stale_pops"] = r.stats.stale_pops;
+  counters["kl.gain_recomputes"] = r.stats.gain_recomputes;
+  doc["counters"] = std::move(counters);
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const auto p = static_cast<part::PartId>(cli.get_int("procs", 8));
+  const int reps = cli.get_int("reps", quick ? 3 : 5);
+  const std::uint64_t seed = 1;
+  const std::string out = cli.get("out", "BENCH_refine.json");
+
+  bench::banner("KL refinement micro",
+                "refine_partition on the paper's dual graphs; writes "
+                "BENCH_refine.json");
+
+  std::vector<CaseResult> results;
+  {
+    pared::CornerSeries2D series(quick ? 32 : 40);
+    const int levels = quick ? 3 : 6;
+    for (int l = 0; l < levels; ++l) series.advance();
+    const auto dual = mesh::fine_dual_graph(series.mesh());
+    results.push_back(run_case("corner2d", dual.graph, p, false, reps, seed));
+    results.push_back(
+        run_case("corner2d_soft", dual.graph, p, true, reps, seed));
+  }
+  {
+    pared::TransientOptions topts;
+    topts.grid_n = quick ? 32 : 40;
+    topts.steps = quick ? 5 : 15;
+    pared::TransientRun run(topts);
+    while (!run.done()) run.advance();
+    const auto dual = mesh::fine_dual_graph(run.mesh());
+    results.push_back(
+        run_case("transient2d", dual.graph, p, false, reps, seed));
+  }
+  if (!quick) {
+    pared::CornerSeries3D series(8);
+    for (int l = 0; l < 3; ++l) series.advance();
+    const auto dual = mesh::fine_dual_graph(series.mesh());
+    results.push_back(run_case("corner3d", dual.graph, p, false, reps, seed));
+  }
+
+  util::Table table({"case", "mode", "n", "cut before", "cut after", "min ms",
+                     "mean ms", "moves", "pushes"});
+  for (const CaseResult& r : results) {
+    table.row()
+        .cell(r.name)
+        .cell(r.mode)
+        .cell(static_cast<std::int64_t>(r.vertices))
+        .cell(static_cast<std::int64_t>(r.cut_before))
+        .cell(static_cast<std::int64_t>(r.cut_after))
+        .cell(r.min_ms, 2)
+        .cell(r.mean_ms, 2)
+        .cell(r.stats.moves)
+        .cell(r.stats.queue_pushes);
+  }
+  table.print(std::cout);
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = "pnr.bench_refine.v1";
+  doc["binary"] = "bench_refine";
+  doc["mode"] = quick ? "quick" : "default";
+  doc["procs"] = static_cast<std::int64_t>(p);
+  util::Json cases = util::Json::array();
+  for (const CaseResult& r : results) cases.push_back(to_json(r, p, reps));
+  doc["cases"] = std::move(cases);
+
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  file << doc.dump(2) << "\n";
+  std::printf("wrote %s (%d cases)\n", out.c_str(),
+              static_cast<int>(results.size()));
+  return 0;
+}

@@ -6,6 +6,10 @@
         [--all]              print every phase regardless of threshold
         [--fail-over=PCT]    exit 1 if any workload's total time regressed
                              by more than PCT percent
+        [--fail-phase=SUBSTR]
+                             apply --fail-over to the phases whose path
+                             contains SUBSTR (e.g. kl.refine) instead of to
+                             the workload totals
 
 Workloads and phases are matched by name/path; entries present on only
 one side are reported as added/removed. See docs/OBSERVABILITY.md for the
@@ -40,14 +44,14 @@ def diff_scalar(label, old, new, fmt="{:.4g}"):
 
 
 def diff_workload(old, new, args):
-    regression = 0.0
     diff_scalar("total_seconds", old["total_seconds"], new["total_seconds"])
     diff_scalar("cut_final", old["cut_final"], new["cut_final"], "{:d}")
     diff_scalar("elements_final", old["elements_final"], new["elements_final"], "{:d}")
     diff_scalar("migration_fraction_mean", old["migration_fraction_mean"],
                 new["migration_fraction_mean"])
     diff_scalar("peak_rss_bytes", old["peak_rss_bytes"], new["peak_rss_bytes"], "{:d}")
-    if old["total_seconds"] > 0:
+    regression = 0.0
+    if not args.fail_phase and old["total_seconds"] > 0:
         regression = (new["total_seconds"] - old["total_seconds"]) / old["total_seconds"]
 
     old_phases = {p["path"]: p for p in old.get("phases", [])}
@@ -64,6 +68,9 @@ def diff_workload(old, new, args):
             if args.all or rel >= args.threshold:
                 rows.append((path, f"{a['seconds'] * 1e3:10.2f} -> {b['seconds'] * 1e3:10.2f} ms"
                                    f"  {pct(a['seconds'], b['seconds'])}"))
+            if args.fail_phase and args.fail_phase in path and a["seconds"] > 0:
+                regression = max(regression,
+                                 (b["seconds"] - a["seconds"]) / a["seconds"])
     if rows:
         print("  phases (>= {:.0%} change):".format(args.threshold)
               if not args.all else "  phases:")
@@ -81,6 +88,9 @@ def main():
     ap.add_argument("--all", action="store_true")
     ap.add_argument("--fail-over", type=float, default=None,
                     help="exit 1 on a total-time regression above this percent")
+    ap.add_argument("--fail-phase", default=None,
+                    help="apply --fail-over to phases matching this substring "
+                         "instead of to workload totals")
     args = ap.parse_args()
 
     before, after = load(args.before), load(args.after)
@@ -101,7 +111,9 @@ def main():
             worst = max(worst, diff_workload(old_w[name], new_w[name], args))
 
     if args.fail_over is not None and worst * 100.0 > args.fail_over:
-        print(f"FAIL: worst total-time regression {worst:+.1%} exceeds "
+        what = (f"phase '{args.fail_phase}'" if args.fail_phase
+                else "total-time")
+        print(f"FAIL: worst {what} regression {worst:+.1%} exceeds "
               f"--fail-over={args.fail_over}%")
         return 1
     return 0

@@ -44,6 +44,16 @@ class Graph {
 
   std::int64_t degree(VertexId v) const { return xadj_[v + 1] - xadj_[v]; }
 
+  /// Paired neighbor/edge-weight spans for the common zipped iteration.
+  struct Adjacency {
+    std::span<const VertexId> nbrs;
+    std::span<const Weight> wgts;
+    std::size_t size() const { return nbrs.size(); }
+  };
+  Adjacency adjacency(VertexId v) const {
+    return {neighbors(v), edge_weights(v)};
+  }
+
   Weight vertex_weight(VertexId v) const { return vwgt_[v]; }
   void set_vertex_weight(VertexId v, Weight w) { vwgt_[v] = w; }
 

@@ -1,0 +1,59 @@
+#include "partition/conn.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pnr::part {
+
+void ConnTable::build(const Graph& g, const std::vector<PartId>& assign,
+                      PartId num_parts) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  offset_.assign(n + 1, 0);
+  count_.assign(n, 0);
+  // Row capacity = min(deg, p): a row can never hold more distinct subsets.
+  for (std::size_t v = 0; v < n; ++v)
+    offset_[v + 1] =
+        offset_[v] + std::min<std::int64_t>(
+                         g.degree(static_cast<graph::VertexId>(v)), num_parts);
+  pool_.assign(static_cast<std::size_t>(offset_[n]), Slot{0, 0});
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto adj = g.adjacency(static_cast<graph::VertexId>(v));
+    for (std::size_t k = 0; k < adj.size(); ++k)
+      add(static_cast<graph::VertexId>(v),
+          assign[static_cast<std::size_t>(adj.nbrs[k])], adj.wgts[k]);
+  }
+}
+
+void ConnTable::add(graph::VertexId v, PartId t, Weight delta) {
+  if (delta == 0) return;
+  const auto sv = static_cast<std::size_t>(v);
+  Slot* row = pool_.data() + offset_[sv];
+  const std::int32_t cnt = count_[sv];
+  for (std::int32_t i = 0; i < cnt; ++i) {
+    if (row[i].part != t) continue;
+    row[i].weight += delta;
+    PNR_ASSERT(row[i].weight >= 0);
+    if (row[i].weight == 0) {
+      row[i] = row[cnt - 1];
+      --count_[sv];
+    }
+    return;
+  }
+  PNR_ASSERT(delta > 0);
+  PNR_ASSERT(offset_[sv] + cnt < offset_[sv + 1]);
+  row[cnt] = Slot{t, delta};
+  ++count_[sv];
+}
+
+void conn_apply_move(ConnTable& conn, const Graph& g, graph::VertexId v,
+                     PartId from, PartId to) {
+  const auto adj = g.adjacency(v);
+  for (std::size_t k = 0; k < adj.size(); ++k) {
+    // Remove-first so the touched rows never exceed min(deg, p) slots.
+    conn.add(adj.nbrs[k], from, -adj.wgts[k]);
+    conn.add(adj.nbrs[k], to, adj.wgts[k]);
+  }
+}
+
+}  // namespace pnr::part

@@ -1,0 +1,114 @@
+#pragma once
+// Incrementally maintained partition-connectivity state, shared by the KL
+// refiner and the greedy rebalancer.
+//
+// ConnTable keeps, for every vertex v, the sparse row conn(v, ·): the total
+// edge weight from v into each subset it touches. The row is built once in
+// O(deg) and then kept exact with O(1) delta updates per incident move, so a
+// gain query costs a scan of the (tiny) row instead of a full adjacency
+// re-gather. A vertex touches at most min(deg, p) subsets, which bounds the
+// backing pool by 2·|E| slots regardless of p.
+//
+// VertexSet is the companion O(1) indexed set used to track the boundary
+// (vertices with at least one cross-partition edge) incrementally.
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+
+namespace pnr::part {
+
+/// Sparse conn(v, part) rows over a fixed graph; exact under delta updates.
+class ConnTable {
+ public:
+  struct Slot {
+    PartId part;
+    Weight weight;
+  };
+
+  /// (Re)build every row from scratch for the given assignment.
+  void build(const Graph& g, const std::vector<PartId>& assign,
+             PartId num_parts);
+
+  /// conn(v, t); 0 when v has no edge into subset t. O(row size).
+  Weight get(graph::VertexId v, PartId t) const {
+    for (const Slot& s : entries(v))
+      if (s.part == t) return s.weight;
+    return 0;
+  }
+
+  /// The nonzero slots of row v, in unspecified (but deterministic) order.
+  std::span<const Slot> entries(graph::VertexId v) const {
+    const auto sv = static_cast<std::size_t>(v);
+    return {pool_.data() + offset_[sv], static_cast<std::size_t>(count_[sv])};
+  }
+
+  /// conn(v, t) += delta, creating the slot on demand and dropping it when
+  /// it reaches zero. Callers must order updates remove-first (the -delta of
+  /// a move before its +delta) so rows never exceed their capacity.
+  void add(graph::VertexId v, PartId t, Weight delta);
+
+  /// True iff v has an edge into a subset other than `own`.
+  bool is_boundary(graph::VertexId v, PartId own) const {
+    const auto row = entries(v);
+    if (row.size() >= 2) return true;
+    return row.size() == 1 && row[0].part != own;
+  }
+
+  bool empty() const { return offset_.empty(); }
+
+ private:
+  std::vector<std::int64_t> offset_;  ///< row start in pool_
+  std::vector<std::int32_t> count_;   ///< live slots per row
+  std::vector<Slot> pool_;
+};
+
+/// Apply the conn-table deltas of moving v from `from` to `to`: every
+/// neighbor u gets conn(u, from) -= w(u,v) and conn(u, to) += w(u,v).
+/// (Row v itself is unaffected — it describes v's neighbors, none of which
+/// moved.) Call with the *graph* adjacency; the partition array itself is
+/// updated by the caller.
+void conn_apply_move(ConnTable& conn, const Graph& g, graph::VertexId v,
+                     PartId from, PartId to);
+
+/// Dense O(1) membership set over vertex ids with an iterable item list
+/// (swap-with-last removal; order is deterministic given the op sequence).
+class VertexSet {
+ public:
+  void reset(std::size_t n) {
+    pos_.assign(n, -1);
+    items_.clear();
+  }
+
+  bool contains(graph::VertexId v) const {
+    return pos_[static_cast<std::size_t>(v)] >= 0;
+  }
+
+  void insert(graph::VertexId v) {
+    auto& p = pos_[static_cast<std::size_t>(v)];
+    if (p >= 0) return;
+    p = static_cast<std::int32_t>(items_.size());
+    items_.push_back(v);
+  }
+
+  void erase(graph::VertexId v) {
+    auto& p = pos_[static_cast<std::size_t>(v)];
+    if (p < 0) return;
+    const graph::VertexId last = items_.back();
+    items_[static_cast<std::size_t>(p)] = last;
+    pos_[static_cast<std::size_t>(last)] = p;
+    items_.pop_back();
+    p = -1;
+  }
+
+  const std::vector<graph::VertexId>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<std::int32_t> pos_;
+  std::vector<graph::VertexId> items_;
+};
+
+}  // namespace pnr::part

@@ -6,12 +6,14 @@
 #include "partition/rebalance.hpp"
 #include "partition/refine.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
 MlDiffusionResult multilevel_diffusion(const Graph& g, Partition& pi,
                                        util::Rng& rng,
                                        const MlDiffusionOptions& options) {
+  PNR_PROF_SPAN("mld.repartition");
   PNR_REQUIRE(pi.valid_for(g));
   MlDiffusionResult result;
   const Partition original = pi;
@@ -53,6 +55,7 @@ MlDiffusionResult multilevel_diffusion(const Graph& g, Partition& pi,
   bopt.tol = options.imbalance_tol / 2.0;
 
   std::vector<PartId> assign = assigns.back();
+  PNR_PROF_SPAN("mld.uncoarsen_refine");
   for (std::size_t k = levels.size() + 1; k-- > 0;) {
     const Graph& level_graph = k == 0 ? g : levels[k - 1].graph;
     Partition level_pi(pi.num_parts, std::move(assign));

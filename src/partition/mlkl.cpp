@@ -37,6 +37,7 @@ std::vector<PartId> mlkl_bisect(const Graph& g, Weight target0,
 
   // Refine at the coarsest level, then project down and refine at each
   // finer level.
+  PNR_PROF_SPAN("mlkl.uncoarsen_refine");
   {
     Partition pi(2, side);
     refine_partition(coarsest, pi, ropt);

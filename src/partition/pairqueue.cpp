@@ -4,59 +4,90 @@
 
 namespace pnr::part {
 
-PairQueueTable::PairQueueTable(PartId num_parts)
+PairQueueTable::PairQueueTable(PartId num_parts, graph::VertexId num_vertices)
     : p_(num_parts),
-      queues_(static_cast<std::size_t>(num_parts) * num_parts) {
+      pos_(static_cast<std::size_t>(num_vertices) * num_parts, -1) {
   PNR_REQUIRE(num_parts > 0);
+  PNR_REQUIRE(num_vertices >= 0);
 }
 
-void PairQueueTable::push(graph::VertexId v, PartId from, PartId to,
-                          double gain, std::uint32_t version) {
-  PNR_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_ && from != to);
-  queues_[static_cast<std::size_t>(from) * p_ + to].push(
-      Item{gain, next_order_++, v, version});
-  ++live_hint_;
+void PairQueueTable::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!better(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    pos_[slot(heap_[i].v, heap_[i].to)] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  pos_[slot(heap_[i].v, heap_[i].to)] = static_cast<std::int32_t>(i);
 }
 
-std::optional<PairQueueTable::Entry> PairQueueTable::pop_best(
-    const std::vector<std::uint32_t>& current_version) {
+void PairQueueTable::sift_down(std::size_t i) {
   for (;;) {
-    // Scan the p² heads for the best live candidate. p ≤ 128 in all the
-    // paper's experiments, so this scan is cheap relative to gain updates.
-    double best_gain = 0.0;
-    std::uint64_t best_order = 0;
-    std::size_t best_q = queues_.size();
-    for (std::size_t q = 0; q < queues_.size(); ++q) {
-      auto& pq = queues_[q];
-      // Drop stale heads so the scan sees live gains only.
-      while (!pq.empty() &&
-             pq.top().version !=
-                 current_version[static_cast<std::size_t>(pq.top().v)]) {
-        pq.pop();
-        --live_hint_;
-      }
-      if (pq.empty()) continue;
-      const Item& head = pq.top();
-      if (best_q == queues_.size() || head.gain > best_gain ||
-          (head.gain == best_gain && head.order < best_order)) {
-        best_gain = head.gain;
-        best_order = head.order;
-        best_q = q;
-      }
-    }
-    if (best_q == queues_.size()) return std::nullopt;
-    const Item item = queues_[best_q].top();
-    queues_[best_q].pop();
-    --live_hint_;
-    return Entry{item.v, static_cast<PartId>(best_q / p_),
-                 static_cast<PartId>(best_q % p_), item.gain, item.version};
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < heap_.size() && better(heap_[l], heap_[best])) best = l;
+    if (r < heap_.size() && better(heap_[r], heap_[best])) best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    pos_[slot(heap_[i].v, heap_[i].to)] = static_cast<std::int32_t>(i);
+    i = best;
+  }
+  pos_[slot(heap_[i].v, heap_[i].to)] = static_cast<std::int32_t>(i);
+}
+
+void PairQueueTable::push_or_update(graph::VertexId v, PartId from, PartId to,
+                                    double gain) {
+  PNR_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_ && from != to);
+  const std::int32_t i = pos_[slot(v, to)];
+  if (i < 0) {
+    heap_.push_back(Item{gain, next_order_++, v, from, to});
+    sift_up(heap_.size() - 1);
+    ++pushes_;
+    return;
+  }
+  auto& item = heap_[static_cast<std::size_t>(i)];
+  PNR_ASSERT(item.v == v && item.from == from);
+  item.gain = gain;
+  sift_up(static_cast<std::size_t>(i));
+  sift_down(static_cast<std::size_t>(pos_[slot(v, to)]));
+}
+
+void PairQueueTable::remove_at(std::size_t i) {
+  pos_[slot(heap_[i].v, heap_[i].to)] = -1;
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    heap_[i] = heap_[last];
+    heap_.pop_back();
+    sift_up(i);
+    sift_down(static_cast<std::size_t>(pos_[slot(heap_[i].v, heap_[i].to)]));
+  } else {
+    heap_.pop_back();
   }
 }
 
+void PairQueueTable::remove(graph::VertexId v, [[maybe_unused]] PartId from,
+                            PartId to) {
+  const std::int32_t i = pos_[slot(v, to)];
+  if (i < 0) return;
+  PNR_ASSERT(heap_[static_cast<std::size_t>(i)].from == from);
+  remove_at(static_cast<std::size_t>(i));
+}
+
+void PairQueueTable::remove_all(graph::VertexId v, PartId from) {
+  for (PartId to = 0; to < p_; ++to) remove(v, from, to);
+}
+
+std::optional<PairQueueTable::Entry> PairQueueTable::pop_best() {
+  if (heap_.empty()) return std::nullopt;
+  const Item item = heap_[0];
+  remove_at(0);
+  return Entry{item.v, item.from, item.to, item.gain};
+}
+
 void PairQueueTable::clear() {
-  for (auto& q : queues_)
-    while (!q.empty()) q.pop();
-  live_hint_ = 0;
+  for (const Item& item : heap_) pos_[slot(item.v, item.to)] = -1;
+  heap_.clear();
 }
 
 }  // namespace pnr::part

@@ -1,13 +1,23 @@
 #pragma once
-// The p×p table of gain-sorted priority queues described in Section 9 of the
+// The table of gain-sorted candidate moves described in Section 9 of the
 // paper: entry (i,j) holds candidate vertex moves from subset i to subset j,
-// ordered by potential gain. The refiner repeatedly takes the best head
-// across the table. Entries are versioned so that stale candidates (pushed
-// before a neighboring move changed their gain) are discarded lazily on pop.
+// ordered by potential gain, and the refiner repeatedly takes the best
+// candidate across the whole table.
+//
+// The paper sketches this as a p×p grid of queues; here all cells share one
+// *indexed* binary heap. The refiner only ever asks for the global best head,
+// so per-cell heaps would just turn every pop into an O(p²) scan of heads —
+// measured as the dominant queue cost once gains became exact. A candidate is
+// addressed by (vertex, to) and can be re-keyed or removed in place in
+// O(log size), which is what lets the refiner maintain exact gains
+// incrementally: when a neighboring move changes a candidate's gain the
+// entry is updated where it sits, instead of pushing a fresh copy and lazily
+// discarding the stale one on pop (the churn the versioned variant of this
+// table suffered from). A vertex holds at most one entry per destination
+// subset, all filed under its current subset.
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -17,45 +27,71 @@ namespace pnr::part {
 
 class PairQueueTable {
  public:
-  explicit PairQueueTable(PartId num_parts);
+  /// The table addresses entries by (vertex, to), so it must know both the
+  /// subset count and the vertex count up front.
+  PairQueueTable(PartId num_parts, graph::VertexId num_vertices);
 
   struct Entry {
     graph::VertexId v;
     PartId from;
     PartId to;
     double gain;
-    std::uint32_t version;
   };
 
-  /// Queue a candidate move. `version` must match the vertex's current
-  /// version for the entry to be considered live at pop time.
-  void push(graph::VertexId v, PartId from, PartId to, double gain,
-            std::uint32_t version);
+  /// Insert candidate (v: from → to), or re-key it in place if present.
+  /// An existing entry keeps its arrival order (FIFO tiebreak), so updating
+  /// a gain does not demote the entry behind equal-gain newcomers.
+  void push_or_update(graph::VertexId v, PartId from, PartId to, double gain);
 
-  /// Pop the entry with the largest gain across all p² queues, skipping
-  /// entries whose version is stale according to `current_version`.
-  /// Returns nullopt when every queue is exhausted.
-  std::optional<Entry> pop_best(const std::vector<std::uint32_t>& current_version);
+  /// Drop candidate (v: from → to) if present.
+  void remove(graph::VertexId v, PartId from, PartId to);
+
+  /// Drop every candidate of v (all filed under its current subset `from`).
+  void remove_all(graph::VertexId v, PartId from);
+
+  bool contains(graph::VertexId v, PartId to) const {
+    return pos_[slot(v, to)] >= 0;
+  }
+
+  /// Pop the entry with the largest gain across the table (FIFO order
+  /// breaks ties). Returns nullopt when the table is empty.
+  std::optional<Entry> pop_best();
 
   void clear();
-  std::size_t size() const { return live_hint_; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Total push_or_update calls that inserted a *new* entry (stat hook).
+  std::int64_t pushes() const { return pushes_; }
 
  private:
   struct Item {
     double gain;
     std::uint64_t order;  // FIFO tiebreak for determinism
     graph::VertexId v;
-    std::uint32_t version;
-    bool operator<(const Item& o) const {
-      if (gain != o.gain) return gain < o.gain;
-      return order > o.order;  // earlier push wins ties
-    }
+    PartId from;
+    PartId to;
   };
 
+  std::size_t slot(graph::VertexId v, PartId to) const {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(p_) +
+           static_cast<std::size_t>(to);
+  }
+
+  /// True iff a ranks strictly better than b (larger gain, earlier order).
+  static bool better(const Item& a, const Item& b) {
+    if (a.gain != b.gain) return a.gain > b.gain;
+    return a.order < b.order;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void remove_at(std::size_t i);
+
   PartId p_;
-  std::vector<std::priority_queue<Item>> queues_;  // index = from*p + to
+  std::vector<Item> heap_;
+  std::vector<std::int32_t> pos_;  // (v,to) -> index in heap_
   std::uint64_t next_order_ = 0;
-  std::size_t live_hint_ = 0;
+  std::int64_t pushes_ = 0;
 };
 
 }  // namespace pnr::part

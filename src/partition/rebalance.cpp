@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "partition/conn.hpp"
 #include "partition/diffusion.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
@@ -13,11 +15,25 @@ namespace {
 /// One flow-directed sweep: move boundary vertices along the Hu–Blake
 /// potentials until each directed flow is (approximately) satisfied.
 /// Vertices move at most once per sweep, which rules out ping-pong.
+///
+/// Candidates are drawn from the incrementally maintained boundary set and
+/// scored from the shared conn table (conn(v, j) − conn(v, i)), instead of
+/// re-gathering every vertex's adjacency for every processor-graph edge.
 struct SweepState {
   std::vector<Weight> weights;
   std::vector<std::int64_t> counts;
   std::vector<char> moved;
+  ConnTable conn;
+  VertexSet boundary;
 };
+
+void update_boundary(const Partition& pi, SweepState& state,
+                     graph::VertexId v) {
+  if (state.conn.is_boundary(v, pi.assign[static_cast<std::size_t>(v)]))
+    state.boundary.insert(v);
+  else
+    state.boundary.erase(v);
+}
 
 std::int64_t run_sweep(const Graph& g, Partition& pi,
                        const RebalanceOptions& options,
@@ -42,25 +58,21 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
                     lambda[static_cast<std::size_t>(j)];
       if (flow <= 0.5) continue;
 
-      // Candidates of subset i on the boundary with subset j, by gain.
+      // Candidates of subset i on the boundary with subset j, by gain. The
+      // boundary set iterates in history order; the total-order sort below
+      // makes the outcome independent of it.
       struct Cand {
         double gain;
         Weight w;
         graph::VertexId v;
       };
       std::vector<Cand> cands;
-      for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const graph::VertexId v : state.boundary.items()) {
         const auto sv = static_cast<std::size_t>(v);
         if (pi.assign[sv] != i || state.moved[sv]) continue;
-        Weight to_j = 0, internal = 0;
-        const auto nbrs = g.neighbors(v);
-        const auto wgts = g.edge_weights(v);
-        for (std::size_t k = 0; k < nbrs.size(); ++k) {
-          const PartId q = pi.assign[static_cast<std::size_t>(nbrs[k])];
-          if (q == static_cast<PartId>(j)) to_j += wgts[k];
-          else if (q == i) internal += wgts[k];
-        }
+        const Weight to_j = state.conn.get(v, static_cast<PartId>(j));
         if (to_j == 0) continue;
+        const Weight internal = state.conn.get(v, i);
         double gain = static_cast<double>(to_j - internal);
         if (options.alpha > 0.0 && options.home) {
           const PartId home = (*options.home)[sv];
@@ -84,6 +96,10 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
         state.weights[static_cast<std::size_t>(j)] += c.w;
         --state.counts[static_cast<std::size_t>(i)];
         ++state.counts[static_cast<std::size_t>(j)];
+        conn_apply_move(state.conn, g, c.v, i, static_cast<PartId>(j));
+        for (const graph::VertexId u : g.neighbors(c.v))
+          update_boundary(pi, state, u);
+        update_boundary(pi, state, c.v);
         flow -= static_cast<double>(c.w);
         weight_moved += c.w;
         ++moves;
@@ -122,6 +138,7 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
 
 RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
                                  const RebalanceOptions& options) {
+  PNR_PROF_SPAN("rebalance.greedy");
   RebalanceResult result;
   const auto n = static_cast<std::size_t>(g.num_vertices());
   const auto p = static_cast<std::size_t>(pi.num_parts);
@@ -143,6 +160,10 @@ RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
   state.counts.assign(p, 0);
   for (const PartId q : pi.assign) ++state.counts[static_cast<std::size_t>(q)];
   state.moved.assign(n, false);
+  state.conn.build(g, pi.assign, pi.num_parts);
+  state.boundary.reset(n);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    update_boundary(pi, state, v);
 
   auto balanced = [&] {
     for (std::size_t i = 0; i < p; ++i) {
@@ -154,6 +175,7 @@ RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
   };
 
   const int max_sweeps = 64;
+  int sweeps = 0;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     if (balanced()) {
       result.balanced = true;
@@ -161,11 +183,14 @@ RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
     }
     const auto moves =
         run_sweep(g, pi, options, targets, state, result.weight_moved);
+    ++sweeps;
     result.moves += moves;
     if (moves == 0) break;
     if (options.max_moves > 0 && result.moves >= options.max_moves) break;
   }
   if (!result.balanced) result.balanced = balanced();
+  prof::count("rebalance.sweeps", sweeps);
+  prof::count("rebalance.moves", result.moves);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "partition/conn.hpp"
 #include "partition/pairqueue.hpp"
 #include "util/assert.hpp"
 #include "util/prof.hpp"
@@ -10,42 +11,6 @@
 namespace pnr::part {
 
 namespace {
-
-/// Scratch accumulator for conn(v, ·): edge weight from v into each subset.
-class ConnScratch {
- public:
-  explicit ConnScratch(PartId p)
-      : conn_(static_cast<std::size_t>(p), 0),
-        seen_(static_cast<std::size_t>(p), false) {}
-
-  /// Recompute for vertex v; afterwards conn(t) and touched() are valid.
-  void gather(const Graph& g, const std::vector<PartId>& part,
-              graph::VertexId v) {
-    for (PartId t : touched_) {
-      conn_[static_cast<std::size_t>(t)] = 0;
-      seen_[static_cast<std::size_t>(t)] = false;
-    }
-    touched_.clear();
-    const auto nbrs = g.neighbors(v);
-    const auto wgts = g.edge_weights(v);
-    for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      const PartId t = part[static_cast<std::size_t>(nbrs[k])];
-      if (!seen_[static_cast<std::size_t>(t)]) {
-        seen_[static_cast<std::size_t>(t)] = true;
-        touched_.push_back(t);
-      }
-      conn_[static_cast<std::size_t>(t)] += wgts[k];
-    }
-  }
-
-  Weight conn(PartId t) const { return conn_[static_cast<std::size_t>(t)]; }
-  const std::vector<PartId>& touched() const { return touched_; }
-
- private:
-  std::vector<Weight> conn_;
-  std::vector<char> seen_;
-  std::vector<PartId> touched_;
-};
 
 struct MoveRecord {
   graph::VertexId v;
@@ -61,10 +26,8 @@ class Refiner {
         opt_(opt),
         n_(static_cast<std::size_t>(g.num_vertices())),
         weights_(part_weights(g, pi)),
-        version_(n_, 0),
         locked_(n_, false),
-        queue_(pi.num_parts),
-        scratch_(pi.num_parts) {
+        queue_(pi.num_parts, g.num_vertices()) {
     PNR_REQUIRE(pi.valid_for(g));
     if (opt_.alpha > 0.0) {
       PNR_REQUIRE_MSG(opt_.home != nullptr,
@@ -88,6 +51,13 @@ class Refiner {
     abandon_after_ = opt_.abandon_after > 0
                          ? opt_.abandon_after
                          : std::max<std::int64_t>(128, static_cast<std::int64_t>(n_) / 16);
+
+    count_.assign(np, 0);
+    for (PartId p : pi_.assign) ++count_[static_cast<std::size_t>(p)];
+    // One-time conn build; kept exact by delta updates from here on.
+    conn_.build(g_, pi_.assign, pi_.num_parts);
+    active_.reset(n_);
+    for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) update_active(v);
   }
 
   RefineResult run() {
@@ -98,14 +68,31 @@ class Refiner {
       if (gain <= 1e-9) break;
       result.total_gain += gain;
     }
+    result.queue_pushes = queue_.pushes();
     return result;
   }
 
  private:
-  double gain_of(graph::VertexId v, PartId from, PartId to) {
-    scratch_.gather(g_, pi_.assign, v);
+  bool away_home(graph::VertexId v) const {
+    return opt_.alpha > 0.0 &&
+           (*opt_.home)[static_cast<std::size_t>(v)] !=
+               pi_.assign[static_cast<std::size_t>(v)];
+  }
+
+  /// A vertex is seedable iff it has a candidate move: a cross-partition
+  /// edge, or (α > 0) a return-home move from a foreign subset.
+  void update_active(graph::VertexId v) {
+    if (conn_.is_boundary(v, pi_.assign[static_cast<std::size_t>(v)]) ||
+        away_home(v))
+      active_.insert(v);
+    else
+      active_.erase(v);
+  }
+
+  /// Exact gain from the conn row — O(row size), no adjacency gather.
+  double gain_of(graph::VertexId v, PartId from, PartId to) const {
     const auto w = static_cast<double>(g_.vertex_weight(v));
-    double gain = static_cast<double>(scratch_.conn(to) - scratch_.conn(from));
+    double gain = static_cast<double>(conn_.get(v, to) - conn_.get(v, from));
     if (opt_.alpha > 0.0) {
       const PartId home = (*opt_.home)[static_cast<std::size_t>(v)];
       gain += opt_.alpha * w *
@@ -147,41 +134,78 @@ class Refiner {
     return wf > cap_from && wt + w < wf;
   }
 
-  /// Queue all candidate moves for vertex v at its current version.
-  void queue_vertex(graph::VertexId v) {
+  /// (Re)file every candidate move of v with its exact current gain.
+  void seed_vertex(graph::VertexId v) {
     if (locked_[static_cast<std::size_t>(v)]) return;
     const PartId from = pi_.assign[static_cast<std::size_t>(v)];
-    scratch_.gather(g_, pi_.assign, v);
     bool queued_home = false;
     const PartId home =
         opt_.alpha > 0.0 ? (*opt_.home)[static_cast<std::size_t>(v)] : from;
-    for (PartId t : scratch_.touched()) {
-      if (t == from) continue;
-      queue_.push(v, from, t, gain_of(v, from, t),
-                  version_[static_cast<std::size_t>(v)]);
-      if (t == home) queued_home = true;
+    for (const ConnTable::Slot& s : conn_.entries(v)) {
+      if (s.part == from) continue;
+      queue_.push_or_update(v, from, s.part, gain_of(v, from, s.part));
+      if (s.part == home) queued_home = true;
     }
     if (opt_.alpha > 0.0 && home != from && !queued_home)
-      queue_.push(v, from, home, gain_of(v, from, home),
-                  version_[static_cast<std::size_t>(v)]);
+      queue_.push_or_update(v, from, home, gain_of(v, from, home));
   }
 
-  void apply_move(graph::VertexId v, PartId from, PartId to) {
+  /// Re-key candidate (u: from → t) after conn(u, t) changed, dropping it
+  /// when the last cross edge into t vanished (unless t is u's home).
+  void refresh_candidate(graph::VertexId u, PartId from, PartId t) {
+    if (t == from) return;
+    const bool keep =
+        conn_.get(u, t) > 0 ||
+        (opt_.alpha > 0.0 && (*opt_.home)[static_cast<std::size_t>(u)] == t);
+    if (keep)
+      queue_.push_or_update(u, from, t, gain_of(u, from, t));
+    else
+      queue_.remove(u, from, t);
+  }
+
+  /// Move v and delta-update all incremental state. During a pass the
+  /// affected candidates are re-keyed in place; rollbacks (during_pass =
+  /// false) skip the queue, which is rebuilt at the next pass anyway.
+  void apply_move(graph::VertexId v, PartId from, PartId to,
+                  bool during_pass) {
     pi_.assign[static_cast<std::size_t>(v)] = to;
     const Weight w = g_.vertex_weight(v);
     weights_[static_cast<std::size_t>(from)] -= w;
     weights_[static_cast<std::size_t>(to)] += w;
     --count_[static_cast<std::size_t>(from)];
     ++count_[static_cast<std::size_t>(to)];
+
+    const auto adj = g_.adjacency(v);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const graph::VertexId u = adj.nbrs[k];
+      conn_.add(u, from, -adj.wgts[k]);
+      conn_.add(u, to, adj.wgts[k]);
+      update_active(u);
+      if (!during_pass || locked_[static_cast<std::size_t>(u)]) continue;
+      const PartId pu = pi_.assign[static_cast<std::size_t>(u)];
+      if (pu == from || pu == to) {
+        // conn(u, own) changed: every candidate's cut term shifted, and the
+        // candidate set itself may have changed — refile from the conn row.
+        queue_.remove_all(u, pu);
+        seed_vertex(u);
+      } else {
+        refresh_candidate(u, pu, from);
+        refresh_candidate(u, pu, to);
+      }
+    }
+    update_active(v);
   }
 
   double run_pass(RefineResult& result) {
     queue_.clear();
     std::fill(locked_.begin(), locked_.end(), false);
-    count_.assign(static_cast<std::size_t>(pi_.num_parts), 0);
-    for (PartId p : pi_.assign) ++count_[static_cast<std::size_t>(p)];
 
-    for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) queue_vertex(v);
+    // Boundary-only seeding, in canonical vertex order so results do not
+    // depend on the history of the active set.
+    seed_order_.assign(active_.items().begin(), active_.items().end());
+    std::sort(seed_order_.begin(), seed_order_.end());
+    for (graph::VertexId v : seed_order_) seed_vertex(v);
+    result.boundary_seeded += static_cast<std::int64_t>(seed_order_.size());
 
     std::vector<MoveRecord> log;
     std::vector<PairQueueTable::Entry> deferred;
@@ -189,32 +213,43 @@ class Refiner {
     double best_gain = 0.0;
     std::size_t best_prefix = 0;
     std::int64_t since_best = 0;
+    // With β = 0 every filed gain is exact (cut term re-keyed on neighbor
+    // moves, α term static), so pops are applied directly. The β term
+    // couples gains to the global subset weights, which drift with every
+    // move anywhere — verify those on pop and re-key on mismatch.
+    const bool exact = opt_.beta <= 0.0;
 
     for (;;) {
-      auto entry = queue_.pop_best(version_);
-      if (!entry) {
-        if (deferred.empty()) break;
-        // Nothing live is legal/fresh; no further move can unblock things.
-        break;
-      }
+      auto entry = queue_.pop_best();
+      // Deferred (illegal) moves are re-armed whenever an applied move
+      // touches their subsets, so an empty queue means the subset weights
+      // cannot change again and no deferred move can become legal: the
+      // pass is over.
+      if (!entry) break;
       const auto sv = static_cast<std::size_t>(entry->v);
-      if (locked_[sv] || pi_.assign[sv] != entry->from) continue;
+      PNR_ASSERT(!locked_[sv] && pi_.assign[sv] == entry->from);
 
-      const double now = gain_of(entry->v, entry->from, entry->to);
-      if (std::abs(now - entry->gain) > 1e-9) {
-        queue_.push(entry->v, entry->from, entry->to, now, version_[sv]);
-        continue;
+      double now = entry->gain;
+      if (!exact) {
+        now = gain_of(entry->v, entry->from, entry->to);
+        ++result.gain_recomputes;
+        if (std::abs(now - entry->gain) > 1e-9) {
+          queue_.push_or_update(entry->v, entry->from, entry->to, now);
+          ++result.stale_pops;
+          continue;
+        }
       }
       if (!legal(entry->v, entry->from, entry->to)) {
         deferred.push_back(*entry);
         continue;
       }
 
-      apply_move(entry->v, entry->from, entry->to);
+      queue_.remove_all(entry->v, entry->from);
       locked_[sv] = true;
-      ++version_[sv];
+      apply_move(entry->v, entry->from, entry->to, true);
       log.push_back({entry->v, entry->from, entry->to});
       cum_gain += now;
+      if (opt_.check_invariants) verify_incremental_state();
       if (cum_gain > best_gain + 1e-9) {
         best_gain = cum_gain;
         best_prefix = log.size();
@@ -223,34 +258,57 @@ class Refiner {
         break;
       }
 
-      // Moving v changed the gains of its neighbors; re-queue them fresh.
-      for (graph::VertexId u : g_.neighbors(entry->v)) {
-        const auto su = static_cast<std::size_t>(u);
-        if (locked_[su]) continue;
-        ++version_[su];
-        queue_vertex(u);
-      }
-      // Weight changes may have legalized previously deferred moves.
+      // Weight changes may have legalized previously deferred moves — but
+      // only those whose blocking inputs actually moved: legality of
+      // (d.from → d.to) depends on W_{d.from} rising (the applied move fed
+      // d.from) or W_{d.to} falling (it drained d.to). Everything else is
+      // provably still illegal and stays deferred, which kills the
+      // pop/defer/re-arm ping-pong the recompute-based refiner suffered.
       if (!deferred.empty()) {
-        auto pending = std::move(deferred);
-        deferred.clear();
-        for (const auto& d : pending) {
+        std::size_t kept = 0;
+        for (const auto& d : deferred) {
           const auto sd = static_cast<std::size_t>(d.v);
           if (locked_[sd] || pi_.assign[sd] != d.from) continue;
-          if (version_[sd] != d.version) continue;  // re-queued already
-          queue_.push(d.v, d.from, d.to, gain_of(d.v, d.from, d.to),
-                      version_[sd]);
+          if (d.from == entry->to || d.to == entry->from) {
+            queue_.push_or_update(d.v, d.from, d.to,
+                                  gain_of(d.v, d.from, d.to));
+          } else {
+            deferred[kept++] = d;
+          }
         }
+        deferred.resize(kept);
       }
     }
 
     // Roll back the moves after the best prefix (KL hill-climb semantics).
     for (std::size_t k = log.size(); k > best_prefix; --k) {
       const MoveRecord& m = log[k - 1];
-      apply_move(m.v, m.to, m.from);
+      apply_move(m.v, m.to, m.from, false);
     }
     result.moves += static_cast<std::int64_t>(best_prefix);
     return best_gain;
+  }
+
+  /// Test hook (RefineOptions::check_invariants): compare every piece of
+  /// incrementally maintained state against a from-scratch recompute.
+  void verify_incremental_state() const {
+    ConnTable fresh;
+    fresh.build(g_, pi_.assign, pi_.num_parts);
+    for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) {
+      for (const ConnTable::Slot& s : fresh.entries(v))
+        PNR_REQUIRE_MSG(conn_.get(v, s.part) == s.weight,
+                        "incremental conn row diverged from recompute");
+      PNR_REQUIRE_MSG(conn_.entries(v).size() == fresh.entries(v).size(),
+                      "incremental conn row has phantom slots");
+      const bool should_be_active =
+          fresh.is_boundary(v, pi_.assign[static_cast<std::size_t>(v)]) ||
+          away_home(v);
+      PNR_REQUIRE_MSG(active_.contains(v) == should_be_active,
+                      "boundary set diverged from recompute");
+    }
+    const auto fresh_weights = part_weights(g_, pi_);
+    PNR_REQUIRE_MSG(weights_ == fresh_weights,
+                    "subset weights diverged from recompute");
   }
 
   const Graph& g_;
@@ -259,10 +317,11 @@ class Refiner {
   std::size_t n_;
   std::vector<Weight> weights_;
   std::vector<std::int64_t> count_;
-  std::vector<std::uint32_t> version_;
   std::vector<char> locked_;
   PairQueueTable queue_;
-  ConnScratch scratch_;
+  ConnTable conn_;
+  VertexSet active_;
+  std::vector<graph::VertexId> seed_order_;
   std::vector<Weight> targets_;
   std::vector<Weight> caps_;
   std::int64_t abandon_after_ = 0;
@@ -280,6 +339,10 @@ RefineResult refine_partition(const Graph& g, Partition& pi,
   // once here so the hot path stays probe-free.
   prof::count("kl.passes", result.passes);
   prof::count("kl.moves", result.moves);
+  prof::count("kl.boundary_seeded", result.boundary_seeded);
+  prof::count("kl.queue_pushes", result.queue_pushes);
+  prof::count("kl.stale_pops", result.stale_pops);
+  prof::count("kl.gain_recomputes", result.gain_recomputes);
   return result;
 }
 

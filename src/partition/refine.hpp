@@ -12,8 +12,19 @@
 //
 // Mechanics follow the paper: a p×p table of gain-priority queues, best head
 // selected globally, moved vertices locked for the rest of the pass,
-// neighbor gains re-queued after every move, passes with hill-climbing and
+// neighbor gains updated after every move, passes with hill-climbing and
 // rollback to the best prefix, repeated until a pass yields no improvement.
+//
+// The engine is *incremental* (the dominant hot path of the pipeline):
+// conn(v, ·) rows are built once per refine call and kept exact with O(deg)
+// delta updates per applied move (partition::ConnTable); each pass seeds the
+// queue table only from the boundary set (vertices with a cross-partition
+// edge, plus away-from-home vertices when α > 0 — interior vertices have no
+// candidate moves), maintained incrementally as moves and rollbacks execute;
+// and candidate gains are re-keyed in place, so with β = 0 a popped entry's
+// gain is exact and is applied without any recompute. Only the β term, which
+// couples every gain to the global subset weights, still needs a (cheap,
+// table-driven) verification on pop.
 
 #include <cstdint>
 #include <vector>
@@ -40,12 +51,22 @@ struct RefineOptions {
   /// Per-part target weights (size num_parts). When null every part targets
   /// total/p. Recursive bisection with unequal halves (odd p) sets this.
   const std::vector<Weight>* targets = nullptr;
+  /// Test hook: after every applied move, cross-check the incremental conn
+  /// rows, boundary set, and subset weights against a from-scratch recompute
+  /// (aborts on divergence). O(n + E) per move — never enable outside tests.
+  bool check_invariants = false;
 };
 
 struct RefineResult {
   int passes = 0;
   double total_gain = 0.0;     ///< decrease of the objective over all passes
   std::int64_t moves = 0;      ///< net vertex moves kept after rollbacks
+  // Structural statistics of the incremental engine (mirrored into the
+  // kl.* prof counters by refine_partition).
+  std::int64_t boundary_seeded = 0;   ///< vertices seeded across all passes
+  std::int64_t queue_pushes = 0;      ///< new entries inserted into the table
+  std::int64_t stale_pops = 0;        ///< pops re-keyed by the β verification
+  std::int64_t gain_recomputes = 0;   ///< on-pop gain recomputations (β > 0)
 };
 
 RefineResult refine_partition(const Graph& g, Partition& pi,

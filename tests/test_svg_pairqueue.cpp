@@ -56,55 +56,74 @@ TEST(Svg, BareMeshUsesNeutralFill) {
 }
 
 TEST(PairQueue, PopsInGainOrderAcrossPairs) {
-  part::PairQueueTable table(3);
-  std::vector<std::uint32_t> version(10, 0);
-  table.push(0, 0, 1, 5.0, 0);
-  table.push(1, 1, 2, 9.0, 0);
-  table.push(2, 2, 0, 7.0, 0);
+  part::PairQueueTable table(3, 10);
+  table.push_or_update(0, 0, 1, 5.0);
+  table.push_or_update(1, 1, 2, 9.0);
+  table.push_or_update(2, 2, 0, 7.0);
 
-  auto a = table.pop_best(version);
+  auto a = table.pop_best();
   ASSERT_TRUE(a.has_value());
   EXPECT_EQ(a->v, 1);
   EXPECT_DOUBLE_EQ(a->gain, 9.0);
   EXPECT_EQ(a->from, 1);
   EXPECT_EQ(a->to, 2);
 
-  auto b = table.pop_best(version);
+  auto b = table.pop_best();
   ASSERT_TRUE(b.has_value());
   EXPECT_EQ(b->v, 2);
-  auto c = table.pop_best(version);
+  auto c = table.pop_best();
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->v, 0);
-  EXPECT_FALSE(table.pop_best(version).has_value());
+  EXPECT_FALSE(table.pop_best().has_value());
 }
 
-TEST(PairQueue, StaleVersionsAreSkipped) {
-  part::PairQueueTable table(2);
-  std::vector<std::uint32_t> version(4, 0);
-  table.push(0, 0, 1, 10.0, 0);
-  version[0] = 1;  // invalidate
-  table.push(1, 0, 1, 3.0, 0);
-  auto e = table.pop_best(version);
+TEST(PairQueue, UpdateReKeysInPlace) {
+  part::PairQueueTable table(2, 4);
+  table.push_or_update(0, 0, 1, 10.0);
+  table.push_or_update(1, 0, 1, 3.0);
+  EXPECT_EQ(table.size(), 2u);
+  table.push_or_update(0, 0, 1, 1.0);  // demote: no duplicate entry
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.pop_best()->v, 1);
+  auto e = table.pop_best();
   ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->v, 1);
-  EXPECT_FALSE(table.pop_best(version).has_value());
+  EXPECT_EQ(e->v, 0);
+  EXPECT_DOUBLE_EQ(e->gain, 1.0);
+  EXPECT_FALSE(table.pop_best().has_value());
+}
+
+TEST(PairQueue, RemoveDropsAllCandidatesOfAVertex) {
+  part::PairQueueTable table(3, 4);
+  table.push_or_update(0, 0, 1, 10.0);
+  table.push_or_update(0, 0, 2, 8.0);
+  table.push_or_update(1, 0, 1, 3.0);
+  EXPECT_TRUE(table.contains(0, 1));
+  table.remove_all(0, 0);
+  EXPECT_FALSE(table.contains(0, 1));
+  EXPECT_FALSE(table.contains(0, 2));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.pop_best()->v, 1);
+  EXPECT_FALSE(table.pop_best().has_value());
 }
 
 TEST(PairQueue, FifoTieBreakIsDeterministic) {
-  part::PairQueueTable table(2);
-  std::vector<std::uint32_t> version(4, 0);
-  table.push(2, 0, 1, 4.0, 0);
-  table.push(3, 0, 1, 4.0, 0);  // same gain, pushed later
-  EXPECT_EQ(table.pop_best(version)->v, 2);
-  EXPECT_EQ(table.pop_best(version)->v, 3);
+  part::PairQueueTable table(2, 4);
+  table.push_or_update(2, 0, 1, 4.0);
+  table.push_or_update(3, 0, 1, 4.0);  // same gain, pushed later
+  // Re-keying to the same gain must not demote entry 2 behind entry 3.
+  table.push_or_update(2, 0, 1, 4.0);
+  EXPECT_EQ(table.pop_best()->v, 2);
+  EXPECT_EQ(table.pop_best()->v, 3);
 }
 
 TEST(PairQueue, ClearEmptiesEverything) {
-  part::PairQueueTable table(2);
-  std::vector<std::uint32_t> version(4, 0);
-  table.push(0, 0, 1, 1.0, 0);
+  part::PairQueueTable table(2, 4);
+  table.push_or_update(0, 0, 1, 1.0);
   table.clear();
-  EXPECT_FALSE(table.pop_best(version).has_value());
+  EXPECT_FALSE(table.pop_best().has_value());
+  // Cleared slots must be reusable.
+  table.push_or_update(0, 0, 1, 2.0);
+  EXPECT_EQ(table.pop_best()->v, 0);
 }
 
 }  // namespace
