@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Repo-convention lint for the pnr codebase (fast first-stage CI job).
+
+Checks every C++ file under src/, tests/, bench/ and examples/ for the
+conventions the compiler cannot enforce:
+
+  naked-assert     no <cassert>/assert(): invariants use PNR_ASSERT (compiled
+                   out in Release) or PNR_REQUIRE (always on) so contract
+                   failures print a location and the check level is uniform
+  banned-rand      no std::rand/srand/random_shuffle: all randomness flows
+                   through util::Rng so runs stay seeded and reproducible
+  prof-name        PNR_PROF_SPAN / prof::count / prof::gauge_max names follow
+                   the dotted lower_snake scheme ("kl.refine", "check.audits")
+                   documented in docs/OBSERVABILITY.md
+  include-hygiene  no parent-relative includes (#include "../..."), project
+                   headers included with quotes, system headers with angle
+                   brackets, and every header starts with #pragma once
+
+Exit status is the number of violating files (0 = clean). Pass file paths to
+lint a subset; default lints the whole tree.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DIRS = ("src", "tests", "bench", "examples")
+EXTS = {".hpp", ".cpp"}
+
+# The dotted lower_snake naming scheme for spans/counters/gauges.
+PROF_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+PROF_USE = re.compile(
+    r'(?:PNR_PROF_SPAN|prof::count|prof::gauge_max)\s*\(\s*"([^"]*)"')
+NAKED_ASSERT = re.compile(r'(?<![A-Za-z0-9_])assert\s*\(')
+CASSERT = re.compile(r'#\s*include\s*<c?assert(?:\.h)?>')
+BANNED_RAND = re.compile(
+    r'(?<![A-Za-z0-9_])(?:std::)?(?:rand|srand|random_shuffle)\s*\(')
+PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+ANGLED_PROJECT = re.compile(
+    r'#\s*include\s*<(?:check|core|fem|graph|mesh|parallel|pared|partition|'
+    r'pared|util)/')
+USING_NAMESPACE_STD = re.compile(r'using\s+namespace\s+std\s*;')
+
+
+def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blank out string literals, // and /* */ comments (line-local
+    approximation: block comments are tracked across lines, strings are not).
+    """
+    out = []
+    i = 0
+    n = len(line)
+    in_string = None
+    while i < n:
+        c = line[i]
+        if in_block:
+            if line.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_string:
+                in_string = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_string = c
+            i += 1
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    rel = path.relative_to(ROOT)
+    problems: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return [f"{rel}:1: encoding: not valid UTF-8"]
+
+    lines = text.splitlines()
+    in_block = False
+    saw_pragma_once = False
+    saw_directive = False
+    for lineno, raw in enumerate(lines, start=1):
+        code, in_block = strip_comments_and_strings(raw, in_block)
+
+        if path.suffix == ".hpp" and not saw_directive:
+            stripped = code.strip()
+            if stripped.startswith("#"):
+                saw_directive = True
+                saw_pragma_once = re.match(r"#\s*pragma\s+once", stripped) is not None
+
+        if CASSERT.search(code) or NAKED_ASSERT.search(code):
+            problems.append(
+                f"{rel}:{lineno}: naked-assert: use PNR_ASSERT / PNR_REQUIRE "
+                "from util/assert.hpp")
+        if BANNED_RAND.search(code):
+            problems.append(
+                f"{rel}:{lineno}: banned-rand: use util::Rng for seeded, "
+                "reproducible randomness")
+        if PARENT_INCLUDE.search(code):
+            problems.append(
+                f"{rel}:{lineno}: include-hygiene: no parent-relative "
+                "includes; include from the src root")
+        if ANGLED_PROJECT.search(code):
+            problems.append(
+                f"{rel}:{lineno}: include-hygiene: project headers are "
+                'included with quotes ("graph/csr.hpp"), not angle brackets')
+        if USING_NAMESPACE_STD.search(code):
+            problems.append(
+                f"{rel}:{lineno}: using-namespace-std: qualify std:: names")
+
+        # Prof names live inside string literals, so match the raw line.
+        for m in PROF_USE.finditer(raw):
+            name = m.group(1)
+            if not PROF_NAME.match(name):
+                problems.append(
+                    f"{rel}:{lineno}: prof-name: '{name}' does not match the "
+                    "dotted lower_snake scheme (e.g. kl.refine)")
+
+    if path.suffix == ".hpp" and not saw_pragma_once:
+        problems.append(
+            f"{rel}:1: include-hygiene: header must start with #pragma once")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [pathlib.Path(a).resolve() for a in argv]
+    else:
+        files = sorted(
+            p for d in DIRS for p in (ROOT / d).rglob("*") if p.suffix in EXTS)
+    all_problems: list[str] = []
+    bad_files = 0
+    for path in files:
+        problems = lint_file(path)
+        if problems:
+            bad_files += 1
+            all_problems.extend(problems)
+    for p in all_problems:
+        print(p)
+    print(f"lint: {len(files)} files, {len(all_problems)} problem(s) in "
+          f"{bad_files} file(s)")
+    return 1 if bad_files else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

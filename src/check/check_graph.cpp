@@ -1,0 +1,104 @@
+#include <string>
+#include <unordered_set>
+
+#include "check/check.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::check {
+
+namespace {
+
+std::string at_vertex(graph::VertexId v) {
+  return "vertex " + std::to_string(v);
+}
+
+}  // namespace
+
+CheckReport check_graph(const graph::Graph& g,
+                        const GraphCheckOptions& options) {
+  prof::count("check.graph");
+  CheckReport report("graph");
+  const graph::VertexId n = g.num_vertices();
+  const auto& xadj = g.xadj();
+  const auto& adjncy = g.adjncy();
+  const auto& adjwgt = g.adjwgt();
+  const auto& vwgt = g.vwgt();
+
+  // Shape: the CSR arrays must agree before any per-vertex walk is safe.
+  if (xadj.size() != static_cast<std::size_t>(n) + 1) {
+    report.fail("csr.shape", "xadj has " + std::to_string(xadj.size()) +
+                                 " entries for " + std::to_string(n) +
+                                 " vertices");
+    return report;
+  }
+  if (xadj.front() != 0)
+    report.fail("csr.shape", "xadj[0] = " + std::to_string(xadj.front()));
+  for (graph::VertexId v = 0; v < n; ++v)
+    if (xadj[static_cast<std::size_t>(v)] >
+        xadj[static_cast<std::size_t>(v) + 1]) {
+      report.fail("csr.monotone", "xadj decreases at " + at_vertex(v));
+      return report;
+    }
+  if (xadj.back() != static_cast<std::int64_t>(adjncy.size())) {
+    report.fail("csr.shape",
+                "xadj ends at " + std::to_string(xadj.back()) + " but " +
+                    std::to_string(adjncy.size()) + " arcs are stored");
+    return report;
+  }
+  if (adjncy.size() != adjwgt.size()) {
+    report.fail("csr.shape", "adjncy/adjwgt size mismatch: " +
+                                 std::to_string(adjncy.size()) + " vs " +
+                                 std::to_string(adjwgt.size()));
+    return report;
+  }
+
+  // Arc-level audit: range, self loops, duplicates, sortedness, weights.
+  std::unordered_set<graph::VertexId> seen;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    seen.clear();
+    graph::VertexId prev = graph::kInvalidVertex;
+    for (std::int64_t e = xadj[static_cast<std::size_t>(v)];
+         e < xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const graph::VertexId u = adjncy[static_cast<std::size_t>(e)];
+      if (u < 0 || u >= n) {
+        report.fail("csr.range", at_vertex(v) + " has neighbor " +
+                                     std::to_string(u) + " outside [0, " +
+                                     std::to_string(n) + ")");
+        continue;
+      }
+      if (u == v && !options.allow_self_loops)
+        report.fail("csr.self_loop", at_vertex(v) + " has a self loop");
+      if (!seen.insert(u).second)
+        report.fail("csr.duplicate", at_vertex(v) + " lists neighbor " +
+                                         std::to_string(u) + " twice");
+      if (options.require_sorted_adjacency && prev != graph::kInvalidVertex &&
+          u <= prev)
+        report.fail("csr.unsorted", at_vertex(v) + " adjacency not sorted (" +
+                                        std::to_string(prev) + " before " +
+                                        std::to_string(u) + ")");
+      prev = u;
+      const graph::Weight w = adjwgt[static_cast<std::size_t>(e)];
+      if (w < 0 || (options.require_positive_edge_weights && w == 0))
+        report.fail("weight.edge",
+                    "edge {" + std::to_string(v) + "," + std::to_string(u) +
+                        "} has weight " + std::to_string(w));
+      // Symmetry: the reverse arc must exist with equal weight.
+      if (u != v && g.edge_weight(u, v) != w)
+        report.fail("csr.asymmetric",
+                    "edge {" + std::to_string(v) + "," + std::to_string(u) +
+                        "} stored with weight " + std::to_string(w) +
+                        " forward but " + std::to_string(g.edge_weight(u, v)) +
+                        " backward");
+    }
+  }
+
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const graph::Weight w = vwgt[static_cast<std::size_t>(v)];
+    if (w < 0 || (options.require_positive_vertex_weights && w == 0))
+      report.fail("weight.vertex",
+                  at_vertex(v) + " has weight " + std::to_string(w));
+  }
+  return report;
+}
+
+}  // namespace pnr::check

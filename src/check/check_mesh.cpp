@@ -1,0 +1,100 @@
+#include <string>
+
+#include "check/check.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::check {
+
+namespace {
+
+/// Shared forest-vs-nested-dual audit. The mesh type only contributes its
+/// leaf counters and interface iteration, which TriMesh and TetMesh expose
+/// identically.
+template <typename Mesh>
+CheckReport check_forest_impl(const Mesh& mesh,
+                              const graph::Graph& nested_dual) {
+  prof::count("check.forest");
+  CheckReport report("forest");
+
+  const auto initial = mesh.num_initial_elements();
+  if (nested_dual.num_vertices() != initial) {
+    report.fail("forest.vertex_count",
+                "nested dual has " +
+                    std::to_string(nested_dual.num_vertices()) +
+                    " vertices for " + std::to_string(initial) +
+                    " initial elements");
+    return report;
+  }
+
+  // Vertex weights are the leaf counts of each refinement tree, and they
+  // must add up to the current leaf mesh size.
+  graph::Weight total = 0;
+  for (mesh::ElemIdx c = 0; c < initial; ++c) {
+    const auto leaves = mesh.leaf_count(c);
+    total += leaves;
+    if (leaves <= 0)
+      report.fail("forest.empty_tree", "initial element " + std::to_string(c) +
+                                           " has leaf count " +
+                                           std::to_string(leaves));
+    if (nested_dual.vertex_weight(c) != leaves)
+      report.fail("forest.leaf_weight",
+                  "initial element " + std::to_string(c) + " has " +
+                      std::to_string(leaves) + " leaves but dual weight " +
+                      std::to_string(nested_dual.vertex_weight(c)));
+  }
+  if (total != mesh.num_leaves())
+    report.fail("forest.total_leaves",
+                "leaf counters sum to " + std::to_string(total) + " but " +
+                    std::to_string(mesh.num_leaves()) + " leaves are alive");
+
+  // Edge weights are the adjacent-leaf-pair counts across each interface;
+  // the dual must carry exactly the nonzero interfaces, no extras.
+  std::int64_t interfaces = 0;
+  mesh.for_each_coarse_interface(
+      [&](mesh::ElemIdx c1, mesh::ElemIdx c2, std::int64_t w) {
+        ++interfaces;
+        const graph::Weight dual_w = nested_dual.edge_weight(c1, c2);
+        if (dual_w != w)
+          report.fail("forest.interface_weight",
+                      "interface {" + std::to_string(c1) + "," +
+                          std::to_string(c2) + "} has " + std::to_string(w) +
+                          " adjacent leaf pairs but dual edge weight " +
+                          std::to_string(dual_w));
+      });
+  if (nested_dual.num_edges() != interfaces)
+    report.fail("forest.edge_count",
+                "nested dual has " + std::to_string(nested_dual.num_edges()) +
+                    " edges for " + std::to_string(interfaces) +
+                    " live interfaces");
+  return report;
+}
+
+}  // namespace
+
+CheckReport check_mesh(const mesh::TriMesh& mesh) {
+  prof::count("check.mesh");
+  CheckReport report("tri_mesh");
+  const std::string violation = mesh.check_invariants();
+  if (!violation.empty()) report.fail("mesh.invariant", violation);
+  return report;
+}
+
+CheckReport check_mesh(const mesh::TetMesh& mesh) {
+  prof::count("check.mesh");
+  CheckReport report("tet_mesh");
+  const std::string violation = mesh.check_invariants();
+  if (!violation.empty()) report.fail("mesh.invariant", violation);
+  return report;
+}
+
+CheckReport check_forest(const mesh::TriMesh& mesh,
+                         const graph::Graph& nested_dual) {
+  return check_forest_impl(mesh, nested_dual);
+}
+
+CheckReport check_forest(const mesh::TetMesh& mesh,
+                         const graph::Graph& nested_dual) {
+  return check_forest_impl(mesh, nested_dual);
+}
+
+}  // namespace pnr::check

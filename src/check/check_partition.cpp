@@ -1,0 +1,123 @@
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::check {
+
+CheckReport check_partition(const graph::Graph& g, const part::Partition& pi) {
+  prof::count("check.partition");
+  CheckReport report("partition");
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (pi.num_parts <= 0) {
+    report.fail("part.num_parts",
+                "num_parts = " + std::to_string(pi.num_parts));
+    return report;
+  }
+  if (pi.assign.size() != n) {
+    report.fail("part.size", "assignment has " +
+                                 std::to_string(pi.assign.size()) +
+                                 " entries for " + std::to_string(n) +
+                                 " vertices");
+    return report;
+  }
+  std::vector<std::int64_t> count(static_cast<std::size_t>(pi.num_parts), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const part::PartId s = pi.assign[v];
+    if (s < 0 || s >= pi.num_parts) {
+      report.fail("part.range", "vertex " + std::to_string(v) +
+                                    " assigned to subset " +
+                                    std::to_string(s));
+      continue;
+    }
+    ++count[static_cast<std::size_t>(s)];
+  }
+  // The subsets model a fixed set of processors: none may go idle.
+  if (n >= static_cast<std::size_t>(pi.num_parts))
+    for (part::PartId s = 0; s < pi.num_parts; ++s)
+      if (count[static_cast<std::size_t>(s)] == 0)
+        report.fail("part.empty_subset",
+                    "subset " + std::to_string(s) + " is empty");
+  return report;
+}
+
+CheckReport check_partition_state(const graph::Graph& g,
+                                  const part::Partition& pi,
+                                  const part::ConnTable& conn,
+                                  const part::VertexSet* boundary,
+                                  const std::vector<graph::Weight>* weights) {
+  prof::count("check.partition_state");
+  CheckReport report("partition_state");
+  {
+    const CheckReport base = check_partition(g, pi);
+    for (const Violation& v : base.violations())
+      report.fail(v.code, v.message);
+    if (!report.ok()) return report;  // rows are indexed by the assignment
+  }
+
+  // Rebuild the connectivity rows from scratch and require exact agreement
+  // in both directions: no wrong weights, no missing or phantom slots.
+  part::ConnTable fresh;
+  fresh.build(g, pi.assign, pi.num_parts);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const part::ConnTable::Slot& s : fresh.entries(v))
+      if (conn.get(v, s.part) != s.weight)
+        report.fail("conn.weight",
+                    "conn(" + std::to_string(v) + ", " +
+                        std::to_string(s.part) + ") = " +
+                        std::to_string(conn.get(v, s.part)) +
+                        " but adjacency recompute gives " +
+                        std::to_string(s.weight));
+    for (const part::ConnTable::Slot& s : conn.entries(v))
+      if (fresh.get(v, s.part) == 0)
+        report.fail("conn.phantom",
+                    "conn(" + std::to_string(v) + ", " +
+                        std::to_string(s.part) + ") holds phantom weight " +
+                        std::to_string(s.weight));
+
+    if (boundary != nullptr) {
+      const bool expect =
+          fresh.is_boundary(v, pi.assign[static_cast<std::size_t>(v)]);
+      const bool have = boundary->contains(v);
+      if (expect && !have)
+        report.fail("boundary.missing", "vertex " + std::to_string(v) +
+                                            " has a cross edge but is not "
+                                            "in the boundary set");
+      if (!expect && have)
+        report.fail("boundary.phantom", "vertex " + std::to_string(v) +
+                                            " is interior but sits in the "
+                                            "boundary set");
+    }
+  }
+
+  // Balance accounting: cached subset weights against a recompute.
+  if (weights != nullptr) {
+    const std::vector<graph::Weight> fresh_weights = part_weights(g, pi);
+    if (weights->size() != fresh_weights.size()) {
+      report.fail("weights.size", "cached weights have " +
+                                      std::to_string(weights->size()) +
+                                      " entries for " +
+                                      std::to_string(fresh_weights.size()) +
+                                      " subsets");
+    } else {
+      for (std::size_t s = 0; s < fresh_weights.size(); ++s)
+        if ((*weights)[s] != fresh_weights[s])
+          report.fail("weights.mismatch",
+                      "subset " + std::to_string(s) + " cached weight " +
+                          std::to_string((*weights)[s]) + " vs recomputed " +
+                          std::to_string(fresh_weights[s]));
+    }
+  }
+  return report;
+}
+
+CheckReport check_pairqueue(const part::PairQueueTable& queue) {
+  prof::count("check.pairqueue");
+  CheckReport report("pairqueue");
+  const std::string violation = queue.self_check();
+  if (!violation.empty()) report.fail("pairqueue.invariant", violation);
+  return report;
+}
+
+}  // namespace pnr::check

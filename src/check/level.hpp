@@ -1,0 +1,65 @@
+#pragma once
+// Compile-time gating for the pnr::check validation subsystem. The audit
+// depth is fixed at build time by -DPNR_CHECK_LEVEL=<n> (a CMake cache
+// variable of the same name):
+//   0  everything compiled out — the production/benchmark configuration;
+//   1  cheap O(1)/O(n) pre- and postconditions at subsystem entry points;
+//   2  level 1 plus full deep audits (pnr::check validators and the
+//      structures' own self checks) at phase boundaries — the CI sanitizer
+//      configuration. Expect whole-pipeline slowdowns of an order of
+//      magnitude; never ship benchmarks built at level 2.
+//
+// This header is dependency-free beyond pnr::util so every layer (graph,
+// mesh, partition, ...) can gate its own self-audits without linking the
+// pnr_check library; the cross-structure validators in check/check.hpp are
+// for call sites above the structures they inspect.
+
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/prof.hpp"
+
+#ifndef PNR_CHECK_LEVEL
+#define PNR_CHECK_LEVEL 0
+#endif
+
+namespace pnr::check {
+
+inline constexpr int kLevel = PNR_CHECK_LEVEL;
+
+/// Bridge for the string-returning self validators of the lower layers
+/// (Graph::validate, TriMesh::check_invariants, PairQueueTable::self_check):
+/// bump the check.* counters and abort with the violation text when
+/// non-empty. `site` names the phase boundary for the failure message.
+inline void enforce_empty(const std::string& violation, const char* site) {
+  prof::count("check.audits");
+  if (!violation.empty()) {
+    prof::count("check.violations");
+    util::contract_fail("deep invariant", violation.c_str(), site, 0, nullptr);
+  }
+}
+
+}  // namespace pnr::check
+
+// Level-1 pre/postcondition: evaluated when PNR_CHECK_LEVEL >= 1; still
+// *compiled* (unevaluated sizeof) below that, so the condition cannot
+// bit-rot or hide side effects in production builds.
+#if PNR_CHECK_LEVEL >= 1
+#define PNR_CHECK1(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::pnr::util::contract_fail("check[1]", #cond, __FILE__, __LINE__,    \
+                                 msg);                                     \
+  } while (0)
+#else
+#define PNR_CHECK1(cond, msg) ((void)sizeof(!(cond)))
+#endif
+
+// Level-2 deep audit of a string-returning validator at a phase boundary.
+// The expression is not evaluated below level 2.
+#if PNR_CHECK_LEVEL >= 2
+#define PNR_CHECK2_AUDIT(site, string_expr) \
+  ::pnr::check::enforce_empty((string_expr), site)
+#else
+#define PNR_CHECK2_AUDIT(site, string_expr) ((void)0)
+#endif

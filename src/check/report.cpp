@@ -1,0 +1,42 @@
+#include "check/report.hpp"
+
+#include "util/assert.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::check {
+
+void CheckReport::fail(std::string code, std::string message) {
+  if (violations_.size() >= kMaxViolations) {
+    ++dropped_;
+    return;
+  }
+  violations_.push_back({std::move(code), std::move(message)});
+}
+
+bool CheckReport::has(std::string_view code) const {
+  for (const Violation& v : violations_)
+    if (v.code == code) return true;
+  return false;
+}
+
+std::string CheckReport::to_string() const {
+  if (ok()) return subject_ + ": ok";
+  std::string out = subject_ + ": " + std::to_string(violations_.size()) +
+                    " violation(s)";
+  if (dropped_ > 0)
+    out += " (+" + std::to_string(dropped_) + " more dropped)";
+  for (const Violation& v : violations_)
+    out += "\n  " + v.code + ": " + v.message;
+  return out;
+}
+
+void enforce(const CheckReport& report, const char* site) {
+  prof::count("check.audits");
+  if (report.ok()) return;
+  prof::count("check.violations",
+              static_cast<std::int64_t>(report.violations().size()));
+  util::contract_fail("deep audit", report.to_string().c_str(), site, 0,
+                      nullptr);
+}
+
+}  // namespace pnr::check

@@ -1,0 +1,50 @@
+#pragma once
+// Structured result of a pnr::check deep audit. Validators never abort on
+// their own: they collect (code, message) violations into a CheckReport so
+// tests can assert the *precise* defect and phase-boundary audits can print
+// every finding before failing. Codes are stable machine-checkable ids
+// ("csr.asymmetric", "conn.phantom", ...); messages carry the indices and
+// values a human needs to localise the corruption.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnr::check {
+
+struct Violation {
+  std::string code;     ///< stable id, e.g. "csr.asymmetric"
+  std::string message;  ///< diagnosis with offending indices/values
+};
+
+class CheckReport {
+ public:
+  explicit CheckReport(std::string subject) : subject_(std::move(subject)) {}
+
+  const std::string& subject() const { return subject_; }
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Record a violation. A badly corrupted structure can trip thousands of
+  /// individual checks; only the first kMaxViolations are kept verbatim and
+  /// the rest are counted, so reports stay readable and audits stay linear.
+  void fail(std::string code, std::string message);
+
+  /// True iff some recorded violation carries exactly this code.
+  bool has(std::string_view code) const;
+
+  std::int64_t dropped() const { return dropped_; }
+
+  /// "<subject>: ok" or one "<code>: <message>" line per violation.
+  std::string to_string() const;
+
+  static constexpr std::size_t kMaxViolations = 32;
+
+ private:
+  std::string subject_;
+  std::vector<Violation> violations_;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace pnr::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
 #include "partition/mlkl.hpp"
 #include "partition/rebalance.hpp"
 #include "partition/refine.hpp"
@@ -41,6 +42,8 @@ part::Partition Pnr::initial_partition(const graph::Graph& g,
     ropt.beta = options_.beta;
     part::refine_partition(g, pi, ropt);
   }
+  if constexpr (check::kLevel >= 2)
+    check::enforce(check::check_partition(g, pi), "pnr.initial_partition");
   return pi;
 }
 
@@ -160,6 +163,8 @@ part::Partition Pnr::repartition(const graph::Graph& g,
   }
 
   part::Partition result(p_, std::move(assign));
+  if constexpr (check::kLevel >= 2)
+    check::enforce(check::check_partition(g, result), "pnr.repartition");
   if (stats) {
     stats->cut_after = part::cut_size(g, result);
     stats->migrate = part::migration_cost(g, current, result);

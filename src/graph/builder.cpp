@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/level.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::graph {
@@ -82,7 +83,11 @@ Graph GraphBuilder::build() const {
     }
   }
 
-  return Graph(std::move(xadj), std::move(adjncy), std::move(adjwgt), vwgt_);
+  Graph out(std::move(xadj), std::move(adjncy), std::move(adjwgt), vwgt_);
+  // Every CSR graph in the system is produced here (dual extraction,
+  // contraction, subgraphs), so this one audit covers them all.
+  PNR_CHECK2_AUDIT("GraphBuilder::build", out.validate());
+  return out;
 }
 
 }  // namespace pnr::graph

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/level.hpp"
 #include "graph/builder.hpp"
 #include "util/assert.hpp"
 #include "util/prof.hpp"
@@ -97,7 +98,10 @@ CoarseLevel coarsen_once(const Graph& g, util::Rng& rng,
     }
   }
 
-  return CoarseLevel{builder.build(), std::move(fine_to_coarse)};
+  CoarseLevel level{builder.build(), std::move(fine_to_coarse)};
+  PNR_CHECK1(level.graph.total_vertex_weight() == g.total_vertex_weight(),
+             "contraction changed the total vertex weight");
+  return level;
 }
 
 std::vector<CoarseLevel> build_hierarchy(const Graph& g, util::Rng& rng,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/level.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::mesh {
@@ -321,6 +322,7 @@ std::int64_t TetMesh::refine(const std::vector<ElemIdx>& marked) {
     }
     stack.pop_back();
   }
+  PNR_CHECK2_AUDIT("TetMesh::refine", check_invariants());
   return bisections;
 }
 
@@ -384,6 +386,7 @@ std::int64_t TetMesh::coarsen(const std::vector<ElemIdx>& marked) {
     }
     release_vertex(m);
   }
+  PNR_CHECK2_AUDIT("TetMesh::coarsen", check_invariants());
   return merges;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/level.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::mesh {
@@ -286,6 +287,7 @@ std::int64_t TriMesh::refine(const std::vector<ElemIdx>& marked) {
     }
     stack.pop_back();
   }
+  PNR_CHECK2_AUDIT("TriMesh::refine", check_invariants());
   return bisections;
 }
 
@@ -353,6 +355,7 @@ std::int64_t TriMesh::coarsen(const std::vector<ElemIdx>& marked) {
     }
     release_vertex(m);
   }
+  PNR_CHECK2_AUDIT("TriMesh::coarsen", check_invariants());
   return merges;
 }
 

@@ -1,5 +1,6 @@
 #include "pared/session.hpp"
 
+#include "check/check.hpp"
 #include "util/assert.hpp"
 #include "util/prof.hpp"
 
@@ -157,6 +158,17 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
   report.shared_vertices = mesh::shared_vertices(mesh, elems, adopted);
   adopt(mesh, elems, adopted);
   first_ = false;
+  // Level-2 phase-boundary audit: the session is the one place that holds
+  // every structure at once, so the full cross-structure contract (mesh ↔
+  // refinement forest ↔ dual graph ↔ adopted partition) is checked here.
+  if constexpr (check::kLevel >= 2) {
+    check::enforce(check::check_mesh(mesh), "session.step");
+    check::enforce(check::check_graph(dual.graph), "session.step");
+    check::enforce(check::check_forest(mesh, mesh::nested_dual_graph(mesh)),
+                   "session.step");
+    check::enforce(check::check_partition(dual.graph, adopted_pi),
+                   "session.step");
+  }
   return report;
 }
 

@@ -85,6 +85,40 @@ std::optional<PairQueueTable::Entry> PairQueueTable::pop_best() {
   return Entry{item.v, item.from, item.to, item.gain};
 }
 
+std::string PairQueueTable::self_check() const {
+  const auto num_vertices =
+      static_cast<graph::VertexId>(pos_.size() / static_cast<std::size_t>(p_));
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Item& item = heap_[i];
+    if (item.v < 0 || item.v >= num_vertices)
+      return "heap entry " + std::to_string(i) + " has vertex out of range";
+    if (item.from < 0 || item.from >= p_ || item.to < 0 || item.to >= p_ ||
+        item.from == item.to)
+      return "heap entry " + std::to_string(i) + " has bad subset pair";
+    if (i > 0 && better(item, heap_[(i - 1) / 2]))
+      return "heap property violated at index " + std::to_string(i);
+    if (pos_[slot(item.v, item.to)] != static_cast<std::int32_t>(i))
+      return "position index stale for heap entry " + std::to_string(i);
+  }
+  for (std::size_t s = 0; s < pos_.size(); ++s) {
+    const std::int32_t i = pos_[s];
+    if (i < 0) continue;
+    ++live;
+    if (static_cast<std::size_t>(i) >= heap_.size())
+      return "position index points past the heap at slot " +
+             std::to_string(s);
+    const Item& item = heap_[static_cast<std::size_t>(i)];
+    if (slot(item.v, item.to) != s)
+      return "position index points at a foreign entry at slot " +
+             std::to_string(s);
+  }
+  if (live != heap_.size())
+    return "position index tracks " + std::to_string(live) +
+           " entries for a heap of " + std::to_string(heap_.size());
+  return {};
+}
+
 void PairQueueTable::clear() {
   for (const Item& item : heap_) pos_[slot(item.v, item.to)] = -1;
   heap_.clear();

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -62,6 +63,11 @@ class PairQueueTable {
 
   /// Total push_or_update calls that inserted a *new* entry (stat hook).
   std::int64_t pushes() const { return pushes_; }
+
+  /// Deep audit for pnr::check: heap order (no child ranks better than its
+  /// parent), (v,to)-index/heap agreement in both directions, and entry
+  /// sanity (from != to, ids in range). Empty string when consistent.
+  std::string self_check() const;
 
  private:
   struct Item {

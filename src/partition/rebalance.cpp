@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "check/level.hpp"
 #include "partition/conn.hpp"
 #include "partition/diffusion.hpp"
 #include "util/assert.hpp"
@@ -134,6 +136,30 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
   return moves;
 }
 
+/// Deep audit of the incrementally maintained sweep state against a
+/// from-scratch recompute (level-2 phase-boundary check).
+[[maybe_unused]] std::string sweep_state_violation(const Graph& g,
+                                                   const Partition& pi,
+                                                   const SweepState& state) {
+  if (state.weights != part_weights(g, pi))
+    return "subset weights diverged from recompute";
+  ConnTable fresh;
+  fresh.build(g, pi.assign, pi.num_parts);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const ConnTable::Slot& s : fresh.entries(v))
+      if (state.conn.get(v, s.part) != s.weight)
+        return "conn row diverged from recompute at vertex " +
+               std::to_string(v);
+    if (state.conn.entries(v).size() != fresh.entries(v).size())
+      return "conn row has phantom slots at vertex " + std::to_string(v);
+    if (state.boundary.contains(v) !=
+        fresh.is_boundary(v, pi.assign[static_cast<std::size_t>(v)]))
+      return "boundary set diverged from recompute at vertex " +
+             std::to_string(v);
+  }
+  return {};
+}
+
 }  // namespace
 
 RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
@@ -189,6 +215,9 @@ RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
     if (options.max_moves > 0 && result.moves >= options.max_moves) break;
   }
   if (!result.balanced) result.balanced = balanced();
+  if constexpr (check::kLevel >= 2)
+    check::enforce_empty(sweep_state_violation(g, pi, state),
+                         "rebalance.greedy");
   prof::count("rebalance.sweeps", sweeps);
   prof::count("rebalance.moves", result.moves);
   return result;

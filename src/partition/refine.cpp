@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/level.hpp"
 #include "partition/conn.hpp"
 #include "partition/pairqueue.hpp"
 #include "util/assert.hpp"
@@ -69,6 +70,12 @@ class Refiner {
       result.total_gain += gain;
     }
     result.queue_pushes = queue_.pushes();
+    // Phase-boundary deep audit (PNR_CHECK_LEVEL >= 2): the same state
+    // cross-check the check_invariants test hook runs after every move.
+    if constexpr (check::kLevel >= 2) {
+      verify_incremental_state();
+      prof::count("check.audits");
+    }
     return result;
   }
 
@@ -206,6 +213,8 @@ class Refiner {
     std::sort(seed_order_.begin(), seed_order_.end());
     for (graph::VertexId v : seed_order_) seed_vertex(v);
     result.boundary_seeded += static_cast<std::int64_t>(seed_order_.size());
+    if constexpr (check::kLevel >= 2)
+      check::enforce_empty(queue_.self_check(), "kl.refine/seed");
 
     std::vector<MoveRecord> log;
     std::vector<PairQueueTable::Entry> deferred;

@@ -33,7 +33,10 @@ namespace pnr::util {
   } while (0)
 
 #ifdef NDEBUG
-#define PNR_ASSERT(cond) ((void)0)
+// Unevaluated but still *compiled* (sizeof of the negated condition), so a
+// Release build rejects assert expressions that bit-rot or grow side
+// effects instead of silently discarding them.
+#define PNR_ASSERT(cond) ((void)sizeof(!(cond)))
 #else
 #define PNR_ASSERT(cond)                                                       \
   do {                                                                         \

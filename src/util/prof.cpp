@@ -40,7 +40,8 @@ Registry& registry() {
 
 std::atomic<bool> g_enabled{false};
 
-std::uint64_t now_ns() {
+// Unused when PNR_PROF_DISABLE compiles the span probes out.
+[[maybe_unused]] std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

@@ -1,0 +1,359 @@
+// Tests for the pnr::check deep-invariant validators: a randomized
+// refine → repartition → coarsen round-trip that runs the level-2 audits
+// after every phase, and negative tests that corrupt a CSR graph, a conn
+// table, and the forest ↔ dual-graph contract and assert each validator
+// reports the *precise* defect (by violation code).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/check.hpp"
+#include "graph/builder.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "partition/conn.hpp"
+#include "partition/pairqueue.hpp"
+#include "pared/session.hpp"
+#include "util/prof.hpp"
+#include "util/rng.hpp"
+
+namespace pnr {
+namespace {
+
+using check::CheckReport;
+
+graph::Graph grid_graph(int nx, int ny) {
+  graph::GraphBuilder b(nx * ny);
+  auto id = [&](int i, int j) {
+    return static_cast<graph::VertexId>(j * nx + i);
+  };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  return b.build();
+}
+
+/// Left/right halves of an nx-wide grid.
+part::Partition halves(const graph::Graph& g, int nx) {
+  std::vector<part::PartId> assign(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t v = 0; v < assign.size(); ++v)
+    assign[v] = static_cast<int>(v) % nx < nx / 2 ? 0 : 1;
+  return part::Partition(2, std::move(assign));
+}
+
+// ---- CheckReport ----------------------------------------------------------
+
+TEST(CheckReport, CollectsQueriesAndCaps) {
+  CheckReport r("demo");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.to_string(), "demo: ok");
+  r.fail("a.b", "first");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("a.b"));
+  EXPECT_FALSE(r.has("a"));
+  for (int i = 0; i < 100; ++i) r.fail("spam", "again");
+  EXPECT_EQ(r.violations().size(), CheckReport::kMaxViolations);
+  EXPECT_EQ(r.dropped(), 101 - static_cast<std::int64_t>(
+                                   CheckReport::kMaxViolations));
+  EXPECT_NE(r.to_string().find("dropped"), std::string::npos);
+  EXPECT_NE(r.to_string().find("a.b: first"), std::string::npos);
+}
+
+TEST(CheckReport, EnforceAbortsWithTheFullReport) {
+  CheckReport bad("demo");
+  bad.fail("csr.asymmetric", "edge {1,2} weights disagree");
+  EXPECT_DEATH(check::enforce(bad, "test.site"), "csr.asymmetric");
+}
+
+// ---- check_graph ----------------------------------------------------------
+
+TEST(CheckGraph, BuilderOutputPassesStrictAudit) {
+  const graph::Graph g = grid_graph(6, 5);
+  check::GraphCheckOptions opt;
+  opt.require_sorted_adjacency = true;
+  opt.require_positive_vertex_weights = true;
+  opt.require_positive_edge_weights = true;
+  const CheckReport r = check::check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(CheckGraph, DetectsAsymmetricEdgeWeight) {
+  // Edge {0,1} stored with weight 2 forward and 3 backward.
+  graph::Graph g({0, 1, 2}, {1, 0}, {2, 3}, {1, 1});
+  const CheckReport r = check::check_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("csr.asymmetric")) << r.to_string();
+}
+
+TEST(CheckGraph, DetectsSelfLoopUnlessAllowed) {
+  graph::Graph g({0, 2, 4}, {0, 1, 0, 1}, {1, 1, 1, 1}, {1, 1});
+  EXPECT_TRUE(check::check_graph(g).has("csr.self_loop"));
+  check::GraphCheckOptions opt;
+  opt.allow_self_loops = true;
+  EXPECT_FALSE(check::check_graph(g, opt).has("csr.self_loop"));
+}
+
+TEST(CheckGraph, DetectsDuplicateArcAndRange) {
+  graph::Graph dup({0, 2, 4}, {1, 1, 0, 0}, {1, 1, 1, 1}, {1, 1});
+  EXPECT_TRUE(check::check_graph(dup).has("csr.duplicate"));
+  graph::Graph range({0, 1, 2}, {5, 0}, {1, 1}, {1, 1});
+  EXPECT_TRUE(check::check_graph(range).has("csr.range"));
+}
+
+TEST(CheckGraph, DetectsBadWeightsAndUnsortedAdjacency) {
+  graph::Graph neg({0, 1, 2}, {1, 0}, {1, 1}, {-1, 1});
+  EXPECT_TRUE(check::check_graph(neg).has("weight.vertex"));
+
+  // Triangle listed as {2,1} at vertex 0: valid CSR, just unsorted.
+  graph::Graph uns({0, 2, 4, 6}, {2, 1, 0, 2, 1, 0}, {1, 1, 1, 1, 1, 1},
+                   {1, 1, 1});
+  EXPECT_TRUE(check::check_graph(uns).ok());
+  check::GraphCheckOptions opt;
+  opt.require_sorted_adjacency = true;
+  EXPECT_TRUE(check::check_graph(uns, opt).has("csr.unsorted"));
+}
+
+// ---- check_partition / check_partition_state ------------------------------
+
+TEST(CheckPartition, DetectsShapeRangeAndEmptySubset) {
+  const graph::Graph g = grid_graph(4, 4);
+  part::Partition pi = halves(g, 4);
+  EXPECT_TRUE(check::check_partition(g, pi).ok());
+
+  part::Partition short_pi(2, std::vector<part::PartId>(3, 0));
+  EXPECT_TRUE(check::check_partition(g, short_pi).has("part.size"));
+
+  part::Partition bad = halves(g, 4);
+  bad.assign[5] = 7;
+  EXPECT_TRUE(check::check_partition(g, bad).has("part.range"));
+
+  part::Partition empty(3, halves(g, 4).assign);  // subset 2 unused
+  EXPECT_TRUE(check::check_partition(g, empty).has("part.empty_subset"));
+}
+
+TEST(CheckPartitionState, ExactForBuiltAndDeltaUpdatedTables) {
+  const graph::Graph g = grid_graph(6, 6);
+  part::Partition pi = halves(g, 6);
+  part::ConnTable conn;
+  conn.build(g, pi.assign, pi.num_parts);
+  auto weights = part::part_weights(g, pi);
+  EXPECT_TRUE(check::check_partition_state(g, pi, conn, nullptr, &weights)
+                  .ok());
+
+  // Drive the real delta-update machinery and re-audit: move every vertex
+  // of column nx/2 across, one at a time.
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (static_cast<int>(v) % 6 != 3) continue;
+    part::conn_apply_move(conn, g, v, 1, 0);
+    pi.assign[static_cast<std::size_t>(v)] = 0;
+    weights[1] -= g.vertex_weight(v);
+    weights[0] += g.vertex_weight(v);
+    const CheckReport r =
+        check::check_partition_state(g, pi, conn, nullptr, &weights);
+    EXPECT_TRUE(r.ok()) << r.to_string();
+  }
+}
+
+TEST(CheckPartitionState, DetectsCorruptedConnRow) {
+  const graph::Graph g = grid_graph(4, 4);
+  const part::Partition pi = halves(g, 4);
+  {
+    part::ConnTable conn;
+    conn.build(g, pi.assign, pi.num_parts);
+    conn.add(1, 1, 1);  // vertex 1 has a real slot for subset 1: wrong weight
+    EXPECT_TRUE(check::check_partition_state(g, pi, conn).has("conn.weight"));
+  }
+  {
+    part::ConnTable conn;
+    conn.build(g, pi.assign, pi.num_parts);
+    conn.add(0, 1, 3);  // vertex 0 has no edge into subset 1: phantom slot
+    EXPECT_TRUE(check::check_partition_state(g, pi, conn).has("conn.phantom"));
+  }
+}
+
+TEST(CheckPartitionState, DetectsBoundaryAndWeightDesync) {
+  const graph::Graph g = grid_graph(4, 4);
+  const part::Partition pi = halves(g, 4);
+  part::ConnTable conn;
+  conn.build(g, pi.assign, pi.num_parts);
+
+  part::VertexSet boundary;
+  boundary.reset(static_cast<std::size_t>(g.num_vertices()));
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+    if (conn.is_boundary(v, pi.assign[static_cast<std::size_t>(v)]))
+      boundary.insert(v);
+  EXPECT_TRUE(check::check_partition_state(g, pi, conn, &boundary).ok());
+
+  boundary.erase(boundary.items().front());
+  EXPECT_TRUE(check::check_partition_state(g, pi, conn, &boundary)
+                  .has("boundary.missing"));
+  boundary.insert(0);  // corner vertex, interior to subset 0
+  EXPECT_TRUE(check::check_partition_state(g, pi, conn, &boundary)
+                  .has("boundary.phantom"));
+
+  auto weights = part::part_weights(g, pi);
+  weights[0] += 1;
+  EXPECT_TRUE(check::check_partition_state(g, pi, conn, nullptr, &weights)
+                  .has("weights.mismatch"));
+}
+
+// ---- check_pairqueue ------------------------------------------------------
+
+TEST(CheckPairQueue, StaysConsistentThroughMixedOperations) {
+  part::PairQueueTable q(3, 16);
+  util::Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const auto v = static_cast<graph::VertexId>(rng.next_below(16));
+    // The table files every entry of v under its current subset; keep that
+    // contract by deriving `from` from the vertex id.
+    const auto from = static_cast<part::PartId>(v % 3);
+    const auto to = static_cast<part::PartId>(
+        (from + 1 + static_cast<part::PartId>(rng.next_below(2))) % 3);
+    const auto op = rng.next_below(4);
+    if (op <= 1)
+      q.push_or_update(v, from, to,
+                       static_cast<double>(rng.next_below(100)) - 50.0);
+    else if (op == 2)
+      q.pop_best();
+    else
+      q.remove_all(v, from);
+    const CheckReport r = check::check_pairqueue(q);
+    ASSERT_TRUE(r.ok()) << "round " << round << ": " << r.to_string();
+  }
+}
+
+// ---- check_forest ---------------------------------------------------------
+
+TEST(CheckForest, DetectsCorruptedDualWeights) {
+  mesh::TriMesh m = mesh::structured_tri_mesh(6, 6, 0.2, 3);
+  util::Rng rng(3);
+  auto leaves = m.leaf_elements();
+  std::vector<mesh::ElemIdx> marked;
+  for (const mesh::ElemIdx e : leaves)
+    if (rng.next_below(3) == 0) marked.push_back(e);
+  m.refine(marked);
+
+  graph::Graph nested = mesh::nested_dual_graph(m);
+  EXPECT_TRUE(check::check_forest(m, nested).ok());
+
+  graph::Graph bad_vwgt = nested;
+  bad_vwgt.set_vertex_weight(0, bad_vwgt.vertex_weight(0) + 1);
+  EXPECT_TRUE(check::check_forest(m, bad_vwgt).has("forest.leaf_weight"));
+
+  // Desynchronize one interface count.
+  mesh::ElemIdx c1 = mesh::kNoElem, c2 = mesh::kNoElem;
+  std::int64_t w = 0;
+  m.for_each_coarse_interface(
+      [&](mesh::ElemIdx a, mesh::ElemIdx b, std::int64_t weight) {
+        if (c1 == mesh::kNoElem) { c1 = a; c2 = b; w = weight; }
+      });
+  ASSERT_NE(c1, mesh::kNoElem);
+  graph::Graph bad_ewgt = nested;
+  ASSERT_TRUE(bad_ewgt.set_edge_weight(c1, c2, w + 1));
+  EXPECT_TRUE(
+      check::check_forest(m, bad_ewgt).has("forest.interface_weight"));
+
+  // A dual of the wrong shape is rejected outright.
+  const graph::Graph wrong = grid_graph(2, 2);
+  EXPECT_TRUE(check::check_forest(m, wrong).has("forest.vertex_count"));
+}
+
+// ---- randomized round-trip ------------------------------------------------
+
+template <typename Mesh>
+void expect_mesh_phase_ok(const Mesh& m, const char* phase) {
+  const CheckReport rm = check::check_mesh(m);
+  EXPECT_TRUE(rm.ok()) << phase << ": " << rm.to_string();
+
+  const graph::Graph nested = mesh::nested_dual_graph(m);
+  check::GraphCheckOptions opt;
+  opt.require_sorted_adjacency = true;
+  opt.require_positive_vertex_weights = true;
+  opt.require_positive_edge_weights = true;
+  const CheckReport rg = check::check_graph(nested, opt);
+  EXPECT_TRUE(rg.ok()) << phase << ": " << rg.to_string();
+
+  const CheckReport rf = check::check_forest(m, nested);
+  EXPECT_TRUE(rf.ok()) << phase << ": " << rf.to_string();
+}
+
+template <typename Mesh>
+void expect_partition_phase_ok(const Mesh& m, part::PartId p,
+                               const char* phase) {
+  const auto dual = mesh::fine_dual_graph(m);
+  const auto elems = m.leaf_elements();
+  std::vector<part::PartId> assign(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    assign[i] = m.tag(elems[i]);
+  part::Partition pi(p, std::move(assign));
+  const CheckReport rp = check::check_partition(dual.graph, pi);
+  EXPECT_TRUE(rp.ok()) << phase << ": " << rp.to_string();
+
+  part::ConnTable conn;
+  conn.build(dual.graph, pi.assign, p);
+  const CheckReport rs = check::check_partition_state(dual.graph, pi, conn);
+  EXPECT_TRUE(rs.ok()) << phase << ": " << rs.to_string();
+}
+
+template <typename Mesh, typename Session>
+void run_round_trip(Mesh m, Session session, part::PartId p,
+                    std::uint64_t seed, int steps) {
+  util::Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    auto leaves = m.leaf_elements();
+    std::vector<mesh::ElemIdx> marked;
+    for (const mesh::ElemIdx e : leaves)
+      if (rng.next_below(4) == 0) marked.push_back(e);
+    m.refine(marked);
+    expect_mesh_phase_ok(m, "refine");
+
+    session.step(m);
+    expect_partition_phase_ok(m, p, "repartition");
+
+    leaves = m.leaf_elements();
+    marked.clear();
+    for (const mesh::ElemIdx e : leaves)
+      if (rng.next_below(4) == 0) marked.push_back(e);
+    m.coarsen(marked);
+    expect_mesh_phase_ok(m, "coarsen");
+  }
+}
+
+TEST(CheckRoundTrip, RefineRepartitionCoarsen2D) {
+  run_round_trip(mesh::structured_tri_mesh(8, 8, 0.2, 5),
+                 pared::Session2D(pared::Strategy::kPNR, 4, 5), 4, 5, 3);
+}
+
+TEST(CheckRoundTrip, RefineRepartitionCoarsen3D) {
+  run_round_trip(mesh::structured_tet_mesh(3, 3, 3, 0.1, 9),
+                 pared::Session3D(pared::Strategy::kPNR, 4, 9), 4, 9, 2);
+}
+
+// ---- prof surfacing -------------------------------------------------------
+
+#ifndef PNR_PROF_DISABLE
+TEST(CheckCounters, AuditsSurfaceAsProfCounters) {
+  // Build the graph before arming prof: at PNR_CHECK_LEVEL >= 2 the
+  // builder's own audit would otherwise bump check.audits too.
+  const graph::Graph g = grid_graph(3, 3);
+  prof::reset();
+  prof::set_enabled(true);
+  check::enforce(check::check_graph(g), "test.site");
+  prof::set_enabled(false);
+  const prof::Report snap = prof::snapshot();
+  std::int64_t audits = 0, graph_audits = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "check.audits") audits = c.value;
+    if (c.name == "check.graph") graph_audits = c.value;
+  }
+  EXPECT_EQ(audits, 1);
+  EXPECT_EQ(graph_audits, 1);
+  prof::reset();
+}
+#endif
+
+}  // namespace
+}  // namespace pnr

@@ -158,7 +158,11 @@ TEST_F(ProfTest, PeakRssIsPositiveOnSupportedPlatforms) {
   const Report report = pnr::prof::snapshot();
   const CounterRow* rss = find_counter(report.gauges, "peak_rss_bytes");
   ASSERT_NE(rss, nullptr);
-  EXPECT_EQ(rss->value, pnr::prof::peak_rss_bytes());
+  // Peak RSS is monotone and can grow between the sample above and this
+  // re-read (sanitizer allocators make that common), so bound it instead
+  // of requiring equality.
+  EXPECT_GT(rss->value, 0);
+  EXPECT_LE(rss->value, pnr::prof::peak_rss_bytes());
 #endif
 }
 
