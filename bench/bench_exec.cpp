@@ -1,0 +1,326 @@
+// pnr::exec thread sweep: times the pool-threaded kernels (mesh.dual,
+// graph.build, coarsen, fem.cg, partition.metrics) at 1/2/4/8 threads on
+// the paper's workloads and verifies the determinism contract — every
+// kernel must produce a bitwise-identical result at every width. Emits
+// BENCH_exec.json (schema "pnr.bench_exec.v1", documented in
+// docs/OBSERVABILITY.md).
+//
+// Exit code is nonzero ONLY on a determinism violation: speedups depend on
+// the host's core count (this is a single-core-safe bench), fingerprints do
+// not.
+//
+//   --quick               reduced sizes for CI
+//   --threads=1,2,4,8     widths to sweep
+//   --reps=3              repetitions per cell (minimum is reported)
+//   --out=<path>          output JSON (default BENCH_exec.json)
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fem/cg.hpp"
+#include "fem/sparse.hpp"
+#include "graph/builder.hpp"
+#include "graph/coarsen.hpp"
+#include "partition/partition.hpp"
+#include "util/json.hpp"
+
+using namespace pnr;
+
+namespace {
+
+/// FNV-1a over arbitrary word streams; doubles hash by bit pattern so the
+/// fingerprint detects any bit-level divergence between thread counts.
+class Fingerprint {
+ public:
+  void mix(std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      h_ ^= (x >> (8 * b)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void mix(std::int64_t x) { mix(static_cast<std::uint64_t>(x)); }
+  void mix(std::int32_t x) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
+  }
+  void mix(double x) { mix(std::bit_cast<std::uint64_t>(x)); }
+  template <typename T>
+  void mix_all(const std::vector<T>& v) {
+    mix(static_cast<std::uint64_t>(v.size()));
+    for (const T& x : v) mix(x);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t graph_fingerprint(const graph::Graph& g) {
+  Fingerprint fp;
+  fp.mix_all(g.xadj());
+  fp.mix_all(g.adjncy());
+  fp.mix_all(g.adjwgt());
+  fp.mix_all(g.vwgt());
+  return fp.value();
+}
+
+struct Cell {
+  int threads = 0;
+  double seconds = 0.0;
+};
+
+struct KernelResult {
+  std::string name;
+  std::int64_t items = 0;  ///< problem size the kernel iterates over
+  std::vector<Cell> cells;
+  std::uint64_t fingerprint = 0;
+  bool deterministic = true;
+};
+
+/// Time `kernel` (returning a fingerprint) at each width; the fingerprint
+/// must not depend on the width.
+template <typename Kernel>
+KernelResult sweep_kernel(const std::string& name, std::int64_t items,
+                          const std::vector<int>& widths, int reps,
+                          Kernel&& kernel) {
+  KernelResult r;
+  r.name = name;
+  r.items = items;
+  for (const int t : widths) {
+    exec::set_default_threads(t);
+    double best = 0.0;
+    std::uint64_t fp = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      util::Timer timer;
+      fp = kernel();
+      const double s = timer.seconds();
+      if (rep == 0 || s < best) best = s;
+    }
+    r.cells.push_back({t, best});
+    if (r.cells.size() == 1) {
+      r.fingerprint = fp;
+    } else if (fp != r.fingerprint) {
+      r.deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %s at %d threads: fingerprint "
+                   "%016llx != %016llx at %d threads\n",
+                   name.c_str(), t, static_cast<unsigned long long>(fp),
+                   static_cast<unsigned long long>(r.fingerprint),
+                   r.cells.front().threads);
+    }
+  }
+  exec::set_default_threads(1);
+  return r;
+}
+
+template <typename Mesh>
+std::vector<KernelResult> sweep_workload(const Mesh& mesh,
+                                         const std::vector<int>& widths,
+                                         int reps, part::PartId procs) {
+  std::vector<KernelResult> out;
+  const auto dual = mesh::fine_dual_graph(mesh);
+  const graph::Graph& g = dual.graph;
+  const std::int64_t n = g.num_vertices();
+
+  out.push_back(sweep_kernel("mesh.dual", mesh.num_leaves(), widths, reps,
+                             [&] {
+                               const auto d = mesh::fine_dual_graph(mesh);
+                               return graph_fingerprint(d.graph);
+                             }));
+
+  // graph.build: re-assemble the dual CSR from its flat upper-arc batch.
+  std::vector<graph::WeightedEdge> edges;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto wgts = g.edge_weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k)
+      if (nbrs[k] > v) edges.push_back({v, nbrs[k], wgts[k]});
+  }
+  out.push_back(sweep_kernel(
+      "graph.build", static_cast<std::int64_t>(edges.size()), widths, reps,
+      [&] {
+        const auto built = graph::build_csr_from_edges(
+            g.num_vertices(), edges, {});
+        return graph_fingerprint(built);
+      }));
+
+  out.push_back(sweep_kernel("coarsen", n, widths, reps, [&] {
+    util::Rng rng(1);
+    const auto level = graph::coarsen_once(g, rng, {});
+    Fingerprint fp;
+    fp.mix_all(level.fine_to_coarse);
+    fp.mix(graph_fingerprint(level.graph));
+    return fp.value();
+  }));
+
+  // fem.cg on the dual graph's Laplacian (+I, so it is SPD even with the
+  // unit-weight dual edges).
+  {
+    std::vector<std::int32_t> rows, cols;
+    std::vector<double> vals;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      const auto wgts = g.edge_weights(v);
+      double diag = 1.0;
+      for (std::size_t k = 0; k < nbrs.size(); ++k) {
+        rows.push_back(v);
+        cols.push_back(nbrs[k]);
+        vals.push_back(-static_cast<double>(wgts[k]));
+        diag += static_cast<double>(wgts[k]);
+      }
+      rows.push_back(v);
+      cols.push_back(v);
+      vals.push_back(diag);
+    }
+    const auto m =
+        fem::CsrMatrix::from_triplets(static_cast<std::int32_t>(n), rows,
+                                      cols, vals);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    util::Rng rng(2);
+    for (auto& x : b) x = rng.next_double() * 2.0 - 1.0;
+    out.push_back(sweep_kernel("fem.cg", n, widths, reps, [&] {
+      std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+      const auto cg = fem::conjugate_gradient(m, b, x, 1e-10, 50);
+      Fingerprint fp;
+      fp.mix(static_cast<std::int64_t>(cg.iterations));
+      fp.mix_all(cg.residuals);
+      fp.mix_all(x);
+      return fp.value();
+    }));
+  }
+
+  // partition.metrics over a synthetic (but fixed) assignment.
+  {
+    part::Partition pi;
+    pi.num_parts = procs;
+    pi.assign.resize(static_cast<std::size_t>(n));
+    for (std::int64_t v = 0; v < n; ++v)
+      pi.assign[static_cast<std::size_t>(v)] = static_cast<part::PartId>(
+          (static_cast<std::uint64_t>(v) * 2654435761ull >> 8) %
+          static_cast<std::uint64_t>(procs));
+    out.push_back(sweep_kernel("partition.metrics", n, widths, reps, [&] {
+      Fingerprint fp;
+      fp.mix(part::cut_size(g, pi));
+      fp.mix_all(part::part_weights(g, pi));
+      fp.mix(part::imbalance(g, pi));
+      return fp.value();
+    }));
+  }
+  return out;
+}
+
+util::Json to_json(const std::string& workload, std::int64_t elements,
+                   const std::vector<KernelResult>& kernels) {
+  util::Json doc = util::Json::object();
+  doc["name"] = workload;
+  doc["elements"] = elements;
+  util::Json rows = util::Json::array();
+  for (const KernelResult& k : kernels) {
+    util::Json row = util::Json::object();
+    row["name"] = k.name;
+    row["items"] = k.items;
+    row["deterministic"] = k.deterministic;
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(k.fingerprint));
+    row["fingerprint"] = std::string(fp);
+    util::Json cells = util::Json::array();
+    const double t1 = k.cells.empty() ? 0.0 : k.cells.front().seconds;
+    for (const Cell& c : k.cells) {
+      util::Json cell = util::Json::object();
+      cell["threads"] = static_cast<std::int64_t>(c.threads);
+      cell["seconds"] = c.seconds;
+      cell["speedup"] = c.seconds > 0.0 ? t1 / c.seconds : 0.0;
+      cells.push_back(std::move(cell));
+    }
+    row["cells"] = std::move(cells);
+    rows.push_back(std::move(row));
+  }
+  doc["kernels"] = std::move(rows);
+  return doc;
+}
+
+void print_table(const std::string& workload,
+                 const std::vector<KernelResult>& kernels) {
+  std::printf("-- %s\n", workload.c_str());
+  util::Table table({"kernel", "items", "t=1 ms", "t=2", "t=4", "t=8",
+                     "speedup@4", "deterministic"});
+  for (const KernelResult& k : kernels) {
+    table.row().cell(k.name).cell(static_cast<long long>(k.items));
+    double t1 = 0.0, t4 = 0.0;
+    for (const Cell& c : k.cells) {
+      if (c.threads == 1) t1 = c.seconds;
+      if (c.threads == 4) t4 = c.seconds;
+      table.cell(c.seconds * 1e3, 2);
+    }
+    for (std::size_t i = k.cells.size(); i < 4; ++i) table.cell("-");
+    table.cell(t4 > 0.0 ? t1 / t4 : 0.0, 2)
+        .cell(k.deterministic ? "yes" : "NO");
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const auto widths = cli.get_int_list("threads", {1, 2, 4, 8});
+  const int reps = cli.get_int("reps", quick ? 2 : 3);
+  const auto procs = static_cast<part::PartId>(cli.get_int("procs", 8));
+  const std::string out = cli.get("out", "BENCH_exec.json");
+
+  bench::banner("exec thread sweep",
+                "pool-threaded kernels at 1/2/4/8 threads; fails only on a "
+                "cross-thread determinism violation");
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = "pnr.bench_exec.v1";
+  doc["binary"] = "bench_exec";
+  doc["mode"] = quick ? "quick" : "default";
+  util::Json width_list = util::Json::array();
+  for (const int t : widths) width_list.push_back(static_cast<std::int64_t>(t));
+  doc["threads"] = std::move(width_list);
+  util::Json workloads = util::Json::array();
+
+  bool deterministic = true;
+  {
+    pared::TransientOptions topts;
+    topts.grid_n = quick ? 28 : 40;
+    topts.steps = quick ? 4 : 12;
+    pared::TransientRun run(topts);
+    while (!run.done()) run.advance();
+    const auto kernels = sweep_workload(run.mesh(), widths, reps, procs);
+    print_table("transient2d", kernels);
+    workloads.push_back(
+        to_json("transient2d", run.mesh().num_leaves(), kernels));
+    for (const auto& k : kernels) deterministic &= k.deterministic;
+  }
+  {
+    pared::CornerSeries3D series(quick ? 6 : 8);
+    const int levels = quick ? 2 : 3;
+    for (int l = 0; l < levels; ++l) series.advance();
+    const auto kernels = sweep_workload(series.mesh(), widths, reps, procs);
+    print_table("corner3d", kernels);
+    workloads.push_back(
+        to_json("corner3d", series.mesh().num_leaves(), kernels));
+    for (const auto& k : kernels) deterministic &= k.deterministic;
+  }
+
+  doc["workloads"] = std::move(workloads);
+  doc["deterministic"] = deterministic;
+
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  file << doc.dump(2) << "\n";
+  std::printf("wrote %s (deterministic: %s)\n", out.c_str(),
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 2;
+}

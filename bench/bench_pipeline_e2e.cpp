@@ -6,6 +6,7 @@
 // (scripts/bench_diff.py old.json new.json).
 //
 //   --quick            reduced sizes for CI (~1 s total)
+//   --threads=N        exec pool width (default 1 = legacy serial behaviour)
 //   --procs=8          processor count per workload
 //   --out=<path>       output JSON (default BENCH_pipeline.json; run from
 //                      the repo root so the trajectory lands there)
@@ -198,6 +199,7 @@ int main(int argc, char** argv) {
   const int steps = cli.get_int("steps", quick ? 5 : 15);
   const std::uint64_t seed = 1;
   const std::string out = cli.get("out", "BENCH_pipeline.json");
+  const int threads = bench::apply_threads_flag(cli);
 
   bench::banner("Pipeline e2e",
                 "adapt -> repartition -> migrate on the paper's workloads; "
@@ -215,6 +217,7 @@ int main(int argc, char** argv) {
   doc["binary"] = "bench_pipeline_e2e";
   doc["mode"] = quick ? "quick" : "default";
   doc["procs"] = static_cast<std::int64_t>(p);
+  doc["threads"] = static_cast<std::int64_t>(threads);
   util::Json workloads = util::Json::array();
   double total = 0.0;
   for (const WorkloadResult& w : results) {

@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
   const int reps = cli.get_int("reps", quick ? 3 : 5);
   const std::uint64_t seed = 1;
   const std::string out = cli.get("out", "BENCH_refine.json");
+  bench::apply_threads_flag(cli);
 
   bench::banner("KL refinement micro",
                 "refine_partition on the paper's dual graphs; writes "

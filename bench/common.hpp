@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/pool.hpp"
 #include "fem/estimator.hpp"
 #include "fem/problems.hpp"
 #include "mesh/dual.hpp"
@@ -24,6 +25,17 @@ namespace pnr::bench {
 std::int64_t small_refinement(mesh::TriMesh& mesh,
                               const fem::ScalarField2& field,
                               std::int64_t count, int max_level);
+
+/// Apply the shared --threads flag to the process-wide exec pool. Absent
+/// the flag, the pool keeps its startup width (PNR_THREADS env var or 1, so
+/// default runs reproduce the serial legacy behaviour exactly). Returns the
+/// resulting width for banners/JSON.
+inline int apply_threads_flag(const util::Cli& cli) {
+  const int threads =
+      cli.get_int("threads", exec::default_pool().num_threads());
+  exec::set_default_threads(threads);
+  return exec::default_pool().num_threads();
+}
 
 /// Grow a corner series until the mesh has roughly `target` leaves: whole
 /// levels while far away, then top-indicator refinement batches to land

@@ -7,6 +7,7 @@
 //   ./partition_tool --mesh=path/basename --dim=2 --procs=16 --method=mlkl
 //   ./partition_tool --graph=graph.metis --procs=8 --method=rsb
 //   options: --out=partition.txt --vtk=out.vtk --svg=out.svg --seed=1
+//            --threads=N (exec pool width; default 1 = serial)
 //
 // Exit code 0 on success; prints cut size, shared vertices (meshes) and
 // imbalance.
@@ -16,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/pool.hpp"
 #include "graph/io.hpp"
 #include "mesh/dual.hpp"
 #include "mesh/io.hpp"
@@ -59,6 +61,8 @@ int partition_graph(const graph::Graph& g, const util::Cli& cli,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  exec::set_default_threads(
+      cli.get_int("threads", exec::default_pool().num_threads()));
   const std::string mesh_base = cli.get("mesh", "");
   const std::string graph_path = cli.get("graph", "");
   const std::string out = cli.get("out", "partition.txt");

@@ -43,7 +43,7 @@ def diff_scalar(label, old, new, fmt="{:.4g}"):
     print(f"  {label:<28} {fmt.format(old):>12} -> {fmt.format(new):>12}  {pct(old, new)}")
 
 
-def diff_workload(old, new, args):
+def diff_workload(old, new, args, phase_hits):
     diff_scalar("total_seconds", old["total_seconds"], new["total_seconds"])
     diff_scalar("cut_final", old["cut_final"], new["cut_final"], "{:d}")
     diff_scalar("elements_final", old["elements_final"], new["elements_final"], "{:d}")
@@ -56,6 +56,9 @@ def diff_workload(old, new, args):
 
     old_phases = {p["path"]: p for p in old.get("phases", [])}
     new_phases = {p["path"]: p for p in new.get("phases", [])}
+    if args.fail_phase:
+        phase_hits["before"] += sum(args.fail_phase in p for p in old_phases)
+        phase_hits["after"] += sum(args.fail_phase in p for p in new_phases)
     rows = []
     for path in sorted(old_phases.keys() | new_phases.keys()):
         a, b = old_phases.get(path), new_phases.get(path)
@@ -101,6 +104,7 @@ def main():
     old_w = {w["name"]: w for w in before["workloads"]}
     new_w = {w["name"]: w for w in after["workloads"]}
     worst = 0.0
+    phase_hits = {"before": 0, "after": 0}
     for name in sorted(old_w.keys() | new_w.keys()):
         print(f"== {name}")
         if name not in old_w:
@@ -108,7 +112,20 @@ def main():
         elif name not in new_w:
             print("  (workload removed)")
         else:
-            worst = max(worst, diff_workload(old_w[name], new_w[name], args))
+            worst = max(worst, diff_workload(old_w[name], new_w[name], args,
+                                             phase_hits))
+
+    if args.fail_phase:
+        # A tripwire that matches nothing would silently always pass; that is
+        # exactly how a renamed span disarms a regression gate unnoticed.
+        missing = [f"{args.__dict__[side]} ({side})"
+                   for side in ("before", "after") if phase_hits[side] == 0]
+        if missing:
+            print(f"ERROR: --fail-phase='{args.fail_phase}' matched no phase "
+                  f"in {' or '.join(missing)}; the regression tripwire "
+                  "cannot fire. Check the span name against the trajectory "
+                  "or regenerate it.", file=sys.stderr)
+            return 2
 
     if args.fail_over is not None and worst * 100.0 > args.fail_over:
         what = (f"phase '{args.fail_phase}'" if args.fail_phase

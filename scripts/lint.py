@@ -15,6 +15,10 @@ conventions the compiler cannot enforce:
   include-hygiene  no parent-relative includes (#include "../..."), project
                    headers included with quotes, system headers with angle
                    brackets, and every header starts with #pragma once
+  raw-thread       no std::thread/std::jthread/std::async outside src/exec/
+                   (the deterministic pool runtime) and src/parallel/ (the
+                   in-process MPI stand-in): shared-memory parallelism flows
+                   through pnr::exec so results stay thread-count-invariant
 
 Exit status is the number of violating files (0 = clean). Pass file paths to
 lint a subset; default lints the whole tree.
@@ -43,6 +47,10 @@ ANGLED_PROJECT = re.compile(
     r'#\s*include\s*<(?:check|core|fem|graph|mesh|parallel|pared|partition|'
     r'pared|util)/')
 USING_NAMESPACE_STD = re.compile(r'using\s+namespace\s+std\s*;')
+RAW_THREAD = re.compile(r'(?<![A-Za-z0-9_])std::(?:thread|jthread|async)\b')
+# Only these subtrees may spawn raw threads: the pool implementation itself
+# and the in-process message-passing simulator that models MPI ranks.
+RAW_THREAD_ALLOWED = ("src/exec/", "src/parallel/")
 
 
 def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
@@ -125,6 +133,12 @@ def lint_file(path: pathlib.Path) -> list[str]:
         if USING_NAMESPACE_STD.search(code):
             problems.append(
                 f"{rel}:{lineno}: using-namespace-std: qualify std:: names")
+        if (RAW_THREAD.search(code)
+                and not str(rel).startswith(RAW_THREAD_ALLOWED)):
+            problems.append(
+                f"{rel}:{lineno}: raw-thread: std::thread/jthread/async is "
+                "reserved for src/exec/ and src/parallel/; run on the "
+                "pnr::exec pool to keep results deterministic")
 
         # Prof names live inside string literals, so match the raw line.
         for m in PROF_USE.finditer(raw):

@@ -2,6 +2,7 @@
 #include <unordered_set>
 
 #include "check/check.hpp"
+#include "exec/pool.hpp"
 #include "util/prof.hpp"
 
 namespace pnr::check {
@@ -53,44 +54,63 @@ CheckReport check_graph(const graph::Graph& g,
   }
 
   // Arc-level audit: range, self loops, duplicates, sortedness, weights.
-  std::unordered_set<graph::VertexId> seen;
-  for (graph::VertexId v = 0; v < n; ++v) {
-    seen.clear();
-    graph::VertexId prev = graph::kInvalidVertex;
-    for (std::int64_t e = xadj[static_cast<std::size_t>(v)];
-         e < xadj[static_cast<std::size_t>(v) + 1]; ++e) {
-      const graph::VertexId u = adjncy[static_cast<std::size_t>(e)];
-      if (u < 0 || u >= n) {
-        report.fail("csr.range", at_vertex(v) + " has neighbor " +
-                                     std::to_string(u) + " outside [0, " +
-                                     std::to_string(n) + ")");
-        continue;
-      }
-      if (u == v && !options.allow_self_loops)
-        report.fail("csr.self_loop", at_vertex(v) + " has a self loop");
-      if (!seen.insert(u).second)
-        report.fail("csr.duplicate", at_vertex(v) + " lists neighbor " +
-                                         std::to_string(u) + " twice");
-      if (options.require_sorted_adjacency && prev != graph::kInvalidVertex &&
-          u <= prev)
-        report.fail("csr.unsorted", at_vertex(v) + " adjacency not sorted (" +
-                                        std::to_string(prev) + " before " +
-                                        std::to_string(u) + ")");
-      prev = u;
-      const graph::Weight w = adjwgt[static_cast<std::size_t>(e)];
-      if (w < 0 || (options.require_positive_edge_weights && w == 0))
-        report.fail("weight.edge",
-                    "edge {" + std::to_string(v) + "," + std::to_string(u) +
-                        "} has weight " + std::to_string(w));
-      // Symmetry: the reverse arc must exist with equal weight.
-      if (u != v && g.edge_weight(u, v) != w)
-        report.fail("csr.asymmetric",
-                    "edge {" + std::to_string(v) + "," + std::to_string(u) +
-                        "} stored with weight " + std::to_string(w) +
-                        " forward but " + std::to_string(g.edge_weight(u, v)) +
-                        " backward");
-    }
-  }
+  // Vertices are audited independently, so chunks run on the pool; merging
+  // the per-chunk reports in chunk (== vertex) order reproduces exactly the
+  // violation set the serial walk would keep.
+  CheckReport arcs = exec::default_pool().parallel_reduce(
+      static_cast<std::int64_t>(n), CheckReport("graph"),
+      [&](std::int64_t cb, std::int64_t ce) {
+        CheckReport local("graph");
+        std::unordered_set<graph::VertexId> seen;
+        for (std::int64_t i = cb; i < ce; ++i) {
+          const auto v = static_cast<graph::VertexId>(i);
+          seen.clear();
+          graph::VertexId prev = graph::kInvalidVertex;
+          for (std::int64_t e = xadj[static_cast<std::size_t>(v)];
+               e < xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+            const graph::VertexId u = adjncy[static_cast<std::size_t>(e)];
+            if (u < 0 || u >= n) {
+              local.fail("csr.range", at_vertex(v) + " has neighbor " +
+                                          std::to_string(u) + " outside [0, " +
+                                          std::to_string(n) + ")");
+              continue;
+            }
+            if (u == v && !options.allow_self_loops)
+              local.fail("csr.self_loop", at_vertex(v) + " has a self loop");
+            if (!seen.insert(u).second)
+              local.fail("csr.duplicate", at_vertex(v) + " lists neighbor " +
+                                              std::to_string(u) + " twice");
+            if (options.require_sorted_adjacency &&
+                prev != graph::kInvalidVertex && u <= prev)
+              local.fail("csr.unsorted",
+                         at_vertex(v) + " adjacency not sorted (" +
+                             std::to_string(prev) + " before " +
+                             std::to_string(u) + ")");
+            prev = u;
+            const graph::Weight w = adjwgt[static_cast<std::size_t>(e)];
+            if (w < 0 || (options.require_positive_edge_weights && w == 0))
+              local.fail("weight.edge", "edge {" + std::to_string(v) + "," +
+                                            std::to_string(u) +
+                                            "} has weight " +
+                                            std::to_string(w));
+            // Symmetry: the reverse arc must exist with equal weight.
+            if (u != v && g.edge_weight(u, v) != w)
+              local.fail("csr.asymmetric",
+                         "edge {" + std::to_string(v) + "," +
+                             std::to_string(u) + "} stored with weight " +
+                             std::to_string(w) + " forward but " +
+                             std::to_string(g.edge_weight(u, v)) +
+                             " backward");
+          }
+        }
+        return local;
+      },
+      [](CheckReport a, CheckReport b) {
+        a.merge(std::move(b));
+        return a;
+      },
+      exec::Chunking{1024, 4096});
+  report.merge(std::move(arcs));
 
   for (graph::VertexId v = 0; v < n; ++v) {
     const graph::Weight w = vwgt[static_cast<std::size_t>(v)];

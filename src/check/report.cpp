@@ -13,6 +13,19 @@ void CheckReport::fail(std::string code, std::string message) {
   violations_.push_back({std::move(code), std::move(message)});
 }
 
+void CheckReport::merge(CheckReport&& other) {
+  for (Violation& v : other.violations_) {
+    if (violations_.size() >= kMaxViolations) {
+      ++dropped_;
+      continue;
+    }
+    violations_.push_back(std::move(v));
+  }
+  dropped_ += other.dropped_;
+  other.violations_.clear();
+  other.dropped_ = 0;
+}
+
 bool CheckReport::has(std::string_view code) const {
   for (const Violation& v : violations_)
     if (v.code == code) return true;

@@ -34,6 +34,13 @@ class CheckReport {
   /// True iff some recorded violation carries exactly this code.
   bool has(std::string_view code) const;
 
+  /// Fold another report's findings into this one: its violations append
+  /// after those already recorded (still subject to kMaxViolations, excess
+  /// counted as dropped) and its dropped count carries over. Chunked
+  /// parallel audits build one report per chunk and merge them in chunk
+  /// order, which reproduces the serial walk's surviving violation set.
+  void merge(CheckReport&& other);
+
   std::int64_t dropped() const { return dropped_; }
 
   /// "<subject>: ok" or one "<code>: <message>" line per violation.

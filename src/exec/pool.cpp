@@ -1,0 +1,241 @@
+#include "exec/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "util/prof.hpp"
+
+namespace pnr::exec {
+
+namespace {
+
+/// Serial-forcing depth of this thread (SerialRegion nesting) and whether
+/// this thread is currently executing pool chunks — as a worker, or as the
+/// caller participating in its own region. Either way, nested parallel_*
+/// calls must run inline: a worker has no pool to recurse into, and the
+/// caller already holds the region lock.
+thread_local int t_serial_depth = 0;
+thread_local bool t_in_worker = false;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int env_default_threads() {
+  const char* s = std::getenv("PNR_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  const int n = std::atoi(s);
+  return std::clamp(n, 1, 256);
+}
+
+}  // namespace
+
+std::int64_t num_chunks(std::int64_t n, const Chunking& ck) {
+  if (n <= 0) return 0;
+  const std::int64_t grain = std::max<std::int64_t>(1, ck.grain);
+  std::int64_t chunks = (n + grain - 1) / grain;
+  if (ck.max_chunks > 0) chunks = std::min(chunks, ck.max_chunks);
+  return std::max<std::int64_t>(1, chunks);
+}
+
+std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n,
+                                                  std::int64_t chunks,
+                                                  std::int64_t c) {
+  PNR_ASSERT(chunks > 0 && c >= 0 && c < chunks);
+  const std::int64_t base = n / chunks;
+  const std::int64_t rem = n % chunks;
+  const std::int64_t begin = c * base + std::min(c, rem);
+  return {begin, begin + base + (c < rem ? 1 : 0)};
+}
+
+SerialRegion::SerialRegion() { ++t_serial_depth; }
+SerialRegion::~SerialRegion() { --t_serial_depth; }
+
+bool in_serial_context() { return t_serial_depth > 0 || t_in_worker; }
+
+Pool::Pool(int threads) : target_threads_(std::max(1, threads)) {}
+
+Pool::~Pool() { shutdown(); }
+
+void Pool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers_.empty()) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_ = false;
+}
+
+void Pool::resize(int threads) {
+  shutdown();
+  target_threads_ = std::max(1, threads);
+}
+
+void Pool::ensure_started() {
+  if (!workers_.empty() || target_threads_ <= 1) return;
+  workers_.reserve(static_cast<std::size_t>(target_threads_ - 1));
+  // Capture the epoch at launch: after a shutdown()+restart the counter is
+  // not zero, and a fresh worker assuming seen_epoch = 0 would "wake" into
+  // a region that does not exist (stale chunk count, null region_fn_) and
+  // corrupt the workers_in_region_ accounting. epoch_ is stable here: it
+  // only changes under region_mutex_, which run() already holds.
+  for (int t = 0; t < target_threads_ - 1; ++t)
+    workers_.emplace_back([this, e = epoch_] { worker_main(e); });
+}
+
+std::uint64_t Pool::work_through(std::int64_t chunks,
+                                 const std::function<void(std::int64_t)>& fn,
+                                 bool measure) {
+  std::uint64_t busy = 0;
+  for (;;) {
+    const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks) break;
+    try {
+      if (measure) {
+        const std::uint64_t t0 = now_ns();
+        fn(c);
+        busy += now_ns() - t0;
+      } else {
+        fn(c);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      // Skip the remaining chunks; already-running ones finish normally.
+      next_chunk_.store(chunks, std::memory_order_relaxed);
+    }
+  }
+  return busy;
+}
+
+void Pool::worker_main(std::uint64_t birth_epoch) {
+  std::uint64_t seen_epoch = birth_epoch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    const std::int64_t chunks = region_chunks_;
+    const auto* fn = region_fn_;
+    const bool measure = region_measure_;
+    lock.unlock();
+    t_in_worker = true;
+    const std::uint64_t busy = work_through(chunks, *fn, measure);
+    t_in_worker = false;
+    if (busy > 0) busy_ns_.fetch_add(busy, std::memory_order_relaxed);
+    lock.lock();
+    if (--workers_in_region_ == 0) done_cv_.notify_one();
+  }
+}
+
+void Pool::run(std::int64_t chunks,
+               const std::function<void(std::int64_t)>& fn) {
+  // One region at a time: concurrent callers (e.g. simulator ranks that did
+  // not open a SerialRegion) queue here rather than corrupting the shared
+  // region state.
+  std::lock_guard<std::mutex> region_guard(region_mutex_);
+  ensure_started();
+  const bool measure = prof::enabled();
+  const std::uint64_t wall_start = measure ? now_ns() : 0;
+  int participants = 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_chunks_ = chunks;
+    region_fn_ = &fn;
+    region_measure_ = measure;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    busy_ns_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    workers_in_region_ = static_cast<int>(workers_.size());
+    participants += workers_in_region_;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  t_in_worker = true;
+  const std::uint64_t own_busy = work_through(chunks, fn, measure);
+  t_in_worker = false;
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for every signalled worker to leave the region so the next
+    // region (and the destruction of `fn`) cannot race a stale claim loop.
+    done_cv_.wait(lock, [&] { return workers_in_region_ == 0; });
+    region_fn_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (measure) {
+    const std::uint64_t wall = now_ns() - wall_start;
+    const std::uint64_t busy =
+        busy_ns_.load(std::memory_order_relaxed) + own_busy;
+    const std::uint64_t capacity =
+        wall * static_cast<std::uint64_t>(participants);
+    prof::count("exec.tasks");
+    prof::count("exec.chunks_run", chunks);
+    prof::gauge_max("exec.threads", target_threads_);
+    prof::count("exec.worker_busy_ns", static_cast<std::int64_t>(busy));
+    prof::count("exec.worker_idle_ns",
+                static_cast<std::int64_t>(capacity > busy ? capacity - busy
+                                                          : 0));
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::int64_t Pool::exclusive_scan(std::span<const std::int64_t> in,
+                                  std::span<std::int64_t> out, Chunking ck) {
+  PNR_REQUIRE(in.size() == out.size());
+  const auto n = static_cast<std::int64_t>(in.size());
+  const std::int64_t chunks = num_chunks(n, ck);
+  if (chunks <= 1 || serial()) {
+    std::int64_t acc = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] = acc;
+      acc += in[static_cast<std::size_t>(i)];
+    }
+    return acc;
+  }
+  // Pass 1: per-chunk sums. Pass 2 (serial, cheap): scan the chunk sums.
+  // Pass 3: per-chunk exclusive prefix fill seeded from the chunk offset.
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(chunks), 0);
+  run(chunks, [&](std::int64_t c) {
+    const auto [b, e] = chunk_range(n, chunks, c);
+    std::int64_t acc = 0;
+    for (std::int64_t i = b; i < e; ++i)
+      acc += in[static_cast<std::size_t>(i)];
+    sums[static_cast<std::size_t>(c)] = acc;
+  });
+  std::int64_t total = 0;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t s = sums[static_cast<std::size_t>(c)];
+    sums[static_cast<std::size_t>(c)] = total;
+    total += s;
+  }
+  run(chunks, [&](std::int64_t c) {
+    const auto [b, e] = chunk_range(n, chunks, c);
+    std::int64_t acc = sums[static_cast<std::size_t>(c)];
+    for (std::int64_t i = b; i < e; ++i) {
+      out[static_cast<std::size_t>(i)] = acc;
+      acc += in[static_cast<std::size_t>(i)];
+    }
+  });
+  return total;
+}
+
+Pool& default_pool() {
+  static Pool pool(env_default_threads());
+  return pool;
+}
+
+void set_default_threads(int threads) { default_pool().resize(threads); }
+
+}  // namespace pnr::exec

@@ -1,0 +1,217 @@
+#pragma once
+// pnr::exec — the deterministic shared-memory task runtime. A lazily
+// started worker pool with three primitives (parallel_for, parallel_reduce,
+// exclusive_scan) and one escape hatch (SerialRegion), designed around a
+// single contract: **the result of every primitive is a pure function of
+// the input and the chunking, never of the thread count or the scheduling.**
+//
+// How the contract is kept (see DESIGN.md, "Node-level threading"):
+//
+//   * The chunk decomposition of [0, n) depends only on n and the Chunking
+//     parameters — never on num_threads(). Threads claim chunks dynamically,
+//     but which thread runs a chunk cannot matter: parallel_for bodies write
+//     disjoint outputs (or commute, e.g. relaxed integer atomics), and
+//     parallel_reduce stores per-chunk partials by chunk id.
+//   * parallel_reduce combines the partials on the calling thread in a
+//     fixed-shape pairwise tree over chunk ids. The same tree is used when
+//     the pool has one thread, so floating-point reductions are bitwise
+//     identical for any pool size. With a single chunk the result equals the
+//     plain left-to-right loop.
+//   * Nested parallel_* calls (from inside a worker) and calls under an open
+//     SerialRegion run inline on the calling thread, in chunk order.
+//
+// The pool integrates with pnr::prof at region granularity: exec.tasks,
+// exec.chunks_run, the exec.threads gauge and exec.worker_{busy,idle}_ns
+// (docs/OBSERVABILITY.md). All node-level parallelism flows through this
+// pool — scripts/lint.py forbids raw std::thread outside src/exec/ and
+// src/parallel/ (the distributed-memory simulator, whose ranks are *logical*
+// processes, not a performance device).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pnr::exec {
+
+/// Deterministic chunk decomposition of [0, n): at most
+/// ceil(n / grain) chunks (bounded by max_chunks when nonzero), sized as
+/// evenly as possible with the remainder spread over the leading chunks.
+/// Depends only on n and this struct — never on the thread count.
+struct Chunking {
+  std::int64_t grain = 1024;      ///< minimum elements per chunk
+  std::int64_t max_chunks = 4096; ///< cap on the number of chunks (0 = none)
+};
+
+std::int64_t num_chunks(std::int64_t n, const Chunking& ck);
+
+/// Half-open range [begin, end) of chunk `c` out of `chunks` over [0, n).
+std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t n,
+                                                  std::int64_t chunks,
+                                                  std::int64_t c);
+
+/// While alive, every parallel_* call issued from this thread runs inline
+/// and serially (same chunking, same results). Used by the pnr::check
+/// level-2 cross-checks to recompute a kernel serially, and available to
+/// any caller that must not fan out (e.g. inside simulator ranks).
+class SerialRegion {
+ public:
+  SerialRegion();
+  ~SerialRegion();
+  SerialRegion(const SerialRegion&) = delete;
+  SerialRegion& operator=(const SerialRegion&) = delete;
+};
+
+/// True when parallel_* calls from this thread would run inline: inside a
+/// SerialRegion, or on a worker thread (nested calls never re-enter the
+/// pool).
+bool in_serial_context();
+
+class Pool {
+ public:
+  /// A pool that will run `threads` ways (1 = strictly serial). Workers are
+  /// not spawned until the first parallel region needs them.
+  explicit Pool(int threads = 1);
+  ~Pool();
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  int num_threads() const { return target_threads_; }
+
+  /// Join and discard the workers. The pool stays usable: the next parallel
+  /// region lazily restarts them with the same thread count.
+  void shutdown();
+
+  /// Change the thread count (joins current workers first).
+  void resize(int threads);
+
+  /// True when parallel_* on this pool would run inline on the calling
+  /// thread: a 1-thread pool, a nested call, or an open SerialRegion.
+  bool serial() const {
+    return target_threads_ <= 1 || in_serial_context();
+  }
+
+  /// Run fn(begin, end) over the fixed chunk decomposition of [0, n).
+  /// Chunks execute concurrently (or inline, in chunk order, when serial());
+  /// fn must write disjoint outputs or commute. The first exception thrown
+  /// by any chunk is rethrown on the calling thread after the region ends.
+  template <typename Fn>
+  void parallel_for(std::int64_t n, Fn&& fn, Chunking ck = {}) {
+    const std::int64_t chunks = num_chunks(n, ck);
+    if (chunks <= 0) return;
+    if (chunks == 1) {
+      fn(std::int64_t{0}, n);
+      return;
+    }
+    if (serial()) {
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        const auto [b, e] = chunk_range(n, chunks, c);
+        fn(b, e);
+      }
+      return;
+    }
+    run(chunks, [&](std::int64_t c) {
+      const auto [b, e] = chunk_range(n, chunks, c);
+      fn(b, e);
+    });
+  }
+
+  /// Ordered reduction: partial[c] = map(begin_c, end_c) per chunk, then a
+  /// fixed-shape pairwise combine over chunk ids on the calling thread.
+  /// Bitwise identical for any thread count (including 1) by construction;
+  /// with a single chunk the result is exactly map(0, n). `identity` is
+  /// returned only for an empty range — it is never folded in.
+  template <typename T, typename Map, typename Combine>
+  T parallel_reduce(std::int64_t n, T identity, Map&& map, Combine&& combine,
+                    Chunking ck = {}) {
+    const std::int64_t chunks = num_chunks(n, ck);
+    if (chunks <= 0) return identity;
+    if (chunks == 1) return map(std::int64_t{0}, n);
+    // Seeded with copies of `identity` so T needs no default constructor;
+    // every slot is overwritten before the combine tree reads it.
+    std::vector<T> partials(static_cast<std::size_t>(chunks), identity);
+    if (serial()) {
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        const auto [b, e] = chunk_range(n, chunks, c);
+        partials[static_cast<std::size_t>(c)] = map(b, e);
+      }
+    } else {
+      run(chunks, [&](std::int64_t c) {
+        const auto [b, e] = chunk_range(n, chunks, c);
+        partials[static_cast<std::size_t>(c)] = map(b, e);
+      });
+    }
+    // Fixed pairwise tree over chunk ids: (0,1)(2,3)... per level, odd
+    // leftover promoted. The shape depends only on the chunk count.
+    std::size_t width = partials.size();
+    while (width > 1) {
+      std::size_t next = 0;
+      for (std::size_t i = 0; i + 1 < width; i += 2)
+        partials[next++] = combine(std::move(partials[i]),
+                                   std::move(partials[i + 1]));
+      if (width % 2 == 1) partials[next++] = std::move(partials[width - 1]);
+      width = next;
+    }
+    return std::move(partials[0]);
+  }
+
+  /// Exclusive prefix sum of `in` into `out` (same length); returns the
+  /// total. Deterministic (integer addition); parallel via per-chunk sums,
+  /// a serial scan over the chunk sums, and a parallel fill.
+  std::int64_t exclusive_scan(std::span<const std::int64_t> in,
+                              std::span<std::int64_t> out, Chunking ck = {});
+
+ private:
+  /// Execute chunk_fn(c) for every c in [0, chunks) across the workers and
+  /// the calling thread; blocks until all chunks ran and every signalled
+  /// worker left the region. Rethrows the first stored exception.
+  void run(std::int64_t chunks, const std::function<void(std::int64_t)>& fn);
+
+  void ensure_started();
+  /// `birth_epoch` is the region epoch at launch time: a worker restarted
+  /// after shutdown() must not treat the pool's accumulated epoch count as
+  /// a pending region.
+  void worker_main(std::uint64_t birth_epoch);
+  /// Claim-and-run loop shared by workers and the calling thread. Returns
+  /// this participant's busy nanoseconds (0 when profiling is disabled).
+  std::uint64_t work_through(std::int64_t chunks,
+                             const std::function<void(std::int64_t)>& fn,
+                             bool measure);
+
+  int target_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex region_mutex_;  ///< serializes whole regions across callers
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signals a new region (or stop)
+  std::condition_variable done_cv_;  ///< signals workers leaving the region
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;  ///< bumped per region; workers wait on it
+  std::int64_t region_chunks_ = 0;
+  const std::function<void(std::int64_t)>* region_fn_ = nullptr;
+  bool region_measure_ = false;
+  int workers_in_region_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::exception_ptr error_;
+};
+
+/// The process-wide default pool every instrumented kernel uses. Sized on
+/// first access from the PNR_THREADS environment variable (default 1 —
+/// exact legacy serial behavior); reconfigured by set_default_threads
+/// (the --threads flag of the bench/example binaries).
+Pool& default_pool();
+
+/// Resize the default pool (1 = serial). Safe to call between regions at
+/// any time; not safe concurrently with running regions.
+void set_default_threads(int threads);
+
+}  // namespace pnr::exec

@@ -3,61 +3,125 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::fem {
 
+namespace {
+
+/// Chunking shared by every vector kernel in the solve. One fixed
+/// decomposition means the ordered dot products combine the same partials
+/// in the same fixed-shape tree at every thread count; below the grain a
+/// single chunk makes them exactly the legacy left-to-right loops.
+constexpr exec::Chunking kVecChunking{4096, 4096};
+
+double ordered_dot(exec::Pool& pool, std::span<const double> a,
+                   std::span<const double> b) {
+  return pool.parallel_reduce(
+      static_cast<std::int64_t>(a.size()), 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double acc = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i)
+          acc += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+        return acc;
+      },
+      [](double x, double y) { return x + y; }, kVecChunking);
+}
+
+}  // namespace
+
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
                             std::span<double> x, double tol, int max_iters) {
+  PNR_PROF_SPAN("fem.cg");
   const auto n = static_cast<std::size_t>(a.size());
+  const auto ni = static_cast<std::int64_t>(n);
   PNR_REQUIRE(b.size() == n && x.size() == n);
+  exec::Pool& pool = exec::default_pool();
 
   std::vector<double> inv_diag(n);
-  for (std::int32_t i = 0; i < a.size(); ++i) {
-    const double d = a.diagonal(i);
-    inv_diag[static_cast<std::size_t>(i)] = d != 0.0 ? 1.0 / d : 1.0;
-  }
+  pool.parallel_for(
+      ni,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const double d = a.diagonal(static_cast<std::int32_t>(i));
+          inv_diag[static_cast<std::size_t>(i)] = d != 0.0 ? 1.0 / d : 1.0;
+        }
+      },
+      kVecChunking);
 
   std::vector<double> r(n), z(n), p(n), ap(n);
   a.apply(x, ap);
-  double b_norm = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    r[i] = b[i] - ap[i];
-    b_norm += b[i] * b[i];
-  }
-  b_norm = std::sqrt(b_norm);
+  pool.parallel_for(
+      ni,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          r[static_cast<std::size_t>(i)] =
+              b[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
+      },
+      kVecChunking);
+  double b_norm = std::sqrt(ordered_dot(pool, b, b));
   if (b_norm == 0.0) b_norm = 1.0;
 
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  pool.parallel_for(
+      ni,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          z[static_cast<std::size_t>(i)] =
+              inv_diag[static_cast<std::size_t>(i)] *
+              r[static_cast<std::size_t>(i)];
+      },
+      kVecChunking);
   p = z;
-  double rz = 0.0;
-  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+  double rz = ordered_dot(pool, r, z);
 
   CgResult result;
   for (int it = 1; it <= max_iters; ++it) {
     a.apply(p, ap);
-    double pap = 0.0;
-    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    const double pap = ordered_dot(pool, p, ap);
     if (pap <= 0.0) break;  // matrix not SPD (should not happen)
     const double alpha = rz / pap;
-    double r_norm = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-      r_norm += r[i] * r[i];
-    }
+    pool.parallel_for(
+        ni,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            x[static_cast<std::size_t>(i)] +=
+                alpha * p[static_cast<std::size_t>(i)];
+            r[static_cast<std::size_t>(i)] -=
+                alpha * ap[static_cast<std::size_t>(i)];
+          }
+        },
+        kVecChunking);
+    const double r_norm = std::sqrt(ordered_dot(pool, r, r));
     result.iterations = it;
-    result.residual = std::sqrt(r_norm) / b_norm;
+    result.residual = r_norm / b_norm;
+    result.residuals.push_back(result.residual);
     if (result.residual <= tol) {
       result.converged = true;
       return result;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    double rz_new = 0.0;
-    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    pool.parallel_for(
+        ni,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            z[static_cast<std::size_t>(i)] =
+                inv_diag[static_cast<std::size_t>(i)] *
+                r[static_cast<std::size_t>(i)];
+        },
+        kVecChunking);
+    const double rz_new = ordered_dot(pool, r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    pool.parallel_for(
+        ni,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            p[static_cast<std::size_t>(i)] =
+                z[static_cast<std::size_t>(i)] +
+                beta * p[static_cast<std::size_t>(i)];
+        },
+        kVecChunking);
   }
   return result;
 }

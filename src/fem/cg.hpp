@@ -1,8 +1,12 @@
 #pragma once
 // Jacobi-preconditioned conjugate gradients for the SPD systems assembled
-// by the P1 discretization.
+// by the P1 discretization. The vector kernels (matvec, axpy, dot) run on
+// the pnr::exec default pool; every dot product is an *ordered* reduction
+// over a thread-count-independent chunk decomposition, so the iterate and
+// residual sequences are bitwise identical for any --threads value.
 
 #include <span>
+#include <vector>
 
 #include "fem/sparse.hpp"
 
@@ -12,6 +16,9 @@ struct CgResult {
   int iterations = 0;
   double residual = 0.0;  ///< final relative residual
   bool converged = false;
+  /// Relative residual after each iteration (residuals.size() ==
+  /// iterations); deterministic across thread counts.
+  std::vector<double> residuals;
 };
 
 CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,

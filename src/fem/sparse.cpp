@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::fem {
@@ -68,14 +69,22 @@ CsrMatrix CsrMatrix::from_triplets(std::int32_t n,
 void CsrMatrix::apply(std::span<const double> x, std::span<double> y) const {
   PNR_REQUIRE(x.size() == static_cast<std::size_t>(n_));
   PNR_REQUIRE(y.size() == static_cast<std::size_t>(n_));
-  for (std::int32_t r = 0; r < n_; ++r) {
-    double acc = 0.0;
-    for (std::int64_t k = xadj_[static_cast<std::size_t>(r)];
-         k < xadj_[static_cast<std::size_t>(r) + 1]; ++k)
-      acc += vals_[static_cast<std::size_t>(k)] *
-             x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
-    y[static_cast<std::size_t>(r)] = acc;
-  }
+  // Rows are independent and each row accumulates serially, so the result
+  // is bitwise identical for any pool size.
+  exec::default_pool().parallel_for(
+      n_,
+      [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t r = rb; r < re; ++r) {
+          double acc = 0.0;
+          for (std::int64_t k = xadj_[static_cast<std::size_t>(r)];
+               k < xadj_[static_cast<std::size_t>(r) + 1]; ++k)
+            acc +=
+                vals_[static_cast<std::size_t>(k)] *
+                x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+          y[static_cast<std::size_t>(r)] = acc;
+        }
+      },
+      exec::Chunking{2048, 4096});
 }
 
 double CsrMatrix::diagonal(std::int32_t row) const {

@@ -1,12 +1,161 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <utility>
 
 #include "check/level.hpp"
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::graph {
+
+namespace {
+
+/// Shared deterministic assembly: raw arc counts → offset scan → fill →
+/// per-vertex sort and duplicate merge → compaction. The kPar instantiation
+/// uses relaxed atomics for the cross-vertex counters (increments commute,
+/// so the counts are exact); the serial instantiation uses plain integers
+/// and is what a one-thread pool runs. Both produce the identical graph:
+/// adjacency lists come out sorted by neighbor id with duplicate weights
+/// summed, which erases any trace of fill order.
+template <bool kPar>
+Graph assemble_csr(exec::Pool& pool, VertexId num_vertices,
+                   std::span<const WeightedEdge> edges,
+                   std::vector<Weight> vwgt) {
+  const auto n = static_cast<std::size_t>(num_vertices);
+  const auto m = static_cast<std::int64_t>(edges.size());
+  const exec::Chunking edge_ck{2048, 4096};
+  const exec::Chunking vertex_ck{1024, 4096};
+
+  std::vector<std::int64_t> deg(n, 0);
+  const auto bump = [&deg](VertexId v) {
+    if constexpr (kPar)
+      std::atomic_ref<std::int64_t>(deg[static_cast<std::size_t>(v)])
+          .fetch_add(1, std::memory_order_relaxed);
+    else
+      ++deg[static_cast<std::size_t>(v)];
+  };
+  pool.parallel_for(
+      m,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const WeightedEdge& edge = edges[static_cast<std::size_t>(k)];
+          PNR_ASSERT(edge.u >= 0 && edge.u < num_vertices);
+          PNR_ASSERT(edge.v >= 0 && edge.v < num_vertices);
+          PNR_ASSERT(edge.u != edge.v);
+          bump(edge.u);
+          bump(edge.v);
+        }
+      },
+      edge_ck);
+
+  std::vector<std::int64_t> xadj(n + 1, 0);
+  const std::int64_t arcs =
+      pool.exclusive_scan(deg, std::span<std::int64_t>(xadj).first(n));
+  xadj[n] = arcs;
+
+  std::vector<VertexId> tmp_adj(static_cast<std::size_t>(arcs));
+  std::vector<Weight> tmp_wgt(static_cast<std::size_t>(arcs));
+  std::vector<std::int64_t> cursor(xadj.begin(), xadj.end() - 1);
+  const auto place = [&](VertexId at, VertexId nbr, Weight w) {
+    std::int64_t slot;
+    if constexpr (kPar)
+      slot = std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(at)])
+                 .fetch_add(1, std::memory_order_relaxed);
+    else
+      slot = cursor[static_cast<std::size_t>(at)]++;
+    tmp_adj[static_cast<std::size_t>(slot)] = nbr;
+    tmp_wgt[static_cast<std::size_t>(slot)] = w;
+  };
+  pool.parallel_for(
+      m,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const WeightedEdge& edge = edges[static_cast<std::size_t>(k)];
+          place(edge.u, edge.v, edge.w);
+          place(edge.v, edge.u, edge.w);
+        }
+      },
+      edge_ck);
+
+  // Canonicalize each adjacency list in place: sort by (neighbor, weight),
+  // merge duplicate neighbors by summing their weights (commutative, so the
+  // merged weight is fill-order independent), record the merged degree.
+  std::vector<std::int64_t> merged_deg(n, 0);
+  pool.parallel_for(
+      static_cast<std::int64_t>(n),
+      [&](std::int64_t vb, std::int64_t ve) {
+        std::vector<std::pair<VertexId, Weight>> scratch;
+        for (std::int64_t v = vb; v < ve; ++v) {
+          const auto b = static_cast<std::size_t>(xadj[static_cast<std::size_t>(v)]);
+          const auto e =
+              static_cast<std::size_t>(xadj[static_cast<std::size_t>(v) + 1]);
+          scratch.clear();
+          for (std::size_t k = b; k < e; ++k)
+            scratch.emplace_back(tmp_adj[k], tmp_wgt[k]);
+          std::sort(scratch.begin(), scratch.end());
+          std::size_t out = b;
+          for (std::size_t k = 0; k < scratch.size(); ++k) {
+            if (out > b && tmp_adj[out - 1] == scratch[k].first) {
+              tmp_wgt[out - 1] += scratch[k].second;
+            } else {
+              tmp_adj[out] = scratch[k].first;
+              tmp_wgt[out] = scratch[k].second;
+              ++out;
+            }
+          }
+          merged_deg[static_cast<std::size_t>(v)] =
+              static_cast<std::int64_t>(out - b);
+        }
+      },
+      vertex_ck);
+
+  std::vector<std::int64_t> final_xadj(n + 1, 0);
+  const std::int64_t final_arcs = pool.exclusive_scan(
+      merged_deg, std::span<std::int64_t>(final_xadj).first(n));
+  final_xadj[n] = final_arcs;
+  std::vector<VertexId> adjncy(static_cast<std::size_t>(final_arcs));
+  std::vector<Weight> adjwgt(static_cast<std::size_t>(final_arcs));
+  pool.parallel_for(
+      static_cast<std::int64_t>(n),
+      [&](std::int64_t vb, std::int64_t ve) {
+        for (std::int64_t v = vb; v < ve; ++v) {
+          const auto src = static_cast<std::size_t>(xadj[static_cast<std::size_t>(v)]);
+          const auto dst =
+              static_cast<std::size_t>(final_xadj[static_cast<std::size_t>(v)]);
+          const auto cnt =
+              static_cast<std::size_t>(merged_deg[static_cast<std::size_t>(v)]);
+          for (std::size_t k = 0; k < cnt; ++k) {
+            adjncy[dst + k] = tmp_adj[src + k];
+            adjwgt[dst + k] = tmp_wgt[src + k];
+          }
+        }
+      },
+      vertex_ck);
+
+  if (vwgt.empty()) vwgt.assign(n, 1);
+  Graph out(std::move(final_xadj), std::move(adjncy), std::move(adjwgt),
+            std::move(vwgt));
+  PNR_CHECK2_AUDIT("build_csr_from_edges", out.validate());
+  return out;
+}
+
+}  // namespace
+
+Graph build_csr_from_edges(VertexId num_vertices,
+                           std::span<const WeightedEdge> edges,
+                           std::vector<Weight> vwgt) {
+  PNR_PROF_SPAN("graph.build");
+  PNR_REQUIRE(num_vertices >= 0);
+  PNR_REQUIRE(vwgt.empty() ||
+              vwgt.size() == static_cast<std::size_t>(num_vertices));
+  exec::Pool& pool = exec::default_pool();
+  if (pool.serial())
+    return assemble_csr<false>(pool, num_vertices, edges, std::move(vwgt));
+  return assemble_csr<true>(pool, num_vertices, edges, std::move(vwgt));
+}
 
 GraphBuilder::GraphBuilder(VertexId num_vertices)
     : num_vertices_(num_vertices),
@@ -42,7 +191,36 @@ void GraphBuilder::add_vertex_weight(VertexId v, Weight w) {
 }
 
 Graph GraphBuilder::build() const {
+  PNR_PROF_SPAN("graph.build");
   const auto n = static_cast<std::size_t>(num_vertices_);
+  exec::Pool& pool = exec::default_pool();
+  if (!pool.serial()) {
+    // Flatten the half-edge lists into one batch (sizes → scan → disjoint
+    // fill) and hand it to the parallel assembler. The assembler's sorted,
+    // duplicate-merged output is bitwise identical to the serial path below.
+    std::vector<std::int64_t> counts(n, 0);
+    pool.parallel_for(static_cast<std::int64_t>(n),
+                      [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t u = b; u < e; ++u)
+                          counts[static_cast<std::size_t>(u)] =
+                              static_cast<std::int64_t>(
+                                  half_[static_cast<std::size_t>(u)].size());
+                      });
+    std::vector<std::int64_t> offsets(n, 0);
+    const std::int64_t m = pool.exclusive_scan(counts, offsets);
+    std::vector<WeightedEdge> edges(static_cast<std::size_t>(m));
+    pool.parallel_for(
+        static_cast<std::int64_t>(n), [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t u = b; u < e; ++u) {
+            std::int64_t o = offsets[static_cast<std::size_t>(u)];
+            for (const auto& [v, w] : half_[static_cast<std::size_t>(u)])
+              edges[static_cast<std::size_t>(o++)] = {
+                  static_cast<VertexId>(u), v, w};
+          }
+        });
+    return assemble_csr<true>(pool, num_vertices_, edges, vwgt_);
+  }
+
   std::vector<std::int64_t> deg(n, 0);
   for (std::size_t u = 0; u < n; ++u)
     for (const auto& [v, w] : half_[u]) {

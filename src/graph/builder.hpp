@@ -1,13 +1,36 @@
 #pragma once
-// Incremental construction of symmetric CSR graphs from unordered edge
-// insertions. Duplicate {u,v} insertions accumulate weight, which is exactly
-// what the dual-graph builders need (each adjacent leaf pair contributes 1).
+// Construction of symmetric CSR graphs from unordered edge insertions.
+// Duplicate {u,v} insertions accumulate weight, which is exactly what the
+// dual-graph builders need (each adjacent leaf pair contributes 1). Two
+// front ends share one deterministic assembly kernel:
+//   * GraphBuilder — incremental add_edge/add_vertex_weight, for call sites
+//     that discover edges one at a time;
+//   * build_csr_from_edges — a flat batch of edges, for call sites that
+//     already hold them (fine dual extraction, contraction).
+// Assembly runs on the pnr::exec default pool (degree count → offset scan →
+// fill → per-vertex sort/merge); the output is bitwise identical for any
+// thread count because adjacency lists are canonicalized by neighbor id.
 
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
 
 namespace pnr::graph {
+
+/// One undirected edge {u, v} with weight w (u != v; duplicates accumulate).
+struct WeightedEdge {
+  VertexId u;
+  VertexId v;
+  Weight w;
+};
+
+/// Assemble the symmetric CSR graph of an unordered edge batch. Pass an
+/// empty `vwgt` for unit vertex weights. Deterministic for any pool size;
+/// parallel when the default pool has more than one thread.
+Graph build_csr_from_edges(VertexId num_vertices,
+                           std::span<const WeightedEdge> edges,
+                           std::vector<Weight> vwgt);
 
 class GraphBuilder {
  public:

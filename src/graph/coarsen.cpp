@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "check/level.hpp"
+#include "exec/pool.hpp"
 #include "graph/builder.hpp"
 #include "util/assert.hpp"
 #include "util/prof.hpp"
@@ -78,27 +79,51 @@ CoarseLevel coarsen_once(const Graph& g, util::Rng& rng,
     ++next;
   }
 
-  GraphBuilder builder(next);
   std::vector<Weight> cw(static_cast<std::size_t>(next), 0);
   for (std::size_t v = 0; v < n; ++v)
     cw[static_cast<std::size_t>(fine_to_coarse[v])] +=
         g.vertex_weight(static_cast<VertexId>(v));
-  for (VertexId c = 0; c < next; ++c)
-    builder.set_vertex_weight(c, cw[static_cast<std::size_t>(c)]);
 
-  for (std::size_t v = 0; v < n; ++v) {
-    const VertexId cv = fine_to_coarse[v];
-    const auto nbrs = g.neighbors(static_cast<VertexId>(v));
-    const auto wgts = g.edge_weights(static_cast<VertexId>(v));
-    for (std::size_t k = 0; k < nbrs.size(); ++k) {
-      const VertexId cu = fine_to_coarse[static_cast<std::size_t>(nbrs[k])];
-      // Count each fine edge once (v < nbr) and drop intra-pair edges.
-      if (static_cast<VertexId>(v) < nbrs[k] && cv != cu)
-        builder.add_edge(cv, cu, wgts[k]);
-    }
-  }
+  // Contraction: project every surviving fine edge (v < nbr, different
+  // coarse endpoints) into a flat batch — per-vertex counts, an offset
+  // scan, then a disjoint parallel fill — and let the deterministic CSR
+  // assembler merge the duplicates. Bitwise identical for any pool size.
+  exec::Pool& pool = exec::default_pool();
+  std::vector<std::int64_t> counts(n, 0);
+  pool.parallel_for(
+      static_cast<std::int64_t>(n), [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t v = b; v < e; ++v) {
+          const VertexId cv = fine_to_coarse[static_cast<std::size_t>(v)];
+          std::int64_t c = 0;
+          for (const VertexId u : g.neighbors(static_cast<VertexId>(v)))
+            if (static_cast<VertexId>(v) < u &&
+                cv != fine_to_coarse[static_cast<std::size_t>(u)])
+              ++c;
+          counts[static_cast<std::size_t>(v)] = c;
+        }
+      });
+  std::vector<std::int64_t> offsets(n, 0);
+  const std::int64_t num_coarse_edges = pool.exclusive_scan(counts, offsets);
+  std::vector<WeightedEdge> coarse_edges(
+      static_cast<std::size_t>(num_coarse_edges));
+  pool.parallel_for(
+      static_cast<std::int64_t>(n), [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t v = b; v < e; ++v) {
+          const VertexId cv = fine_to_coarse[static_cast<std::size_t>(v)];
+          std::int64_t o = offsets[static_cast<std::size_t>(v)];
+          const auto nbrs = g.neighbors(static_cast<VertexId>(v));
+          const auto wgts = g.edge_weights(static_cast<VertexId>(v));
+          for (std::size_t k = 0; k < nbrs.size(); ++k) {
+            const VertexId cu =
+                fine_to_coarse[static_cast<std::size_t>(nbrs[k])];
+            if (static_cast<VertexId>(v) < nbrs[k] && cv != cu)
+              coarse_edges[static_cast<std::size_t>(o++)] = {cv, cu, wgts[k]};
+          }
+        }
+      });
 
-  CoarseLevel level{builder.build(), std::move(fine_to_coarse)};
+  CoarseLevel level{build_csr_from_edges(next, coarse_edges, std::move(cw)),
+                    std::move(fine_to_coarse)};
   PNR_CHECK1(level.graph.total_vertex_weight() == g.total_vertex_weight(),
              "contraction changed the total vertex weight");
   return level;

@@ -1,7 +1,9 @@
 #include "mesh/dual.hpp"
 
+#include "exec/pool.hpp"
 #include "graph/builder.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::mesh {
 
@@ -9,20 +11,31 @@ namespace {
 
 template <typename Mesh, typename ForEachInterface>
 FineDual fine_dual_impl(const Mesh& mesh, ForEachInterface&& for_each) {
+  PNR_PROF_SPAN("mesh.dual");
   FineDual out;
   out.elems = mesh.leaf_elements();
   out.dense.assign(mesh.element_slots(), -1);
-  for (std::size_t i = 0; i < out.elems.size(); ++i)
-    out.dense[static_cast<std::size_t>(out.elems[i])] =
-        static_cast<graph::VertexId>(i);
+  const auto num_leaves = static_cast<std::int64_t>(out.elems.size());
+  exec::Pool& pool = exec::default_pool();
+  pool.parallel_for(num_leaves, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i)
+      out.dense[static_cast<std::size_t>(
+          out.elems[static_cast<std::size_t>(i)])] =
+          static_cast<graph::VertexId>(i);
+  });
 
-  graph::GraphBuilder builder(static_cast<graph::VertexId>(out.elems.size()));
+  // The interface walk goes through a mesh callback and stays serial; it
+  // only appends to a flat edge batch, which the deterministic parallel
+  // assembler then turns into the CSR graph.
+  std::vector<graph::WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(num_leaves) * 3 / 2);
   for_each([&](ElemIdx e1, ElemIdx e2) {
     if (e1 == kNoElem || e2 == kNoElem) return;
-    builder.add_edge(out.dense[static_cast<std::size_t>(e1)],
-                     out.dense[static_cast<std::size_t>(e2)], 1);
+    edges.push_back({out.dense[static_cast<std::size_t>(e1)],
+                     out.dense[static_cast<std::size_t>(e2)], 1});
   });
-  out.graph = builder.build();
+  out.graph = graph::build_csr_from_edges(
+      static_cast<graph::VertexId>(num_leaves), edges, {});
   return out;
 }
 
@@ -73,23 +86,33 @@ graph::Graph nested_dual_graph(const TetMesh& mesh) {
 std::vector<double> leaf_centroids(const TriMesh& mesh,
                                    const std::vector<ElemIdx>& elems) {
   std::vector<double> coords(elems.size() * 2);
-  for (std::size_t i = 0; i < elems.size(); ++i) {
-    const Point2 c = mesh.centroid(elems[i]);
-    coords[i * 2] = c.x;
-    coords[i * 2 + 1] = c.y;
-  }
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(elems.size()),
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          const Point2 c = mesh.centroid(elems[i]);
+          coords[i * 2] = c.x;
+          coords[i * 2 + 1] = c.y;
+        }
+      });
   return coords;
 }
 
 std::vector<double> leaf_centroids(const TetMesh& mesh,
                                    const std::vector<ElemIdx>& elems) {
   std::vector<double> coords(elems.size() * 3);
-  for (std::size_t i = 0; i < elems.size(); ++i) {
-    const Point3 c = mesh.centroid(elems[i]);
-    coords[i * 3] = c.x;
-    coords[i * 3 + 1] = c.y;
-    coords[i * 3 + 2] = c.z;
-  }
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(elems.size()),
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          const Point3 c = mesh.centroid(elems[i]);
+          coords[i * 3] = c.x;
+          coords[i * 3 + 1] = c.y;
+          coords[i * 3 + 2] = c.z;
+        }
+      });
   return coords;
 }
 
@@ -99,8 +122,15 @@ std::vector<part::PartId> project_coarse_assignment(
   PNR_REQUIRE(coarse_assign.size() ==
               static_cast<std::size_t>(mesh.num_initial_elements()));
   std::vector<part::PartId> out(elems.size());
-  for (std::size_t i = 0; i < elems.size(); ++i)
-    out[i] = coarse_assign[static_cast<std::size_t>(mesh.tri(elems[i]).coarse)];
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(elems.size()),
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          out[i] =
+              coarse_assign[static_cast<std::size_t>(mesh.tri(elems[i]).coarse)];
+        }
+      });
   return out;
 }
 
@@ -110,8 +140,15 @@ std::vector<part::PartId> project_coarse_assignment(
   PNR_REQUIRE(coarse_assign.size() ==
               static_cast<std::size_t>(mesh.num_initial_elements()));
   std::vector<part::PartId> out(elems.size());
-  for (std::size_t i = 0; i < elems.size(); ++i)
-    out[i] = coarse_assign[static_cast<std::size_t>(mesh.tet(elems[i]).coarse)];
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(elems.size()),
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          out[i] =
+              coarse_assign[static_cast<std::size_t>(mesh.tet(elems[i]).coarse)];
+        }
+      });
   return out;
 }
 

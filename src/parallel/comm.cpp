@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
 #include "util/prof.hpp"
 
@@ -154,6 +155,11 @@ void World::run(const std::function<void(Comm&)>& fn) {
   std::mutex error_mutex;
   for (int r = 0; r < num_ranks_; ++r) {
     threads.emplace_back([&, r] {
+      // Ranks are themselves concurrent, so any pnr::exec kernel they call
+      // must run inline: nesting pool regions inside rank threads would
+      // serialize the ranks on the pool's region lock and re-order chunk
+      // claims between runs.
+      exec::SerialRegion serial_region;
       try {
         fn(comms[static_cast<std::size_t>(r)]);
       } catch (...) {

@@ -1,6 +1,7 @@
 #include "pared/session.hpp"
 
 #include "check/check.hpp"
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
 #include "util/prof.hpp"
 
@@ -168,6 +169,24 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
                    "session.step");
     check::enforce(check::check_partition(dual.graph, adopted_pi),
                    "session.step");
+    // Determinism cross-check for the pnr::exec runtime: recompute the
+    // pooled partition metrics inside a SerialRegion (forcing the inline
+    // single-chunk path) and demand bitwise-equal results. Integer
+    // reductions commute, so any difference is a runtime bug.
+    const part::Weight cut_par = part::cut_size(dual.graph, adopted_pi);
+    const auto weights_par = part::part_weights(dual.graph, adopted_pi);
+    {
+      exec::SerialRegion serial;
+      const part::Weight cut_ser = part::cut_size(dual.graph, adopted_pi);
+      const auto weights_ser = part::part_weights(dual.graph, adopted_pi);
+      std::string violation;
+      if (cut_par != cut_ser)
+        violation = "parallel cut_size " + std::to_string(cut_par) +
+                    " != serial recompute " + std::to_string(cut_ser);
+      else if (weights_par != weights_ser)
+        violation = "parallel part_weights disagree with serial recompute";
+      check::enforce_empty(violation, "session.step exec cross-check");
+    }
   }
   return report;
 }

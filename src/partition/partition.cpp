@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::part {
+
+namespace {
+
+/// Metric scans are integer reductions: commutative and associative, so the
+/// chunked pool reduction is exactly the legacy serial loop for any pool
+/// size (including one thread).
+constexpr exec::Chunking kMetricChunking{4096, 4096};
+
+}  // namespace
 
 bool Partition::valid_for(const Graph& g) const {
   if (num_parts <= 0) return false;
@@ -16,26 +26,44 @@ bool Partition::valid_for(const Graph& g) const {
 
 Weight cut_size(const Graph& g, const Partition& pi) {
   PNR_REQUIRE(pi.valid_for(g));
-  Weight cut = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    const auto nbrs = g.neighbors(v);
-    const auto wgts = g.edge_weights(v);
-    for (std::size_t k = 0; k < nbrs.size(); ++k)
-      if (nbrs[k] > v &&
-          pi.assign[static_cast<std::size_t>(nbrs[k])] !=
-              pi.assign[static_cast<std::size_t>(v)])
-        cut += wgts[k];
-  }
-  return cut;
+  return exec::default_pool().parallel_reduce(
+      g.num_vertices(), Weight{0},
+      [&](std::int64_t b, std::int64_t e) {
+        Weight cut = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<VertexId>(i);
+          const auto nbrs = g.neighbors(v);
+          const auto wgts = g.edge_weights(v);
+          for (std::size_t k = 0; k < nbrs.size(); ++k)
+            if (nbrs[k] > v &&
+                pi.assign[static_cast<std::size_t>(nbrs[k])] !=
+                    pi.assign[static_cast<std::size_t>(v)])
+              cut += wgts[k];
+        }
+        return cut;
+      },
+      [](Weight a, Weight b) { return a + b; }, kMetricChunking);
 }
 
 std::vector<Weight> part_weights(const Graph& g, const Partition& pi) {
   PNR_REQUIRE(pi.valid_for(g));
-  std::vector<Weight> w(static_cast<std::size_t>(pi.num_parts), 0);
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
-    w[static_cast<std::size_t>(pi.assign[static_cast<std::size_t>(v)])] +=
-        g.vertex_weight(v);
-  return w;
+  const auto parts = static_cast<std::size_t>(pi.num_parts);
+  return exec::default_pool().parallel_reduce(
+      g.num_vertices(), std::vector<Weight>(parts, 0),
+      [&](std::int64_t b, std::int64_t e) {
+        std::vector<Weight> w(parts, 0);
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<VertexId>(i);
+          w[static_cast<std::size_t>(
+              pi.assign[static_cast<std::size_t>(v)])] += g.vertex_weight(v);
+        }
+        return w;
+      },
+      [](std::vector<Weight> a, std::vector<Weight> b) {
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+        return a;
+      },
+      kMetricChunking);
 }
 
 double imbalance(const Graph& g, const Partition& pi) {
@@ -51,12 +79,18 @@ double imbalance(const Graph& g, const Partition& pi) {
 Weight migration_cost(const Graph& g, const Partition& old_pi,
                       const Partition& new_pi) {
   PNR_REQUIRE(old_pi.valid_for(g) && new_pi.valid_for(g));
-  Weight moved = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
-    if (old_pi.assign[static_cast<std::size_t>(v)] !=
-        new_pi.assign[static_cast<std::size_t>(v)])
-      moved += g.vertex_weight(v);
-  return moved;
+  return exec::default_pool().parallel_reduce(
+      g.num_vertices(), Weight{0},
+      [&](std::int64_t b, std::int64_t e) {
+        Weight moved = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<std::size_t>(i);
+          if (old_pi.assign[v] != new_pi.assign[v])
+            moved += g.vertex_weight(static_cast<VertexId>(i));
+        }
+        return moved;
+      },
+      [](Weight a, Weight b) { return a + b; }, kMetricChunking);
 }
 
 double balance_cost(const Graph& g, const Partition& pi) {
@@ -80,10 +114,17 @@ double repartition_cost(const Graph& g, const Partition& old_pi,
 
 std::int64_t moved_vertices(const Partition& old_pi, const Partition& new_pi) {
   PNR_REQUIRE(old_pi.assign.size() == new_pi.assign.size());
-  std::int64_t moved = 0;
-  for (std::size_t v = 0; v < old_pi.assign.size(); ++v)
-    if (old_pi.assign[v] != new_pi.assign[v]) ++moved;
-  return moved;
+  return exec::default_pool().parallel_reduce(
+      static_cast<std::int64_t>(old_pi.assign.size()), std::int64_t{0},
+      [&](std::int64_t b, std::int64_t e) {
+        std::int64_t moved = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<std::size_t>(i);
+          if (old_pi.assign[v] != new_pi.assign[v]) ++moved;
+        }
+        return moved;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; }, kMetricChunking);
 }
 
 bool all_parts_used(const Graph& g, const Partition& pi) {

@@ -1,0 +1,377 @@
+// pnr::exec — the deterministic shared-memory task runtime. The contract
+// under test: chunk decomposition depends only on (n, grain, max_chunks),
+// reductions combine partials in a fixed-shape tree, and therefore every
+// kernel built on the pool is bitwise identical at 1/2/4/8 threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "fem/cg.hpp"
+#include "fem/sparse.hpp"
+#include "graph/builder.hpp"
+#include "graph/coarsen.hpp"
+#include "util/rng.hpp"
+
+namespace pnr {
+namespace {
+
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+
+/// Runs `fn` once per sweep thread count on a fresh pool and returns the
+/// per-count results for cross-count comparison.
+template <typename Fn>
+auto sweep(Fn&& fn) {
+  std::vector<decltype(fn(std::declval<exec::Pool&>()))> results;
+  for (const int t : kThreadSweep) {
+    exec::Pool pool(t);
+    results.push_back(fn(pool));
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk decomposition.
+
+TEST(ExecChunking, RangesTileTheIndexSpace) {
+  for (const std::int64_t n : {0, 1, 7, 100, 4097, 100000}) {
+    for (const std::int64_t grain : {1, 64, 1024, 4096}) {
+      const exec::Chunking ck{grain, 4096};
+      const std::int64_t chunks = exec::num_chunks(n, ck);
+      if (n == 0) continue;
+      ASSERT_GE(chunks, 1);
+      std::int64_t expect_begin = 0;
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        const auto [b, e] = exec::chunk_range(n, chunks, c);
+        EXPECT_EQ(b, expect_begin);
+        EXPECT_LE(b, e);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, n);
+    }
+  }
+}
+
+TEST(ExecChunking, BalancedWithinOne) {
+  const std::int64_t n = 10007, chunks = exec::num_chunks(n, {64, 4096});
+  std::int64_t min_sz = n, max_sz = 0;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const auto [b, e] = exec::chunk_range(n, chunks, c);
+    min_sz = std::min(min_sz, e - b);
+    max_sz = std::max(max_sz, e - b);
+  }
+  EXPECT_LE(max_sz - min_sz, 1);
+}
+
+TEST(ExecChunking, MaxChunksCapsTheCount) {
+  EXPECT_EQ(exec::num_chunks(1 << 20, exec::Chunking{1, 8}), 8);
+  EXPECT_EQ(exec::num_chunks(100, exec::Chunking{1024, 4096}), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Pool execution semantics.
+
+TEST(ExecPool, ParallelForVisitsEveryIndexOnce) {
+  const std::int64_t n = 10000;
+  for (const int t : kThreadSweep) {
+    exec::Pool pool(t);
+    std::vector<int> hits(static_cast<std::size_t>(n), 0);
+    pool.parallel_for(
+        n,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i)
+            ++hits[static_cast<std::size_t>(i)];
+        },
+        exec::Chunking{64, 4096});
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n)
+        << "threads=" << t;
+    for (const int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
+TEST(ExecPool, ReduceIsBitwiseStableAcrossThreadCounts) {
+  // Values spanning ~16 orders of magnitude make float addition visibly
+  // non-associative, so any shape difference between thread counts would
+  // change bits.
+  const std::int64_t n = 50000;
+  std::vector<double> v(static_cast<std::size_t>(n));
+  util::Rng rng(7);
+  for (auto& x : v)
+    x = rng.next_double() * std::pow(10.0, rng.uniform_int(-8, 8));
+  const auto sums = sweep([&](exec::Pool& pool) {
+    return pool.parallel_reduce(
+        n, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double acc = 0.0;
+          for (std::int64_t i = b; i < e; ++i)
+            acc += v[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        [](double a, double b) { return a + b; }, exec::Chunking{512, 4096});
+  });
+  for (std::size_t i = 1; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[0], sums[i]) << "thread count " << kThreadSweep[i];
+  }
+}
+
+TEST(ExecPool, ReduceNeverFoldsTheIdentityIn) {
+  exec::Pool pool(4);
+  const auto sum = pool.parallel_reduce(
+      100, std::int64_t{999},
+      [](std::int64_t b, std::int64_t e) { return e - b; },
+      [](std::int64_t a, std::int64_t b) { return a + b; },
+      exec::Chunking{10, 16});
+  EXPECT_EQ(sum, 100);
+  const auto empty = pool.parallel_reduce(
+      0, std::int64_t{999},
+      [](std::int64_t, std::int64_t) { return std::int64_t{0}; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(empty, 999);
+}
+
+TEST(ExecPool, ExclusiveScanMatchesSerialReference) {
+  const std::int64_t n = 12345;
+  std::vector<std::int64_t> in(static_cast<std::size_t>(n));
+  util::Rng rng(11);
+  for (auto& x : in) x = rng.uniform_int(0, 9);
+  std::vector<std::int64_t> ref(in.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ref[i] = acc;
+    acc += in[i];
+  }
+  for (const int t : kThreadSweep) {
+    exec::Pool pool(t);
+    std::vector<std::int64_t> out(in.size());
+    const std::int64_t total =
+        pool.exclusive_scan(in, out, exec::Chunking{256, 4096});
+    EXPECT_EQ(total, acc) << "threads=" << t;
+    EXPECT_EQ(out, ref) << "threads=" << t;
+  }
+}
+
+TEST(ExecPool, EmptyAndSingleElementRanges) {
+  exec::Pool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1);
+  });
+  EXPECT_EQ(calls, 1);
+  std::vector<std::int64_t> none;
+  std::vector<std::int64_t> out;
+  EXPECT_EQ(pool.exclusive_scan(none, out), 0);
+}
+
+TEST(ExecPool, ExceptionPropagatesAndPoolSurvives) {
+  exec::Pool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          16,
+          [](std::int64_t b, std::int64_t) {
+            if (b == 7) throw std::runtime_error("chunk 7 failed");
+          },
+          exec::Chunking{1, 16}),
+      std::runtime_error);
+  // The pool must come back clean: a follow-up region runs to completion.
+  std::vector<int> hits(16, 0);
+  pool.parallel_for(
+      16,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+          ++hits[static_cast<std::size_t>(i)];
+      },
+      exec::Chunking{1, 16});
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ExecPool, NestedParallelCallsRunInline) {
+  exec::Pool pool(4);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(
+      8,
+      [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t o = ob; o < oe; ++o)
+          pool.parallel_for(
+              8,
+              [&](std::int64_t ib, std::int64_t ie) {
+                for (std::int64_t i = ib; i < ie; ++i)
+                  ++hits[static_cast<std::size_t>(o * 8 + i)];
+              },
+              exec::Chunking{1, 8});
+      },
+      exec::Chunking{1, 8});
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ExecPool, SerialRegionForcesInlineExecution) {
+  exec::Pool pool(4);
+  EXPECT_FALSE(pool.serial());
+  {
+    exec::SerialRegion region;
+    EXPECT_TRUE(exec::in_serial_context());
+    EXPECT_TRUE(pool.serial());
+    // Everything still runs (inline) and produces the same coverage.
+    std::vector<int> hits(100, 0);
+    pool.parallel_for(
+        100,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i)
+            ++hits[static_cast<std::size_t>(i)];
+        },
+        exec::Chunking{10, 16});
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+  EXPECT_FALSE(exec::in_serial_context());
+  EXPECT_FALSE(pool.serial());
+}
+
+TEST(ExecPool, RestartsAfterShutdown) {
+  exec::Pool pool(4);
+  std::vector<int> hits(32, 0);
+  auto mark = [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) ++hits[static_cast<std::size_t>(i)];
+  };
+  pool.parallel_for(32, mark, exec::Chunking{1, 32});
+  pool.shutdown();
+  EXPECT_EQ(pool.num_threads(), 4);
+  pool.parallel_for(32, mark, exec::Chunking{1, 32});  // lazy restart
+  for (const int h : hits) EXPECT_EQ(h, 2);
+}
+
+TEST(ExecPool, DefaultPoolFollowsSetDefaultThreads) {
+  const int before = exec::default_pool().num_threads();
+  exec::set_default_threads(3);
+  EXPECT_EQ(exec::default_pool().num_threads(), 3);
+  exec::set_default_threads(before);
+  EXPECT_EQ(exec::default_pool().num_threads(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel determinism across thread counts.
+
+graph::Graph grid_graph(int nx, int ny) {
+  graph::GraphBuilder b(nx * ny);
+  auto id = [&](int i, int j) { return static_cast<graph::VertexId>(j * nx + i); };
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (i + 1 < nx) b.add_edge(id(i, j), id(i + 1, j));
+      if (j + 1 < ny) b.add_edge(id(i, j), id(i, j + 1));
+    }
+  return b.build();
+}
+
+void expect_same_graph(const graph::Graph& a, const graph::Graph& b,
+                       int threads) {
+  EXPECT_EQ(a.xadj(), b.xadj()) << "threads=" << threads;
+  EXPECT_EQ(a.adjncy(), b.adjncy()) << "threads=" << threads;
+  EXPECT_EQ(a.adjwgt(), b.adjwgt()) << "threads=" << threads;
+  EXPECT_EQ(a.vwgt(), b.vwgt()) << "threads=" << threads;
+}
+
+/// Restores the process default pool width on scope exit so kernel sweeps
+/// can retune it without leaking state into other tests (or a PNR_THREADS
+/// override from the environment).
+class DefaultThreadsGuard {
+ public:
+  DefaultThreadsGuard() : saved_(exec::default_pool().num_threads()) {}
+  ~DefaultThreadsGuard() { exec::set_default_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ExecDeterminism, CsrBuildBitwiseEqualAcrossThreadCounts) {
+  DefaultThreadsGuard guard;
+  std::vector<graph::Graph> built;
+  for (const int t : kThreadSweep) {
+    exec::set_default_threads(t);
+    built.push_back(grid_graph(80, 70));  // 5600 vertices → several chunks
+  }
+  for (std::size_t i = 1; i < built.size(); ++i)
+    expect_same_graph(built[0], built[i], kThreadSweep[i]);
+}
+
+TEST(ExecDeterminism, EdgeBatchAssemblyCanonicalizesAnyOrder) {
+  DefaultThreadsGuard guard;
+  // Duplicate arcs in scrambled order must collapse to one sorted CSR —
+  // identically at every thread count.
+  std::vector<graph::WeightedEdge> edges = {
+      {3, 1, 2}, {0, 1, 1}, {1, 3, 2}, {2, 0, 5}, {1, 0, 1}, {3, 2, 4},
+  };
+  std::vector<graph::Graph> built;
+  for (const int t : kThreadSweep) {
+    exec::set_default_threads(t);
+    built.push_back(graph::build_csr_from_edges(4, edges, {}));
+  }
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    EXPECT_TRUE(built[i].validate().empty()) << built[i].validate();
+    // {0,1} listed once from each side with merged weight 1+1 = 2.
+    EXPECT_EQ(built[i].edge_weight(0, 1), 2);
+    EXPECT_EQ(built[i].edge_weight(1, 0), 2);
+    if (i > 0) expect_same_graph(built[0], built[i], kThreadSweep[i]);
+  }
+}
+
+TEST(ExecDeterminism, CoarsenMatchingBitwiseEqualAcrossThreadCounts) {
+  DefaultThreadsGuard guard;
+  const graph::Graph g = grid_graph(60, 60);
+  std::vector<graph::CoarseLevel> levels;
+  for (const int t : kThreadSweep) {
+    exec::set_default_threads(t);
+    util::Rng rng(42);  // same seed per count: matching must be identical
+    levels.push_back(graph::coarsen_once(g, rng, {}));
+  }
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_EQ(levels[0].fine_to_coarse, levels[i].fine_to_coarse)
+        << "threads=" << kThreadSweep[i];
+    expect_same_graph(levels[0].graph, levels[i].graph, kThreadSweep[i]);
+  }
+}
+
+TEST(ExecDeterminism, CgResidualHistoryBitwiseEqualAcrossThreadCounts) {
+  DefaultThreadsGuard guard;
+  // 1-D Laplacian big enough (6000 > grain 4096) that the vector kernels
+  // split into several chunks and actually exercise the reduction tree.
+  const std::int32_t n = 6000;
+  std::vector<std::int32_t> rows, cols;
+  std::vector<double> vals;
+  for (std::int32_t i = 0; i < n; ++i) {
+    rows.push_back(i), cols.push_back(i), vals.push_back(2.0);
+    if (i + 1 < n) {
+      rows.push_back(i), cols.push_back(i + 1), vals.push_back(-1.0);
+      rows.push_back(i + 1), cols.push_back(i), vals.push_back(-1.0);
+    }
+  }
+  const auto m = fem::CsrMatrix::from_triplets(n, rows, cols, vals);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  util::Rng rng(3);
+  for (auto& x : b) x = rng.next_double() * 2.0 - 1.0;
+
+  std::vector<fem::CgResult> runs;
+  std::vector<std::vector<double>> solutions;
+  for (const int t : kThreadSweep) {
+    exec::set_default_threads(t);
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    runs.push_back(fem::conjugate_gradient(m, b, x, 1e-10, 60));
+    solutions.push_back(std::move(x));
+  }
+  ASSERT_FALSE(runs[0].residuals.empty());
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].iterations, runs[i].iterations);
+    EXPECT_EQ(runs[0].residuals, runs[i].residuals)
+        << "threads=" << kThreadSweep[i];
+    EXPECT_EQ(solutions[0], solutions[i]) << "threads=" << kThreadSweep[i];
+  }
+}
+
+}  // namespace
+}  // namespace pnr

@@ -4,8 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
-#include <thread>
 
+#include "exec/pool.hpp"
 #include "util/json.hpp"
 #include "util/prof.hpp"
 
@@ -111,13 +111,20 @@ TEST_F(ProfTest, CountersAccumulateAndGaugesKeepTheMax) {
 }
 
 TEST_F(ProfTest, CountersMergeAcrossThreads) {
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 4; ++t)
-    threads.emplace_back([] {
-      for (int i = 0; i < 100; ++i) pnr::prof::count("thread.ticks");
-      PNR_PROF_SPAN("thread.work");
-    });
-  for (auto& t : threads) t.join();
+  // Thread-local shards must merge into one registry. A 4-thread exec pool
+  // with grain 1 runs each of the 4 chunks as its own task, spread over the
+  // caller and the workers.
+  pnr::exec::Pool pool(4);
+  pool.parallel_for(
+      4,
+      [](std::int64_t b, std::int64_t e) {
+        for (std::int64_t c = b; c < e; ++c) {
+          for (int i = 0; i < 100; ++i) pnr::prof::count("thread.ticks");
+          PNR_PROF_SPAN("thread.work");
+        }
+      },
+      pnr::exec::Chunking{1, 4});
+  pool.shutdown();
 
   const Report report = pnr::prof::snapshot();
   const CounterRow* ticks = find_counter(report.counters, "thread.ticks");
