@@ -1,0 +1,192 @@
+// Service throughput/latency benchmark: N concurrent sessions driven
+// through the pnr::svc socketpair loopback (the same poll loop, codec and
+// registry a real pnr_serve daemon runs — minus the kernel socket between
+// two processes), measuring requests/s and p50/p99 latency per operation.
+// Emits the machine-readable trajectory BENCH_svc.json (schema
+// "pnr.bench_svc.v1", documented in docs/SERVICE.md); the committed copy
+// at the repo root is the baseline CI regenerates on the release leg.
+//
+//   --quick            reduced session/round counts for CI smoke runs
+//   --sessions=N       concurrent sessions (default 8)
+//   --rounds=N         advance+step rounds per session (default 40)
+//   --grid=N           transient workload grid (default 12)
+//   --procs=4          parts per session
+//   --threads=N        exec pool width for the server-side kernels
+//   --out=<path>       output JSON (default BENCH_svc.json)
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "svc/client.hpp"
+#include "svc/loopback.hpp"
+#include "svc/server.hpp"
+#include "util/json.hpp"
+
+using namespace pnr;
+
+namespace {
+
+/// Latencies for one wire operation, accumulated across all sessions.
+struct OpStats {
+  std::vector<double> seconds;
+
+  void add(double s) { seconds.push_back(s); }
+
+  double total() const {
+    double sum = 0.0;
+    for (const double s : seconds) sum += s;
+    return sum;
+  }
+
+  /// Nearest-rank percentile; the vector is sorted in place.
+  double percentile(double q) {
+    if (seconds.empty()) return 0.0;
+    std::sort(seconds.begin(), seconds.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(seconds.size() - 1) + 0.5);
+    return seconds[std::min(idx, seconds.size() - 1)];
+  }
+};
+
+/// Run `fn` once, require success, and record the wall time under `op`.
+template <typename Fn>
+void timed(std::map<std::string, OpStats>& stats, const char* op, Fn&& fn) {
+  util::Timer timer;
+  if (!fn()) {
+    std::fprintf(stderr, "FATAL: op %s failed\n", op);
+    std::exit(1);
+  }
+  stats[op].add(timer.seconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const int sessions = cli.get_int("sessions", quick ? 4 : 8);
+  const int rounds = cli.get_int("rounds", quick ? 8 : 40);
+  const int grid = cli.get_int("grid", 12);
+  const auto parts = static_cast<std::int32_t>(cli.get_int("procs", 4));
+  const std::string out = cli.get("out", "BENCH_svc.json");
+  const int threads = bench::apply_threads_flag(cli);
+
+  bench::banner("Service loopback",
+                "N adaptive sessions over the svc wire protocol; "
+                "requests/s and p50/p99 latency per operation");
+
+  svc::ServerOptions options;
+  options.max_connections = sessions + 1;
+  svc::Server server(options);
+
+  // One client connection per session, like independent daemon users.
+  std::vector<std::unique_ptr<svc::Client>> clients;
+  std::vector<std::uint32_t> ids(static_cast<std::size_t>(sessions), 0);
+  for (int s = 0; s < sessions; ++s) {
+    clients.push_back(std::make_unique<svc::Client>());
+    if (!svc::connect_loopback(server, *clients.back())) {
+      std::fprintf(stderr, "FATAL: loopback connect failed\n");
+      return 1;
+    }
+  }
+
+  std::map<std::string, OpStats> stats;
+  util::Timer wall;
+
+  for (int s = 0; s < sessions; ++s) {
+    svc::Client& client = *clients[static_cast<std::size_t>(s)];
+    timed(stats, "ping", [&] { return client.ping(); });
+    svc::WorkloadSpec spec;
+    spec.kind = svc::WorkloadKind::kTransient2D;
+    spec.parts = parts;
+    spec.session_seed = static_cast<std::uint64_t>(s) + 1;
+    spec.transient.grid_n = grid;
+    spec.transient.max_level = 4;
+    spec.transient.steps = rounds + 1;  // never exhaust the run
+    timed(stats, "create_workload", [&] {
+      const auto created = client.create_workload(spec);
+      if (created) ids[static_cast<std::size_t>(s)] = created->session;
+      return created.has_value();
+    });
+  }
+
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < sessions; ++s) {
+      svc::Client& client = *clients[static_cast<std::size_t>(s)];
+      const std::uint32_t id = ids[static_cast<std::size_t>(s)];
+      timed(stats, "advance", [&] { return client.advance(id).has_value(); });
+      timed(stats, "step", [&] { return client.step(id).has_value(); });
+      timed(stats, "get_metrics",
+            [&] { return client.get_metrics(id).has_value(); });
+    }
+    // Bulkier ops once per round on a rotating session, so their cost
+    // shows up without dominating the steady-state request mix.
+    svc::Client& client = *clients[static_cast<std::size_t>(r % sessions)];
+    const std::uint32_t id = ids[static_cast<std::size_t>(r % sessions)];
+    timed(stats, "get_assignment",
+          [&] { return client.get_assignment(id).has_value(); });
+    timed(stats, "checkpoint",
+          [&] { return client.checkpoint(id).has_value(); });
+    timed(stats, "list_sessions",
+          [&] { return client.list_sessions().has_value(); });
+  }
+
+  for (int s = 0; s < sessions; ++s)
+    timed(stats, "close_session", [&] {
+      return clients[static_cast<std::size_t>(s)]->close_session(
+          ids[static_cast<std::size_t>(s)]);
+    });
+  const double total_seconds = wall.seconds();
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = "pnr.bench_svc.v1";
+  doc["binary"] = "bench_svc";
+  doc["mode"] = quick ? "quick" : "default";
+  doc["sessions"] = static_cast<std::int64_t>(sessions);
+  doc["rounds"] = static_cast<std::int64_t>(rounds);
+  doc["parts"] = static_cast<std::int64_t>(parts);
+  doc["threads"] = static_cast<std::int64_t>(threads);
+
+  util::Table table({"op", "requests", "req/s", "p50 ms", "p99 ms"});
+  util::Json ops = util::Json::array();
+  std::int64_t requests = 0;
+  for (auto& [op, st] : stats) {
+    const auto count = static_cast<std::int64_t>(st.seconds.size());
+    const double total = st.total();
+    const double rate = total > 0.0 ? static_cast<double>(count) / total : 0.0;
+    const double p50 = st.percentile(0.50), p99 = st.percentile(0.99);
+    requests += count;
+    table.row().cell(op).cell(count).cell(rate, 0).cell(p50 * 1e3, 3).cell(
+        p99 * 1e3, 3);
+    util::Json row = util::Json::object();
+    row["op"] = op;
+    row["requests"] = count;
+    row["total_seconds"] = total;
+    row["requests_per_second"] = rate;
+    row["p50_ms"] = p50 * 1e3;
+    row["p99_ms"] = p99 * 1e3;
+    ops.push_back(std::move(row));
+  }
+  table.print(std::cout);
+  doc["ops"] = std::move(ops);
+  doc["requests"] = requests;
+  doc["total_seconds"] = total_seconds;
+
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  file << doc.dump(2) << "\n";
+  std::printf("wrote %s (%lld requests over %d sessions, %.2f s)\n",
+              out.c_str(), static_cast<long long>(requests), sessions,
+              total_seconds);
+  return 0;
+}

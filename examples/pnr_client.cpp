@@ -1,0 +1,316 @@
+// pnr_client: command-line client for pnr_serve (docs/SERVICE.md).
+//
+//   pnr_client --socket=PATH COMMAND [flags]
+//
+// Commands:
+//   ping
+//   create-workload  --kind=transient2d|transient3d|corner2d|corner3d
+//                    [--strategy=pnr] [--parts=8] [--seed=1] [--steps=100]
+//                    [--grid-n=N] [--max-level=N] [--refine-threshold=X]
+//                    [--coarsen-threshold=X] [--tau=X] [--decay=X]
+//                    [--alpha=0.1] [--beta=0.8]
+//   create-mesh      --mesh=BASENAME [--dim=2|3] [--strategy=..] [--parts=..]
+//                    (reads BASENAME.node/.ele — Triangle or TetGen format)
+//   create-graph     --graph=FILE [--parts=..]  (METIS format, PNR strategy)
+//   advance          --session=N [--count=1]
+//   step             --session=N [--count=1]
+//   run              --session=N --steps=K   (advance+step per time step,
+//                    printing one StepReport line per step)
+//   repartition      --session=N
+//   metrics          --session=N
+//   assignment       --session=N [--out=FILE]
+//   checkpoint       --session=N --out=FILE
+//   restore          --in=FILE
+//   close            --session=N
+//   list
+//   shutdown
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "graph/io.hpp"
+#include "mesh/io.hpp"
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace pnr;
+
+void print_report(std::int64_t index, const pared::StepReport& r) {
+  std::printf(
+      "step=%lld elements=%lld cut_prev=%lld cut_new=%lld shared=%lld "
+      "migrated=%lld remapped=%lld imbalance=%.6f\n",
+      static_cast<long long>(index), static_cast<long long>(r.elements),
+      static_cast<long long>(r.cut_prev), static_cast<long long>(r.cut_new),
+      static_cast<long long>(r.shared_vertices),
+      static_cast<long long>(r.migrated),
+      static_cast<long long>(r.migrated_remapped), r.imbalance);
+}
+
+int fail(const svc::Client& client, const char* what) {
+  const auto& e = client.last_error();
+  if (!e.transport.empty())
+    std::fprintf(stderr, "pnr_client: %s: transport: %s\n", what,
+                 e.transport.c_str());
+  else
+    std::fprintf(stderr, "pnr_client: %s: %s: %s\n", what,
+                 svc::err_name(e.code), e.detail.c_str());
+  return 1;
+}
+
+std::optional<svc::WorkloadSpec> spec_from_flags(const util::Cli& cli) {
+  svc::WorkloadSpec spec;
+  const std::string kind = cli.get("kind", "transient2d");
+  if (kind == "transient2d") {
+    spec.kind = svc::WorkloadKind::kTransient2D;
+  } else if (kind == "transient3d") {
+    spec.kind = svc::WorkloadKind::kTransient3D;
+    spec.transient = pared::TransientRun3D::default_options();
+  } else if (kind == "corner2d") {
+    spec.kind = svc::WorkloadKind::kCorner2D;
+  } else if (kind == "corner3d") {
+    spec.kind = svc::WorkloadKind::kCorner3D;
+  } else {
+    std::fprintf(stderr, "pnr_client: unknown workload kind '%s'\n",
+                 kind.c_str());
+    return std::nullopt;
+  }
+  const auto strategy = pared::parse_strategy(cli.get("strategy", "pnr"));
+  if (!strategy) {
+    std::fprintf(stderr, "pnr_client: unknown strategy\n");
+    return std::nullopt;
+  }
+  spec.strategy = *strategy;
+  spec.parts = cli.get_int("parts", 8);
+  spec.session_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  spec.transient.steps = cli.get_int("steps", spec.transient.steps);
+  spec.transient.grid_n = cli.get_int("grid-n", spec.transient.grid_n);
+  spec.transient.max_level = cli.get_int("max-level", spec.transient.max_level);
+  spec.transient.refine_threshold =
+      cli.get_double("refine-threshold", spec.transient.refine_threshold);
+  spec.transient.coarsen_threshold =
+      cli.get_double("coarsen-threshold", spec.transient.coarsen_threshold);
+  spec.corner.tau = cli.get_double("tau", spec.corner.tau);
+  spec.corner.decay = cli.get_double("decay", spec.corner.decay);
+  spec.corner_grid_n = cli.get_int("grid-n", 0);
+  spec.alpha = cli.get_double("alpha", spec.alpha);
+  spec.beta = cli.get_double("beta", spec.beta);
+  return spec;
+}
+
+std::optional<svc::CreateHead> head_from_flags(const util::Cli& cli) {
+  svc::CreateHead head;
+  const auto strategy = pared::parse_strategy(cli.get("strategy", "pnr"));
+  if (!strategy) {
+    std::fprintf(stderr, "pnr_client: unknown strategy\n");
+    return std::nullopt;
+  }
+  head.strategy = *strategy;
+  head.parts = cli.get_int("parts", 8);
+  head.session_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  head.alpha = cli.get_double("alpha", head.alpha);
+  head.beta = cli.get_double("beta", head.beta);
+  return head;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string socket = cli.get("socket", "");
+  if (socket.empty() || cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: pnr_client --socket=PATH COMMAND [flags] "
+                 "(see the header of examples/pnr_client.cpp)\n");
+    return 2;
+  }
+  const std::string cmd = cli.positional()[0];
+  const auto session =
+      static_cast<std::uint32_t>(cli.get_int("session", 0));
+
+  svc::Client client;
+  std::string error;
+  if (!client.connect_unix(socket, &error)) {
+    std::fprintf(stderr, "pnr_client: cannot connect to %s: %s\n",
+                 socket.c_str(), error.c_str());
+    return 1;
+  }
+
+  if (cmd == "ping") {
+    if (!client.ping()) return fail(client, "ping");
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "create-workload") {
+    const auto spec = spec_from_flags(cli);
+    if (!spec) return 2;
+    const auto created = client.create_workload(*spec);
+    if (!created) return fail(client, "create-workload");
+    std::printf("session=%u elements=%lld\n", created->session,
+                static_cast<long long>(created->elements));
+    return 0;
+  }
+  if (cmd == "create-mesh") {
+    const auto head = head_from_flags(cli);
+    if (!head) return 2;
+    const std::string base = cli.get("mesh", "");
+    const int dim = cli.get_int("dim", 2);
+    svc::FlatMesh flat;
+    if (dim == 2) {
+      const auto mesh = mesh::read_triangle_files(base);
+      if (!mesh) {
+        std::fprintf(stderr, "pnr_client: cannot read %s.node/.ele\n",
+                     base.c_str());
+        return 1;
+      }
+      flat = svc::flatten_mesh(*mesh);
+    } else {
+      const auto mesh = mesh::read_tetgen_files(base);
+      if (!mesh) {
+        std::fprintf(stderr, "pnr_client: cannot read %s.node/.ele\n",
+                     base.c_str());
+        return 1;
+      }
+      flat = svc::flatten_mesh(*mesh);
+    }
+    const auto created = client.create_mesh(*head, flat);
+    if (!created) return fail(client, "create-mesh");
+    std::printf("session=%u elements=%lld\n", created->session,
+                static_cast<long long>(created->elements));
+    return 0;
+  }
+  if (cmd == "create-graph") {
+    const auto head = head_from_flags(cli);
+    if (!head) return 2;
+    const auto g = graph::read_metis(cli.get("graph", ""));
+    if (!g) {
+      std::fprintf(stderr, "pnr_client: cannot read METIS graph\n");
+      return 1;
+    }
+    const auto created = client.create_graph(*head, *g);
+    if (!created) return fail(client, "create-graph");
+    std::printf("session=%u vertices=%lld\n", created->session,
+                static_cast<long long>(created->elements));
+    return 0;
+  }
+  if (cmd == "advance") {
+    for (int i = 0; i < cli.get_int("count", 1); ++i) {
+      const auto info = client.advance(session);
+      if (!info) return fail(client, "advance");
+      std::printf("elements=%lld refined=%lld coarsened=%lld position=%.6f\n",
+                  static_cast<long long>(info->elements),
+                  static_cast<long long>(info->refined),
+                  static_cast<long long>(info->coarsened), info->position);
+    }
+    return 0;
+  }
+  if (cmd == "step") {
+    for (int i = 0; i < cli.get_int("count", 1); ++i) {
+      const auto report = client.step(session);
+      if (!report) return fail(client, "step");
+      print_report(i, *report);
+    }
+    return 0;
+  }
+  if (cmd == "run") {
+    const int steps = cli.get_int("steps", 1);
+    for (int i = 0; i < steps; ++i) {
+      if (!client.advance(session)) return fail(client, "run/advance");
+      const auto report = client.step(session);
+      if (!report) return fail(client, "run/step");
+      print_report(i + 1, *report);
+    }
+    return 0;
+  }
+  if (cmd == "repartition") {
+    const auto info = client.repartition(session);
+    if (!info) return fail(client, "repartition");
+    std::printf(
+        "cut_before=%lld cut_after=%lld migrate=%lld imbalance_before=%.6f "
+        "imbalance_after=%.6f levels=%d\n",
+        static_cast<long long>(info->cut_before),
+        static_cast<long long>(info->cut_after),
+        static_cast<long long>(info->migrate), info->imbalance_before,
+        info->imbalance_after, info->levels);
+    return 0;
+  }
+  if (cmd == "metrics") {
+    const auto m = client.get_metrics(session);
+    if (!m) return fail(client, "metrics");
+    std::printf("kind=%s strategy=%s parts=%d elements=%lld ops=%lld\n",
+                m->kind.c_str(), pared::strategy_name(m->strategy), m->parts,
+                static_cast<long long>(m->elements),
+                static_cast<long long>(m->ops_applied));
+    if (m->last_report) print_report(m->ops_applied, *m->last_report);
+    return 0;
+  }
+  if (cmd == "assignment") {
+    const auto assign = client.get_assignment(session);
+    if (!assign) return fail(client, "assignment");
+    const std::string out = cli.get("out", "");
+    if (out.empty()) {
+      for (const auto p : *assign) std::printf("%d\n", p);
+    } else {
+      std::ofstream os(out);
+      for (const auto p : *assign) os << p << "\n";
+      if (!os) {
+        std::fprintf(stderr, "pnr_client: cannot write %s\n", out.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+  if (cmd == "checkpoint") {
+    const auto bytes = client.checkpoint(session);
+    if (!bytes) return fail(client, "checkpoint");
+    const std::string out = cli.get("out", "");
+    std::ofstream os(out, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(bytes->data()),
+             static_cast<std::streamsize>(bytes->size()));
+    if (out.empty() || !os) {
+      std::fprintf(stderr, "pnr_client: cannot write checkpoint file\n");
+      return 1;
+    }
+    std::printf("checkpoint bytes=%zu\n", bytes->size());
+    return 0;
+  }
+  if (cmd == "restore") {
+    std::ifstream is(cli.get("in", ""), std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "pnr_client: cannot read checkpoint file\n");
+      return 1;
+    }
+    svc::Bytes bytes((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    const auto restored = client.restore(bytes);
+    if (!restored) return fail(client, "restore");
+    std::printf("session=%u elements=%lld replayed=%u\n", restored->session,
+                static_cast<long long>(restored->elements),
+                restored->replayed);
+    return 0;
+  }
+  if (cmd == "close") {
+    if (!client.close_session(session)) return fail(client, "close");
+    std::printf("closed\n");
+    return 0;
+  }
+  if (cmd == "list") {
+    const auto sessions = client.list_sessions();
+    if (!sessions) return fail(client, "list");
+    for (const auto& s : *sessions)
+      std::printf("session=%u kind=%s strategy=%s parts=%d elements=%lld\n",
+                  s.session, s.kind.c_str(), pared::strategy_name(s.strategy),
+                  s.parts, static_cast<long long>(s.elements));
+    return 0;
+  }
+  if (cmd == "shutdown") {
+    if (!client.shutdown_server()) return fail(client, "shutdown");
+    std::printf("server shutting down\n");
+    return 0;
+  }
+  std::fprintf(stderr, "pnr_client: unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

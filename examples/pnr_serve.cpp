@@ -1,0 +1,54 @@
+// pnr_serve: the repartitioning service daemon. Binds a Unix-domain socket,
+// then serves framed requests (docs/SERVICE.md) until a client sends
+// shutdown. All session work runs through pnr::svc::Registry — the same
+// validated, limit-checked path the hermetic tests use.
+//
+//   pnr_serve --socket=/tmp/pnr.sock [--max-sessions=64] [--max-elements=N]
+//             [--max-frame-mb=64] [--max-parts=1024] [--threads=N] [--prof]
+
+#include <cstdio>
+#include <iostream>
+
+#include "exec/pool.hpp"
+#include "svc/server.hpp"
+#include "util/cli.hpp"
+#include "util/prof.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pnr;
+  util::Cli cli(argc, argv);
+  const std::string socket = cli.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr,
+                 "usage: pnr_serve --socket=PATH [--max-sessions=N] "
+                 "[--max-elements=N] [--max-frame-mb=N] [--max-parts=N] "
+                 "[--threads=N] [--prof]\n");
+    return 2;
+  }
+  if (const int threads = cli.get_int("threads", 0); threads > 0)
+    exec::set_default_threads(threads);
+  if (cli.get_bool("prof")) prof::set_enabled(true);
+
+  svc::ServerOptions options;
+  options.limits.max_sessions =
+      static_cast<std::uint32_t>(cli.get_int("max-sessions", 64));
+  options.limits.max_frame_bytes =
+      static_cast<std::uint32_t>(cli.get_int("max-frame-mb", 64)) << 20;
+  options.limits.max_elements =
+      cli.get_int("max-elements",
+                  static_cast<int>(options.limits.max_elements));
+  options.limits.max_parts = cli.get_int("max-parts", 1024);
+
+  svc::Server server(options);
+  std::string error;
+  if (!server.listen_unix(socket, &error)) {
+    std::fprintf(stderr, "pnr_serve: cannot listen on %s: %s\n",
+                 socket.c_str(), error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "pnr_serve: listening on %s\n", socket.c_str());
+  server.run();
+  std::fprintf(stderr, "pnr_serve: shut down cleanly\n");
+  if (cli.get_bool("prof")) prof::write_summary(std::cerr);
+  return 0;
+}

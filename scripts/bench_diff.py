@@ -10,6 +10,11 @@
                              apply --fail-over to the phases whose path
                              contains SUBSTR (e.g. kl.refine) instead of to
                              the workload totals
+        [--list-phases]      print the span names recorded in each input
+                             file (grouped per file, deduplicated across
+                             workloads) and exit; the second file is
+                             optional in this mode. Use it to find the
+                             exact name to pass to --fail-phase.
 
 Workloads and phases are matched by name/path; entries present on only
 one side are reported as added/removed. See docs/OBSERVABILITY.md for the
@@ -82,11 +87,23 @@ def diff_workload(old, new, args, phase_hits):
     return regression
 
 
+def list_phases(paths):
+    for path in paths:
+        doc = load(path)
+        phases = sorted({p["path"]
+                         for w in doc.get("workloads", [])
+                         for p in w.get("phases", [])})
+        print(f"== {path}: {len(phases)} distinct phases")
+        for p in phases:
+            print(f"  {p}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("before")
-    ap.add_argument("after")
+    ap.add_argument("after", nargs="?")
     ap.add_argument("--threshold", type=float, default=0.05)
     ap.add_argument("--all", action="store_true")
     ap.add_argument("--fail-over", type=float, default=None,
@@ -94,7 +111,14 @@ def main():
     ap.add_argument("--fail-phase", default=None,
                     help="apply --fail-over to phases matching this substring "
                          "instead of to workload totals")
+    ap.add_argument("--list-phases", action="store_true",
+                    help="print the span names per input file and exit")
     args = ap.parse_args()
+
+    if args.list_phases:
+        return list_phases([p for p in (args.before, args.after) if p])
+    if args.after is None:
+        ap.error("the 'after' trajectory is required unless --list-phases")
 
     before, after = load(args.before), load(args.after)
     if before.get("mode") != after.get("mode"):

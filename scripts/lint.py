@@ -19,6 +19,10 @@ conventions the compiler cannot enforce:
                    (the deterministic pool runtime) and src/parallel/ (the
                    in-process MPI stand-in): shared-memory parallelism flows
                    through pnr::exec so results stay thread-count-invariant
+  raw-socket       no socket/poll/fd syscalls (::socket, ::bind, ::poll,
+                   ::send, <sys/socket.h>, ...) outside src/svc/: all wire
+                   I/O flows through svc::Server / svc::Client so framing,
+                   limits and error handling stay in one audited place
 
 Exit status is the number of violating files (0 = clean). Pass file paths to
 lint a subset; default lints the whole tree.
@@ -51,6 +55,14 @@ RAW_THREAD = re.compile(r'(?<![A-Za-z0-9_])std::(?:thread|jthread|async)\b')
 # Only these subtrees may spawn raw threads: the pool implementation itself
 # and the in-process message-passing simulator that models MPI ranks.
 RAW_THREAD_ALLOWED = ("src/exec/", "src/parallel/")
+# Global-scope socket/poll/fd syscalls and their headers. The `(?<!\w)::`
+# anchor matches `::recv(...)` but not member calls like `Comm::recv(...)`.
+RAW_SOCKET = re.compile(
+    r'(?:#\s*include\s*<(?:sys/socket\.h|sys/un\.h|poll\.h|fcntl\.h|'
+    r'netinet/[^>]*)>'
+    r'|(?<![A-Za-z0-9_])::(?:socket|socketpair|bind|listen|accept|connect|'
+    r'poll|recv|recvmsg|send|sendmsg|fcntl)\s*\()')
+RAW_SOCKET_ALLOWED = ("src/svc/",)
 
 
 def strip_comments_and_strings(line: str, in_block: bool) -> tuple[str, bool]:
@@ -139,6 +151,12 @@ def lint_file(path: pathlib.Path) -> list[str]:
                 f"{rel}:{lineno}: raw-thread: std::thread/jthread/async is "
                 "reserved for src/exec/ and src/parallel/; run on the "
                 "pnr::exec pool to keep results deterministic")
+        if (RAW_SOCKET.search(code)
+                and not str(rel).startswith(RAW_SOCKET_ALLOWED)):
+            problems.append(
+                f"{rel}:{lineno}: raw-socket: socket/poll/fd syscalls are "
+                "reserved for src/svc/; go through svc::Server and "
+                "svc::Client (or the loopback helpers) instead")
 
         # Prof names live inside string literals, so match the raw line.
         for m in PROF_USE.finditer(raw):

@@ -94,6 +94,30 @@ def main():
     failures += check("no gate flags: informational diff exits 0",
                       r.returncode == 0, r.stdout + r.stderr)
 
+    r = run_diff(base, renamed, "--list-phases")
+    failures += check(
+        "--list-phases prints span names per file",
+        r.returncode == 0 and "kl.refine" in r.stdout
+        and "kl.sweep" in r.stdout and "2 distinct phases" in r.stdout,
+        r.stdout + r.stderr)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        single = os.path.join(tmp, "single.json")
+        with open(single, "w") as f:
+            json.dump(base, f)
+        r = subprocess.run([sys.executable, SCRIPT, single, "--list-phases"],
+                           capture_output=True, text=True)
+        failures += check(
+            "--list-phases works on a single file",
+            r.returncode == 0 and "session.step/kl.refine" in r.stdout,
+            r.stdout + r.stderr)
+        r = subprocess.run([sys.executable, SCRIPT, single],
+                           capture_output=True, text=True)
+        failures += check(
+            "a single file without --list-phases is a usage error",
+            r.returncode == 2 and "required" in r.stderr,
+            r.stdout + r.stderr)
+
     if failures:
         print(f"{failures} bench_diff check(s) failed")
         return 1

@@ -52,4 +52,21 @@ ScalarField2 moving_peak(double t) {
   return field;
 }
 
+ScalarField3 moving_peak_3d(double t) {
+  ScalarField3 field;
+  field.value = [t](double x, double y, double z) {
+    const double dx = x + t, dy = y + t, dz = z + t;
+    return 1.0 / (1.0 + 100.0 * (dx * dx + dy * dy + dz * dz));
+  };
+  field.neg_laplacian = [t](double x, double y, double z) {
+    // u = 1/D with D = 1 + a·r², a = 100:
+    //   Δu = −6a/D² + 8a²r²/D³  ⇒  −Δu = (2a/D³)(3 − a·r²).
+    const double dx = x + t, dy = y + t, dz = z + t;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double d = 1.0 + 100.0 * r2;
+    return 200.0 * (3.0 - 100.0 * r2) / (d * d * d);
+  };
+  return field;
+}
+
 }  // namespace pnr::fem

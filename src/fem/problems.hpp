@@ -36,4 +36,8 @@ ScalarField3 corner_problem_3d();
 /// The Section 10 moving peak at time t (with its exact −Δu).
 ScalarField2 moving_peak(double t);
 
+/// 3D analog of the moving peak: u = 1/(1 + 100·|x + t·1|²), a peak of
+/// height 1 at (−t,−t,−t) moving along the main diagonal of (-1,1)³.
+ScalarField3 moving_peak_3d(double t);
+
 }  // namespace pnr::fem

@@ -44,6 +44,11 @@ std::optional<Graph> read_metis(const std::string& path) {
     return false;
   };
 
+  f.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<long long>(f.tellg());
+  f.seekg(0, std::ios::beg);
+  if (!f) return std::nullopt;
+
   std::istringstream header;
   if (!next_line(header)) return std::nullopt;
   long long n = 0, m = 0;
@@ -52,6 +57,17 @@ std::optional<Graph> read_metis(const std::string& path) {
   header >> n >> m;
   if (header >> fmt) header >> ncon;
   if (n <= 0 || m < 0 || ncon != 1) return std::nullopt;
+  // Every vertex occupies at least one byte of its adjacency line and
+  // every edge at least two arc tokens, so header counts beyond the file
+  // size are hostile or corrupt; rejecting them BEFORE sizing the builder
+  // bounds allocation by the actual file size. The hard cap keeps the
+  // VertexId casts and the `2 * m` arithmetic below exact.
+  constexpr long long kMaxHeaderCount = 1LL << 30;
+  if (n > kMaxHeaderCount || m > kMaxHeaderCount || n > file_bytes ||
+      m > file_bytes) {
+    PNR_LOG_WARN << path << ": implausible header " << n << ' ' << m;
+    return std::nullopt;
+  }
   if (fmt.size() > 3) return std::nullopt;
   while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
   const bool has_vsize = fmt[0] == '1';  // METIS "vertex sizes" — unsupported
@@ -66,15 +82,19 @@ std::optional<Graph> read_metis(const std::string& path) {
     if (!next_line(line)) return std::nullopt;
     if (has_vwgt) {
       Weight w;
-      if (!(line >> w) || w < 0) return std::nullopt;
+      if (!(line >> w) || w < 0 || w > (1LL << 40)) return std::nullopt;
       builder.set_vertex_weight(static_cast<VertexId>(v), w);
     }
     long long nbr;
     while (line >> nbr) {
       Weight w = 1;
-      if (has_ewgt && !(line >> w)) return std::nullopt;
+      // The edge-weight cap bounds the builder's duplicate-arc
+      // accumulation: at most 2m ≤ 2^31 arcs of ≤ 2^31 each can land on
+      // one pair, which stays well inside Weight.
+      if (has_ewgt && (!(line >> w) || w < 0 || w > (1LL << 31)))
+        return std::nullopt;
       if (nbr < 1 || nbr > n) return std::nullopt;
-      ++arcs;
+      if (++arcs > 2 * m) return std::nullopt;  // more arcs than claimed
       // Each undirected edge appears in both endpoint lines; add it once.
       if (nbr - 1 > v)
         builder.add_edge(static_cast<VertexId>(v),

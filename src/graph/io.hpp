@@ -18,7 +18,10 @@ namespace pnr::graph {
 bool write_metis(const Graph& g, const std::string& path);
 
 /// Read a METIS file (any fmt; multi-constraint ncon > 1 is rejected).
-/// Returns nullopt on parse error or asymmetric adjacency.
+/// Returns nullopt on parse error or asymmetric adjacency. Hardened
+/// against hostile input: header counts are checked against the file size
+/// before any allocation, weights are range-capped, and truncated or
+/// overlong adjacency lists are rejected without partial state.
 std::optional<Graph> read_metis(const std::string& path);
 
 }  // namespace pnr::graph

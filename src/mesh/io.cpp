@@ -5,12 +5,29 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "mesh/build.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace pnr::mesh {
 
 namespace {
+
+/// Hard cap on header counts, keeping every index within VertIdx/ElemIdx
+/// and every `count * per` product within std::size_t.
+constexpr long long kMaxFileEntities = 1LL << 30;
+
+/// Bytes in the file, or -1 on failure; leaves the stream at the start.
+/// Every data line occupies at least one byte, so a header count larger
+/// than the file itself is hostile or corrupt — checking this BEFORE
+/// allocating bounds memory use to a small multiple of the actual file
+/// size, instead of letting a 20-byte file demand gigabytes.
+long long stream_bytes(std::ifstream& f) {
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long long>(f.tellg());
+  f.seekg(0, std::ios::beg);
+  return f ? size : -1;
+}
 
 /// Tokenizer that skips blank lines and '#' comments.
 class LineReader {
@@ -49,6 +66,7 @@ std::optional<NodeData> read_nodes(const std::string& path) {
     PNR_LOG_WARN << "cannot open " << path;
     return std::nullopt;
   }
+  const long long file_bytes = stream_bytes(f);
   LineReader reader(f);
   std::istringstream header;
   if (!reader.next(header)) return std::nullopt;
@@ -56,18 +74,26 @@ std::optional<NodeData> read_nodes(const std::string& path) {
   int dim = 0, attrs = 0, markers = 0;
   header >> count >> dim >> attrs >> markers;
   if (count <= 0 || (dim != 2 && dim != 3)) return std::nullopt;
+  if (count > kMaxFileEntities || file_bytes < 0 || count > file_bytes) {
+    PNR_LOG_WARN << path << ": implausible node count " << count;
+    return std::nullopt;
+  }
 
   NodeData data;
   data.dim = dim;
   data.coords.resize(static_cast<std::size_t>(count) * dim);
+  std::vector<bool> seen(static_cast<std::size_t>(count), false);
   for (long long i = 0; i < count; ++i) {
     std::istringstream line;
     if (!reader.next(line)) return std::nullopt;
     long long id = 0;
-    line >> id;
+    if (!(line >> id)) return std::nullopt;
     if (i == 0) data.first_index = id;
     const long long slot = id - data.first_index;
     if (slot < 0 || slot >= count) return std::nullopt;
+    // A duplicate id would silently leave some other slot zero-filled.
+    if (seen[static_cast<std::size_t>(slot)]) return std::nullopt;
+    seen[static_cast<std::size_t>(slot)] = true;
     for (int d = 0; d < dim; ++d) {
       double v;
       if (!(line >> v)) return std::nullopt;
@@ -90,6 +116,7 @@ std::optional<EleData> read_elements(const std::string& path,
     PNR_LOG_WARN << "cannot open " << path;
     return std::nullopt;
   }
+  const long long file_bytes = stream_bytes(f);
   LineReader reader(f);
   std::istringstream header;
   if (!reader.next(header)) return std::nullopt;
@@ -97,6 +124,10 @@ std::optional<EleData> read_elements(const std::string& path,
   int per = 0, attrs = 0;
   header >> count >> per >> attrs;
   if (count <= 0 || (per != 3 && per != 4)) return std::nullopt;
+  if (count > kMaxFileEntities || file_bytes < 0 || count > file_bytes) {
+    PNR_LOG_WARN << path << ": implausible element count " << count;
+    return std::nullopt;
+  }
 
   EleData data;
   data.nodes_per_elem = per;
@@ -105,7 +136,7 @@ std::optional<EleData> read_elements(const std::string& path,
     std::istringstream line;
     if (!reader.next(line)) return std::nullopt;
     long long id = 0;
-    line >> id;
+    if (!(line >> id)) return std::nullopt;
     for (int k = 0; k < per; ++k) {
       long long v;
       if (!(line >> v)) return std::nullopt;
@@ -224,15 +255,11 @@ std::optional<TriMesh> read_triangle_files(const std::string& basename) {
       read_elements(basename + ".ele", nodes->first_index, num_nodes);
   if (!eles || eles->nodes_per_elem != 3) return std::nullopt;
 
-  TriMesh mesh;
-  for (long long v = 0; v < num_nodes; ++v)
-    mesh.add_vertex(nodes->coords[static_cast<std::size_t>(v) * 2],
-                    nodes->coords[static_cast<std::size_t>(v) * 2 + 1]);
-  const auto count = eles->verts.size() / 3;
-  for (std::size_t e = 0; e < count; ++e)
-    mesh.add_triangle(eles->verts[e * 3], eles->verts[e * 3 + 1],
-                      eles->verts[e * 3 + 2]);
-  mesh.finalize();
+  // The validating builder rejects (instead of aborting on) degenerate,
+  // non-manifold, or non-finite geometry a hostile file can encode.
+  std::string why;
+  auto mesh = try_build_tri_mesh(nodes->coords, eles->verts, &why);
+  if (!mesh) PNR_LOG_WARN << basename << ": rejected mesh: " << why;
   return mesh;
 }
 
@@ -245,16 +272,9 @@ std::optional<TetMesh> read_tetgen_files(const std::string& basename) {
       read_elements(basename + ".ele", nodes->first_index, num_nodes);
   if (!eles || eles->nodes_per_elem != 4) return std::nullopt;
 
-  TetMesh mesh;
-  for (long long v = 0; v < num_nodes; ++v)
-    mesh.add_vertex(nodes->coords[static_cast<std::size_t>(v) * 3],
-                    nodes->coords[static_cast<std::size_t>(v) * 3 + 1],
-                    nodes->coords[static_cast<std::size_t>(v) * 3 + 2]);
-  const auto count = eles->verts.size() / 4;
-  for (std::size_t e = 0; e < count; ++e)
-    mesh.add_tet(eles->verts[e * 4], eles->verts[e * 4 + 1],
-                 eles->verts[e * 4 + 2], eles->verts[e * 4 + 3]);
-  mesh.finalize();
+  std::string why;
+  auto mesh = try_build_tet_mesh(nodes->coords, eles->verts, &why);
+  if (!mesh) PNR_LOG_WARN << basename << ": rejected mesh: " << why;
   return mesh;
 }
 

@@ -25,7 +25,10 @@ bool write_triangle_files(const TetMesh& mesh, const std::string& basename);
 
 /// Read `basename`.node/.ele into a fresh 0-level mesh. Accepts 0- or
 /// 1-based indices, comment lines (#), and optional attribute/marker
-/// columns. Returns nullopt with no partial state on parse failure.
+/// columns. Hardened against hostile input: absurd header counts,
+/// duplicate ids, truncation, out-of-range indices, and degenerate or
+/// non-manifold geometry all return nullopt with no partial state and no
+/// aborts (validation runs through mesh/build.hpp before assembly).
 std::optional<TriMesh> read_triangle_files(const std::string& basename);
 std::optional<TetMesh> read_tetgen_files(const std::string& basename);
 

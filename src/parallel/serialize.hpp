@@ -1,9 +1,13 @@
 #pragma once
 // Byte-buffer serialization for the message-passing layer: PODs and vectors
-// of PODs, little-endian host layout (the simulator never crosses machines).
+// of PODs, little-endian layout. Two readers share the Writer's format:
+// Reader aborts on underflow (trusted intra-process messages), TryReader
+// returns nullopt (untrusted wire input, used by pnr::svc).
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -12,6 +16,11 @@
 #include "util/assert.hpp"
 
 namespace pnr::par {
+
+// The byte layout is the in-memory layout of little-endian hosts; pinning it
+// at compile time makes the encoding an exchange format, not just a memcpy.
+static_assert(std::endian::native == std::endian::little,
+              "pnr wire/message format is defined little-endian");
 
 class Writer {
  public:
@@ -72,5 +81,62 @@ class Reader {
   Bytes bytes_;
   std::size_t pos_ = 0;
 };
+
+/// Non-aborting reader over the same layout, for input that crosses a trust
+/// boundary (pnr::svc frames): every accessor reports malformed or truncated
+/// data as nullopt instead of raising, and vector reads are bounded so a
+/// hostile length prefix cannot drive a huge allocation. Views the buffer
+/// (no copy); the buffer must outlive the reader.
+class TryReader {
+ public:
+  TryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit TryReader(const Bytes& bytes)
+      : TryReader(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  std::optional<T> get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - pos_ < sizeof(T)) return std::nullopt;
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Vector whose encoded element count must not exceed `max_count`; the
+  /// count is validated against the remaining bytes before any allocation.
+  template <typename T>
+  std::optional<std::vector<T>> get_vector(std::uint64_t max_count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    if (!n || *n > max_count || (size_ - pos_) / sizeof(T) < *n)
+      return std::nullopt;
+    std::vector<T> v(static_cast<std::size_t>(*n));
+    if (*n) std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
+    return v;
+  }
+
+  /// Length-prefixed byte string, bounded like get_vector.
+  std::optional<std::string> get_string(std::uint64_t max_bytes) {
+    const auto v = get_vector<char>(max_bytes);
+    if (!v) return std::nullopt;
+    return std::string(v->begin(), v->end());
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+inline void put_string(Writer& w, const std::string& s) {
+  w.put(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) w.put(c);
+}
 
 }  // namespace pnr::par

@@ -94,4 +94,53 @@ TransientRun::StepInfo TransientRun::advance() {
   return info;
 }
 
+// ---- TransientRun3D ---------------------------------------------------------
+
+TransientRun3D::TransientRun3D(TransientOptions options)
+    : options_(options),
+      mesh_(mesh::structured_tet_mesh(options.grid_n, options.grid_n,
+                                      options.grid_n, 0.2, options.seed)),
+      t_(options.t_begin) {
+  PNR_REQUIRE(options.steps >= 1);
+  const auto field = fem::moving_peak_3d(t_);
+  fem::MarkOptions mark;
+  mark.refine_threshold = options_.refine_threshold;
+  mark.max_level = options_.max_level;
+  for (int round = 0; round < options_.max_level + 2; ++round) {
+    const auto marked = fem::mark_for_refinement(mesh_, field, mark);
+    if (marked.empty()) break;
+    mesh_.refine(marked);
+  }
+}
+
+TransientRun3D::StepInfo TransientRun3D::advance() {
+  PNR_REQUIRE(!done());
+  StepInfo info;
+  ++step_;
+  t_ = options_.t_begin + (options_.t_end - options_.t_begin) *
+                              static_cast<double>(step_) /
+                              static_cast<double>(options_.steps);
+  info.step = step_;
+  info.t = t_;
+
+  const auto field = fem::moving_peak_3d(t_);
+  fem::MarkOptions mark;
+  mark.refine_threshold = options_.refine_threshold;
+  mark.coarsen_threshold = options_.coarsen_threshold;
+  mark.max_level = options_.max_level;
+
+  for (int round = 0; round < 4; ++round) {
+    const auto merged =
+        mesh_.coarsen(fem::mark_for_coarsening(mesh_, field, mark));
+    info.merges += merged;
+    if (merged == 0) break;
+  }
+  for (int round = 0; round < options_.max_level + 2; ++round) {
+    const auto marked = fem::mark_for_refinement(mesh_, field, mark);
+    if (marked.empty()) break;
+    info.bisections += mesh_.refine(marked);
+  }
+  return info;
+}
+
 }  // namespace pnr::pared

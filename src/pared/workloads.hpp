@@ -108,4 +108,38 @@ class TransientRun {
   double t_ = 0.0;
 };
 
+/// 3D moving-peak transient (the Section 10 workload lifted to (-1,1)³ with
+/// fem::moving_peak_3d). Same stepping contract as TransientRun; the default
+/// grid is coarser because tet counts grow an order of magnitude faster.
+class TransientRun3D {
+ public:
+  explicit TransientRun3D(TransientOptions options = default_options());
+
+  /// TransientOptions resized for tets (grid_n 6, shallower depth cap).
+  static TransientOptions default_options() {
+    TransientOptions options;
+    options.grid_n = 6;
+    options.max_level = 4;
+    return options;
+  }
+
+  using StepInfo = TransientRun::StepInfo;
+
+  StepInfo advance();
+
+  bool done() const { return step_ >= options_.steps; }
+  int step() const { return step_; }
+  double time() const { return t_; }
+  const mesh::TetMesh& mesh() const { return mesh_; }
+  mesh::TetMesh& mutable_mesh() { return mesh_; }
+  const TransientOptions& options() const { return options_; }
+  fem::ScalarField3 current_field() const { return fem::moving_peak_3d(t_); }
+
+ private:
+  TransientOptions options_;
+  mesh::TetMesh mesh_;
+  int step_ = 0;
+  double t_ = 0.0;
+};
+
 }  // namespace pnr::pared

@@ -1,0 +1,384 @@
+#include "svc/client.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pnr::svc {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+bool Client::connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path empty or too long";
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::strerror(errno);
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (error) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  set_nonblocking(fd);
+  close();
+  fd_ = fd;
+  return true;
+}
+
+void Client::adopt(int fd) {
+  close();
+  set_nonblocking(fd);
+  fd_ = fd;
+}
+
+void Client::wait_io(bool for_write) {
+  if (pump_) {
+    pump_();
+    return;
+  }
+  pollfd p{fd_, static_cast<short>(for_write ? POLLOUT : POLLIN), 0};
+  ::poll(&p, 1, -1);
+}
+
+bool Client::transport_fail(const std::string& what) {
+  error_ = Failure{};
+  error_.transport = what;
+  close();
+  return false;
+}
+
+bool Client::send_all(const Bytes& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      wait_io(/*for_write=*/true);
+      continue;
+    }
+    return transport_fail("send failed");
+  }
+  return true;
+}
+
+bool Client::recv_frame(std::uint16_t* type, Bytes* payload) {
+  std::uint8_t buf[65536];
+  while (true) {
+    if (in_.size() >= kHeaderBytes) {
+      const auto h = decode_header(in_.data());
+      if (!h) return transport_fail("bad magic in reply");
+      if (h->version != kWireVersion)
+        return transport_fail("unsupported version in reply");
+      if (in_.size() >= kHeaderBytes + h->payload_len) {
+        Bytes body(in_.begin() + kHeaderBytes,
+                   in_.begin() + kHeaderBytes + h->payload_len);
+        in_.erase(in_.begin(),
+                  in_.begin() + kHeaderBytes + h->payload_len);
+        if (crc32(body) != h->payload_crc)
+          return transport_fail("bad crc in reply");
+        *type = h->type;
+        *payload = std::move(body);
+        return true;
+      }
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) return transport_fail("server closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      wait_io(/*for_write=*/false);
+      continue;
+    }
+    return transport_fail("recv failed");
+  }
+}
+
+std::optional<Bytes> Client::call(std::uint16_t op, const Bytes& payload) {
+  if (fd_ < 0) {
+    transport_fail("not connected");
+    return std::nullopt;
+  }
+  if (!send_all(encode_frame(op, payload))) return std::nullopt;
+  std::uint16_t type = 0;
+  Bytes body;
+  if (!recv_frame(&type, &body)) return std::nullopt;
+  if (type == kTypeError) {
+    error_ = Failure{};
+    if (const auto info = decode_error(body)) {
+      error_.code = info->code;
+      error_.detail = info->detail;
+    } else {
+      error_.detail = "undecodable error frame";
+    }
+    return std::nullopt;
+  }
+  if (type != (op | kReplyBit)) {
+    transport_fail("reply type does not match request");
+    return std::nullopt;
+  }
+  return body;
+}
+
+std::optional<Bytes> Client::call_id(std::uint16_t op, std::uint32_t session) {
+  par::Writer w;
+  w.put(session);
+  return call(op, w.take());
+}
+
+// ---- typed RPCs -------------------------------------------------------------
+
+namespace {
+
+std::optional<Client::Created> parse_created(const Bytes& body) {
+  par::TryReader r(body);
+  const auto id = r.get<std::uint32_t>();
+  const auto elements = r.get<std::int64_t>();
+  if (!elements || !r.done()) return std::nullopt;
+  return Client::Created{*id, *elements};
+}
+
+std::optional<Client::RepartitionInfo> parse_repartition(par::TryReader& r) {
+  Client::RepartitionInfo info;
+  const auto cb = r.get<std::int64_t>();
+  const auto ca = r.get<std::int64_t>();
+  const auto mig = r.get<std::int64_t>();
+  const auto ib = r.get<double>();
+  const auto ia = r.get<double>();
+  const auto levels = r.get<std::int32_t>();
+  if (!levels) return std::nullopt;
+  info.cut_before = *cb;
+  info.cut_after = *ca;
+  info.migrate = *mig;
+  info.imbalance_before = *ib;
+  info.imbalance_after = *ia;
+  info.levels = *levels;
+  return info;
+}
+
+}  // namespace
+
+bool Client::ping() {
+  const Bytes probe{0x70, 0x6e, 0x72};
+  const auto body = call(kOpPing, probe);
+  return body && *body == probe;
+}
+
+std::optional<Client::Created> Client::create_workload(
+    const WorkloadSpec& spec) {
+  par::Writer w;
+  encode_workload_spec(w, spec);
+  const auto body = call(kOpCreateWorkload, w.take());
+  if (!body) return std::nullopt;
+  return parse_created(*body);
+}
+
+std::optional<Client::Created> Client::create_mesh(const CreateHead& head,
+                                                   const FlatMesh& mesh) {
+  par::Writer w;
+  encode_create_head(w, head);
+  encode_mesh(w, mesh);
+  const auto body = call(kOpCreateMesh, w.take());
+  if (!body) return std::nullopt;
+  return parse_created(*body);
+}
+
+std::optional<Client::Created> Client::create_graph(const CreateHead& head,
+                                                    const graph::Graph& g) {
+  par::Writer w;
+  encode_create_head(w, head);
+  encode_graph(w, g);
+  const auto body = call(kOpCreateGraph, w.take());
+  if (!body) return std::nullopt;
+  return parse_created(*body);
+}
+
+std::optional<Client::AdvanceInfo> Client::advance(std::uint32_t session) {
+  const auto body = call_id(kOpAdvance, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  AdvanceInfo info;
+  const auto elements = r.get<std::int64_t>();
+  const auto refined = r.get<std::int64_t>();
+  const auto coarsened = r.get<std::int64_t>();
+  const auto position = r.get<double>();
+  if (!position || !r.done()) return std::nullopt;
+  info.elements = *elements;
+  info.refined = *refined;
+  info.coarsened = *coarsened;
+  info.position = *position;
+  return info;
+}
+
+std::optional<pared::StepReport> Client::step(std::uint32_t session) {
+  const auto body = call_id(kOpStep, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  auto report = decode_step_report(r);
+  if (!report || !r.done()) return std::nullopt;
+  return report;
+}
+
+std::optional<Client::AdaptInfo> Client::adapt(
+    std::uint32_t session, std::uint8_t mode,
+    const std::vector<mesh::ElemIdx>& marks) {
+  par::Writer w;
+  w.put(session);
+  w.put(mode);
+  w.put_vector(marks);
+  const auto body = call(kOpAdapt, w.take());
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  AdaptInfo info;
+  const auto changed = r.get<std::int64_t>();
+  const auto elements = r.get<std::int64_t>();
+  if (!elements || !r.done()) return std::nullopt;
+  info.changed = *changed;
+  info.elements = *elements;
+  return info;
+}
+
+std::optional<Client::RepartitionInfo> Client::repartition(
+    std::uint32_t session) {
+  const auto body = call_id(kOpRepartition, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  auto info = parse_repartition(r);
+  if (!info || !r.done()) return std::nullopt;
+  return info;
+}
+
+std::optional<Client::Metrics> Client::get_metrics(std::uint32_t session) {
+  const auto body = call_id(kOpGetMetrics, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  Metrics m;
+  auto kind = r.get_string(64);
+  const auto strategy = r.get<std::uint8_t>();
+  const auto parts = r.get<std::int32_t>();
+  const auto elements = r.get<std::int64_t>();
+  const auto ops = r.get<std::int64_t>();
+  const auto has_report = r.get<std::uint8_t>();
+  if (!kind || !strategy || !parts || !elements || !ops || !has_report)
+    return std::nullopt;
+  m.kind = std::move(*kind);
+  m.strategy = static_cast<pared::Strategy>(*strategy);
+  m.parts = *parts;
+  m.elements = *elements;
+  m.ops_applied = *ops;
+  if (*has_report) {
+    auto report = decode_step_report(r);
+    if (!report) return std::nullopt;
+    m.last_report = *report;
+  }
+  const auto has_stats = r.get<std::uint8_t>();
+  if (!has_stats) return std::nullopt;
+  if (*has_stats) {
+    auto info = parse_repartition(r);
+    if (!info) return std::nullopt;
+    m.last_repartition = *info;
+  }
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::optional<std::vector<part::PartId>> Client::get_assignment(
+    std::uint32_t session) {
+  const auto body = call_id(kOpGetAssignment, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  auto assign = decode_assignment(
+      r, static_cast<std::uint64_t>(body->size()) / sizeof(part::PartId) + 1);
+  if (!assign || !r.done()) return std::nullopt;
+  return assign;
+}
+
+std::optional<Bytes> Client::checkpoint(std::uint32_t session) {
+  return call_id(kOpCheckpoint, session);
+}
+
+std::optional<Client::Restored> Client::restore(const Bytes& checkpoint) {
+  const auto body = call(kOpRestore, checkpoint);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  Restored out;
+  const auto id = r.get<std::uint32_t>();
+  const auto elements = r.get<std::int64_t>();
+  const auto replayed = r.get<std::uint32_t>();
+  if (!replayed || !r.done()) return std::nullopt;
+  out.session = *id;
+  out.elements = *elements;
+  out.replayed = *replayed;
+  return out;
+}
+
+bool Client::close_session(std::uint32_t session) {
+  return call_id(kOpCloseSession, session).has_value();
+}
+
+std::optional<std::vector<Client::SessionInfo>> Client::list_sessions() {
+  const auto body = call(kOpListSessions, Bytes{});
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  const auto count = r.get<std::uint32_t>();
+  if (!count) return std::nullopt;
+  std::vector<SessionInfo> sessions;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    SessionInfo info;
+    const auto id = r.get<std::uint32_t>();
+    auto kind = r.get_string(64);
+    const auto strategy = r.get<std::uint8_t>();
+    const auto parts = r.get<std::int32_t>();
+    const auto elements = r.get<std::int64_t>();
+    if (!id || !kind || !elements) return std::nullopt;
+    info.session = *id;
+    info.kind = std::move(*kind);
+    info.strategy = static_cast<pared::Strategy>(*strategy);
+    info.parts = *parts;
+    info.elements = *elements;
+    sessions.push_back(std::move(info));
+  }
+  if (!r.done()) return std::nullopt;
+  return sessions;
+}
+
+bool Client::shutdown_server() {
+  return call(kOpShutdown, Bytes{}).has_value();
+}
+
+}  // namespace pnr::svc

@@ -1,0 +1,140 @@
+#pragma once
+// pnr::svc client: framed request/reply over a connected stream fd. One
+// class serves both deployment shapes:
+//   * pnr_client connects to a daemon's Unix socket (connect_unix) and
+//     blocks in poll(2) while waiting;
+//   * hermetic tests/benches adopt one end of a socketpair and install a
+//     pump callback — invoked whenever a call would block — that runs the
+//     in-process Server's poll_once. Request handling stays single-threaded
+//     and deterministic; no background thread is ever spawned.
+//
+// Every RPC returns std::optional; on failure last_error() carries either
+// the server's typed error frame or a local transport error.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/codec.hpp"
+#include "svc/wire.hpp"
+
+namespace pnr::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a daemon's Unix-domain socket.
+  bool connect_unix(const std::string& path, std::string* error = nullptr);
+
+  /// Take ownership of a connected stream fd (socketpair end).
+  void adopt(int fd);
+
+  /// Called whenever an I/O step would block (single-threaded in-process
+  /// setups run the server loop here). Without a pump, the client blocks
+  /// in poll(2) instead.
+  void set_pump(std::function<void()> pump) { pump_ = std::move(pump); }
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Last failure: a typed server error (code + detail) or a transport
+  /// error (empty detail, transport() set).
+  struct Failure {
+    Err code = Err::kInternal;
+    std::string detail;
+    std::string transport;
+  };
+  const Failure& last_error() const { return error_; }
+
+  /// One framed round trip. nullopt on transport failure or a kTypeError
+  /// reply (details in last_error()).
+  std::optional<Bytes> call(std::uint16_t op, const Bytes& payload);
+
+  // ---- typed RPCs -----------------------------------------------------------
+
+  struct Created {
+    std::uint32_t session = 0;
+    std::int64_t elements = 0;
+  };
+  struct AdvanceInfo {
+    std::int64_t elements = 0;
+    std::int64_t refined = 0;
+    std::int64_t coarsened = 0;
+    double position = 0.0;  ///< time (transient) or level (corner)
+  };
+  struct AdaptInfo {
+    std::int64_t changed = 0;
+    std::int64_t elements = 0;
+  };
+  struct RepartitionInfo {
+    std::int64_t cut_before = 0;
+    std::int64_t cut_after = 0;
+    std::int64_t migrate = 0;
+    double imbalance_before = 0.0;
+    double imbalance_after = 0.0;
+    std::int32_t levels = 0;
+  };
+  struct Metrics {
+    std::string kind;
+    pared::Strategy strategy = pared::Strategy::kPNR;
+    std::int32_t parts = 0;
+    std::int64_t elements = 0;
+    std::int64_t ops_applied = 0;
+    std::optional<pared::StepReport> last_report;
+    std::optional<RepartitionInfo> last_repartition;
+  };
+  struct SessionInfo {
+    std::uint32_t session = 0;
+    std::string kind;
+    pared::Strategy strategy = pared::Strategy::kPNR;
+    std::int32_t parts = 0;
+    std::int64_t elements = 0;
+  };
+  struct Restored {
+    std::uint32_t session = 0;
+    std::int64_t elements = 0;
+    std::uint32_t replayed = 0;
+  };
+
+  bool ping();
+  std::optional<Created> create_workload(const WorkloadSpec& spec);
+  std::optional<Created> create_mesh(const CreateHead& head,
+                                     const FlatMesh& mesh);
+  std::optional<Created> create_graph(const CreateHead& head,
+                                      const graph::Graph& g);
+  std::optional<AdvanceInfo> advance(std::uint32_t session);
+  std::optional<pared::StepReport> step(std::uint32_t session);
+  /// mode 0 = refine, 1 = coarsen.
+  std::optional<AdaptInfo> adapt(std::uint32_t session, std::uint8_t mode,
+                                 const std::vector<mesh::ElemIdx>& marks);
+  std::optional<RepartitionInfo> repartition(std::uint32_t session);
+  std::optional<Metrics> get_metrics(std::uint32_t session);
+  std::optional<std::vector<part::PartId>> get_assignment(
+      std::uint32_t session);
+  std::optional<Bytes> checkpoint(std::uint32_t session);
+  std::optional<Restored> restore(const Bytes& checkpoint);
+  bool close_session(std::uint32_t session);
+  std::optional<std::vector<SessionInfo>> list_sessions();
+  bool shutdown_server();
+
+ private:
+  bool send_all(const Bytes& frame);
+  bool recv_frame(std::uint16_t* type, Bytes* payload);
+  void wait_io(bool for_write);
+  bool transport_fail(const std::string& what);
+  /// Round trip + session-id payload helper for the {u32 id} ops.
+  std::optional<Bytes> call_id(std::uint16_t op, std::uint32_t session);
+
+  int fd_ = -1;
+  Bytes in_;
+  std::function<void()> pump_;
+  Failure error_;
+};
+
+}  // namespace pnr::svc

@@ -1,0 +1,114 @@
+#pragma once
+// pnr::svc payload codecs: the typed bodies carried inside wire frames.
+// Encoding extends par::Writer (the message-passing serializer) so the
+// service and the rank simulator share one byte layout; decoding runs on
+// par::TryReader and NEVER aborts — malformed, truncated or
+// limit-exceeding input comes back as nullopt with no partial state.
+// Structures that feed a session (meshes, graphs, assignments) are
+// validated here down to what the downstream constructors PNR_REQUIRE,
+// then audited again with pnr::check; bulk range scans run on the
+// pnr::exec pool (deterministic at any width).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "pared/session.hpp"
+#include "pared/workloads.hpp"
+#include "parallel/serialize.hpp"
+#include "partition/partition.hpp"
+#include "svc/wire.hpp"
+
+namespace pnr::svc {
+
+// ---- meshes -----------------------------------------------------------------
+
+/// A mesh as it crosses the wire: flat vertex coordinates plus element
+/// connectivity (the .node/.ele content), no refinement history.
+struct FlatMesh {
+  std::int32_t dim = 2;               ///< 2 (triangles) or 3 (tets)
+  std::vector<double> coords;         ///< n × dim, row-major
+  std::vector<std::int32_t> elems;    ///< m × (dim+1), 0-based
+};
+
+void encode_mesh(par::Writer& w, const FlatMesh& m);
+std::optional<FlatMesh> decode_mesh(par::TryReader& r, const Limits& limits);
+
+/// Current leaves of an adapted mesh as a FlatMesh (alive vertices densely
+/// renumbered) — the export/upload counterpart of mesh::write_triangle_files.
+FlatMesh flatten_mesh(const mesh::TriMesh& mesh);
+FlatMesh flatten_mesh(const mesh::TetMesh& mesh);
+
+/// Build a finalized 0-level mesh. Everything TriMesh/TetMesh construction
+/// PNR_REQUIREs (index ranges, distinct corners, nonzero measure, manifold
+/// edges/faces) is pre-validated; failure returns nullopt with `why` set.
+std::optional<mesh::TriMesh> build_tri_mesh(const FlatMesh& m,
+                                            std::string* why = nullptr);
+std::optional<mesh::TetMesh> build_tet_mesh(const FlatMesh& m,
+                                            std::string* why = nullptr);
+
+// ---- graphs -----------------------------------------------------------------
+
+void encode_graph(par::Writer& w, const graph::Graph& g);
+
+/// Decode + fully validate a CSR graph (shape, ranges, symmetry via
+/// check_graph, nonnegative weights). nullopt on any violation.
+std::optional<graph::Graph> decode_graph(par::TryReader& r,
+                                         const Limits& limits,
+                                         std::string* why = nullptr);
+
+// ---- assignments and reports ------------------------------------------------
+
+void encode_assignment(par::Writer& w, const std::vector<part::PartId>& a);
+std::optional<std::vector<part::PartId>> decode_assignment(
+    par::TryReader& r, std::uint64_t max_size);
+
+void encode_step_report(par::Writer& w, const pared::StepReport& report);
+std::optional<pared::StepReport> decode_step_report(par::TryReader& r);
+
+// ---- session specs ----------------------------------------------------------
+
+enum class WorkloadKind : std::uint8_t {
+  kTransient2D = 0,
+  kCorner2D = 1,
+  kCorner3D = 2,
+  kTransient3D = 3,
+};
+
+/// kOpCreateWorkload payload: which paper workload to instantiate
+/// server-side, the repartitioning strategy driving it, and the knobs that
+/// make the run bit-reproducible against an in-process session.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kTransient2D;
+  pared::Strategy strategy = pared::Strategy::kPNR;
+  std::int32_t parts = 8;
+  std::uint64_t session_seed = 1;
+  pared::TransientOptions transient;  ///< transient kinds (incl. mesh seed)
+  pared::CornerOptions corner;        ///< corner kinds
+  std::int32_t corner_grid_n = 0;     ///< 0 = the kind's default
+  double alpha = 0.1;                 ///< core::PnrOptions for kPNR
+  double beta = 0.8;
+};
+
+void encode_workload_spec(par::Writer& w, const WorkloadSpec& spec);
+std::optional<WorkloadSpec> decode_workload_spec(par::TryReader& r,
+                                                 const Limits& limits);
+
+/// Shared head of kOpCreateMesh / kOpCreateGraph payloads.
+struct CreateHead {
+  pared::Strategy strategy = pared::Strategy::kPNR;
+  std::int32_t parts = 8;
+  std::uint64_t session_seed = 1;
+  double alpha = 0.1;
+  double beta = 0.8;
+};
+
+void encode_create_head(par::Writer& w, const CreateHead& head);
+std::optional<CreateHead> decode_create_head(par::TryReader& r,
+                                             const Limits& limits);
+
+}  // namespace pnr::svc

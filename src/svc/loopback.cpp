@@ -1,0 +1,81 @@
+#include "svc/loopback.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace pnr::svc {
+
+namespace {
+
+bool make_pair(int fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) return false;
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK) < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool connect_loopback(Server& server, Client& client) {
+  int fds[2];
+  if (!make_pair(fds)) return false;
+  server.adopt(fds[0]);
+  client.adopt(fds[1]);
+  client.set_pump([&server] { server.poll_once(0); });
+  return true;
+}
+
+int adopt_loopback_raw(Server& server) {
+  int fds[2];
+  if (!make_pair(fds)) return -1;
+  server.adopt(fds[0]);
+  return fds[1];
+}
+
+bool raw_send(int fd, const Bytes& bytes, Server& server) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      server.poll_once(0);
+      continue;
+    }
+    return false;
+  }
+  server.poll_once(0);
+  return true;
+}
+
+bool raw_recv(int fd, Bytes& out, Server& server) {
+  server.poll_once(0);
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.insert(out.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    return true;               // EAGAIN: nothing more right now
+  }
+}
+
+void raw_close(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace pnr::svc

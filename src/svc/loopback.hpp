@@ -1,0 +1,36 @@
+#pragma once
+// In-process loopback plumbing for hermetic tests and benches: a real
+// Server and a real Client joined by a socketpair, no filesystem socket and
+// no extra thread. The client's pump callback runs the server's poll loop
+// whenever a call would block, so a full request/reply round trip happens
+// on one thread, deterministically.
+//
+// The raw_* helpers expose one unframed end of such a pair for byte-level
+// robustness tests (truncated/bit-flipped/garbage frames). They live here —
+// not in the tests — so raw socket syscalls stay confined to src/svc/
+// (scripts/lint.py, rule raw-socket).
+
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace pnr::svc {
+
+/// Join client and server through a socketpair and install a pump that
+/// services the server whenever the client blocks. False on syscall failure.
+bool connect_loopback(Server& server, Client& client);
+
+/// Create a socketpair, hand one end to the server, return the other
+/// (non-blocking; caller must raw_close it).
+int adopt_loopback_raw(Server& server);
+
+/// Write all of `bytes` to a raw loopback end, running `server`'s loop when
+/// the send buffer fills. False if the peer closed the connection.
+bool raw_send(int fd, const Bytes& bytes, Server& server);
+
+/// Drain whatever is currently readable (after servicing `server`).
+/// Appends to `out`; returns false once the peer has closed.
+bool raw_recv(int fd, Bytes& out, Server& server);
+
+void raw_close(int fd);
+
+}  // namespace pnr::svc

@@ -1,0 +1,803 @@
+#include "svc/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "check/check.hpp"
+#include "graph/algorithms.hpp"
+#include "mesh/dual.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::svc {
+
+namespace {
+
+/// Uploaded-mesh session: the service owns the mesh and drives it only
+/// through validated kOpAdapt / kOpStep requests.
+struct Mesh2DState {
+  mesh::TriMesh mesh;
+  pared::Session2D session;
+};
+struct Mesh3DState {
+  mesh::TetMesh mesh;
+  pared::Session3D session;
+};
+
+/// Server-side paper workloads: the workload object owns the mesh and the
+/// adaptation policy; the client only sequences advance/step.
+struct Transient2DState {
+  pared::TransientRun run;
+  pared::Session2D session;
+};
+struct Transient3DState {
+  pared::TransientRun3D run;
+  pared::Session3D session;
+};
+struct Corner2DState {
+  pared::CornerSeries2D run;
+  pared::Session2D session;
+};
+struct Corner3DState {
+  pared::CornerSeries3D run;
+  pared::Session3D session;
+};
+
+/// Partition-only session over an uploaded weighted graph (the PNR coarse
+/// graph of some external mesh).
+struct GraphState {
+  graph::Graph g;
+  core::Pnr pnr;
+  part::Partition partition;
+  util::Rng rng;
+  core::RepartitionStats last_stats;
+  bool has_stats = false;
+};
+
+using Body = std::variant<Transient2DState, Transient3DState, Corner2DState,
+                          Corner3DState, Mesh2DState, Mesh3DState, GraphState>;
+
+const char* kind_name(const Body& body) {
+  struct V {
+    const char* operator()(const Transient2DState&) { return "transient2d"; }
+    const char* operator()(const Transient3DState&) { return "transient3d"; }
+    const char* operator()(const Corner2DState&) { return "corner2d"; }
+    const char* operator()(const Corner3DState&) { return "corner3d"; }
+    const char* operator()(const Mesh2DState&) { return "mesh2d"; }
+    const char* operator()(const Mesh3DState&) { return "mesh3d"; }
+    const char* operator()(const GraphState&) { return "graph"; }
+  };
+  return std::visit(V{}, body);
+}
+
+/// Session size: mesh leaves, or graph vertices.
+std::int64_t body_elements(const Body& body) {
+  struct V {
+    std::int64_t operator()(const Transient2DState& s) {
+      return s.run.mesh().num_leaves();
+    }
+    std::int64_t operator()(const Transient3DState& s) {
+      return s.run.mesh().num_leaves();
+    }
+    std::int64_t operator()(const Corner2DState& s) {
+      return s.run.mesh().num_leaves();
+    }
+    std::int64_t operator()(const Corner3DState& s) {
+      return s.run.mesh().num_leaves();
+    }
+    std::int64_t operator()(const Mesh2DState& s) {
+      return s.mesh.num_leaves();
+    }
+    std::int64_t operator()(const Mesh3DState& s) {
+      return s.mesh.num_leaves();
+    }
+    std::int64_t operator()(const GraphState& s) {
+      return s.g.num_vertices();
+    }
+  };
+  return std::visit(V{}, body);
+}
+
+const mesh::TriMesh::Tri& element_of(const mesh::TriMesh& m, mesh::ElemIdx e) {
+  return m.tri(e);
+}
+const mesh::TetMesh::Tet& element_of(const mesh::TetMesh& m, mesh::ElemIdx e) {
+  return m.tet(e);
+}
+
+/// Level-0 elements never disappear (coarsening stops at the roots), so
+/// parts <= roots guarantees check_partition's "no empty subset" invariant
+/// for the whole session lifetime.
+template <typename Mesh>
+std::int64_t count_roots(const Mesh& mesh) {
+  std::int64_t roots = 0;
+  for (std::size_t e = 0; e < mesh.element_slots(); ++e)
+    roots += element_of(mesh, static_cast<mesh::ElemIdx>(e)).level == 0;
+  return roots;
+}
+
+template <typename Mesh>
+std::vector<part::PartId> leaf_assignment(const Mesh& mesh) {
+  std::vector<part::PartId> assign;
+  assign.reserve(static_cast<std::size_t>(mesh.num_leaves()));
+  for (const mesh::ElemIdx e : mesh.leaf_elements())
+    assign.push_back(mesh.tag(e));
+  return assign;
+}
+
+bool is_mutating_op(std::uint16_t op) {
+  return op == kOpAdvance || op == kOpStep || op == kOpAdapt ||
+         op == kOpRepartition;
+}
+
+Reply make_error(Err code, std::string detail) {
+  prof::count("svc.errors");
+  return Reply{kTypeError, encode_error(code, std::move(detail))};
+}
+
+Reply make_ok(std::uint16_t op, Bytes payload) {
+  return Reply{static_cast<std::uint16_t>(op | kReplyBit),
+               std::move(payload)};
+}
+
+}  // namespace
+
+struct Registry::SessionState {
+  std::uint32_t id = 0;
+  pared::Strategy strategy = pared::Strategy::kPNR;
+  std::int32_t parts = 1;
+  Body body;
+  std::int64_t ops_applied = 0;
+  std::optional<pared::StepReport> last_report;
+
+  // Event-sourced checkpoint: the create request plus every mutating op's
+  // argument bytes (session id stripped). Deterministic replay rebuilds the
+  // session bit-for-bit.
+  std::uint16_t create_op = 0;
+  Bytes create_payload;
+  std::vector<std::pair<std::uint16_t, Bytes>> oplog;
+  bool checkpoint_ok = true;
+
+  explicit SessionState(Body b) : body(std::move(b)) {}
+};
+
+const char* op_span_name(std::uint16_t op) {
+  switch (op) {
+    case kOpPing: return "svc.op.ping";
+    case kOpCreateWorkload: return "svc.op.create_workload";
+    case kOpCreateMesh: return "svc.op.create_mesh";
+    case kOpCreateGraph: return "svc.op.create_graph";
+    case kOpAdvance: return "svc.op.advance";
+    case kOpStep: return "svc.op.step";
+    case kOpAdapt: return "svc.op.adapt";
+    case kOpRepartition: return "svc.op.repartition";
+    case kOpGetMetrics: return "svc.op.get_metrics";
+    case kOpGetAssignment: return "svc.op.get_assignment";
+    case kOpCheckpoint: return "svc.op.checkpoint";
+    case kOpRestore: return "svc.op.restore";
+    case kOpCloseSession: return "svc.op.close_session";
+    case kOpListSessions: return "svc.op.list_sessions";
+    case kOpShutdown: return "svc.op.shutdown";
+    default: return "svc.op.unknown";
+  }
+}
+
+Registry::Registry(Limits limits) : limits_(limits) {}
+Registry::~Registry() = default;
+
+Reply Registry::handle(std::uint16_t op, const Bytes& payload) {
+  prof::count("svc.requests");
+  prof::Span span(op_span_name(op));
+  if (shutting_down_ && op != kOpPing)
+    return make_error(Err::kShuttingDown, "server is shutting down");
+  return dispatch(op, payload);
+}
+
+Reply Registry::dispatch(std::uint16_t op, const Bytes& payload) {
+  switch (op) {
+    case kOpPing: return op_ping(payload);
+    case kOpCreateWorkload: return op_create_workload(payload);
+    case kOpCreateMesh: return op_create_mesh(payload);
+    case kOpCreateGraph: return op_create_graph(payload);
+    case kOpAdvance: return op_advance(payload);
+    case kOpStep: return op_step(payload);
+    case kOpAdapt: return op_adapt(payload);
+    case kOpRepartition: return op_repartition(payload);
+    case kOpGetMetrics: return op_get_metrics(payload);
+    case kOpGetAssignment: return op_get_assignment(payload);
+    case kOpCheckpoint: return op_checkpoint(payload);
+    case kOpRestore: return op_restore(payload);
+    case kOpCloseSession: return op_close_session(payload);
+    case kOpListSessions: return op_list_sessions(payload);
+    case kOpShutdown: return op_shutdown(payload);
+    default:
+      return make_error(Err::kBadOp,
+                        "unknown op " + std::to_string(op));
+  }
+}
+
+Registry::SessionState* Registry::find(std::uint32_t id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void Registry::log_op(SessionState& st, std::uint16_t op,
+                      const Bytes& payload) {
+  ++st.ops_applied;
+  if (!st.checkpoint_ok) return;
+  if (st.oplog.size() >= limits_.max_oplog_entries) {
+    st.checkpoint_ok = false;
+    st.oplog.clear();
+    st.oplog.shrink_to_fit();
+    return;
+  }
+  // Every mutating payload starts with the u32 session id; the log keeps
+  // only the arguments so a restore can re-target them at the new id.
+  Bytes args(payload.begin() + 4, payload.end());
+  st.oplog.emplace_back(op, std::move(args));
+}
+
+std::uint32_t Registry::register_session(std::unique_ptr<SessionState> st) {
+  const std::uint32_t id = next_id_++;
+  st->id = id;
+  sessions_.emplace(id, std::move(st));
+  return id;
+}
+
+// ---- ops --------------------------------------------------------------------
+
+Reply Registry::op_ping(const Bytes& payload) {
+  return make_ok(kOpPing, payload);
+}
+
+Reply Registry::op_create_workload(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto spec = decode_workload_spec(r, limits_);
+  if (!spec || !r.done())
+    return make_error(Err::kBadPayload, "malformed workload spec");
+  if (sessions_.size() >= limits_.max_sessions)
+    return make_error(Err::kLimitExceeded, "session limit reached");
+
+  core::PnrOptions popt;
+  popt.alpha = spec->alpha;
+  popt.beta = spec->beta;
+  const auto session2d = [&] {
+    return pared::Session2D(spec->strategy, spec->parts, spec->session_seed,
+                            popt);
+  };
+  const auto session3d = [&] {
+    return pared::Session3D(spec->strategy, spec->parts, spec->session_seed,
+                            popt);
+  };
+
+  std::optional<Body> body;
+  switch (spec->kind) {
+    case WorkloadKind::kTransient2D:
+      body.emplace(Transient2DState{pared::TransientRun(spec->transient),
+                                    session2d()});
+      break;
+    case WorkloadKind::kTransient3D: {
+      // Unbounded tet growth is the easiest resource attack; clamp the
+      // depth cap harder than the generic spec validation does.
+      if (spec->transient.grid_n > 24 || spec->transient.max_level > 8)
+        return make_error(Err::kLimitExceeded,
+                          "transient3d: grid_n <= 24 and max_level <= 8");
+      body.emplace(Transient3DState{pared::TransientRun3D(spec->transient),
+                                    session3d()});
+      break;
+    }
+    case WorkloadKind::kCorner2D: {
+      const int grid = spec->corner_grid_n ? spec->corner_grid_n : 79;
+      body.emplace(
+          Corner2DState{pared::CornerSeries2D(grid, spec->corner),
+                        session2d()});
+      break;
+    }
+    case WorkloadKind::kCorner3D: {
+      const int grid = spec->corner_grid_n ? spec->corner_grid_n : 12;
+      if (grid > 24)
+        return make_error(Err::kLimitExceeded, "corner3d: grid_n <= 24");
+      body.emplace(
+          Corner3DState{pared::CornerSeries3D(grid, spec->corner),
+                        session3d()});
+      break;
+    }
+  }
+
+  const std::int64_t elements = body_elements(*body);
+  if (elements > limits_.max_elements)
+    return make_error(Err::kLimitExceeded,
+                      "workload mesh exceeds max_elements");
+  const std::int64_t roots = std::visit(
+      [](const auto& s) -> std::int64_t {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, GraphState> ||
+                      std::is_same_v<T, Mesh2DState> ||
+                      std::is_same_v<T, Mesh3DState>)
+          return 0;
+        else
+          return count_roots(s.run.mesh());
+      },
+      *body);
+  if (spec->parts > roots)
+    return make_error(Err::kBadPayload,
+                      "parts exceeds the workload's level-0 elements");
+
+  auto st = std::make_unique<SessionState>(std::move(*body));
+  st->strategy = spec->strategy;
+  st->parts = spec->parts;
+  st->create_op = kOpCreateWorkload;
+  st->create_payload = payload;
+  const std::uint32_t id = register_session(std::move(st));
+
+  par::Writer w;
+  w.put(id);
+  w.put(elements);
+  return make_ok(kOpCreateWorkload, w.take());
+}
+
+Reply Registry::op_create_mesh(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto head = decode_create_head(r, limits_);
+  if (!head) return make_error(Err::kBadPayload, "malformed create head");
+  const auto flat = decode_mesh(r, limits_);
+  if (!flat || !r.done())
+    return make_error(Err::kBadPayload, "malformed mesh payload");
+  if (sessions_.size() >= limits_.max_sessions)
+    return make_error(Err::kLimitExceeded, "session limit reached");
+
+  core::PnrOptions popt;
+  popt.alpha = head->alpha;
+  popt.beta = head->beta;
+
+  std::optional<Body> body;
+  std::string why;
+  std::int64_t elements = 0;
+  if (flat->dim == 2) {
+    auto mesh = build_tri_mesh(*flat, &why);
+    if (!mesh) {
+      const bool audit = why == "mesh audit failed";
+      return make_error(audit ? Err::kAuditFailed : Err::kBadPayload, why);
+    }
+    if (!graph::is_connected(mesh::fine_dual_graph(*mesh).graph))
+      return make_error(Err::kBadPayload, "mesh dual graph is disconnected");
+    elements = mesh->num_leaves();
+    if (head->parts > elements)
+      return make_error(Err::kBadPayload, "parts exceeds element count");
+    body.emplace(Mesh2DState{
+        std::move(*mesh),
+        pared::Session2D(head->strategy, head->parts, head->session_seed,
+                         popt)});
+  } else {
+    auto mesh = build_tet_mesh(*flat, &why);
+    if (!mesh) {
+      const bool audit = why == "mesh audit failed";
+      return make_error(audit ? Err::kAuditFailed : Err::kBadPayload, why);
+    }
+    if (!graph::is_connected(mesh::fine_dual_graph(*mesh).graph))
+      return make_error(Err::kBadPayload, "mesh dual graph is disconnected");
+    elements = mesh->num_leaves();
+    if (head->parts > elements)
+      return make_error(Err::kBadPayload, "parts exceeds element count");
+    body.emplace(Mesh3DState{
+        std::move(*mesh),
+        pared::Session3D(head->strategy, head->parts, head->session_seed,
+                         popt)});
+  }
+
+  auto st = std::make_unique<SessionState>(std::move(*body));
+  st->strategy = head->strategy;
+  st->parts = head->parts;
+  st->create_op = kOpCreateMesh;
+  st->create_payload = payload;
+  const std::uint32_t id = register_session(std::move(st));
+
+  par::Writer w;
+  w.put(id);
+  w.put(elements);
+  return make_ok(kOpCreateMesh, w.take());
+}
+
+Reply Registry::op_create_graph(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto head = decode_create_head(r, limits_);
+  if (!head) return make_error(Err::kBadPayload, "malformed create head");
+  std::string why;
+  auto g = decode_graph(r, limits_, &why);
+  if (!g || !r.done()) {
+    const bool audit = why == "graph audit failed";
+    return make_error(audit ? Err::kAuditFailed : Err::kBadPayload,
+                      why.empty() ? "malformed graph payload" : why);
+  }
+  if (sessions_.size() >= limits_.max_sessions)
+    return make_error(Err::kLimitExceeded, "session limit reached");
+  if (head->strategy != pared::Strategy::kPNR)
+    return make_error(Err::kBadPayload,
+                      "graph sessions support strategy pnr only");
+  if (head->parts > g->num_vertices())
+    return make_error(Err::kBadPayload, "parts exceeds vertex count");
+  if (!graph::is_connected(*g))
+    return make_error(Err::kBadPayload, "uploaded graph is disconnected");
+  // PNR's weights are counts; zero-weight vertices or edges would let a
+  // hostile upload fake balance.
+  check::GraphCheckOptions gopt;
+  gopt.require_positive_vertex_weights = true;
+  gopt.require_positive_edge_weights = true;
+  if (const auto report = check::check_graph(*g, gopt); !report.ok())
+    return make_error(Err::kAuditFailed, "graph audit failed");
+
+  core::PnrOptions popt;
+  popt.alpha = head->alpha;
+  popt.beta = head->beta;
+  core::Pnr pnr(head->parts, popt);
+  util::Rng rng(head->session_seed);
+  part::Partition partition = pnr.initial_partition(*g, rng);
+  const std::int64_t n = g->num_vertices();
+
+  auto st = std::make_unique<SessionState>(
+      Body(GraphState{std::move(*g), std::move(pnr), std::move(partition),
+                      std::move(rng), core::RepartitionStats{}, false}));
+  st->strategy = head->strategy;
+  st->parts = head->parts;
+  st->create_op = kOpCreateGraph;
+  st->create_payload = payload;
+  const std::uint32_t id = register_session(std::move(st));
+
+  par::Writer w;
+  w.put(id);
+  w.put(n);
+  return make_ok(kOpCreateGraph, w.take());
+}
+
+Reply Registry::op_advance(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "advance expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  struct Out {
+    std::int64_t refined = 0;
+    std::int64_t coarsened = 0;
+    double position = 0.0;  ///< time (transient) or level (corner)
+  };
+  std::optional<Out> out;
+  std::optional<Err> failed;
+  std::string detail;
+  const auto run_transient = [&](auto& s) {
+    if (s.run.done()) {
+      failed = Err::kBadState;
+      detail = "workload already finished";
+      return;
+    }
+    const auto info = s.run.advance();
+    out = Out{info.bisections, info.merges, info.t};
+  };
+  const auto run_corner = [&](auto& s) {
+    const auto refined = s.run.advance();
+    out = Out{refined, 0, static_cast<double>(s.run.level())};
+  };
+  std::visit(
+      [&](auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Transient2DState> ||
+                      std::is_same_v<T, Transient3DState>)
+          run_transient(s);
+        else if constexpr (std::is_same_v<T, Corner2DState> ||
+                           std::is_same_v<T, Corner3DState>)
+          run_corner(s);
+        else {
+          failed = Err::kBadState;
+          detail = "session has no server-side workload";
+        }
+      },
+      st->body);
+  if (failed) return make_error(*failed, detail);
+
+  const std::int64_t elements = body_elements(st->body);
+  if (elements > limits_.max_elements) {
+    // The mesh has outgrown the server; the session cannot be rolled back,
+    // so it is destroyed rather than left over-limit.
+    sessions_.erase(*id);
+    return make_error(Err::kLimitExceeded,
+                      "adapted mesh exceeds max_elements; session closed");
+  }
+  log_op(*st, kOpAdvance, payload);
+
+  par::Writer w;
+  w.put(elements);
+  w.put(out->refined);
+  w.put(out->coarsened);
+  w.put(out->position);
+  return make_ok(kOpAdvance, w.take());
+}
+
+Reply Registry::op_step(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "step expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  std::optional<pared::StepReport> report;
+  std::visit(
+      [&](auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Mesh2DState> ||
+                      std::is_same_v<T, Mesh3DState>)
+          report = s.session.step(s.mesh);
+        else if constexpr (!std::is_same_v<T, GraphState>)
+          report = s.session.step(s.run.mutable_mesh());
+      },
+      st->body);
+  if (!report)
+    return make_error(Err::kBadState, "graph sessions use repartition");
+  st->last_report = *report;
+  log_op(*st, kOpStep, payload);
+
+  par::Writer w;
+  encode_step_report(w, *report);
+  return make_ok(kOpStep, w.take());
+}
+
+Reply Registry::op_adapt(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  const auto mode = r.get<std::uint8_t>();
+  if (!id || !mode)
+    return make_error(Err::kBadPayload,
+                      "adapt expects {u32 session, u8 mode, i32[] marks}");
+  auto marks = r.get_vector<mesh::ElemIdx>(
+      static_cast<std::uint64_t>(limits_.max_elements) * 2);
+  if (!marks || !r.done() || *mode > 1)
+    return make_error(Err::kBadPayload,
+                      "adapt expects {u32 session, u8 mode, i32[] marks}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  struct Out {
+    std::int64_t changed = 0;
+  };
+  std::optional<Out> out;
+  bool bad_marks = false;
+  std::visit(
+      [&](auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Mesh2DState> ||
+                      std::is_same_v<T, Mesh3DState>) {
+          // is_leaf() (used by refine/coarsen to filter marks) indexes the
+          // element array unchecked, so range-check against current slots.
+          const auto slots =
+              static_cast<mesh::ElemIdx>(s.mesh.element_slots());
+          for (const mesh::ElemIdx m : *marks)
+            if (m < 0 || m >= slots) {
+              bad_marks = true;
+              return;
+            }
+          // Canonicalize (sorted, unique) so the oplog replays an identical
+          // adaptation regardless of how the client ordered its marks.
+          std::sort(marks->begin(), marks->end());
+          marks->erase(std::unique(marks->begin(), marks->end()),
+                       marks->end());
+          out = Out{*mode == 0 ? s.mesh.refine(*marks)
+                               : s.mesh.coarsen(*marks)};
+        }
+      },
+      st->body);
+  if (bad_marks)
+    return make_error(Err::kBadPayload, "adapt mark out of range");
+  if (!out)
+    return make_error(Err::kBadState,
+                      "adapt applies to uploaded-mesh sessions only");
+
+  const std::int64_t elements = body_elements(st->body);
+  if (elements > limits_.max_elements) {
+    sessions_.erase(*id);
+    return make_error(Err::kLimitExceeded,
+                      "adapted mesh exceeds max_elements; session closed");
+  }
+  log_op(*st, kOpAdapt, payload);
+
+  par::Writer w;
+  w.put(out->changed);
+  w.put(elements);
+  return make_ok(kOpAdapt, w.take());
+}
+
+Reply Registry::op_repartition(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "repartition expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+  auto* s = std::get_if<GraphState>(&st->body);
+  if (!s)
+    return make_error(Err::kBadState,
+                      "repartition applies to graph sessions only");
+
+  core::RepartitionStats stats;
+  s->partition = s->pnr.repartition(s->g, s->partition, s->rng, &stats);
+  s->last_stats = stats;
+  s->has_stats = true;
+  log_op(*st, kOpRepartition, payload);
+
+  par::Writer w;
+  w.put(stats.cut_before);
+  w.put(stats.cut_after);
+  w.put(stats.migrate);
+  w.put(stats.imbalance_before);
+  w.put(stats.imbalance_after);
+  w.put(static_cast<std::int32_t>(stats.levels));
+  return make_ok(kOpRepartition, w.take());
+}
+
+Reply Registry::op_get_metrics(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "get_metrics expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  par::Writer w;
+  par::put_string(w, kind_name(st->body));
+  w.put(static_cast<std::uint8_t>(st->strategy));
+  w.put(st->parts);
+  w.put(body_elements(st->body));
+  w.put(st->ops_applied);
+  w.put(static_cast<std::uint8_t>(st->last_report.has_value()));
+  if (st->last_report) encode_step_report(w, *st->last_report);
+  const auto* s = std::get_if<GraphState>(&st->body);
+  w.put(static_cast<std::uint8_t>(s && s->has_stats));
+  if (s && s->has_stats) {
+    w.put(s->last_stats.cut_before);
+    w.put(s->last_stats.cut_after);
+    w.put(s->last_stats.migrate);
+    w.put(s->last_stats.imbalance_before);
+    w.put(s->last_stats.imbalance_after);
+    w.put(static_cast<std::int32_t>(s->last_stats.levels));
+  }
+  return make_ok(kOpGetMetrics, w.take());
+}
+
+Reply Registry::op_get_assignment(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload,
+                      "get_assignment expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  const std::vector<part::PartId> assign = std::visit(
+      [](const auto& s) -> std::vector<part::PartId> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, GraphState>)
+          return s.partition.assign;
+        else if constexpr (std::is_same_v<T, Mesh2DState> ||
+                           std::is_same_v<T, Mesh3DState>)
+          return leaf_assignment(s.mesh);
+        else
+          return leaf_assignment(s.run.mesh());
+      },
+      st->body);
+
+  par::Writer w;
+  encode_assignment(w, assign);
+  return make_ok(kOpGetAssignment, w.take());
+}
+
+Reply Registry::op_checkpoint(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "checkpoint expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+  if (!st->checkpoint_ok)
+    return make_error(Err::kBadState,
+                      "replay log overflowed; checkpoint unavailable");
+
+  par::Writer w;
+  w.put(st->create_op);
+  w.put_vector(st->create_payload);
+  w.put(static_cast<std::uint32_t>(st->oplog.size()));
+  for (const auto& [op, args] : st->oplog) {
+    w.put(op);
+    w.put_vector(args);
+  }
+  return make_ok(kOpCheckpoint, w.take());
+}
+
+Reply Registry::op_restore(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto create_op = r.get<std::uint16_t>();
+  if (!create_op ||
+      (*create_op != kOpCreateWorkload && *create_op != kOpCreateMesh &&
+       *create_op != kOpCreateGraph))
+    return make_error(Err::kBadPayload, "checkpoint has no create record");
+  auto create_payload = r.get_vector<std::uint8_t>(limits_.max_frame_bytes);
+  const auto count = r.get<std::uint32_t>();
+  if (!create_payload || !count || *count > limits_.max_oplog_entries)
+    return make_error(Err::kBadPayload, "malformed checkpoint");
+  std::vector<std::pair<std::uint16_t, Bytes>> ops;
+  ops.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto op = r.get<std::uint16_t>();
+    if (!op || !is_mutating_op(*op))
+      return make_error(Err::kBadPayload, "checkpoint replays a non-mutating op");
+    auto args = r.get_vector<std::uint8_t>(limits_.max_frame_bytes);
+    if (!args) return make_error(Err::kBadPayload, "malformed checkpoint");
+    ops.emplace_back(*op, std::move(*args));
+  }
+  if (!r.done()) return make_error(Err::kBadPayload, "malformed checkpoint");
+
+  // Replay the create and every logged op through the normal validated
+  // handlers; the restored session accumulates its own (identical) oplog,
+  // so it is itself checkpointable.
+  const Reply created = dispatch(*create_op, *create_payload);
+  if (created.type == kTypeError) return created;
+  par::TryReader cr(created.payload);
+  const auto new_id = cr.get<std::uint32_t>();
+  if (!new_id)
+    return make_error(Err::kInternal, "create replay returned no session id");
+
+  std::uint32_t replayed = 0;
+  for (const auto& [op, args] : ops) {
+    par::Writer w;
+    w.put(*new_id);
+    Bytes op_payload = w.take();
+    op_payload.insert(op_payload.end(), args.begin(), args.end());
+    const Reply rr = dispatch(op, op_payload);
+    if (rr.type == kTypeError) {
+      sessions_.erase(*new_id);
+      return make_error(Err::kBadPayload,
+                        "checkpoint replay failed at op " +
+                            std::to_string(replayed));
+    }
+    ++replayed;
+  }
+
+  par::Writer w;
+  w.put(*new_id);
+  w.put(body_elements(find(*new_id)->body));
+  w.put(replayed);
+  return make_ok(kOpRestore, w.take());
+}
+
+Reply Registry::op_close_session(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "close expects {u32 session}");
+  if (!sessions_.erase(*id))
+    return make_error(Err::kUnknownSession, "no such session");
+  return make_ok(kOpCloseSession, Bytes{});
+}
+
+Reply Registry::op_list_sessions(const Bytes& payload) {
+  if (!payload.empty())
+    return make_error(Err::kBadPayload, "list takes no payload");
+  par::Writer w;
+  w.put(static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [id, st] : sessions_) {
+    w.put(id);
+    par::put_string(w, kind_name(st->body));
+    w.put(static_cast<std::uint8_t>(st->strategy));
+    w.put(st->parts);
+    w.put(body_elements(st->body));
+  }
+  return make_ok(kOpListSessions, w.take());
+}
+
+Reply Registry::op_shutdown(const Bytes& payload) {
+  if (!payload.empty())
+    return make_error(Err::kBadPayload, "shutdown takes no payload");
+  shutting_down_ = true;
+  return make_ok(kOpShutdown, Bytes{});
+}
+
+}  // namespace pnr::svc

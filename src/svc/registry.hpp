@@ -1,0 +1,92 @@
+#pragma once
+// pnr::svc session registry: the transport-free core of the service. It
+// maps numeric session ids to live adaptive-repartitioning state (paper
+// workloads, uploaded meshes, uploaded graphs) and dispatches decoded
+// request payloads against them. Registry::handle is the single entry
+// point for every op — servers, tests and fuzzers feed it (op, payload)
+// pairs directly, so the entire request surface is exercisable without a
+// socket. It never aborts on input: every malformed, limit-exceeding or
+// misdirected request comes back as a typed error Reply.
+//
+// Checkpointing is event-sourced: every session records its create payload
+// plus the argument bytes of each mutating op (advance/step/adapt/
+// repartition). Because workloads, meshes and partitioners are
+// deterministic (seeded util::Rng, deterministic pnr::exec reductions), a
+// checkpoint replayed through the same validated handlers reconstructs a
+// bit-identical session — including its RNG stream — on any server.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "svc/codec.hpp"
+#include "svc/wire.hpp"
+
+namespace pnr::svc {
+
+/// One decoded response: a frame type (op|kReplyBit or kTypeError) plus the
+/// payload to put on the wire.
+struct Reply {
+  std::uint16_t type = 0;
+  Bytes payload;
+};
+
+class Registry {
+ public:
+  explicit Registry(Limits limits = {});
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Dispatch one request. `op` is the frame type of a request frame whose
+  /// CRC/version already checked out; `payload` is its body. Never throws,
+  /// never aborts — all failures are typed error replies.
+  Reply handle(std::uint16_t op, const Bytes& payload);
+
+  /// True once a kOpShutdown has been accepted; the transport should stop
+  /// accepting new connections and drain.
+  bool shutting_down() const { return shutting_down_; }
+
+  std::size_t num_sessions() const { return sessions_.size(); }
+  const Limits& limits() const { return limits_; }
+
+ private:
+  struct SessionState;
+
+  Reply dispatch(std::uint16_t op, const Bytes& payload);
+
+  Reply op_ping(const Bytes& payload);
+  Reply op_create_workload(const Bytes& payload);
+  Reply op_create_mesh(const Bytes& payload);
+  Reply op_create_graph(const Bytes& payload);
+  Reply op_advance(const Bytes& payload);
+  Reply op_step(const Bytes& payload);
+  Reply op_adapt(const Bytes& payload);
+  Reply op_repartition(const Bytes& payload);
+  Reply op_get_metrics(const Bytes& payload);
+  Reply op_get_assignment(const Bytes& payload);
+  Reply op_checkpoint(const Bytes& payload);
+  Reply op_restore(const Bytes& payload);
+  Reply op_close_session(const Bytes& payload);
+  Reply op_list_sessions(const Bytes& payload);
+  Reply op_shutdown(const Bytes& payload);
+
+  SessionState* find(std::uint32_t id);
+  /// Record a mutating op (its args, minus the leading session id) into the
+  /// session's replay log; on overflow the session stays live but loses
+  /// checkpointability.
+  void log_op(SessionState& st, std::uint16_t op, const Bytes& payload);
+  std::uint32_t register_session(std::unique_ptr<SessionState> st);
+
+  Limits limits_;
+  std::map<std::uint32_t, std::unique_ptr<SessionState>> sessions_;
+  std::uint32_t next_id_ = 1;
+  bool shutting_down_ = false;
+};
+
+/// Dotted prof span name for an op ("svc.op.step"); "svc.op.unknown" for
+/// types outside the table.
+const char* op_span_name(std::uint16_t op);
+
+}  // namespace pnr::svc

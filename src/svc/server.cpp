@@ -1,0 +1,228 @@
+#include "svc/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/prof.hpp"
+
+namespace pnr::svc {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(options),
+                                        registry_(options.limits) {}
+
+Server::~Server() {
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  close_listener();
+}
+
+void Server::close_listener() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty()) {
+    ::unlink(socket_path_.c_str());
+    socket_path_.clear();
+  }
+}
+
+bool Server::listen_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path empty or too long";
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = std::strerror(errno);
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0 || !set_nonblocking(fd)) {
+    if (error) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  close_listener();
+  listen_fd_ = fd;
+  socket_path_ = path;
+  return true;
+}
+
+void Server::adopt(int fd) {
+  set_nonblocking(fd);
+  conns_.emplace(fd, Conn{});
+}
+
+bool Server::done() const {
+  if (shutdown_flagged_ && conns_.empty()) return true;
+  return listen_fd_ < 0 && conns_.empty();
+}
+
+void Server::begin_shutdown() {
+  shutdown_flagged_ = true;
+  close_listener();
+  for (auto& [fd, conn] : conns_) conn.close_after_flush = true;
+}
+
+int Server::poll_once(int timeout_ms) {
+  if (done()) return 0;
+  std::vector<pollfd> fds;
+  fds.reserve(conns_.size() + 1);
+  if (listen_fd_ >= 0)
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const auto& [fd, conn] : conns_) {
+    short events = POLLIN;
+    if (!conn.out.empty()) events |= POLLOUT;
+    fds.push_back(pollfd{fd, events, 0});
+  }
+  if (fds.empty()) return 0;
+
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) return 0;
+
+  int serviced = 0;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    ++serviced;
+    if (p.fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    const auto it = conns_.find(p.fd);
+    if (it == conns_.end()) continue;
+    bool alive = true;
+    if (p.revents & (POLLERR | POLLNVAL)) alive = false;
+    if (alive && (p.revents & (POLLIN | POLLHUP)))
+      alive = read_ready(p.fd, it->second);
+    if (alive && (p.revents & POLLOUT)) alive = write_ready(p.fd, it->second);
+    if (alive && it->second.close_after_flush && it->second.out.empty())
+      alive = false;
+    if (!alive) close_conn(p.fd);
+  }
+  // A shutdown handled this iteration flags every connection for
+  // close-after-flush and stops accepting.
+  if (registry_.shutting_down() && !shutdown_flagged_) begin_shutdown();
+  return serviced;
+}
+
+void Server::run() {
+  while (!done()) {
+    if (poll_once(-1) == 0 && done()) break;
+  }
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: back to poll
+    if (shutdown_flagged_ ||
+        conns_.size() >= static_cast<std::size_t>(options_.max_connections)) {
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    conns_.emplace(fd, Conn{});
+  }
+}
+
+bool Server::read_ready(int fd, Conn& conn) {
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      prof::count("svc.bytes_in", n);
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      if (!drain_frames(conn)) return false;
+      // Push replies out eagerly so single-threaded (pump-driven) clients
+      // see them on their next read without an extra poll round.
+      if (!write_ready(fd, conn)) return false;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+bool Server::drain_frames(Conn& conn) {
+  std::size_t consumed = 0;
+  while (conn.in.size() - consumed >= kHeaderBytes) {
+    const std::uint8_t* head = conn.in.data() + consumed;
+    const auto h = decode_header(head);
+    // Framing-level violations mean the stream is not speaking this
+    // protocol at all — close instead of guessing at resync.
+    if (!h) return false;
+    if (h->payload_len > registry_.limits().max_frame_bytes) return false;
+    if (conn.in.size() - consumed - kHeaderBytes < h->payload_len) break;
+    const Bytes payload(head + kHeaderBytes,
+                        head + kHeaderBytes + h->payload_len);
+    consumed += kHeaderBytes + h->payload_len;
+
+    Reply reply;
+    if (h->version != kWireVersion) {
+      prof::count("svc.errors");
+      reply = Reply{kTypeError,
+                    encode_error(Err::kBadVersion, "unsupported version")};
+    } else if (crc32(payload) != h->payload_crc) {
+      prof::count("svc.errors");
+      reply = Reply{kTypeError, encode_error(Err::kBadCrc, "crc mismatch")};
+    } else if (h->type == 0 || (h->type & kReplyBit) != 0) {
+      prof::count("svc.errors");
+      reply = Reply{kTypeError,
+                    encode_error(Err::kBadOp, "not a request frame")};
+    } else {
+      reply = registry_.handle(h->type, payload);
+    }
+    const Bytes frame = encode_frame(reply.type, reply.payload);
+    prof::count("svc.bytes_out", static_cast<std::int64_t>(frame.size()));
+    conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  }
+  if (consumed > 0)
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+  // Anything buffered beyond a sane frame without completing one means the
+  // declared length can never be satisfied within limits.
+  return conn.in.size() <=
+         kHeaderBytes + static_cast<std::size_t>(
+                            registry_.limits().max_frame_bytes);
+}
+
+bool Server::write_ready(int fd, Conn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        ::send(fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return true;
+    return false;
+  }
+  return true;
+}
+
+void Server::close_conn(int fd) {
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace pnr::svc

@@ -1,0 +1,91 @@
+#pragma once
+// pnr::svc transport: a poll(2)-based event loop that speaks the framed
+// wire protocol over Unix-domain stream sockets. The loop is
+// single-threaded and fd-driven — parallelism lives below it, in the
+// pnr::exec pool that the codec's bulk validation and the partitioners
+// already run on — so request handling stays deterministic while large
+// payload scans still use every core.
+//
+// Two ways to get clients:
+//   * listen_unix(path): bind + listen for pnr_client over a filesystem
+//     socket;
+//   * adopt(fd): take ownership of an already-connected stream fd (one end
+//     of a socketpair) — this is how the hermetic tests and bench drive a
+//     real server without touching the filesystem or spawning threads.
+//
+// Trust grading per connection: a byte stream that breaks framing (bad
+// magic, oversized declared length) is closed outright; a well-framed
+// request with a bad CRC/version/op gets a typed error frame and the
+// connection lives on. This file is the only place in the tree allowed to
+// make raw socket/poll syscalls (scripts/lint.py, rule raw-socket).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "svc/registry.hpp"
+
+namespace pnr::svc {
+
+struct ServerOptions {
+  Limits limits;
+  int max_connections = 32;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on a fresh Unix-domain socket at `path` (unlinked on
+  /// destruction). False with *error set on any syscall failure.
+  bool listen_unix(const std::string& path, std::string* error = nullptr);
+
+  /// Take ownership of a connected stream fd (e.g. one end of a
+  /// socketpair). The fd is switched to non-blocking.
+  void adopt(int fd);
+
+  /// One poll(2) iteration: wait up to timeout_ms (0 = don't block, -1 =
+  /// forever), then service every ready fd. Returns the number of fds
+  /// serviced; 0 when there is nothing left to poll.
+  int poll_once(int timeout_ms);
+
+  /// Drive poll_once until done(): a shutdown request has been served and
+  /// flushed, or every connection (and the listener) is gone.
+  void run();
+
+  /// True when the loop has nothing left to do: no listener and no
+  /// connections, or shutdown requested and all replies flushed.
+  bool done() const;
+
+  Registry& registry() { return registry_; }
+  std::size_t num_connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    Bytes in;
+    Bytes out;
+    bool close_after_flush = false;
+  };
+
+  void accept_ready();
+  /// Returns false if the connection must be dropped.
+  bool read_ready(int fd, Conn& conn);
+  bool write_ready(int fd, Conn& conn);
+  /// Consume every complete frame in conn.in; false = close connection.
+  bool drain_frames(Conn& conn);
+  void close_conn(int fd);
+  void close_listener();
+  void begin_shutdown();
+
+  ServerOptions options_;
+  Registry registry_;
+  int listen_fd_ = -1;
+  std::string socket_path_;
+  std::map<int, Conn> conns_;
+  bool shutdown_flagged_ = false;
+};
+
+}  // namespace pnr::svc

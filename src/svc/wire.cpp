@@ -1,0 +1,107 @@
+#include "svc/wire.hpp"
+
+#include <array>
+
+namespace pnr::svc {
+
+const char* err_name(Err e) {
+  switch (e) {
+    case Err::kBadCrc: return "bad_crc";
+    case Err::kBadVersion: return "bad_version";
+    case Err::kBadOp: return "bad_op";
+    case Err::kBadPayload: return "bad_payload";
+    case Err::kAuditFailed: return "audit_failed";
+    case Err::kUnknownSession: return "unknown_session";
+    case Err::kBadState: return "bad_state";
+    case Err::kLimitExceeded: return "limit_exceeded";
+    case Err::kShuttingDown: return "shutting_down";
+    case Err::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xff));
+}
+
+std::uint16_t read_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+Bytes encode_frame(std::uint16_t type, const Bytes& payload) {
+  Bytes out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kMagic);
+  put_u16(out, kWireVersion);
+  put_u16(out, type);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<FrameHeader> decode_header(const std::uint8_t* data) {
+  if (read_u32(data) != kMagic) return std::nullopt;
+  FrameHeader h;
+  h.version = read_u16(data + 4);
+  h.type = read_u16(data + 6);
+  h.payload_len = read_u32(data + 8);
+  h.payload_crc = read_u32(data + 12);
+  return h;
+}
+
+Bytes encode_error(Err code, const std::string& detail) {
+  par::Writer w;
+  w.put(static_cast<std::uint16_t>(code));
+  par::put_string(w, detail);
+  return w.take();
+}
+
+std::optional<ErrorInfo> decode_error(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto code = r.get<std::uint16_t>();
+  if (!code || *code == 0 ||
+      *code > static_cast<std::uint16_t>(Err::kInternal))
+    return std::nullopt;
+  auto detail = r.get_string(4096);
+  if (!detail || !r.done()) return std::nullopt;
+  return ErrorInfo{static_cast<Err>(*code), std::move(*detail)};
+}
+
+}  // namespace pnr::svc

@@ -1,0 +1,117 @@
+#pragma once
+// pnr::svc wire protocol: framing for the embeddable repartitioning service
+// (docs/SERVICE.md). Every message — request, success reply, error reply —
+// is one frame:
+//
+//   offset  size  field
+//        0     4  magic "PNRS"
+//        4     2  version (little-endian u16, kWireVersion)
+//        6     2  type    (request op, or op|kReplyBit, or kTypeError)
+//        8     4  payload length in bytes (little-endian u32)
+//       12     4  CRC-32 of the payload (IEEE 802.3, little-endian u32)
+//       16     …  payload (par::Writer layout, little-endian)
+//
+// Framing errors are graded by how much of the channel can still be
+// trusted: a bad magic or an oversized length means the byte stream is not
+// speaking this protocol (the connection is closed); a bad CRC, version or
+// op arrives in an intact frame, so the server answers with a typed error
+// frame and keeps the connection. Payload decoding never aborts — all
+// decode paths run on par::TryReader and surface kErrBadPayload.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "parallel/serialize.hpp"
+
+namespace pnr::svc {
+
+using par::Bytes;
+
+inline constexpr std::uint32_t kMagic = 0x53524e50u;  // "PNRS" little-endian
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 16;
+
+/// Request operations. A success reply echoes the op with kReplyBit set.
+enum Op : std::uint16_t {
+  kOpPing = 1,             ///< echo the payload back
+  kOpCreateWorkload = 2,   ///< server-side workload session (WorkloadSpec)
+  kOpCreateMesh = 3,       ///< session from an uploaded flat mesh
+  kOpCreateGraph = 4,      ///< partition-only session from an uploaded graph
+  kOpAdvance = 5,          ///< advance a workload session's adaptation
+  kOpStep = 6,             ///< repartition + StepReport (mesh sessions)
+  kOpAdapt = 7,            ///< explicit refine/coarsen marks (mesh uploads)
+  kOpRepartition = 8,      ///< graph sessions: PNR repartition + stats
+  kOpGetMetrics = 9,       ///< session summary + last StepReport
+  kOpGetAssignment = 10,   ///< current assignment in leaf/vertex order
+  kOpCheckpoint = 11,      ///< session state as opaque bytes
+  kOpRestore = 12,         ///< new session from checkpoint bytes
+  kOpCloseSession = 13,    ///< destroy one session
+  kOpListSessions = 14,    ///< ids + kinds + sizes of live sessions
+  kOpShutdown = 15,        ///< acknowledge, then stop the server loop
+};
+inline constexpr std::uint16_t kOpMax = kOpShutdown;
+
+inline constexpr std::uint16_t kReplyBit = 0x8000;
+inline constexpr std::uint16_t kTypeError = 0xffff;
+
+/// Error codes carried by kTypeError replies ({u16 code, string detail}).
+enum class Err : std::uint16_t {
+  kBadCrc = 1,          ///< frame CRC mismatch (payload dropped)
+  kBadVersion = 2,      ///< protocol version not supported
+  kBadOp = 3,           ///< unknown request type
+  kBadPayload = 4,      ///< payload failed to decode or validate
+  kAuditFailed = 5,     ///< decoded structure rejected by pnr::check
+  kUnknownSession = 6,  ///< no live session with that id
+  kBadState = 7,        ///< op not applicable to this session kind/state
+  kLimitExceeded = 8,   ///< server limit (sessions, elements, oplog) hit
+  kShuttingDown = 9,    ///< server no longer accepts work
+  kInternal = 10,       ///< server-side failure (never a crash)
+};
+
+const char* err_name(Err e);
+
+/// Per-server resource ceilings, enforced before any payload touches a
+/// session. Defaults suit the paper's workloads; the daemon exposes flags.
+struct Limits {
+  std::uint32_t max_sessions = 64;
+  std::uint32_t max_frame_bytes = 64u << 20;  ///< header excluded
+  std::int64_t max_elements = 2'000'000;      ///< uploaded mesh elements
+  std::int64_t max_vertices = 2'000'000;      ///< fits mesh::face_key packing
+  std::int64_t max_graph_vertices = 4'000'000;
+  std::int64_t max_graph_edges = 32'000'000;
+  std::int32_t max_parts = 1024;
+  std::uint32_t max_oplog_entries = 65536;  ///< checkpoint replay-log cap
+  std::int32_t max_workload_steps = 4096;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+inline std::uint32_t crc32(const Bytes& b) { return crc32(b.data(), b.size()); }
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  std::uint16_t type = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Serialize header + payload into one wire-ready buffer.
+Bytes encode_frame(std::uint16_t type, const Bytes& payload);
+
+/// Parse the 16 leading bytes of `data`. nullopt only on a magic mismatch —
+/// version/CRC are validated by the caller so it can answer with a typed
+/// error instead of dropping the connection.
+std::optional<FrameHeader> decode_header(const std::uint8_t* data);
+
+/// Build the standard error payload {u16 code, string detail}.
+Bytes encode_error(Err code, const std::string& detail);
+
+/// Decode an error payload (client side).
+struct ErrorInfo {
+  Err code;
+  std::string detail;
+};
+std::optional<ErrorInfo> decode_error(const Bytes& payload);
+
+}  // namespace pnr::svc

@@ -1,0 +1,688 @@
+// pnr::svc tests: wire framing, payload codecs, registry semantics, and the
+// parity gates — a client driving a real Server through a socketpair must
+// produce bit-identical StepReports to an in-process pared::Session, and a
+// checkpoint restored mid-run must resume to identical reports.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "svc/codec.hpp"
+#include "svc/loopback.hpp"
+#include "svc/registry.hpp"
+#include "svc/server.hpp"
+#include "svc/wire.hpp"
+
+namespace pnr::svc {
+namespace {
+
+void expect_report_eq(const pared::StepReport& a, const pared::StepReport& b) {
+  EXPECT_EQ(a.elements, b.elements);
+  EXPECT_EQ(a.cut_prev, b.cut_prev);
+  EXPECT_EQ(a.cut_new, b.cut_new);
+  EXPECT_EQ(a.shared_vertices, b.shared_vertices);
+  EXPECT_EQ(a.migrated, b.migrated);
+  EXPECT_EQ(a.migrated_remapped, b.migrated_remapped);
+  // Bitwise: the service runs the identical deterministic code path.
+  EXPECT_EQ(std::memcmp(&a.imbalance, &b.imbalance, sizeof(double)), 0);
+}
+
+std::optional<ErrorInfo> error_of(const Reply& reply) {
+  if (reply.type != kTypeError) return std::nullopt;
+  return decode_error(reply.payload);
+}
+
+// ---- wire -------------------------------------------------------------------
+
+TEST(SvcWire, Crc32MatchesTheIeeeCheckValue) {
+  const char* check = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check), 9),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(SvcWire, FrameRoundTrips) {
+  const Bytes payload{1, 2, 3, 4, 5};
+  const Bytes frame = encode_frame(kOpStep, payload);
+  ASSERT_EQ(frame.size(), kHeaderBytes + payload.size());
+  const auto h = decode_header(frame.data());
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->version, kWireVersion);
+  EXPECT_EQ(h->type, kOpStep);
+  EXPECT_EQ(h->payload_len, payload.size());
+  EXPECT_EQ(h->payload_crc, crc32(payload));
+}
+
+TEST(SvcWire, BadMagicIsRejected) {
+  Bytes frame = encode_frame(kOpPing, Bytes{});
+  frame[0] ^= 0xff;
+  EXPECT_FALSE(decode_header(frame.data()));
+}
+
+TEST(SvcWire, ErrorPayloadRoundTrips) {
+  const Bytes payload = encode_error(Err::kUnknownSession, "no session 7");
+  const auto info = decode_error(payload);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->code, Err::kUnknownSession);
+  EXPECT_EQ(info->detail, "no session 7");
+  EXPECT_STREQ(err_name(info->code), "unknown_session");
+}
+
+// ---- codec ------------------------------------------------------------------
+
+TEST(SvcCodec, MeshRoundTripsThroughFlattening) {
+  const auto mesh = mesh::structured_tri_mesh(4, 4, 0.25, 3);
+  const FlatMesh flat = flatten_mesh(mesh);
+  par::Writer w;
+  encode_mesh(w, flat);
+  const Bytes bytes = w.take();
+  par::TryReader r(bytes);
+  const auto decoded = decode_mesh(r, Limits{});
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded->dim, 2);
+  EXPECT_EQ(decoded->coords, flat.coords);
+  EXPECT_EQ(decoded->elems, flat.elems);
+  const auto rebuilt = build_tri_mesh(*decoded);
+  ASSERT_TRUE(rebuilt);
+  EXPECT_EQ(rebuilt->num_leaves(), mesh.num_leaves());
+}
+
+TEST(SvcCodec, TetMeshRoundTrips) {
+  const auto mesh = mesh::structured_tet_mesh(2, 2, 2, 0.2, 5);
+  const FlatMesh flat = flatten_mesh(mesh);
+  const auto rebuilt = build_tet_mesh(flat);
+  ASSERT_TRUE(rebuilt);
+  EXPECT_EQ(rebuilt->num_leaves(), mesh.num_leaves());
+}
+
+TEST(SvcCodec, HostileMeshesAreRejectedWithoutAborting) {
+  std::string why;
+  {  // repeated corner
+    FlatMesh m{2, {0, 0, 1, 0, 0, 1}, {0, 0, 1}};
+    EXPECT_FALSE(build_tri_mesh(m, &why));
+  }
+  {  // zero area
+    FlatMesh m{2, {0, 0, 1, 0, 2, 0}, {0, 1, 2}};
+    EXPECT_FALSE(build_tri_mesh(m, &why));
+  }
+  {  // index out of range
+    FlatMesh m{2, {0, 0, 1, 0, 0, 1}, {0, 1, 7}};
+    EXPECT_FALSE(build_tri_mesh(m, &why));
+  }
+  {  // non-finite coordinate
+    FlatMesh m{2, {0, 0, 1, 0, 0, 1e301}, {0, 1, 2}};
+    m.coords[5] = m.coords[5] * 1e10;  // inf
+    EXPECT_FALSE(build_tri_mesh(m, &why));
+  }
+  {  // non-manifold edge: three triangles on edge {0,1}
+    FlatMesh m{2,
+               {0, 0, 1, 0, 0, 1, 1, 1, -1, -1},
+               {0, 1, 2, 0, 1, 3, 0, 1, 4}};
+    EXPECT_FALSE(build_tri_mesh(m, &why));
+    EXPECT_NE(why.find("manifold"), std::string::npos);
+  }
+  {  // degenerate tet
+    FlatMesh m{3, {0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 0}, {0, 1, 2, 3}};
+    EXPECT_FALSE(build_tet_mesh(m, &why));
+  }
+}
+
+TEST(SvcCodec, GraphRoundTripsAndHostileCsrIsRejected) {
+  const auto mesh = mesh::structured_tri_mesh(4, 4, 0.25, 1);
+  const graph::Graph g = mesh::fine_dual_graph(mesh).graph;
+  par::Writer w;
+  encode_graph(w, g);
+  const Bytes bytes = w.take();
+  par::TryReader r(bytes);
+  std::string why;
+  const auto decoded = decode_graph(r, Limits{}, &why);
+  ASSERT_TRUE(decoded) << why;
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(decoded->adjncy(), g.adjncy());
+
+  {  // asymmetric: claims edge 0->1 but not 1->0
+    par::Writer bad;
+    bad.put_vector(std::vector<std::int64_t>{0, 1, 1, 1});
+    bad.put_vector(std::vector<graph::VertexId>{1});
+    bad.put_vector(std::vector<graph::Weight>{1});
+    bad.put_vector(std::vector<graph::Weight>{1, 1, 1});
+    const Bytes b = bad.take();
+    par::TryReader br(b);
+    EXPECT_FALSE(decode_graph(br, Limits{}, &why));
+  }
+  {  // non-monotone xadj
+    par::Writer bad;
+    bad.put_vector(std::vector<std::int64_t>{0, 2, 1, 2});
+    bad.put_vector(std::vector<graph::VertexId>{1, 0});
+    bad.put_vector(std::vector<graph::Weight>{1, 1});
+    bad.put_vector(std::vector<graph::Weight>{1, 1, 1});
+    const Bytes b = bad.take();
+    par::TryReader br(b);
+    EXPECT_FALSE(decode_graph(br, Limits{}, &why));
+  }
+  {  // neighbor id out of range
+    par::Writer bad;
+    bad.put_vector(std::vector<std::int64_t>{0, 1, 2});
+    bad.put_vector(std::vector<graph::VertexId>{9, 0});
+    bad.put_vector(std::vector<graph::Weight>{1, 1});
+    bad.put_vector(std::vector<graph::Weight>{1, 1});
+    const Bytes b = bad.take();
+    par::TryReader br(b);
+    EXPECT_FALSE(decode_graph(br, Limits{}, &why));
+  }
+}
+
+TEST(SvcCodec, WorkloadSpecRoundTripsAndValidates) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTransient3D;
+  spec.strategy = pared::Strategy::kMlklRemap;
+  spec.parts = 12;
+  spec.session_seed = 99;
+  spec.transient.steps = 17;
+  spec.transient.grid_n = 9;
+  spec.alpha = 0.25;
+  par::Writer w;
+  encode_workload_spec(w, spec);
+  const Bytes bytes = w.take();
+  par::TryReader r(bytes);
+  const auto decoded = decode_workload_spec(r, Limits{});
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded->kind, spec.kind);
+  EXPECT_EQ(decoded->strategy, spec.strategy);
+  EXPECT_EQ(decoded->parts, spec.parts);
+  EXPECT_EQ(decoded->session_seed, spec.session_seed);
+  EXPECT_EQ(decoded->transient.steps, spec.transient.steps);
+  EXPECT_EQ(decoded->transient.grid_n, spec.transient.grid_n);
+  EXPECT_EQ(decoded->alpha, spec.alpha);
+
+  // Hostile knobs that would explode the server are rejected.
+  auto reject = [](WorkloadSpec s) {
+    par::Writer bw;
+    encode_workload_spec(bw, s);
+    const Bytes b = bw.take();
+    par::TryReader br(b);
+    return !decode_workload_spec(br, Limits{});
+  };
+  WorkloadSpec s = spec;
+  s.transient.refine_threshold = 0.0;  // refine-everything forever
+  EXPECT_TRUE(reject(s));
+  s = spec;
+  s.transient.max_level = 60;
+  EXPECT_TRUE(reject(s));
+  s = spec;
+  s.parts = 0;
+  EXPECT_TRUE(reject(s));
+  s = spec;
+  s.transient.t_end = s.transient.t_begin - 1;
+  EXPECT_TRUE(reject(s));
+}
+
+TEST(SvcCodec, StepReportRoundTrips) {
+  pared::StepReport report;
+  report.elements = 123;
+  report.cut_prev = 45;
+  report.cut_new = 44;
+  report.shared_vertices = 46;
+  report.migrated = 7;
+  report.migrated_remapped = 5;
+  report.imbalance = 0.0123;
+  par::Writer w;
+  encode_step_report(w, report);
+  const Bytes bytes = w.take();
+  par::TryReader r(bytes);
+  const auto decoded = decode_step_report(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(r.done());
+  expect_report_eq(*decoded, report);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+Bytes id_payload(std::uint32_t id) {
+  par::Writer w;
+  w.put(id);
+  return w.take();
+}
+
+TEST(SvcRegistry, PingEchoes) {
+  Registry registry;
+  const Bytes payload{9, 8, 7};
+  const Reply reply = registry.handle(kOpPing, payload);
+  EXPECT_EQ(reply.type, kOpPing | kReplyBit);
+  EXPECT_EQ(reply.payload, payload);
+}
+
+TEST(SvcRegistry, UnknownOpAndSessionsAreTypedErrors) {
+  Registry registry;
+  auto e = error_of(registry.handle(700, Bytes{}));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadOp);
+
+  e = error_of(registry.handle(kOpStep, id_payload(42)));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kUnknownSession);
+
+  e = error_of(registry.handle(kOpStep, Bytes{1, 2}));  // truncated id
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadPayload);
+
+  e = error_of(registry.handle(kOpCreateWorkload, Bytes{0xff, 0xff}));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadPayload);
+  EXPECT_EQ(registry.num_sessions(), 0u);
+}
+
+WorkloadSpec small_transient2d() {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTransient2D;
+  spec.strategy = pared::Strategy::kPNR;
+  spec.parts = 4;
+  spec.session_seed = 7;
+  spec.transient.steps = 8;
+  spec.transient.grid_n = 10;
+  spec.transient.max_level = 4;
+  return spec;
+}
+
+std::uint32_t must_create(Registry& registry, const WorkloadSpec& spec) {
+  par::Writer w;
+  encode_workload_spec(w, spec);
+  const Reply reply = registry.handle(kOpCreateWorkload, w.take());
+  EXPECT_EQ(reply.type, kOpCreateWorkload | kReplyBit);
+  par::TryReader r(reply.payload);
+  const auto id = r.get<std::uint32_t>();
+  EXPECT_TRUE(id);
+  return id ? *id : 0;
+}
+
+TEST(SvcRegistry, SessionLimitIsEnforced) {
+  Limits limits;
+  limits.max_sessions = 1;
+  Registry registry(limits);
+  must_create(registry, small_transient2d());
+  par::Writer w;
+  encode_workload_spec(w, small_transient2d());
+  const auto e = error_of(registry.handle(kOpCreateWorkload, w.take()));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kLimitExceeded);
+}
+
+TEST(SvcRegistry, AdaptIsRefusedOnWorkloadSessions) {
+  Registry registry;
+  const auto id = must_create(registry, small_transient2d());
+  par::Writer w;
+  w.put(id);
+  w.put(std::uint8_t{0});
+  w.put_vector(std::vector<mesh::ElemIdx>{0, 1});
+  const auto e = error_of(registry.handle(kOpAdapt, w.take()));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadState);
+}
+
+TEST(SvcRegistry, ShutdownStopsFurtherWork) {
+  Registry registry;
+  EXPECT_EQ(registry.handle(kOpShutdown, Bytes{}).type,
+            kOpShutdown | kReplyBit);
+  EXPECT_TRUE(registry.shutting_down());
+  const auto e = error_of(registry.handle(kOpListSessions, Bytes{}));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kShuttingDown);
+}
+
+TEST(SvcRegistry, OplogOverflowDisablesCheckpointing) {
+  Limits limits;
+  limits.max_oplog_entries = 2;
+  Registry registry(limits);
+  const auto id = must_create(registry, small_transient2d());
+  for (int i = 0; i < 3; ++i) {
+    const Reply r = registry.handle(kOpAdvance, id_payload(id));
+    ASSERT_EQ(r.type, kOpAdvance | kReplyBit);
+  }
+  const auto e = error_of(registry.handle(kOpCheckpoint, id_payload(id)));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadState);
+  // The session itself is still perfectly usable.
+  EXPECT_EQ(registry.handle(kOpStep, id_payload(id)).type,
+            kOpStep | kReplyBit);
+}
+
+// ---- loopback server + parity gates ----------------------------------------
+
+TEST(SvcServer, ErrorGradingOverTheWire) {
+  Server server;
+  const int fd = adopt_loopback_raw(server);
+  ASSERT_GE(fd, 0);
+
+  // Bad CRC: typed error, connection stays up.
+  Bytes frame = encode_frame(kOpListSessions, Bytes{});
+  frame[12] ^= 0xff;
+  ASSERT_TRUE(raw_send(fd, frame, server));
+  Bytes in;
+  ASSERT_TRUE(raw_recv(fd, in, server));
+  ASSERT_GE(in.size(), kHeaderBytes);
+  auto h = decode_header(in.data());
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->type, kTypeError);
+  {
+    const Bytes body(in.begin() + kHeaderBytes,
+                     in.begin() + kHeaderBytes + h->payload_len);
+    const auto info = decode_error(body);
+    ASSERT_TRUE(info);
+    EXPECT_EQ(info->code, Err::kBadCrc);
+  }
+
+  // Bad version: typed error, connection stays up.
+  in.clear();
+  frame = encode_frame(kOpListSessions, Bytes{});
+  frame[4] = 0x7f;
+  ASSERT_TRUE(raw_send(fd, frame, server));
+  ASSERT_TRUE(raw_recv(fd, in, server));
+  ASSERT_GE(in.size(), kHeaderBytes);
+  h = decode_header(in.data());
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->type, kTypeError);
+
+  // A good frame still works on the same connection.
+  in.clear();
+  ASSERT_TRUE(raw_send(fd, encode_frame(kOpPing, Bytes{1}), server));
+  ASSERT_TRUE(raw_recv(fd, in, server));
+  ASSERT_GE(in.size(), kHeaderBytes);
+  h = decode_header(in.data());
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->type, kOpPing | kReplyBit);
+
+  // Bad magic: the stream is not speaking the protocol — connection closed.
+  in.clear();
+  Bytes junk{'G', 'E', 'T', ' ', '/', '\r', '\n'};
+  junk.resize(64, 0);
+  raw_send(fd, junk, server);
+  bool open = true;
+  for (int i = 0; i < 10 && open; ++i) open = raw_recv(fd, in, server);
+  EXPECT_FALSE(open);
+  EXPECT_EQ(server.num_connections(), 0u);
+  raw_close(fd);
+}
+
+TEST(SvcServer, ClientRoundTripsOverSocketpair) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  EXPECT_TRUE(client.ping());
+
+  const auto created = client.create_workload(small_transient2d());
+  ASSERT_TRUE(created);
+  EXPECT_GT(created->elements, 0);
+
+  const auto sessions = client.list_sessions();
+  ASSERT_TRUE(sessions);
+  ASSERT_EQ(sessions->size(), 1u);
+  EXPECT_EQ((*sessions)[0].session, created->session);
+  EXPECT_EQ((*sessions)[0].kind, "transient2d");
+
+  const auto metrics = client.get_metrics(created->session);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->kind, "transient2d");
+  EXPECT_EQ(metrics->parts, 4);
+  EXPECT_FALSE(metrics->last_report);
+
+  ASSERT_TRUE(client.close_session(created->session));
+  EXPECT_FALSE(client.get_metrics(created->session));
+  EXPECT_EQ(client.last_error().code, Err::kUnknownSession);
+
+  EXPECT_TRUE(client.shutdown_server());
+}
+
+TEST(SvcParity, Transient2DOverTheWireIsBitIdentical) {
+  const WorkloadSpec spec = small_transient2d();
+  constexpr int kSteps = 3;
+
+  // In-process reference.
+  std::vector<pared::StepReport> expected;
+  {
+    pared::TransientRun run(spec.transient);
+    pared::Session2D session(spec.strategy, spec.parts, spec.session_seed);
+    for (int i = 0; i < kSteps; ++i) {
+      run.advance();
+      expected.push_back(session.step(run.mutable_mesh()));
+    }
+  }
+
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  const auto created = client.create_workload(spec);
+  ASSERT_TRUE(created);
+  for (int i = 0; i < kSteps; ++i) {
+    ASSERT_TRUE(client.advance(created->session));
+    const auto report = client.step(created->session);
+    ASSERT_TRUE(report);
+    expect_report_eq(*report, expected[static_cast<std::size_t>(i)]);
+  }
+
+  // And the exported assignment matches the element tags the in-process
+  // session would carry: same length as leaves, all parts within range.
+  const auto assign = client.get_assignment(created->session);
+  ASSERT_TRUE(assign);
+  const auto metrics = client.get_metrics(created->session);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(static_cast<std::int64_t>(assign->size()), metrics->elements);
+  for (const auto p : *assign) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, spec.parts);
+  }
+}
+
+TEST(SvcParity, Transient3DOverTheWireIsBitIdentical) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTransient3D;
+  spec.strategy = pared::Strategy::kPNR;
+  spec.parts = 4;
+  spec.session_seed = 11;
+  spec.transient = pared::TransientRun3D::default_options();
+  spec.transient.steps = 8;
+  spec.transient.grid_n = 5;
+  constexpr int kSteps = 2;
+
+  std::vector<pared::StepReport> expected;
+  {
+    pared::TransientRun3D run(spec.transient);
+    pared::Session3D session(spec.strategy, spec.parts, spec.session_seed);
+    for (int i = 0; i < kSteps; ++i) {
+      run.advance();
+      expected.push_back(session.step(run.mutable_mesh()));
+    }
+  }
+
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  const auto created = client.create_workload(spec);
+  ASSERT_TRUE(created);
+  for (int i = 0; i < kSteps; ++i) {
+    ASSERT_TRUE(client.advance(created->session));
+    const auto report = client.step(created->session);
+    ASSERT_TRUE(report);
+    expect_report_eq(*report, expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SvcParity, MlklRemapStrategyAlsoMatches) {
+  WorkloadSpec spec = small_transient2d();
+  spec.strategy = pared::Strategy::kMlklRemap;
+  constexpr int kSteps = 2;
+
+  std::vector<pared::StepReport> expected;
+  {
+    pared::TransientRun run(spec.transient);
+    pared::Session2D session(spec.strategy, spec.parts, spec.session_seed);
+    for (int i = 0; i < kSteps; ++i) {
+      run.advance();
+      expected.push_back(session.step(run.mutable_mesh()));
+    }
+  }
+
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  const auto created = client.create_workload(spec);
+  ASSERT_TRUE(created);
+  for (int i = 0; i < kSteps; ++i) {
+    ASSERT_TRUE(client.advance(created->session));
+    const auto report = client.step(created->session);
+    ASSERT_TRUE(report);
+    expect_report_eq(*report, expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SvcCheckpoint, RestoreMidRunResumesToIdenticalReports) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  const auto created = client.create_workload(small_transient2d());
+  ASSERT_TRUE(created);
+
+  // Two steps in, take a checkpoint.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.advance(created->session));
+    ASSERT_TRUE(client.step(created->session));
+  }
+  const auto ckpt = client.checkpoint(created->session);
+  ASSERT_TRUE(ckpt);
+
+  // Continue the original for two more steps.
+  std::vector<pared::StepReport> expected;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.advance(created->session));
+    const auto report = client.step(created->session);
+    ASSERT_TRUE(report);
+    expected.push_back(*report);
+  }
+
+  // Restore the checkpoint: replay must land exactly where the original was.
+  const auto restored = client.restore(*ckpt);
+  ASSERT_TRUE(restored);
+  EXPECT_NE(restored->session, created->session);
+  EXPECT_EQ(restored->replayed, 4u);  // 2 advances + 2 steps
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.advance(restored->session));
+    const auto report = client.step(restored->session);
+    ASSERT_TRUE(report);
+    expect_report_eq(*report, expected[static_cast<std::size_t>(i)]);
+  }
+
+  // The restored session can itself be checkpointed.
+  EXPECT_TRUE(client.checkpoint(restored->session));
+}
+
+TEST(SvcCheckpoint, HostileCheckpointsAreRejected) {
+  Registry registry;
+  auto e = error_of(registry.handle(kOpRestore, Bytes{1, 2, 3}));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadPayload);
+
+  // A checkpoint replaying a non-mutating op is refused outright.
+  par::Writer w;
+  w.put(std::uint16_t{kOpCreateWorkload});
+  par::Writer inner;
+  encode_workload_spec(inner, small_transient2d());
+  w.put_vector(inner.take());
+  w.put(std::uint32_t{1});
+  w.put(std::uint16_t{kOpShutdown});
+  w.put_vector(Bytes{});
+  e = error_of(registry.handle(kOpRestore, w.take()));
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kBadPayload);
+  EXPECT_EQ(registry.num_sessions(), 0u);
+}
+
+// ---- uploaded meshes and graphs --------------------------------------------
+
+TEST(SvcUpload, MeshSessionSupportsAdaptAndStep) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+
+  const auto mesh = mesh::structured_tri_mesh(6, 6, 0.25, 2);
+  CreateHead head;
+  head.strategy = pared::Strategy::kMlkl;
+  head.parts = 4;
+  const auto created = client.create_mesh(head, flatten_mesh(mesh));
+  ASSERT_TRUE(created);
+  EXPECT_EQ(created->elements, mesh.num_leaves());
+
+  const auto first = client.step(created->session);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->elements, mesh.num_leaves());
+
+  const auto adapted =
+      client.adapt(created->session, 0, std::vector<mesh::ElemIdx>{0, 1, 2});
+  ASSERT_TRUE(adapted);
+  EXPECT_GT(adapted->changed, 0);
+  EXPECT_GT(adapted->elements, created->elements);
+
+  const auto second = client.step(created->session);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second->elements, adapted->elements);
+  EXPECT_GT(second->migrated, -1);
+
+  // Out-of-range marks are a typed error, not an abort.
+  EXPECT_FALSE(client.adapt(created->session, 0,
+                            std::vector<mesh::ElemIdx>{1 << 30}));
+  EXPECT_EQ(client.last_error().code, Err::kBadPayload);
+}
+
+TEST(SvcUpload, GraphSessionRepartitions) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+
+  const auto mesh = mesh::structured_tri_mesh(8, 8, 0.25, 4);
+  const graph::Graph g = mesh::fine_dual_graph(mesh).graph;
+  CreateHead head;
+  head.parts = 4;
+  const auto created = client.create_graph(head, g);
+  ASSERT_TRUE(created);
+  EXPECT_EQ(created->elements, g.num_vertices());
+
+  const auto assign = client.get_assignment(created->session);
+  ASSERT_TRUE(assign);
+  EXPECT_EQ(assign->size(), static_cast<std::size_t>(g.num_vertices()));
+
+  const auto info = client.repartition(created->session);
+  ASSERT_TRUE(info);
+  EXPECT_GE(info->cut_before, 0);
+  EXPECT_GE(info->cut_after, 0);
+
+  const auto metrics = client.get_metrics(created->session);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->kind, "graph");
+  ASSERT_TRUE(metrics->last_repartition);
+  EXPECT_EQ(metrics->last_repartition->cut_after, info->cut_after);
+
+  // A non-PNR strategy on a graph session is refused.
+  CreateHead bad = head;
+  bad.strategy = pared::Strategy::kRSB;
+  EXPECT_FALSE(client.create_graph(bad, g));
+  EXPECT_EQ(client.last_error().code, Err::kBadPayload);
+}
+
+TEST(SvcUpload, DisconnectedGraphIsRefused) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  // Two disjoint edges: {0,1} and {2,3}.
+  graph::Graph g({0, 1, 2, 3, 4}, {1, 0, 3, 2}, {1, 1, 1, 1}, {1, 1, 1, 1});
+  CreateHead head;
+  head.parts = 2;
+  EXPECT_FALSE(client.create_graph(head, g));
+  EXPECT_EQ(client.last_error().code, Err::kBadPayload);
+}
+
+}  // namespace
+}  // namespace pnr::svc
