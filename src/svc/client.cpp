@@ -169,7 +169,7 @@ std::optional<Client::Created> parse_created(const Bytes& body) {
   par::TryReader r(body);
   const auto id = r.get<std::uint32_t>();
   const auto elements = r.get<std::int64_t>();
-  if (!elements || !r.done()) return std::nullopt;
+  if (!id || !elements || !r.done()) return std::nullopt;
   return Client::Created{*id, *elements};
 }
 
@@ -181,7 +181,9 @@ std::optional<Client::RepartitionInfo> parse_repartition(par::TryReader& r) {
   const auto ib = r.get<double>();
   const auto ia = r.get<double>();
   const auto levels = r.get<std::int32_t>();
-  if (!levels) return std::nullopt;
+  // A failed get() does not consume bytes, so a later (smaller) field can
+  // succeed even though an earlier one failed — check every field.
+  if (!cb || !ca || !mig || !ib || !ia || !levels) return std::nullopt;
   info.cut_before = *cb;
   info.cut_after = *ca;
   info.migrate = *mig;
@@ -237,7 +239,8 @@ std::optional<Client::AdvanceInfo> Client::advance(std::uint32_t session) {
   const auto refined = r.get<std::int64_t>();
   const auto coarsened = r.get<std::int64_t>();
   const auto position = r.get<double>();
-  if (!position || !r.done()) return std::nullopt;
+  if (!elements || !refined || !coarsened || !position || !r.done())
+    return std::nullopt;
   info.elements = *elements;
   info.refined = *refined;
   info.coarsened = *coarsened;
@@ -267,7 +270,7 @@ std::optional<Client::AdaptInfo> Client::adapt(
   AdaptInfo info;
   const auto changed = r.get<std::int64_t>();
   const auto elements = r.get<std::int64_t>();
-  if (!elements || !r.done()) return std::nullopt;
+  if (!changed || !elements || !r.done()) return std::nullopt;
   info.changed = *changed;
   info.elements = *elements;
   return info;
@@ -340,7 +343,7 @@ std::optional<Client::Restored> Client::restore(const Bytes& checkpoint) {
   const auto id = r.get<std::uint32_t>();
   const auto elements = r.get<std::int64_t>();
   const auto replayed = r.get<std::uint32_t>();
-  if (!replayed || !r.done()) return std::nullopt;
+  if (!id || !elements || !replayed || !r.done()) return std::nullopt;
   out.session = *id;
   out.elements = *elements;
   out.replayed = *replayed;
@@ -365,7 +368,7 @@ std::optional<std::vector<Client::SessionInfo>> Client::list_sessions() {
     const auto strategy = r.get<std::uint8_t>();
     const auto parts = r.get<std::int32_t>();
     const auto elements = r.get<std::int64_t>();
-    if (!id || !kind || !elements) return std::nullopt;
+    if (!id || !kind || !strategy || !parts || !elements) return std::nullopt;
     info.session = *id;
     info.kind = std::move(*kind);
     info.strategy = static_cast<pared::Strategy>(*strategy);

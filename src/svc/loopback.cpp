@@ -41,6 +41,24 @@ int adopt_loopback_raw(Server& server) {
   return fds[1];
 }
 
+int adopt_client_raw(Client& client) {
+  int fds[2];
+  if (!make_pair(fds)) return -1;
+  client.adopt(fds[0]);
+  return fds[1];
+}
+
+bool raw_write(int fd, const Bytes& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 bool raw_send(int fd, const Bytes& bytes, Server& server) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {

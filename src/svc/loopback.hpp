@@ -23,6 +23,16 @@ bool connect_loopback(Server& server, Client& client);
 /// (non-blocking; caller must raw_close it).
 int adopt_loopback_raw(Server& server);
 
+/// Join `client` to a socketpair with no server behind it; the caller plays
+/// the server by raw_write()ing reply frames to the returned end before the
+/// client call reads them. For malformed-reply robustness tests. Returns -1
+/// on syscall failure; caller must raw_close the fd.
+int adopt_client_raw(Client& client);
+
+/// Write all of `bytes` to a raw loopback end with nothing pumping the
+/// peer. False if the socket buffer fills or the peer closed.
+bool raw_write(int fd, const Bytes& bytes);
+
 /// Write all of `bytes` to a raw loopback end, running `server`'s loop when
 /// the send buffer fills. False if the peer closed the connection.
 bool raw_send(int fd, const Bytes& bytes, Server& server);

@@ -270,18 +270,38 @@ Reply Registry::op_create_workload(const Bytes& payload) {
                             popt);
   };
 
+  // A TransientRun refines toward its depth cap *inside its constructor*,
+  // before the post-construction max_elements check below can run, so the
+  // worst case must be bounded from the spec alone. Bisection doubles the
+  // leaf count per level, so full refinement of every root is bounded by
+  // roots << max_level; Rivara conformity closure can overshoot the mark
+  // cap by about one level, hence the +1 slack. Keeping that supremum
+  // under max_elements bounds both the memory and the constructor CPU
+  // (each pre-adaptation round visits at most that many leaves). The
+  // codec's clamps (grid_n <= 128, max_level <= 16) keep the shift far
+  // from 64-bit overflow.
+  const auto transient_fits = [&](std::int64_t roots) {
+    return (roots << (spec->transient.max_level + 1)) <= limits_.max_elements;
+  };
+
   std::optional<Body> body;
   switch (spec->kind) {
-    case WorkloadKind::kTransient2D:
+    case WorkloadKind::kTransient2D: {
+      const std::int64_t n = spec->transient.grid_n;
+      if (!transient_fits(2 * n * n))
+        return make_error(
+            Err::kLimitExceeded,
+            "transient2d: fully refined mesh would exceed max_elements");
       body.emplace(Transient2DState{pared::TransientRun(spec->transient),
                                     session2d()});
       break;
+    }
     case WorkloadKind::kTransient3D: {
-      // Unbounded tet growth is the easiest resource attack; clamp the
-      // depth cap harder than the generic spec validation does.
-      if (spec->transient.grid_n > 24 || spec->transient.max_level > 8)
-        return make_error(Err::kLimitExceeded,
-                          "transient3d: grid_n <= 24 and max_level <= 8");
+      const std::int64_t n = spec->transient.grid_n;
+      if (!transient_fits(6 * n * n * n))
+        return make_error(
+            Err::kLimitExceeded,
+            "transient3d: fully refined mesh would exceed max_elements");
       body.emplace(Transient3DState{pared::TransientRun3D(spec->transient),
                                     session3d()});
       break;

@@ -91,7 +91,9 @@ int Server::poll_once(int timeout_ms) {
   if (listen_fd_ >= 0)
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
   for (const auto& [fd, conn] : conns_) {
-    short events = POLLIN;
+    // A backlogged connection is write-only until its replies flush; the
+    // flush path re-drains any requests parked in conn.in.
+    short events = backlogged(conn) ? 0 : POLLIN;
     if (!conn.out.empty()) events |= POLLOUT;
     fds.push_back(pollfd{fd, events, 0});
   }
@@ -114,7 +116,11 @@ int Server::poll_once(int timeout_ms) {
     if (p.revents & (POLLERR | POLLNVAL)) alive = false;
     if (alive && (p.revents & (POLLIN | POLLHUP)))
       alive = read_ready(p.fd, it->second);
-    if (alive && (p.revents & POLLOUT)) alive = write_ready(p.fd, it->second);
+    if (alive && (p.revents & POLLOUT)) {
+      // Flushing may clear a backlog; serve any parked requests too.
+      alive = write_ready(p.fd, it->second) &&
+              service_frames(p.fd, it->second);
+    }
     if (alive && it->second.close_after_flush && it->second.out.empty())
       alive = false;
     if (!alive) close_conn(p.fd);
@@ -147,25 +153,45 @@ void Server::accept_ready() {
 
 bool Server::read_ready(int fd, Conn& conn) {
   std::uint8_t buf[65536];
-  while (true) {
+  while (!backlogged(conn)) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
       prof::count("svc.bytes_in", n);
       conn.in.insert(conn.in.end(), buf, buf + n);
-      if (!drain_frames(conn)) return false;
-      // Push replies out eagerly so single-threaded (pump-driven) clients
-      // see them on their next read without an extra poll round.
-      if (!write_ready(fd, conn)) return false;
+      // Serve eagerly so single-threaded (pump-driven) clients see replies
+      // on their next read without an extra poll round.
+      if (!service_frames(fd, conn)) return false;
       continue;
     }
     if (n == 0) return false;  // peer closed
     return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
   }
+  return true;  // backlogged: leave the rest in the socket buffer
+}
+
+bool Server::service_frames(int fd, Conn& conn) {
+  while (true) {
+    const std::size_t before = conn.in.size();
+    if (!drain_frames(conn)) return false;
+    if (!write_ready(fd, conn)) return false;
+    // Still over the cap after flushing: the kernel buffer is full too, so
+    // leave the rest parked — POLLOUT is armed while conn.out is non-empty
+    // and resumes service once the client reads.
+    if (backlogged(conn)) return true;
+    if (conn.in.size() == before) return true;  // no complete frame left
+  }
 }
 
 bool Server::drain_frames(Conn& conn) {
   std::size_t consumed = 0;
+  bool parked = false;
   while (conn.in.size() - consumed >= kHeaderBytes) {
+    if (backlogged(conn)) {
+      // Replies are piling up faster than the client reads them: park the
+      // remaining requests until write_ready flushes the backlog.
+      parked = true;
+      break;
+    }
     const std::uint8_t* head = conn.in.data() + consumed;
     const auto h = decode_header(head);
     // Framing-level violations mean the stream is not speaking this
@@ -200,10 +226,12 @@ bool Server::drain_frames(Conn& conn) {
     conn.in.erase(conn.in.begin(),
                   conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
   // Anything buffered beyond a sane frame without completing one means the
-  // declared length can never be satisfied within limits.
-  return conn.in.size() <=
-         kHeaderBytes + static_cast<std::size_t>(
-                            registry_.limits().max_frame_bytes);
+  // declared length can never be satisfied within limits. Parked input is
+  // exempt: it holds complete, valid frames awaiting backlog flush, and is
+  // bounded because reading stops while the connection is backlogged.
+  return parked || conn.in.size() <=
+                       kHeaderBytes + static_cast<std::size_t>(
+                                          registry_.limits().max_frame_bytes);
 }
 
 bool Server::write_ready(int fd, Conn& conn) {

@@ -30,6 +30,12 @@ namespace pnr::svc {
 struct ServerOptions {
   Limits limits;
   int max_connections = 32;
+  /// Per-connection pending-reply ceiling. A client that pipelines requests
+  /// with large replies but never reads them is throttled, not served: once
+  /// a connection's output buffer exceeds this, the server parks further
+  /// requests and stops reading from it until the backlog flushes, so an
+  /// unread reply backlog cannot grow server memory without bound.
+  std::size_t max_output_backlog = 128u << 20;
 };
 
 class Server {
@@ -71,10 +77,19 @@ class Server {
   };
 
   void accept_ready();
+  /// True when conn.out exceeds max_output_backlog: stop reading and stop
+  /// consuming parked requests until write_ready flushes the backlog.
+  bool backlogged(const Conn& conn) const {
+    return conn.out.size() > options_.max_output_backlog;
+  }
   /// Returns false if the connection must be dropped.
   bool read_ready(int fd, Conn& conn);
   bool write_ready(int fd, Conn& conn);
-  /// Consume every complete frame in conn.in; false = close connection.
+  /// Alternate drain_frames/write_ready until the connection is backlogged
+  /// (POLLOUT resumes it later) or no complete frame remains; false = close.
+  bool service_frames(int fd, Conn& conn);
+  /// Consume complete frames in conn.in until the output backlog cap parks
+  /// the rest; false = close connection.
   bool drain_frames(Conn& conn);
   void close_conn(int fd);
   void close_listener();

@@ -324,6 +324,34 @@ TEST(SvcRegistry, AdaptIsRefusedOnWorkloadSessions) {
   EXPECT_EQ(e->code, Err::kBadState);
 }
 
+TEST(SvcRegistry, ExplosiveTransientSpecsAreRejectedBeforeConstruction) {
+  // These specs pass the codec's generic range checks, but full refinement
+  // to the depth cap would blow far past max_elements — and a TransientRun
+  // refines inside its constructor, before any post-construction check can
+  // run. The registry must reject them from the spec alone.
+  Registry registry;
+  const auto reject = [&](WorkloadSpec spec) {
+    spec.parts = 2;
+    spec.transient.refine_threshold = 1e-9;  // marks essentially every leaf
+    par::Writer w;
+    encode_workload_spec(w, spec);
+    const auto e = error_of(registry.handle(kOpCreateWorkload, w.take()));
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->code, Err::kLimitExceeded);
+  };
+  WorkloadSpec spec2d;
+  spec2d.kind = WorkloadKind::kTransient2D;
+  spec2d.transient.grid_n = 128;
+  spec2d.transient.max_level = 16;
+  reject(spec2d);
+  WorkloadSpec spec3d;
+  spec3d.kind = WorkloadKind::kTransient3D;
+  spec3d.transient.grid_n = 24;
+  spec3d.transient.max_level = 8;
+  reject(spec3d);
+  EXPECT_EQ(registry.num_sessions(), 0u);
+}
+
 TEST(SvcRegistry, ShutdownStopsFurtherWork) {
   Registry registry;
   EXPECT_EQ(registry.handle(kOpShutdown, Bytes{}).type,
@@ -435,6 +463,110 @@ TEST(SvcServer, ClientRoundTripsOverSocketpair) {
   EXPECT_EQ(client.last_error().code, Err::kUnknownSession);
 
   EXPECT_TRUE(client.shutdown_server());
+}
+
+TEST(SvcServer, UnreadReplyBacklogThrottlesWithoutLosingReplies) {
+  // A client that pipelines many requests but reads nothing must not grow
+  // conn.out without bound: past max_output_backlog the server parks the
+  // remaining requests and stops reading. Once the client drains, every
+  // parked request must still be answered, in order.
+  ServerOptions options;
+  options.max_output_backlog = 256u << 10;
+  Server server(options);
+  const int fd = adopt_loopback_raw(server);
+  ASSERT_GE(fd, 0);
+
+  // A session whose assignment reply (~80 KiB) dwarfs its 20-byte request:
+  // a small pipelined burst — which always fits the socket buffer — makes
+  // replies pile up far past the cap.
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kTransient2D;
+  spec.parts = 2;
+  spec.transient.grid_n = 100;
+  spec.transient.max_level = 1;
+  par::Writer sw;
+  encode_workload_spec(sw, spec);
+  ASSERT_TRUE(
+      raw_send(fd, encode_frame(kOpCreateWorkload, sw.take()), server));
+  Bytes in;
+  while (in.size() < kHeaderBytes + 12)
+    ASSERT_TRUE(raw_recv(fd, in, server));
+  auto h = decode_header(in.data());
+  ASSERT_TRUE(h);
+  ASSERT_EQ(h->type, kOpCreateWorkload | kReplyBit);
+  par::TryReader cr(in.data() + kHeaderBytes, h->payload_len);
+  const auto session = cr.get<std::uint32_t>();
+  ASSERT_TRUE(session);
+  in.clear();
+
+  constexpr int kRequests = 50;
+  par::Writer rw;
+  rw.put(*session);
+  const Bytes request = encode_frame(kOpGetAssignment, rw.take());
+  Bytes burst;
+  for (int i = 0; i < kRequests; ++i)
+    burst.insert(burst.end(), request.begin(), request.end());
+  ASSERT_TRUE(raw_send(fd, burst, server));
+  for (int i = 0; i < 4; ++i) server.poll_once(0);
+  EXPECT_EQ(server.num_connections(), 1u);  // throttled, not closed
+
+  while (in.size() < kHeaderBytes) ASSERT_TRUE(raw_recv(fd, in, server));
+  h = decode_header(in.data());
+  ASSERT_TRUE(h);
+  ASSERT_EQ(h->type, kOpGetAssignment | kReplyBit);
+  const std::size_t reply_size = kHeaderBytes + h->payload_len;
+  const std::size_t want = kRequests * reply_size;
+  for (int spin = 0; spin < 100000 && in.size() < want; ++spin)
+    ASSERT_TRUE(raw_recv(fd, in, server));
+  ASSERT_EQ(in.size(), want);
+  for (int i = 0; i < kRequests; ++i) {
+    const auto rh = decode_header(in.data() + i * reply_size);
+    ASSERT_TRUE(rh);
+    EXPECT_EQ(rh->type, kOpGetAssignment | kReplyBit);
+    EXPECT_EQ(rh->payload_len, reply_size - kHeaderBytes);
+  }
+  EXPECT_EQ(server.num_connections(), 1u);
+  raw_close(fd);
+}
+
+TEST(SvcClient, ShortReplyBodiesAreRejectedNotDereferenced) {
+  // TryReader::get() does not consume bytes on failure, so a truncated
+  // reply can fail its wide fields while a narrower later field still
+  // decodes. The client must reject such bodies instead of dereferencing
+  // the failed optionals (historically UB on a hostile/corrupted server).
+  Client client;
+  const int fd = adopt_client_raw(client);
+  ASSERT_GE(fd, 0);
+
+  // repartition reply of 4 bytes: all five i64/f64 fields fail, the
+  // trailing i32 `levels` succeeds.
+  {
+    par::Writer w;
+    w.put(std::int32_t{3});
+    ASSERT_TRUE(
+        raw_write(fd, encode_frame(kOpRepartition | kReplyBit, w.take())));
+    EXPECT_FALSE(client.repartition(7));
+  }
+  // restore reply of 8 bytes: id and replayed decode, elements does not,
+  // and the reader still reports done().
+  {
+    par::Writer w;
+    w.put(std::uint32_t{1});
+    w.put(std::uint32_t{2});
+    ASSERT_TRUE(raw_write(fd, encode_frame(kOpRestore | kReplyBit, w.take())));
+    EXPECT_FALSE(client.restore(Bytes{}));
+  }
+  // created reply of 11 bytes: id decodes, elements does not, and a stray
+  // trailing i32 would satisfy neither done() nor the field checks.
+  {
+    par::Writer w;
+    w.put(std::uint32_t{1});
+    w.put(std::int32_t{0});
+    ASSERT_TRUE(
+        raw_write(fd, encode_frame(kOpCreateWorkload | kReplyBit, w.take())));
+    EXPECT_FALSE(client.create_workload(WorkloadSpec{}));
+  }
+  raw_close(fd);
 }
 
 TEST(SvcParity, Transient2DOverTheWireIsBitIdentical) {
