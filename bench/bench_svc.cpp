@@ -1,10 +1,20 @@
 // Service throughput/latency benchmark: N concurrent sessions driven
 // through the pnr::svc socketpair loopback (the same poll loop, codec and
 // registry a real pnr_serve daemon runs — minus the kernel socket between
-// two processes), measuring requests/s and p50/p99 latency per operation.
+// two processes). Two phases:
+//
+//   1. per-op latency: synchronous clients, requests/s and p50/p99 per
+//      wire operation on the serial server;
+//   2. shard sweep: pipelined raw connections against the sharded server
+//      at each shard count in --shard-sweep, recording throughput and an
+//      FNV-1a fingerprint of every connection's reply byte stream. The
+//      fingerprints must be identical at every shard count — the sharding
+//      determinism gate; a mismatch exits 2.
+//
 // Emits the machine-readable trajectory BENCH_svc.json (schema
-// "pnr.bench_svc.v1", documented in docs/SERVICE.md); the committed copy
-// at the repo root is the baseline CI regenerates on the release leg.
+// "pnr.bench_svc.v2", documented in docs/OBSERVABILITY.md); the committed
+// copy at the repo root is the baseline CI regenerates on the release leg
+// and gates with scripts/svc_gate.py.
 //
 //   --quick            reduced session/round counts for CI smoke runs
 //   --sessions=N       concurrent sessions (default 8)
@@ -12,6 +22,8 @@
 //   --grid=N           transient workload grid (default 12)
 //   --procs=4          parts per session
 //   --threads=N        exec pool width for the server-side kernels
+//   --shard-sweep=L    comma-separated shard counts (default 0,1,2,4,8;
+//                      0 = the serial poll-thread server)
 //   --out=<path>       output JSON (default BENCH_svc.json)
 
 #include <algorithm>
@@ -24,7 +36,9 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "parallel/serialize.hpp"
 #include "svc/client.hpp"
+#include "svc/codec.hpp"
 #include "svc/loopback.hpp"
 #include "svc/server.hpp"
 #include "util/json.hpp"
@@ -66,6 +80,154 @@ void timed(std::map<std::string, OpStats>& stats, const char* op, Fn&& fn) {
   stats[op].add(timer.seconds());
 }
 
+// ---- shard sweep ------------------------------------------------------------
+
+std::uint64_t fnv1a(const svc::Bytes& bytes, std::uint64_t h) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+std::size_t complete_frames(const svc::Bytes& buf) {
+  std::size_t n = 0, off = 0;
+  while (buf.size() - off >= svc::kHeaderBytes) {
+    const auto h = svc::decode_header(buf.data() + off);
+    if (!h || buf.size() - off - svc::kHeaderBytes < h->payload_len) break;
+    off += svc::kHeaderBytes + h->payload_len;
+    ++n;
+  }
+  return n;
+}
+
+bool recv_until(int fd, svc::Server& server, svc::Bytes& buf,
+                std::size_t want) {
+  for (long spin = 0; spin < 2000000; ++spin) {
+    if (complete_frames(buf) >= want) return true;
+    if (!svc::raw_recv(fd, buf, server)) return false;
+  }
+  return complete_frames(buf) >= want;
+}
+
+svc::Bytes session_frame(std::uint16_t op, std::uint32_t id) {
+  par::Writer w;
+  w.put(id);
+  return svc::encode_frame(op, w.take());
+}
+
+struct SweepPoint {
+  int shards = 0;
+  std::int64_t requests = 0;
+  double seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Drive `sessions` pipelined raw connections (create, then `rounds` bursts
+/// of advance+step, then close) against a server with `shards` shard
+/// workers, and fingerprint every connection's complete reply byte stream.
+SweepPoint run_sweep_point(int shards, int sessions, int rounds, int grid,
+                           std::int32_t parts) {
+  svc::ServerOptions options;
+  options.threads = shards;
+  options.max_connections = sessions + 1;
+  options.limits.max_sessions = static_cast<std::uint32_t>(sessions) + 4;
+  svc::Server server(options);
+
+  struct RawConn {
+    int fd = -1;
+    std::uint32_t session = 0;
+    svc::Bytes in;
+  };
+  std::vector<RawConn> conns(static_cast<std::size_t>(sessions));
+
+  util::Timer timer;
+  for (auto& c : conns) {
+    c.fd = svc::adopt_loopback_raw(server);
+    if (c.fd < 0) {
+      std::fprintf(stderr, "FATAL: loopback adopt failed\n");
+      std::exit(1);
+    }
+  }
+  // Synchronous creates so session ids are assigned in connection order at
+  // every shard count — the sweep's reply streams stay comparable.
+  for (int s = 0; s < sessions; ++s) {
+    auto& c = conns[static_cast<std::size_t>(s)];
+    svc::WorkloadSpec spec;
+    spec.kind = svc::WorkloadKind::kTransient2D;
+    spec.parts = parts;
+    spec.session_seed = static_cast<std::uint64_t>(s) + 1;
+    spec.transient.grid_n = grid;
+    spec.transient.max_level = 4;
+    spec.transient.steps = rounds + 1;
+    par::Writer w;
+    svc::encode_workload_spec(w, spec);
+    if (!svc::raw_send(c.fd, svc::encode_frame(svc::kOpCreateWorkload,
+                                               w.take()),
+                       server) ||
+        !recv_until(c.fd, server, c.in, 1)) {
+      std::fprintf(stderr, "FATAL: sweep create failed\n");
+      std::exit(1);
+    }
+    const auto h = svc::decode_header(c.in.data());
+    par::TryReader r(c.in.data() + svc::kHeaderBytes, h->payload_len);
+    const auto id = r.get<std::uint32_t>();
+    if (!h || h->type != (svc::kOpCreateWorkload | svc::kReplyBit) || !id) {
+      std::fprintf(stderr, "FATAL: sweep create reply malformed\n");
+      std::exit(1);
+    }
+    c.session = *id;
+  }
+  // Pipelined rounds: every connection sends its advance+step burst before
+  // anyone waits, so the shard queues see genuinely interleaved traffic.
+  for (int r = 0; r < rounds; ++r) {
+    for (auto& c : conns) {
+      svc::Bytes burst = session_frame(svc::kOpAdvance, c.session);
+      const svc::Bytes step = session_frame(svc::kOpStep, c.session);
+      burst.insert(burst.end(), step.begin(), step.end());
+      if (!svc::raw_send(c.fd, burst, server)) {
+        std::fprintf(stderr, "FATAL: sweep send failed\n");
+        std::exit(1);
+      }
+    }
+  }
+  for (auto& c : conns) {
+    if (!svc::raw_send(c.fd, session_frame(svc::kOpCloseSession, c.session),
+                       server) ||
+        !recv_until(c.fd, server, c.in,
+                    2 + 2 * static_cast<std::size_t>(rounds))) {
+      std::fprintf(stderr, "FATAL: sweep drain failed\n");
+      std::exit(1);
+    }
+  }
+  SweepPoint point;
+  point.shards = shards;
+  point.seconds = timer.seconds();
+  point.requests =
+      static_cast<std::int64_t>(sessions) * (2 + 2 * rounds);
+  point.fingerprint = kFnvSeed;
+  for (auto& c : conns) {
+    point.fingerprint = fnv1a(c.in, point.fingerprint);
+    svc::raw_close(c.fd);
+  }
+  return point;
+}
+
+std::vector<int> parse_sweep(const std::string& list) {
+  std::vector<int> shards;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) shards.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return shards;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +239,8 @@ int main(int argc, char** argv) {
   const auto parts = static_cast<std::int32_t>(cli.get_int("procs", 4));
   const std::string out = cli.get("out", "BENCH_svc.json");
   const int threads = bench::apply_threads_flag(cli);
+  const std::vector<int> sweep_shards =
+      parse_sweep(cli.get("shard-sweep", quick ? "0,2" : "0,1,2,4,8"));
 
   bench::banner("Service loopback",
                 "N adaptive sessions over the svc wire protocol; "
@@ -145,8 +309,16 @@ int main(int argc, char** argv) {
     });
   const double total_seconds = wall.seconds();
 
+  // Phase 2: the shard sweep + determinism gate.
+  std::vector<SweepPoint> sweep;
+  for (const int shards : sweep_shards)
+    sweep.push_back(run_sweep_point(shards, sessions, rounds, grid, parts));
+  bool deterministic = true;
+  for (const SweepPoint& p : sweep)
+    deterministic = deterministic && p.fingerprint == sweep.front().fingerprint;
+
   util::Json doc = util::Json::object();
-  doc["schema"] = "pnr.bench_svc.v1";
+  doc["schema"] = "pnr.bench_svc.v2";
   doc["binary"] = "bench_svc";
   doc["mode"] = quick ? "quick" : "default";
   doc["sessions"] = static_cast<std::int64_t>(sessions);
@@ -179,6 +351,34 @@ int main(int argc, char** argv) {
   doc["requests"] = requests;
   doc["total_seconds"] = total_seconds;
 
+  util::Table sweep_table(
+      {"shards", "requests", "req/s", "seconds", "fingerprint"});
+  util::Json sweep_json = util::Json::array();
+  for (const SweepPoint& p : sweep) {
+    const double rate = p.seconds > 0.0
+                            ? static_cast<double>(p.requests) / p.seconds
+                            : 0.0;
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(p.fingerprint));
+    sweep_table.row()
+        .cell(p.shards)
+        .cell(p.requests)
+        .cell(rate, 0)
+        .cell(p.seconds, 3)
+        .cell(fp);
+    util::Json row = util::Json::object();
+    row["shards"] = static_cast<std::int64_t>(p.shards);
+    row["requests"] = p.requests;
+    row["total_seconds"] = p.seconds;
+    row["requests_per_second"] = rate;
+    row["fingerprint"] = std::string(fp);
+    sweep_json.push_back(std::move(row));
+  }
+  sweep_table.print(std::cout);
+  doc["sweep"] = std::move(sweep_json);
+  doc["deterministic"] = deterministic;
+
   std::ofstream file(out);
   if (!file) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -188,5 +388,11 @@ int main(int argc, char** argv) {
   std::printf("wrote %s (%lld requests over %d sessions, %.2f s)\n",
               out.c_str(), static_cast<long long>(requests), sessions,
               total_seconds);
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FATAL: reply-stream fingerprints differ across shard "
+                 "counts — sharding broke determinism\n");
+    return 2;
+  }
   return 0;
 }

@@ -4,7 +4,13 @@
 // validated, limit-checked path the hermetic tests use.
 //
 //   pnr_serve --socket=/tmp/pnr.sock [--max-sessions=64] [--max-elements=N]
-//             [--max-frame-mb=64] [--max-parts=1024] [--threads=N] [--prof]
+//             [--max-frame-mb=64] [--max-parts=1024] [--shards=N]
+//             [--threads=N] [--prof]
+//
+// --shards=N runs the sharded server: N session shards drained by N worker
+// threads (docs/SERVICE.md, "Sharding"); 0 (the default) is the serial
+// poll-thread server. --threads=N sizes the default pnr::exec pool used by
+// the kernels inside each request, independent of --shards.
 
 #include <cstdio>
 #include <iostream>
@@ -22,7 +28,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pnr_serve --socket=PATH [--max-sessions=N] "
                  "[--max-elements=N] [--max-frame-mb=N] [--max-parts=N] "
-                 "[--threads=N] [--prof]\n");
+                 "[--shards=N] [--threads=N] [--prof]\n");
     return 2;
   }
   if (const int threads = cli.get_int("threads", 0); threads > 0)
@@ -38,6 +44,7 @@ int main(int argc, char** argv) {
       cli.get_int("max-elements",
                   static_cast<int>(options.limits.max_elements));
   options.limits.max_parts = cli.get_int("max-parts", 1024);
+  options.threads = cli.get_int("shards", 0);
 
   svc::Server server(options);
   std::string error;

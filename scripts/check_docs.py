@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Docs gate: fail CI when the documentation drifts from the tree.
+
+    python3 scripts/check_docs.py
+
+Three checks over every committed *.md file:
+
+  1. Relative markdown links ([text](path), path without a scheme) must
+     resolve to a committed file or directory (anchors are stripped).
+  2. Repo paths quoted in backticks (`src/...`, `docs/...`, `scripts/...`,
+     `tests/...`, `bench/...`, `examples/...`) must exist. Globs and
+     placeholders (*, <, {) are exempt; a trailing :line is stripped.
+  3. Every committed BENCH_*.json at the repo root must have its "schema"
+     string documented in docs/OBSERVABILITY.md, so a bench can't change
+     its output format without the schema reference following.
+
+Run from anywhere inside the repo; paths resolve against the git root.
+Exit 0 = docs consistent, 1 = stale references (each printed), 2 = cannot
+inspect the repo.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+# Backticked repo paths must start with one of these top-level dirs to be
+# checked; bare words like `advance` or `threads` are never path-checked.
+PATH_DIRS = ("src", "docs", "scripts", "tests", "bench", "examples")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`\n]+)`")
+PATH_RE = re.compile(
+    r"^(?:%s)/[A-Za-z0-9_./-]+$" % "|".join(PATH_DIRS))
+
+
+def git_root():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                             capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError) as e:
+        sys.exit(f"cannot locate git root: {e}")
+    return out.stdout.strip()
+
+
+def committed_files(root):
+    out = subprocess.run(["git", "ls-files"], cwd=root,
+                         capture_output=True, text=True, check=True)
+    # Entries deleted from the worktree (a pending `git rm`) are neither
+    # checkable nor valid link targets.
+    return [line for line in out.stdout.splitlines()
+            if line and os.path.exists(os.path.join(root, line))]
+
+
+def strip_fences(text):
+    """Drop fenced code blocks: their contents are examples, not claims
+    about the tree (inline `backticks` are still checked)."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_markdown(root, md, files, errors):
+    text = open(os.path.join(root, md), encoding="utf-8").read()
+    body = strip_fences(text)
+    base = os.path.dirname(md)
+
+    for m in LINK_RE.finditer(body):
+        target = m.group(1)
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if resolved not in files and not os.path.isdir(
+                os.path.join(root, resolved)):
+            errors.append(f"{md}: broken link -> {m.group(1)}")
+
+    for m in CODE_RE.finditer(body):
+        token = m.group(1).strip()
+        token = re.sub(r":\d+(?:-\d+)?$", "", token)  # src/f.cpp:123
+        if any(ch in token for ch in "*<{$ "):
+            continue
+        if not PATH_RE.match(token):
+            continue
+        if token not in files and not os.path.isdir(
+                os.path.join(root, token)):
+            errors.append(f"{md}: stale path reference `{token}`")
+
+
+def check_bench_schemas(root, files, errors):
+    obs_path = "docs/OBSERVABILITY.md"
+    if obs_path not in files:
+        errors.append(f"{obs_path}: missing (bench schemas undocumented)")
+        return
+    obs = open(os.path.join(root, obs_path), encoding="utf-8").read()
+    for f in files:
+        if not (f.startswith("BENCH_") and f.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(root, f), encoding="utf-8") as fh:
+                schema = json.load(fh).get("schema", "")
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{f}: unreadable bench trajectory ({e})")
+            continue
+        if not schema:
+            errors.append(f"{f}: no \"schema\" field")
+        elif schema not in obs:
+            errors.append(
+                f"{f}: schema {schema!r} not documented in {obs_path}")
+
+
+def main():
+    root = git_root()
+    files = set(committed_files(root))
+    errors = []
+    # ISSUE.md is the transient per-session task spec: it legitimately
+    # names files that do not exist yet.
+    for md in sorted(f for f in files
+                     if f.endswith(".md") and f != "ISSUE.md"):
+        check_markdown(root, md, files, errors)
+    check_bench_schemas(root, files, errors)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"check_docs: {len(errors)} stale reference(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({sum(1 for f in files if f.endswith('.md'))} "
+          f"markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate a freshly-run BENCH_svc.json (schema pnr.bench_svc.v2) in CI.
+
+    python3 scripts/svc_gate.py BASELINE.json CURRENT.json [--fail-under=PCT]
+
+Two checks, in severity order:
+
+  1. Determinism (hard): CURRENT's "deterministic" flag must be true — the
+     benchmark sets it false (and exits 2 itself) when the per-connection
+     reply-stream fingerprints differ across shard counts, i.e. the sharded
+     server changed reply bytes somewhere.
+  2. Serial throughput tripwire (coarse): the shards=0 sweep point's
+     requests_per_second must not drop more than PCT percent (default 60)
+     below BASELINE's. The committed baseline was recorded on a different
+     machine, so the bound is deliberately coarse: only an algorithmic
+     regression on the serial path — not runner noise — can trip it.
+
+The cross-shard speedups are informational (runner-dependent) and are
+printed, not gated. Exit 0 = pass, 1 = gate tripped, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: {e}")
+    schema = doc.get("schema", "")
+    if not schema.startswith("pnr.bench_svc."):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return doc
+
+
+def serial_rate(doc, path):
+    for point in doc.get("sweep", []):
+        if point.get("shards") == 0:
+            return float(point.get("requests_per_second", 0.0))
+    sys.exit(f"{path}: no shards=0 sweep point")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--fail-under", type=float, default=60.0,
+                        help="max tolerated serial req/s drop, percent")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    if current.get("schema") != "pnr.bench_svc.v2":
+        sys.exit(f"{args.current}: expected schema pnr.bench_svc.v2")
+    if not current.get("deterministic", False):
+        print("FAIL: reply-stream fingerprints differ across shard counts",
+              file=sys.stderr)
+        return 1
+
+    for point in current.get("sweep", []):
+        print(f"  shards={point['shards']:>2}  "
+              f"{point['requests_per_second']:>10.0f} req/s  "
+              f"fingerprint {point.get('fingerprint', '?')}")
+
+    # The baseline may predate the v2 sweep (v1 has no sweep array): then
+    # there is nothing to diff and determinism alone gates.
+    if baseline.get("schema") == "pnr.bench_svc.v2":
+        old = serial_rate(baseline, args.baseline)
+        new = serial_rate(current, args.current)
+        change = 100.0 * (new - old) / old if old > 0 else 0.0
+        print(f"serial throughput: {old:.0f} -> {new:.0f} req/s "
+              f"({change:+.1f}%)")
+        if old > 0 and new < old * (1.0 - args.fail_under / 100.0):
+            print(f"FAIL: serial req/s dropped more than "
+                  f"{args.fail_under:.0f}% below baseline", file=sys.stderr)
+            return 1
+    else:
+        print("baseline has no sweep (pre-v2); throughput tripwire skipped")
+
+    print("svc gate: OK (deterministic, serial throughput within bound)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,16 +63,35 @@ Pool::Pool(int threads) : target_threads_(std::max(1, threads)) {}
 Pool::~Pool() { shutdown(); }
 
 void Pool::shutdown() {
-  {
+  // Region workers.
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
     std::lock_guard<std::mutex> lock(mutex_);
-    if (workers_.empty()) return;
-    stop_ = true;
+    stop_ = false;
   }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-  workers_.clear();
-  std::lock_guard<std::mutex> lock(mutex_);
-  stop_ = false;
+  // Detached-task workers: let the queue drain (tasks may chain more tasks;
+  // the predicate re-evaluates), then stop and join. The pool stays usable —
+  // the next submit() respawns workers.
+  std::vector<std::thread> taskers;
+  {
+    std::unique_lock<std::mutex> lock(task_mutex_);
+    if (task_workers_.empty()) return;
+    task_done_cv_.wait(
+        lock, [&] { return task_queue_.empty() && tasks_active_ == 0; });
+    task_stop_ = true;
+    taskers.swap(task_workers_);
+  }
+  task_cv_.notify_all();
+  for (std::thread& t : taskers) t.join();
+  std::lock_guard<std::mutex> lock(task_mutex_);
+  task_stop_ = false;
+  task_idle_ = 0;
 }
 
 void Pool::resize(int threads) {
@@ -189,6 +208,58 @@ void Pool::run(std::int64_t chunks,
                                                           : 0));
   }
   if (error) std::rethrow_exception(error);
+}
+
+void Pool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    task_queue_.push_back(std::move(task));
+    // Spawn another worker only when every existing one is busy and the
+    // pool width allows it; a 1-thread pool still gets one task worker so
+    // submit() is always asynchronous.
+    if (static_cast<int>(task_workers_.size()) < target_threads_ &&
+        task_idle_ == 0)
+      task_workers_.emplace_back([this] { task_worker_main(); });
+  }
+  task_cv_.notify_one();
+}
+
+void Pool::wait_detached() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(task_mutex_);
+    task_done_cv_.wait(
+        lock, [&] { return task_queue_.empty() && tasks_active_ == 0; });
+    error = task_error_;
+    task_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void Pool::task_worker_main() {
+  std::unique_lock<std::mutex> lock(task_mutex_);
+  for (;;) {
+    ++task_idle_;
+    task_cv_.wait(lock, [&] { return task_stop_ || !task_queue_.empty(); });
+    --task_idle_;
+    if (task_stop_) return;
+    std::function<void()> task = std::move(task_queue_.front());
+    task_queue_.pop_front();
+    ++tasks_active_;
+    lock.unlock();
+    t_in_worker = true;
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> elock(task_mutex_);
+      if (!task_error_) task_error_ = std::current_exception();
+    }
+    t_in_worker = false;
+    prof::count("exec.detached_tasks");
+    lock.lock();
+    if (--tasks_active_ == 0 && task_queue_.empty())
+      task_done_cv_.notify_all();
+  }
 }
 
 std::int64_t Pool::exclusive_scan(std::span<const std::int64_t> in,

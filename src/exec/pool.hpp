@@ -30,6 +30,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -169,6 +170,20 @@ class Pool {
   std::int64_t exclusive_scan(std::span<const std::int64_t> in,
                               std::span<std::int64_t> out, Chunking ck = {});
 
+  /// Detached-task API: enqueue `task` for asynchronous execution on a
+  /// dedicated task worker. Tasks are started in submission order (FIFO) on
+  /// up to num_threads() workers, which are lazily spawned and are separate
+  /// from the region workers — a parallel_for region and a detached task can
+  /// make progress at the same time on the same pool. Inside a task,
+  /// in_serial_context() is true, so nested parallel_* calls run inline in
+  /// chunk order (the deterministic serial schedule). The pnr::svc sharded
+  /// server runs its shard-drain actors through this.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task (including ones submitted by running
+  /// tasks) has finished; rethrows the first exception a task escaped with.
+  void wait_detached();
+
  private:
   /// Execute chunk_fn(c) for every c in [0, chunks) across the workers and
   /// the calling thread; blocks until all chunks ran and every signalled
@@ -202,6 +217,21 @@ class Pool {
   std::atomic<std::int64_t> next_chunk_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
   std::exception_ptr error_;
+
+  // Detached-task machinery (submit/wait_detached). Guarded by task_mutex_;
+  // independent of the region state above so regions and tasks never
+  // contend on one lock.
+  void task_worker_main();
+
+  std::mutex task_mutex_;
+  std::condition_variable task_cv_;       ///< new task queued (or stop)
+  std::condition_variable task_done_cv_;  ///< queue drained and workers idle
+  std::vector<std::thread> task_workers_;
+  std::deque<std::function<void()>> task_queue_;
+  int task_idle_ = 0;     ///< task workers blocked waiting for work
+  int tasks_active_ = 0;  ///< tasks currently executing
+  bool task_stop_ = false;
+  std::exception_ptr task_error_;
 };
 
 /// The process-wide default pool every instrumented kernel uses. Sized on

@@ -150,6 +150,15 @@ struct Registry::SessionState {
   std::int64_t ops_applied = 0;
   std::optional<pared::StepReport> last_report;
 
+  /// Mid-restore marker: the session exists (its id is allocated, it counts
+  /// toward max_sessions) but find() pretends it does not — except for the
+  /// restore replay itself — until the replay completes.
+  bool hidden = false;
+  /// body_elements(body), maintained by every element-changing op so
+  /// list_sessions can report sizes without touching a body that a shard
+  /// worker may be mutating.
+  std::atomic<std::int64_t> cached_elements{0};
+
   // Event-sourced checkpoint: the create request plus every mutating op's
   // argument bytes (session id stripped). Deterministic replay rebuilds the
   // session bit-for-bit.
@@ -159,6 +168,14 @@ struct Registry::SessionState {
   bool checkpoint_ok = true;
 
   explicit SessionState(Body b) : body(std::move(b)) {}
+};
+
+/// One shard: a mutex-guarded slice of the session map. The mutex guards
+/// only the map structure and the hidden flags — a session's body is owned
+/// by whichever single request is operating on it.
+struct Registry::Shard {
+  mutable std::mutex mutex;
+  std::map<std::uint32_t, std::unique_ptr<SessionState>> sessions;
 };
 
 const char* op_span_name(std::uint16_t op) {
@@ -182,13 +199,41 @@ const char* op_span_name(std::uint16_t op) {
   }
 }
 
-Registry::Registry(Limits limits) : limits_(limits) {}
+Registry::Registry(Limits limits, int shards) : limits_(limits) {
+  shards_.reserve(static_cast<std::size_t>(std::max(1, shards)));
+  for (int s = 0; s < std::max(1, shards); ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
 Registry::~Registry() = default;
+
+bool Registry::is_session_op(std::uint16_t op) {
+  switch (op) {
+    case kOpAdvance:
+    case kOpStep:
+    case kOpAdapt:
+    case kOpRepartition:
+    case kOpGetMetrics:
+    case kOpGetAssignment:
+    case kOpCheckpoint:
+    case kOpCloseSession:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<std::uint32_t> Registry::peek_session(const Bytes& payload) {
+  if (payload.size() < 4) return std::nullopt;
+  return static_cast<std::uint32_t>(payload[0]) |
+         (static_cast<std::uint32_t>(payload[1]) << 8) |
+         (static_cast<std::uint32_t>(payload[2]) << 16) |
+         (static_cast<std::uint32_t>(payload[3]) << 24);
+}
 
 Reply Registry::handle(std::uint16_t op, const Bytes& payload) {
   prof::count("svc.requests");
   prof::Span span(op_span_name(op));
-  if (shutting_down_ && op != kOpPing)
+  if (shutting_down() && op != kOpPing)
     return make_error(Err::kShuttingDown, "server is shutting down");
   return dispatch(op, payload);
 }
@@ -217,8 +262,29 @@ Reply Registry::dispatch(std::uint16_t op, const Bytes& payload) {
 }
 
 Registry::SessionState* Registry::find(std::uint32_t id) {
-  const auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  // The returned pointer stays valid without the shard lock: the only
+  // erasers of a visible session are ops on that same session (close, the
+  // advance/adapt overflow path), and the concurrency contract allows at
+  // most one in-flight request per session.
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_of(id))];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  const auto it = sh.sessions.find(id);
+  if (it == sh.sessions.end()) return nullptr;
+  SessionState* st = it->second.get();
+  if (st->hidden && id != restoring_id_.load(std::memory_order_relaxed))
+    return nullptr;
+  return st;
+}
+
+bool Registry::erase_session(std::uint32_t id, bool even_hidden) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_of(id))];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  const auto it = sh.sessions.find(id);
+  if (it == sh.sessions.end()) return false;
+  if (it->second->hidden && !even_hidden) return false;
+  sh.sessions.erase(it);
+  num_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
 }
 
 void Registry::log_op(SessionState& st, std::uint16_t op,
@@ -240,7 +306,13 @@ void Registry::log_op(SessionState& st, std::uint16_t op,
 std::uint32_t Registry::register_session(std::unique_ptr<SessionState> st) {
   const std::uint32_t id = next_id_++;
   st->id = id;
-  sessions_.emplace(id, std::move(st));
+  st->hidden = hide_next_create_;
+  st->cached_elements.store(body_elements(st->body),
+                            std::memory_order_relaxed);
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_of(id))];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  sh.sessions.emplace(id, std::move(st));
+  num_sessions_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -255,7 +327,7 @@ Reply Registry::op_create_workload(const Bytes& payload) {
   const auto spec = decode_workload_spec(r, limits_);
   if (!spec || !r.done())
     return make_error(Err::kBadPayload, "malformed workload spec");
-  if (sessions_.size() >= limits_.max_sessions)
+  if (num_sessions() >= limits_.max_sessions)
     return make_error(Err::kLimitExceeded, "session limit reached");
 
   core::PnrOptions popt;
@@ -363,7 +435,7 @@ Reply Registry::op_create_mesh(const Bytes& payload) {
   const auto flat = decode_mesh(r, limits_);
   if (!flat || !r.done())
     return make_error(Err::kBadPayload, "malformed mesh payload");
-  if (sessions_.size() >= limits_.max_sessions)
+  if (num_sessions() >= limits_.max_sessions)
     return make_error(Err::kLimitExceeded, "session limit reached");
 
   core::PnrOptions popt;
@@ -429,7 +501,7 @@ Reply Registry::op_create_graph(const Bytes& payload) {
     return make_error(audit ? Err::kAuditFailed : Err::kBadPayload,
                       why.empty() ? "malformed graph payload" : why);
   }
-  if (sessions_.size() >= limits_.max_sessions)
+  if (num_sessions() >= limits_.max_sessions)
     return make_error(Err::kLimitExceeded, "session limit reached");
   if (head->strategy != pared::Strategy::kPNR)
     return make_error(Err::kBadPayload,
@@ -518,11 +590,13 @@ Reply Registry::op_advance(const Bytes& payload) {
   const std::int64_t elements = body_elements(st->body);
   if (elements > limits_.max_elements) {
     // The mesh has outgrown the server; the session cannot be rolled back,
-    // so it is destroyed rather than left over-limit.
-    sessions_.erase(*id);
+    // so it is destroyed rather than left over-limit. (A hidden mid-restore
+    // session survives here; the restore replay erases it on this error.)
+    erase_session(*id, /*even_hidden=*/false);
     return make_error(Err::kLimitExceeded,
                       "adapted mesh exceeds max_elements; session closed");
   }
+  st->cached_elements.store(elements, std::memory_order_relaxed);
   log_op(*st, kOpAdvance, payload);
 
   par::Writer w;
@@ -614,10 +688,11 @@ Reply Registry::op_adapt(const Bytes& payload) {
 
   const std::int64_t elements = body_elements(st->body);
   if (elements > limits_.max_elements) {
-    sessions_.erase(*id);
+    erase_session(*id, /*even_hidden=*/false);
     return make_error(Err::kLimitExceeded,
                       "adapted mesh exceeds max_elements; session closed");
   }
+  st->cached_elements.store(elements, std::memory_order_relaxed);
   log_op(*st, kOpAdapt, payload);
 
   par::Writer w;
@@ -757,13 +832,18 @@ Reply Registry::op_restore(const Bytes& payload) {
 
   // Replay the create and every logged op through the normal validated
   // handlers; the restored session accumulates its own (identical) oplog,
-  // so it is itself checkpointable.
+  // so it is itself checkpointable. The session stays hidden from shard
+  // workers until the replay completes, so a concurrent request aimed at a
+  // guessed id cannot observe (or close) a half-restored session.
+  hide_next_create_ = true;
   const Reply created = dispatch(*create_op, *create_payload);
+  hide_next_create_ = false;
   if (created.type == kTypeError) return created;
   par::TryReader cr(created.payload);
   const auto new_id = cr.get<std::uint32_t>();
   if (!new_id)
     return make_error(Err::kInternal, "create replay returned no session id");
+  restoring_id_.store(*new_id, std::memory_order_relaxed);
 
   std::uint32_t replayed = 0;
   for (const auto& [op, args] : ops) {
@@ -773,7 +853,8 @@ Reply Registry::op_restore(const Bytes& payload) {
     op_payload.insert(op_payload.end(), args.begin(), args.end());
     const Reply rr = dispatch(op, op_payload);
     if (rr.type == kTypeError) {
-      sessions_.erase(*new_id);
+      restoring_id_.store(0, std::memory_order_relaxed);
+      erase_session(*new_id, /*even_hidden=*/true);
       return make_error(Err::kBadPayload,
                         "checkpoint replay failed at op " +
                             std::to_string(replayed));
@@ -781,9 +862,18 @@ Reply Registry::op_restore(const Bytes& payload) {
     ++replayed;
   }
 
+  const std::int64_t elements = body_elements(find(*new_id)->body);
+  // Reveal: from here on every shard worker can reach the session.
+  {
+    Shard& sh = *shards_[static_cast<std::size_t>(shard_of(*new_id))];
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    sh.sessions.find(*new_id)->second->hidden = false;
+  }
+  restoring_id_.store(0, std::memory_order_relaxed);
+
   par::Writer w;
   w.put(*new_id);
-  w.put(body_elements(find(*new_id)->body));
+  w.put(elements);
   w.put(replayed);
   return make_ok(kOpRestore, w.take());
 }
@@ -793,7 +883,7 @@ Reply Registry::op_close_session(const Bytes& payload) {
   const auto id = r.get<std::uint32_t>();
   if (!id || !r.done())
     return make_error(Err::kBadPayload, "close expects {u32 session}");
-  if (!sessions_.erase(*id))
+  if (!erase_session(*id, /*even_hidden=*/false))
     return make_error(Err::kUnknownSession, "no such session");
   return make_ok(kOpCloseSession, Bytes{});
 }
@@ -801,14 +891,38 @@ Reply Registry::op_close_session(const Bytes& payload) {
 Reply Registry::op_list_sessions(const Bytes& payload) {
   if (!payload.empty())
     return make_error(Err::kBadPayload, "list takes no payload");
+  // Snapshot each shard under its lock, then merge by id so the wire order
+  // matches the serial single-map iteration exactly. Only immutable fields
+  // (strategy, parts, the variant's discriminator) and the atomic element
+  // cache are read — a shard worker may be mid-step on any listed session.
+  struct Row {
+    std::uint32_t id;
+    const char* kind;
+    std::uint8_t strategy;
+    std::int32_t parts;
+    std::int64_t elements;
+  };
+  std::vector<Row> rows;
+  rows.reserve(num_sessions());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, st] : shard->sessions) {
+      if (st->hidden) continue;
+      rows.push_back({id, kind_name(st->body),
+                      static_cast<std::uint8_t>(st->strategy), st->parts,
+                      st->cached_elements.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.id < b.id; });
   par::Writer w;
-  w.put(static_cast<std::uint32_t>(sessions_.size()));
-  for (const auto& [id, st] : sessions_) {
-    w.put(id);
-    par::put_string(w, kind_name(st->body));
-    w.put(static_cast<std::uint8_t>(st->strategy));
-    w.put(st->parts);
-    w.put(body_elements(st->body));
+  w.put(static_cast<std::uint32_t>(rows.size()));
+  for (const Row& row : rows) {
+    w.put(row.id);
+    par::put_string(w, row.kind);
+    w.put(row.strategy);
+    w.put(row.parts);
+    w.put(row.elements);
   }
   return make_ok(kOpListSessions, w.take());
 }
@@ -816,7 +930,7 @@ Reply Registry::op_list_sessions(const Bytes& payload) {
 Reply Registry::op_shutdown(const Bytes& payload) {
   if (!payload.empty())
     return make_error(Err::kBadPayload, "shutdown takes no payload");
-  shutting_down_ = true;
+  shutting_down_.store(true, std::memory_order_relaxed);
   return make_ok(kOpShutdown, Bytes{});
 }
 

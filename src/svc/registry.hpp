@@ -14,11 +14,28 @@
 // deterministic (seeded util::Rng, deterministic pnr::exec reductions), a
 // checkpoint replayed through the same validated handlers reconstructs a
 // bit-identical session — including its RNG stream — on any server.
+//
+// Threading (docs/SERVICE.md, "Sharding"): sessions live in `shards`
+// fixed-size shards, pinned by id (shard_of). The contract mirrors the
+// sharded server's routing:
+//   * control-plane ops — ping, the three creates, restore, list_sessions,
+//     shutdown, unknown ops — must all be issued from one thread (the
+//     transport thread), which owns id allocation;
+//   * session ops (is_session_op) may run concurrently from any threads
+//     provided at most one request per session id is in flight at a time —
+//     the server guarantees this by pinning each id to one shard queue and
+//     draining each queue with a single task.
+// With shards == 1 and a single caller the behavior (including the wire
+// bytes of every reply) is identical to the pre-sharding registry.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "svc/codec.hpp"
 #include "svc/wire.hpp"
@@ -34,25 +51,50 @@ struct Reply {
 
 class Registry {
  public:
-  explicit Registry(Limits limits = {});
+  explicit Registry(Limits limits = {}, int shards = 1);
   ~Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
   /// Dispatch one request. `op` is the frame type of a request frame whose
   /// CRC/version already checked out; `payload` is its body. Never throws,
-  /// never aborts — all failures are typed error replies.
+  /// never aborts — all failures are typed error replies. Callable
+  /// concurrently only under the contract above (one in-flight request per
+  /// session, control plane single-threaded).
   Reply handle(std::uint16_t op, const Bytes& payload);
 
   /// True once a kOpShutdown has been accepted; the transport should stop
   /// accepting new connections and drain.
-  bool shutting_down() const { return shutting_down_; }
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_relaxed);
+  }
 
-  std::size_t num_sessions() const { return sessions_.size(); }
+  std::size_t num_sessions() const {
+    return num_sessions_.load(std::memory_order_relaxed);
+  }
   const Limits& limits() const { return limits_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Shard pinning rule: sessions are pinned by id, round-robin. The
+  /// server's router and the registry's own find() must agree on this.
+  int shard_of(std::uint32_t id) const {
+    return static_cast<int>(id % shards_.size());
+  }
+
+  /// Ops that target one existing session ({u32 id, ...} payloads) and may
+  /// therefore run on that session's shard worker. Everything else is
+  /// control plane.
+  static bool is_session_op(std::uint16_t op);
+
+  /// The leading u32 session id of a session-op payload, if present. A
+  /// too-short payload yields nullopt (the op will fail validation wherever
+  /// it runs, so routing it anywhere is fine).
+  static std::optional<std::uint32_t> peek_session(const Bytes& payload);
 
  private:
   struct SessionState;
+  struct Shard;
 
   Reply dispatch(std::uint16_t op, const Bytes& payload);
 
@@ -73,6 +115,10 @@ class Registry {
   Reply op_shutdown(const Bytes& payload);
 
   SessionState* find(std::uint32_t id);
+  /// Remove a session (shard-locked). Hidden sessions — mid-restore — are
+  /// untouchable unless `even_hidden`, so a guessed id cannot close a
+  /// half-replayed restore. Returns whether a session was removed.
+  bool erase_session(std::uint32_t id, bool even_hidden);
   /// Record a mutating op (its args, minus the leading session id) into the
   /// session's replay log; on overflow the session stays live but loses
   /// checkpointability.
@@ -80,9 +126,14 @@ class Registry {
   std::uint32_t register_session(std::unique_ptr<SessionState> st);
 
   Limits limits_;
-  std::map<std::uint32_t, std::unique_ptr<SessionState>> sessions_;
-  std::uint32_t next_id_ = 1;
-  bool shutting_down_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint32_t next_id_ = 1;      ///< control-plane thread only
+  bool hide_next_create_ = false;  ///< control-plane thread only (restore)
+  /// Session id a restore replay is targeting: its own dispatches must see
+  /// the hidden session, shard workers must not.
+  std::atomic<std::uint32_t> restoring_id_{0};
+  std::atomic<std::size_t> num_sessions_{0};
+  std::atomic<bool> shutting_down_{false};
 };
 
 /// Dotted prof span name for an op ("svc.op.step"); "svc.op.unknown" for

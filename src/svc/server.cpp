@@ -6,9 +6,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <vector>
+#include <utility>
 
 #include "util/prof.hpp"
 
@@ -21,14 +23,49 @@ bool set_nonblocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
 }
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(options),
-                                        registry_(options.limits) {}
+Server::Server(ServerOptions options)
+    : options_(options),
+      threads_(std::clamp(options.threads, 0, 256)),
+      registry_(options.limits, std::max(1, std::clamp(options.threads, 0,
+                                                       256))) {
+  if (threads_ > 0) {
+    // Self-pipe: shard workers write one byte to wake a poll(2) that is
+    // blocked with no client activity. If the pipe cannot be created the
+    // server falls back to the serial inline path rather than risking a
+    // poll that never learns about finished work.
+    if (::pipe(wake_fds_) == 0 && set_nonblocking(wake_fds_[0]) &&
+        set_nonblocking(wake_fds_[1])) {
+      task_pool_ = std::make_unique<exec::Pool>(threads_);
+      shards_.reserve(static_cast<std::size_t>(threads_));
+      for (int s = 0; s < threads_; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+    } else {
+      if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+      if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+      wake_fds_[0] = wake_fds_[1] = -1;
+      threads_ = 0;
+    }
+  }
+}
 
 Server::~Server() {
+  // Drain-task lambdas capture `this`: let every queued task finish and
+  // join the workers before any member is torn down. Undelivered
+  // completions are dropped with the connections.
+  if (task_pool_) task_pool_->shutdown();
   for (const auto& [fd, conn] : conns_) ::close(fd);
   close_listener();
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
 }
 
 void Server::close_listener() {
@@ -70,7 +107,10 @@ bool Server::listen_unix(const std::string& path, std::string* error) {
 
 void Server::adopt(int fd) {
   set_nonblocking(fd);
-  conns_.emplace(fd, Conn{});
+  Conn conn;
+  conn.id = next_conn_id_++;
+  conn_fd_by_id_.emplace(conn.id, fd);
+  conns_.emplace(fd, std::move(conn));
 }
 
 bool Server::done() const {
@@ -87,47 +127,67 @@ void Server::begin_shutdown() {
 int Server::poll_once(int timeout_ms) {
   if (done()) return 0;
   std::vector<pollfd> fds;
-  fds.reserve(conns_.size() + 1);
-  if (listen_fd_ >= 0)
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  fds.reserve(conns_.size() + 2);
+  if (wake_fds_[0] >= 0) fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+  if (listen_fd_ >= 0) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
   for (const auto& [fd, conn] : conns_) {
-    // A backlogged connection is write-only until its replies flush; the
-    // flush path re-drains any requests parked in conn.in.
-    short events = backlogged(conn) ? 0 : POLLIN;
+    // A parked connection (output backlog or in-flight cap) is not read
+    // until it unparks; the flush/completion paths re-drain any requests
+    // parked in conn.in.
+    short events = parked(conn) ? 0 : POLLIN;
     if (!conn.out.empty()) events |= POLLOUT;
     fds.push_back(pollfd{fd, events, 0});
   }
   if (fds.empty()) return 0;
 
   const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready <= 0) return 0;
-
   int serviced = 0;
-  for (const pollfd& p : fds) {
-    if (p.revents == 0) continue;
-    ++serviced;
-    if (p.fd == listen_fd_) {
-      accept_ready();
-      continue;
+  if (ready > 0) {
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      ++serviced;
+      if (p.fd == wake_fds_[0] && wake_fds_[0] >= 0) {
+        // Drain the self-pipe; the completions themselves are processed
+        // below, whether or not a wakeup byte made it into the pipe.
+        std::uint8_t buf[256];
+        while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (p.fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = conns_.find(p.fd);
+      if (it == conns_.end()) continue;
+      bool alive = true;
+      if (p.revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (p.revents & (POLLIN | POLLHUP)))
+        alive = read_ready(p.fd, it->second);
+      if (alive && (p.revents & POLLOUT)) {
+        // Flushing may clear a backlog; serve any parked requests too.
+        alive = write_ready(p.fd, it->second) &&
+                service_frames(p.fd, it->second);
+      }
+      if (alive && it->second.close_after_flush && it->second.out.empty() &&
+          it->second.inflight == 0)
+        alive = false;
+      if (!alive) close_conn(p.fd);
     }
-    const auto it = conns_.find(p.fd);
-    if (it == conns_.end()) continue;
-    bool alive = true;
-    if (p.revents & (POLLERR | POLLNVAL)) alive = false;
-    if (alive && (p.revents & (POLLIN | POLLHUP)))
-      alive = read_ready(p.fd, it->second);
-    if (alive && (p.revents & POLLOUT)) {
-      // Flushing may clear a backlog; serve any parked requests too.
-      alive = write_ready(p.fd, it->second) &&
-              service_frames(p.fd, it->second);
-    }
-    if (alive && it->second.close_after_flush && it->second.out.empty())
-      alive = false;
-    if (!alive) close_conn(p.fd);
   }
+  if (threads_ > 0) serviced += drain_completions_and_service();
   // A shutdown handled this iteration flags every connection for
   // close-after-flush and stops accepting.
   if (registry_.shutting_down() && !shutdown_flagged_) begin_shutdown();
+  // A connection whose replies were all flushed before the shutdown flag
+  // landed will never see another poll event — sweep those here so run()
+  // terminates without waiting for every peer to hang up.
+  if (shutdown_flagged_) {
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : conns_)
+      if (conn.out.empty() && conn.inflight == 0) idle.push_back(fd);
+    for (const int fd : idle) close_conn(fd);
+  }
   return serviced;
 }
 
@@ -147,13 +207,16 @@ void Server::accept_ready() {
       continue;
     }
     set_nonblocking(fd);
-    conns_.emplace(fd, Conn{});
+    Conn conn;
+    conn.id = next_conn_id_++;
+    conn_fd_by_id_.emplace(conn.id, fd);
+    conns_.emplace(fd, std::move(conn));
   }
 }
 
 bool Server::read_ready(int fd, Conn& conn) {
   std::uint8_t buf[65536];
-  while (!backlogged(conn)) {
+  while (!parked(conn)) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
       prof::count("svc.bytes_in", n);
@@ -166,7 +229,7 @@ bool Server::read_ready(int fd, Conn& conn) {
     if (n == 0) return false;  // peer closed
     return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
   }
-  return true;  // backlogged: leave the rest in the socket buffer
+  return true;  // parked: leave the rest in the socket buffer
 }
 
 bool Server::service_frames(int fd, Conn& conn) {
@@ -174,22 +237,24 @@ bool Server::service_frames(int fd, Conn& conn) {
     const std::size_t before = conn.in.size();
     if (!drain_frames(conn)) return false;
     if (!write_ready(fd, conn)) return false;
-    // Still over the cap after flushing: the kernel buffer is full too, so
-    // leave the rest parked — POLLOUT is armed while conn.out is non-empty
-    // and resumes service once the client reads.
-    if (backlogged(conn)) return true;
+    // Still parked after flushing: leave the rest where it is — POLLOUT is
+    // armed while conn.out is non-empty, and completion delivery re-runs
+    // this loop when in-flight requests finish.
+    if (parked(conn)) return true;
     if (conn.in.size() == before) return true;  // no complete frame left
   }
 }
 
 bool Server::drain_frames(Conn& conn) {
   std::size_t consumed = 0;
-  bool parked = false;
+  bool parked_input = false;
   while (conn.in.size() - consumed >= kHeaderBytes) {
-    if (backlogged(conn)) {
-      // Replies are piling up faster than the client reads them: park the
-      // remaining requests until write_ready flushes the backlog.
-      parked = true;
+    if (parked(conn)) {
+      // Replies or in-flight work are piling up faster than the client
+      // drains them: park the remaining requests until the connection
+      // unparks.
+      parked_input = true;
+      prof::count("svc.shard.park_events");
       break;
     }
     const std::uint8_t* head = conn.in.data() + consumed;
@@ -199,8 +264,7 @@ bool Server::drain_frames(Conn& conn) {
     if (!h) return false;
     if (h->payload_len > registry_.limits().max_frame_bytes) return false;
     if (conn.in.size() - consumed - kHeaderBytes < h->payload_len) break;
-    const Bytes payload(head + kHeaderBytes,
-                        head + kHeaderBytes + h->payload_len);
+    Bytes payload(head + kHeaderBytes, head + kHeaderBytes + h->payload_len);
     consumed += kHeaderBytes + h->payload_len;
 
     Reply reply;
@@ -215,7 +279,24 @@ bool Server::drain_frames(Conn& conn) {
       prof::count("svc.errors");
       reply = Reply{kTypeError,
                     encode_error(Err::kBadOp, "not a request frame")};
+    } else if (threads_ > 0 && Registry::is_session_op(h->type)) {
+      // Data plane: pin to the session's shard and answer asynchronously.
+      // A payload too short to carry an id fails validation identically on
+      // every shard, so shard 0 is as good as any.
+      int s = 0;
+      if (const auto sid = Registry::peek_session(payload))
+        s = registry_.shard_of(*sid);
+      enqueue_request(conn, s, h->type, std::move(payload));
+      continue;
     } else {
+      // Control plane (and the serial server): handled inline on the poll
+      // thread. A shutdown first waits for every shard to drain and
+      // delivers the finished replies, so no accepted request is answered
+      // kShuttingDown and no reply is reordered behind the shutdown ack.
+      if (threads_ > 0 && h->type == kOpShutdown) {
+        quiesce_shards();
+        deliver_completions();
+      }
       reply = registry_.handle(h->type, payload);
     }
     const Bytes frame = encode_frame(reply.type, reply.payload);
@@ -227,11 +308,12 @@ bool Server::drain_frames(Conn& conn) {
                   conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
   // Anything buffered beyond a sane frame without completing one means the
   // declared length can never be satisfied within limits. Parked input is
-  // exempt: it holds complete, valid frames awaiting backlog flush, and is
-  // bounded because reading stops while the connection is backlogged.
-  return parked || conn.in.size() <=
-                       kHeaderBytes + static_cast<std::size_t>(
-                                          registry_.limits().max_frame_bytes);
+  // exempt: it holds complete, valid frames awaiting unpark, and is bounded
+  // because reading stops while the connection is parked.
+  return parked_input ||
+         conn.in.size() <=
+             kHeaderBytes +
+                 static_cast<std::size_t>(registry_.limits().max_frame_bytes);
 }
 
 bool Server::write_ready(int fd, Conn& conn) {
@@ -249,8 +331,129 @@ bool Server::write_ready(int fd, Conn& conn) {
 }
 
 void Server::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it != conns_.end()) {
+    conn_fd_by_id_.erase(it->second.id);
+    conns_.erase(it);
+  }
   ::close(fd);
-  conns_.erase(fd);
+}
+
+// ---- sharded mode -----------------------------------------------------------
+
+void Server::enqueue_request(Conn& conn, int s, std::uint16_t op,
+                             Bytes payload) {
+  ++conn.inflight;
+  Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  bool submit = false;
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.queue.push_back(Request{conn.id, op, std::move(payload)});
+    depth = shard.queue.size();
+    if (!shard.scheduled) {
+      shard.scheduled = true;
+      submit = true;
+    }
+  }
+  prof::count("svc.shard.enqueued");
+  prof::gauge_max("svc.shard.queue_depth",
+                  static_cast<std::int64_t>(depth));
+  if (submit) task_pool_->submit([this, s] { drain_shard(s); });
+}
+
+void Server::drain_shard(int s) {
+  Shard& shard = *shards_[static_cast<std::size_t>(s)];
+  prof::count("svc.shard.drain_tasks");
+  for (;;) {
+    Request req;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.queue.empty()) {
+        // Clear-and-exit under the same lock as the enqueue check, so a
+        // request arriving now either sees scheduled == true (this loop
+        // picks it up) or schedules a fresh drain — never neither.
+        shard.scheduled = false;
+        break;
+      }
+      req = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    const bool measure = prof::enabled();
+    const std::uint64_t t0 = measure ? now_ns() : 0;
+    Reply reply = registry_.handle(req.op, req.payload);
+    if (measure)
+      prof::count("svc.shard.worker_busy_ns",
+                  static_cast<std::int64_t>(now_ns() - t0));
+    post_completion(req.conn, encode_frame(reply.type, reply.payload));
+  }
+  // Tell a quiescing poll thread this shard went idle. Locking the mutex
+  // (without holding any shard lock) pairs with the wait's predicate check
+  // so the notification cannot slip between check and sleep.
+  std::lock_guard<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.notify_all();
+}
+
+void Server::post_completion(std::uint64_t conn_id, Bytes frame) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(Completion{conn_id, std::move(frame)});
+  }
+  // One byte wakes a blocked poll; EAGAIN means a wakeup is already
+  // pending, which is just as good.
+  const std::uint8_t b = 0;
+  if (::write(wake_fds_[1], &b, 1) == 1) prof::count("svc.shard.wakeups");
+}
+
+std::vector<int> Server::deliver_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  std::vector<int> touched;
+  for (Completion& c : batch) {
+    const auto idit = conn_fd_by_id_.find(c.conn);
+    if (idit == conn_fd_by_id_.end()) continue;  // connection is gone
+    const int fd = idit->second;
+    Conn& conn = conns_.find(fd)->second;
+    prof::count("svc.bytes_out", static_cast<std::int64_t>(c.frame.size()));
+    conn.out.insert(conn.out.end(), c.frame.begin(), c.frame.end());
+    --conn.inflight;
+    touched.push_back(fd);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+int Server::drain_completions_and_service() {
+  const std::vector<int> touched = deliver_completions();
+  int delivered = 0;
+  for (const int fd : touched) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    ++delivered;
+    Conn& conn = it->second;
+    bool alive = write_ready(fd, conn) && service_frames(fd, conn);
+    if (alive && conn.close_after_flush && conn.out.empty() &&
+        conn.inflight == 0)
+      alive = false;
+    if (!alive) close_conn(fd);
+  }
+  return delivered;
+}
+
+void Server::quiesce_shards() {
+  if (threads_ == 0) return;
+  std::unique_lock<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [&] {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> g(shard->mutex);
+      if (shard->scheduled || !shard->queue.empty()) return false;
+    }
+    return true;
+  });
 }
 
 }  // namespace pnr::svc

@@ -1,17 +1,31 @@
 #pragma once
 // pnr::svc transport: a poll(2)-based event loop that speaks the framed
-// wire protocol over Unix-domain stream sockets. The loop is
-// single-threaded and fd-driven — parallelism lives below it, in the
-// pnr::exec pool that the codec's bulk validation and the partitioners
-// already run on — so request handling stays deterministic while large
-// payload scans still use every core.
+// wire protocol over Unix-domain stream sockets. The poll loop is a pure
+// I/O front-end: it decodes frames, answers framing-level errors inline,
+// and — when sharding is enabled (ServerOptions::threads > 0) — enqueues
+// session requests onto per-shard MPSC work queues drained by detached
+// tasks on a pnr::exec pool. Completed replies flow back through a wakeup
+// pipe to the poll loop, which serializes them onto connections. With
+// threads == 0 every request is handled inline on the poll thread — the
+// exact pre-sharding serial server.
+//
+// Sharding model (docs/SERVICE.md, "Sharding"):
+//   * sessions are pinned to shards by id (Registry::shard_of), so all
+//     requests for one session execute on one FIFO queue — a session's
+//     reply stream is byte-identical at any shard count;
+//   * control-plane ops (creates, restore, list, shutdown, ping) run inline
+//     on the poll thread, which owns session-id allocation — ids are
+//     assigned in frame-arrival order regardless of shard count;
+//   * backpressure reuses the max_output_backlog parking plumbing and adds
+//     a per-connection in-flight cap so a pipelining client cannot flood
+//     the shard queues.
 //
 // Two ways to get clients:
 //   * listen_unix(path): bind + listen for pnr_client over a filesystem
 //     socket;
 //   * adopt(fd): take ownership of an already-connected stream fd (one end
 //     of a socketpair) — this is how the hermetic tests and bench drive a
-//     real server without touching the filesystem or spawning threads.
+//     real server without touching the filesystem.
 //
 // Trust grading per connection: a byte stream that breaks framing (bad
 // magic, oversized declared length) is closed outright; a well-framed
@@ -19,10 +33,16 @@
 // connection lives on. This file is the only place in the tree allowed to
 // make raw socket/poll syscalls (scripts/lint.py, rule raw-socket).
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "exec/pool.hpp"
 #include "svc/registry.hpp"
 
 namespace pnr::svc {
@@ -36,6 +56,14 @@ struct ServerOptions {
   /// requests and stops reading from it until the backlog flushes, so an
   /// unread reply backlog cannot grow server memory without bound.
   std::size_t max_output_backlog = 128u << 20;
+  /// Shard workers. 0 = the serial poll-thread server (exact legacy
+  /// behavior); N > 0 = N session shards drained by detached tasks on an
+  /// N-thread pnr::exec pool owned by the server.
+  int threads = 0;
+  /// Sharded mode only: requests a single connection may have in flight on
+  /// the shard queues before the server parks its input. Bounds queue
+  /// memory per connection the same way max_output_backlog bounds replies.
+  int max_inflight_per_conn = 64;
 };
 
 class Server {
@@ -54,8 +82,9 @@ class Server {
   void adopt(int fd);
 
   /// One poll(2) iteration: wait up to timeout_ms (0 = don't block, -1 =
-  /// forever), then service every ready fd. Returns the number of fds
-  /// serviced; 0 when there is nothing left to poll.
+  /// forever), then service every ready fd and deliver any completed
+  /// shard replies. Returns the number of fds serviced plus replies
+  /// delivered; 0 when there is nothing left to poll.
   int poll_once(int timeout_ms);
 
   /// Drive poll_once until done(): a shutdown request has been served and
@@ -68,12 +97,34 @@ class Server {
 
   Registry& registry() { return registry_; }
   std::size_t num_connections() const { return conns_.size(); }
+  int num_threads() const { return threads_; }
 
  private:
   struct Conn {
+    std::uint64_t id = 0;  ///< stable handle; survives fd reuse
     Bytes in;
     Bytes out;
+    int inflight = 0;  ///< requests on shard queues / awaiting delivery
     bool close_after_flush = false;
+  };
+  /// One decoded session request bound for a shard queue.
+  struct Request {
+    std::uint64_t conn = 0;
+    std::uint16_t op = 0;
+    Bytes payload;
+  };
+  /// One encoded reply frame coming back from a shard worker.
+  struct Completion {
+    std::uint64_t conn = 0;
+    Bytes frame;
+  };
+  /// MPSC work queue for one shard. `scheduled` is true while a drain task
+  /// is pending or running for this shard; at most one runs at a time, so
+  /// the per-session FIFO order is preserved.
+  struct Shard {
+    std::mutex mutex;
+    std::deque<Request> queue;
+    bool scheduled = false;
   };
 
   void accept_ready();
@@ -82,25 +133,61 @@ class Server {
   bool backlogged(const Conn& conn) const {
     return conn.out.size() > options_.max_output_backlog;
   }
+  /// Backlogged, or (sharded) at the in-flight cap: park further input.
+  bool parked(const Conn& conn) const {
+    return backlogged(conn) ||
+           (threads_ > 0 && conn.inflight >= options_.max_inflight_per_conn);
+  }
   /// Returns false if the connection must be dropped.
   bool read_ready(int fd, Conn& conn);
   bool write_ready(int fd, Conn& conn);
-  /// Alternate drain_frames/write_ready until the connection is backlogged
-  /// (POLLOUT resumes it later) or no complete frame remains; false = close.
+  /// Alternate drain_frames/write_ready until the connection is parked
+  /// (POLLOUT or a completion resumes it later) or no complete frame
+  /// remains; false = close.
   bool service_frames(int fd, Conn& conn);
-  /// Consume complete frames in conn.in until the output backlog cap parks
-  /// the rest; false = close connection.
+  /// Consume complete frames in conn.in until the output backlog cap or the
+  /// in-flight cap parks the rest; false = close connection.
   bool drain_frames(Conn& conn);
   void close_conn(int fd);
   void close_listener();
   void begin_shutdown();
 
+  // ---- sharded mode ---------------------------------------------------------
+  /// Queue one validated session request onto shard `s` and schedule a
+  /// drain task if none is pending.
+  void enqueue_request(Conn& conn, int s, std::uint16_t op, Bytes payload);
+  /// Detached-task body: drain shard `s` FIFO until its queue is empty.
+  void drain_shard(int s);
+  /// Worker side: queue an encoded reply frame and wake the poll loop.
+  void post_completion(std::uint64_t conn_id, Bytes frame);
+  /// Poll side: move queued completions onto their connections' output
+  /// buffers (dropping those whose connection is gone). Returns the fds
+  /// that received replies.
+  std::vector<int> deliver_completions();
+  /// deliver_completions + flush/resume each touched connection. Returns
+  /// the number of replies delivered.
+  int drain_completions_and_service();
+  /// Block until every shard queue is empty and no drain task is running.
+  /// Poll thread only (nothing enqueues while it blocks here).
+  void quiesce_shards();
+
   ServerOptions options_;
+  int threads_ = 0;
   Registry registry_;
   int listen_fd_ = -1;
   std::string socket_path_;
   std::map<int, Conn> conns_;
+  std::map<std::uint64_t, int> conn_fd_by_id_;
+  std::uint64_t next_conn_id_ = 1;
   bool shutdown_flagged_ = false;
+
+  std::unique_ptr<exec::Pool> task_pool_;  ///< drain-task workers (sharded)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] worker side
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
 };
 
 }  // namespace pnr::svc

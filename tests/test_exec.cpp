@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -371,6 +372,77 @@ TEST(ExecDeterminism, CgResidualHistoryBitwiseEqualAcrossThreadCounts) {
         << "threads=" << kThreadSweep[i];
     EXPECT_EQ(solutions[0], solutions[i]) << "threads=" << kThreadSweep[i];
   }
+}
+
+TEST(ExecSubmit, RunsEveryDetachedTaskExactlyOnce) {
+  exec::Pool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&ran, &sum, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  pool.wait_detached();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+
+  // The pool is reusable after a full drain.
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_detached();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+TEST(ExecSubmit, TasksRunInSerialContext) {
+  // Nested parallel_* inside a detached task must run inline-serial, so a
+  // task that itself calls kernels cannot deadlock or oversubscribe.
+  exec::Pool pool(4);
+  std::atomic<bool> serial{false};
+  std::atomic<std::int64_t> total{0};
+  pool.submit([&] {
+    serial.store(exec::in_serial_context());
+    std::vector<std::int64_t> v(10000, 1);
+    total.store(pool.parallel_reduce(
+        static_cast<std::int64_t>(v.size()), std::int64_t{0},
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::int64_t acc = 0;
+          for (std::int64_t i = lo; i < hi; ++i)
+            acc += v[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        [](std::int64_t a, std::int64_t b) { return a + b; }));
+  });
+  pool.wait_detached();
+  EXPECT_TRUE(serial.load());
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(ExecSubmit, WaitDetachedRethrowsTheFirstTaskException) {
+  exec::Pool pool(2);
+  for (int i = 0; i < 8; ++i)
+    pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_detached(), std::runtime_error);
+  // The error is consumed: the pool keeps working afterwards.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_detached();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ExecSubmit, TasksMaySubmitMoreTasks) {
+  // wait_detached must cover transitively-submitted work, the shape the
+  // sharded svc server relies on when a drain task re-schedules itself.
+  exec::Pool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    ran.fetch_add(1);
+    pool.submit([&] {
+      ran.fetch_add(1);
+      pool.submit([&] { ran.fetch_add(1); });
+    });
+  });
+  pool.wait_detached();
+  EXPECT_EQ(ran.load(), 3);
 }
 
 }  // namespace

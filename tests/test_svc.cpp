@@ -816,5 +816,320 @@ TEST(SvcUpload, DisconnectedGraphIsRefused) {
   EXPECT_EQ(client.last_error().code, Err::kBadPayload);
 }
 
+// ---- sharded server ---------------------------------------------------------
+
+std::size_t complete_frames(const Bytes& buf) {
+  std::size_t n = 0;
+  std::size_t off = 0;
+  while (buf.size() - off >= kHeaderBytes) {
+    const auto h = decode_header(buf.data() + off);
+    if (!h || buf.size() - off - kHeaderBytes < h->payload_len) break;
+    off += kHeaderBytes + h->payload_len;
+    ++n;
+  }
+  return n;
+}
+
+/// Pump the server and read until `buf` holds `want` complete frames. The
+/// spin bound only matters on failure: a healthy sharded server finishes a
+/// tiny-mesh request in far fewer scheduler round trips.
+bool recv_until(int fd, Server& server, Bytes& buf, std::size_t want) {
+  for (int spin = 0; spin < 500000; ++spin) {
+    if (complete_frames(buf) >= want) return true;
+    if (!raw_recv(fd, buf, server)) return false;
+  }
+  return complete_frames(buf) >= want;
+}
+
+Bytes frame_id(std::uint16_t op, std::uint32_t id) {
+  par::Writer w;
+  w.put(id);
+  return encode_frame(op, w.take());
+}
+
+/// A synchronous mixed control/session script: every request kind the
+/// server grades differently, each awaited before the next is sent, so the
+/// reply byte stream is fully ordered on any server configuration.
+std::vector<Bytes> parity_script() {
+  std::vector<Bytes> frames;
+  frames.push_back(encode_frame(kOpPing, Bytes{9, 9}));
+  par::Writer w;
+  encode_workload_spec(w, small_transient2d());
+  frames.push_back(encode_frame(kOpCreateWorkload, w.take()));  // id 1
+  for (int i = 0; i < 2; ++i) {
+    frames.push_back(frame_id(kOpAdvance, 1));
+    frames.push_back(frame_id(kOpStep, 1));
+  }
+  frames.push_back(frame_id(kOpGetMetrics, 1));
+  frames.push_back(frame_id(kOpCheckpoint, 1));
+  frames.push_back(frame_id(kOpGetAssignment, 1));
+  frames.push_back(encode_frame(kOpListSessions, Bytes{}));
+  // An intact frame with a corrupted payload byte: typed kBadCrc error.
+  Bytes bad = encode_frame(kOpPing, Bytes{1, 2, 3});
+  bad[kHeaderBytes] ^= 0xff;
+  frames.push_back(bad);
+  frames.push_back(frame_id(kOpGetMetrics, 77));  // unknown session
+  frames.push_back(frame_id(kOpCloseSession, 1));
+  par::Writer w2;
+  encode_workload_spec(w2, small_transient2d());
+  frames.push_back(encode_frame(kOpCreateWorkload, w2.take()));  // id 2
+  frames.push_back(frame_id(kOpCloseSession, 2));
+  return frames;
+}
+
+Bytes run_script_sync(Server& server, const std::vector<Bytes>& frames) {
+  const int fd = adopt_loopback_raw(server);
+  EXPECT_GE(fd, 0);
+  Bytes in;
+  std::size_t expect = 0;
+  for (const Bytes& f : frames) {
+    EXPECT_TRUE(raw_send(fd, f, server));
+    ++expect;
+    EXPECT_TRUE(recv_until(fd, server, in, expect));
+  }
+  raw_close(fd);
+  return in;
+}
+
+TEST(SvcSharded, AnyShardCountIsByteIdenticalToTheSerialPath) {
+  // The regression gate for the sharding refactor: the same request script
+  // against the pre-shard serial server (threads = 0) and sharded servers
+  // must produce identical reply bytes — including session ids, error
+  // details, checkpoints and assignments.
+  const std::vector<Bytes> script = parity_script();
+  Server serial;
+  const Bytes reference = run_script_sync(serial, script);
+  ASSERT_EQ(complete_frames(reference), script.size());
+  for (const int threads : {1, 2, 4}) {
+    ServerOptions opt;
+    opt.threads = threads;
+    Server sharded(opt);
+    ASSERT_EQ(sharded.num_threads(), threads);
+    const Bytes stream = run_script_sync(sharded, script);
+    EXPECT_TRUE(stream == reference) << "threads=" << threads;
+  }
+}
+
+TEST(SvcSharded, ManyPipelinedClientsKeepPerSessionOrderAndContent) {
+  // Hundreds of concurrent loopback clients, each pipelining advance/step
+  // bursts against its own session on a 4-shard server. Every connection
+  // must get exactly its replies, in request order; and because the
+  // post-create reply stream carries no session ids, all connections
+  // running the same workload spec must read byte-identical streams — any
+  // lost, reordered, cross-wired or nondeterministic reply breaks it.
+  constexpr int kConns = 200;
+  constexpr int kRounds = 3;
+  constexpr int kSpecs = 8;
+
+  ServerOptions opt;
+  opt.threads = 4;
+  opt.max_connections = kConns + 4;
+  opt.limits.max_sessions = kConns + 4;
+  Server server(opt);
+
+  const auto spec_for = [](int group) {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kTransient2D;
+    spec.parts = 2;
+    spec.session_seed = 100 + static_cast<std::uint64_t>(group);
+    spec.transient.steps = 16;
+    spec.transient.grid_n = 4;
+    spec.transient.max_level = 2;
+    return spec;
+  };
+
+  struct ConnState {
+    int fd = -1;
+    std::uint32_t session = 0;
+    Bytes in;
+  };
+  std::vector<ConnState> conns(kConns);
+  for (auto& c : conns) {
+    c.fd = adopt_loopback_raw(server);
+    ASSERT_GE(c.fd, 0);
+  }
+  ASSERT_EQ(server.num_connections(), static_cast<std::size_t>(kConns));
+
+  // Pipeline every create, then collect each session id and drop the
+  // id-bearing create reply from the stream.
+  for (int i = 0; i < kConns; ++i) {
+    par::Writer w;
+    encode_workload_spec(w, spec_for(i % kSpecs));
+    ASSERT_TRUE(
+        raw_send(conns[i].fd, encode_frame(kOpCreateWorkload, w.take()),
+                 server));
+  }
+  for (auto& c : conns) {
+    ASSERT_TRUE(recv_until(c.fd, server, c.in, 1));
+    const auto h = decode_header(c.in.data());
+    ASSERT_TRUE(h);
+    ASSERT_EQ(h->type, kOpCreateWorkload | kReplyBit);
+    par::TryReader r(c.in.data() + kHeaderBytes, h->payload_len);
+    const auto id = r.get<std::uint32_t>();
+    ASSERT_TRUE(id);
+    c.session = *id;
+    c.in.erase(c.in.begin(),
+               c.in.begin() +
+                   static_cast<std::ptrdiff_t>(kHeaderBytes + h->payload_len));
+  }
+
+  // Round-robin pipelined bursts: every shard sees interleaved traffic
+  // from many sessions at once.
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& c : conns) {
+      Bytes burst = frame_id(kOpAdvance, c.session);
+      const Bytes step = frame_id(kOpStep, c.session);
+      burst.insert(burst.end(), step.begin(), step.end());
+      ASSERT_TRUE(raw_send(c.fd, burst, server));
+    }
+  }
+  const std::size_t want = 2 * kRounds;
+  for (auto& c : conns) ASSERT_TRUE(recv_until(c.fd, server, c.in, want));
+
+  for (auto& c : conns) {
+    ASSERT_EQ(complete_frames(c.in), want);  // nothing lost, nothing extra
+    std::size_t off = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (const int op : {kOpAdvance, kOpStep}) {
+        const auto h = decode_header(c.in.data() + off);
+        ASSERT_TRUE(h);
+        EXPECT_EQ(h->type, static_cast<std::uint16_t>(op) | kReplyBit);
+        off += kHeaderBytes + h->payload_len;
+      }
+    }
+  }
+  for (int i = 0; i < kConns; ++i)
+    EXPECT_TRUE(conns[i].in == conns[i % kSpecs].in) << "conn " << i;
+  for (auto& c : conns) raw_close(c.fd);
+}
+
+TEST(SvcSharded, PipelinedAdaptStepOnUploadedMeshesStaysConsistent) {
+  // The uploaded-mesh flavor of the stress test: concurrent clients
+  // pipeline explicit adapt marks plus repartition steps. Identical uploads
+  // must yield byte-identical post-create reply streams.
+  constexpr int kConns = 64;
+  constexpr int kRounds = 4;
+
+  ServerOptions opt;
+  opt.threads = 4;
+  opt.max_connections = kConns + 4;
+  opt.limits.max_sessions = kConns + 4;
+  Server server(opt);
+
+  const auto mesh = mesh::structured_tri_mesh(4, 4, 0.25, 3);
+  const FlatMesh flat = flatten_mesh(mesh);
+  par::Writer cw;
+  CreateHead head;
+  head.parts = 2;
+  head.session_seed = 5;
+  encode_create_head(cw, head);
+  encode_mesh(cw, flat);
+  const Bytes create = encode_frame(kOpCreateMesh, cw.take());
+
+  struct ConnState {
+    int fd = -1;
+    std::uint32_t session = 0;
+    Bytes in;
+  };
+  std::vector<ConnState> conns(kConns);
+  for (auto& c : conns) {
+    c.fd = adopt_loopback_raw(server);
+    ASSERT_GE(c.fd, 0);
+    ASSERT_TRUE(raw_send(c.fd, create, server));
+  }
+  for (auto& c : conns) {
+    ASSERT_TRUE(recv_until(c.fd, server, c.in, 1));
+    const auto h = decode_header(c.in.data());
+    ASSERT_TRUE(h);
+    ASSERT_EQ(h->type, kOpCreateMesh | kReplyBit);
+    par::TryReader r(c.in.data() + kHeaderBytes, h->payload_len);
+    const auto id = r.get<std::uint32_t>();
+    ASSERT_TRUE(id);
+    c.session = *id;
+    c.in.erase(c.in.begin(),
+               c.in.begin() +
+                   static_cast<std::ptrdiff_t>(kHeaderBytes + h->payload_len));
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& c : conns) {
+      par::Writer aw;
+      aw.put(c.session);
+      aw.put(std::uint8_t{0});  // refine
+      aw.put_vector(std::vector<mesh::ElemIdx>{round, round + 1});
+      Bytes burst = encode_frame(kOpAdapt, aw.take());
+      const Bytes step = frame_id(kOpStep, c.session);
+      burst.insert(burst.end(), step.begin(), step.end());
+      ASSERT_TRUE(raw_send(c.fd, burst, server));
+    }
+  }
+  const std::size_t want = 2 * kRounds;
+  for (auto& c : conns) ASSERT_TRUE(recv_until(c.fd, server, c.in, want));
+
+  for (auto& c : conns) {
+    ASSERT_EQ(complete_frames(c.in), want);
+    std::size_t off = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (const int op : {kOpAdapt, kOpStep}) {
+        const auto h = decode_header(c.in.data() + off);
+        ASSERT_TRUE(h);
+        EXPECT_EQ(h->type, static_cast<std::uint16_t>(op) | kReplyBit);
+        off += kHeaderBytes + h->payload_len;
+      }
+    }
+    EXPECT_TRUE(c.in == conns[0].in);
+  }
+  for (auto& c : conns) raw_close(c.fd);
+}
+
+TEST(SvcSharded, ShutdownDrainsInFlightRepliesBeforeTheAck) {
+  // A pipelined burst ending in shutdown: the server must quiesce the
+  // shards and deliver every accepted reply before the shutdown ack — no
+  // accepted request may be answered kShuttingDown, and no reply may
+  // arrive after the ack.
+  ServerOptions opt;
+  opt.threads = 2;
+  Server server(opt);
+  const int fd = adopt_loopback_raw(server);
+  ASSERT_GE(fd, 0);
+
+  par::Writer w;
+  encode_workload_spec(w, small_transient2d());
+  ASSERT_TRUE(raw_send(fd, encode_frame(kOpCreateWorkload, w.take()), server));
+  Bytes in;
+  ASSERT_TRUE(recv_until(fd, server, in, 1));
+  in.clear();
+
+  Bytes burst;
+  for (int i = 0; i < 4; ++i) {
+    const Bytes adv = frame_id(kOpAdvance, 1);
+    burst.insert(burst.end(), adv.begin(), adv.end());
+  }
+  const Bytes bye = encode_frame(kOpShutdown, Bytes{});
+  burst.insert(burst.end(), bye.begin(), bye.end());
+  ASSERT_TRUE(raw_send(fd, burst, server));
+
+  // 4 advances + the shutdown ack, in exactly that order.
+  for (int spin = 0; spin < 500000 && complete_frames(in) < 5; ++spin)
+    if (!raw_recv(fd, in, server)) break;
+  ASSERT_EQ(complete_frames(in), 5u);
+  std::size_t off = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto h = decode_header(in.data() + off);
+    ASSERT_TRUE(h);
+    EXPECT_EQ(h->type, kOpAdvance | kReplyBit);
+    off += kHeaderBytes + h->payload_len;
+  }
+  const auto h = decode_header(in.data() + off);
+  ASSERT_TRUE(h);
+  EXPECT_EQ(h->type, kOpShutdown | kReplyBit);
+
+  // The server closes the flushed connection and reports done.
+  for (int spin = 0; spin < 500000 && !server.done(); ++spin)
+    server.poll_once(0);
+  EXPECT_TRUE(server.done());
+  raw_close(fd);
+}
+
 }  // namespace
 }  // namespace pnr::svc
