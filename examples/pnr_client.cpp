@@ -207,11 +207,19 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  // The server defers the expensive step metrics; a get_metrics round trip
+  // settles them so each printed line carries the full report.
+  const auto settled_report = [&](std::int64_t index) {
+    const auto m = client.get_metrics(session);
+    if (!m || !m->last_report) return false;
+    print_report(index, *m->last_report);
+    return true;
+  };
   if (cmd == "step") {
     for (int i = 0; i < cli.get_int("count", 1); ++i) {
       const auto report = client.step(session);
       if (!report) return fail(client, "step");
-      print_report(i, *report);
+      if (!settled_report(i)) print_report(i, *report);
     }
     return 0;
   }
@@ -221,7 +229,7 @@ int main(int argc, char** argv) {
       if (!client.advance(session)) return fail(client, "run/advance");
       const auto report = client.step(session);
       if (!report) return fail(client, "run/step");
-      print_report(i + 1, *report);
+      if (!settled_report(i + 1)) print_report(i + 1, *report);
     }
     return 0;
   }

@@ -1,0 +1,62 @@
+#include "core/hierarchy_cache.hpp"
+
+#include <algorithm>
+
+#include "check/level.hpp"
+#include "util/assert.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::core {
+
+CachedLevel make_cached_level(const graph::Graph& fine,
+                              graph::CoarseLevel level) {
+  PNR_PROF_SPAN("pnr.cache_fill");
+  CachedLevel out{std::move(level), {}};
+  const auto& f2c = out.level.fine_to_coarse;
+  const graph::Graph& coarse = out.level.graph;
+  const auto& cxadj = coarse.xadj();
+  const auto num_arcs = static_cast<std::size_t>(fine.xadj().back());
+  out.arc_slot.assign(num_arcs, -1);
+  for (graph::VertexId v = 0; v < fine.num_vertices(); ++v) {
+    const graph::VertexId cv = f2c[static_cast<std::size_t>(v)];
+    const auto nbrs = coarse.neighbors(cv);
+    std::size_t a = static_cast<std::size_t>(fine.xadj()[v]);
+    for (const graph::VertexId u : fine.neighbors(v)) {
+      const graph::VertexId cu = f2c[static_cast<std::size_t>(u)];
+      if (cu != cv) {
+        // Coarse adjacency lists are sorted by neighbor id (the CSR
+        // assembler guarantees it), so the slot is a binary search away.
+        const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), cu);
+        PNR_ASSERT(it != nbrs.end() && *it == cu);
+        out.arc_slot[a] = cxadj[cv] + (it - nbrs.begin());
+      }
+      ++a;
+    }
+  }
+  return out;
+}
+
+void repropagate_weights(const graph::Graph& fine, CachedLevel& lvl) {
+  PNR_PROF_SPAN("pnr.cache_repropagate");
+  const auto& f2c = lvl.level.fine_to_coarse;
+  auto cvw = lvl.level.graph.mutable_vertex_weights();
+  std::fill(cvw.begin(), cvw.end(), 0);
+  for (graph::VertexId v = 0; v < fine.num_vertices(); ++v)
+    cvw[static_cast<std::size_t>(f2c[static_cast<std::size_t>(v)])] +=
+        fine.vertex_weight(v);
+
+  auto caw = lvl.level.graph.mutable_arc_weights();
+  std::fill(caw.begin(), caw.end(), 0);
+  const auto& fw = fine.adjwgt();
+  for (std::size_t a = 0; a < fw.size(); ++a) {
+    const std::int64_t slot = lvl.arc_slot[a];
+    if (slot >= 0) caw[static_cast<std::size_t>(slot)] += fw[a];
+  }
+
+  PNR_CHECK1(
+      lvl.level.graph.total_vertex_weight() == fine.total_vertex_weight(),
+      "cached re-propagation changed the total vertex weight");
+  PNR_CHECK2_AUDIT("pnr.cache_repropagate", lvl.level.graph.validate());
+}
+
+}  // namespace pnr::core

@@ -1,0 +1,44 @@
+#pragma once
+// Cross-round contraction hierarchy cache for PNR (the perf counterpart of
+// Section 9's modification (a)): because G's topology is fixed for the whole
+// run, a level's matching and contracted CSR topology stay valid across
+// adaptation rounds — only the weights move. The cache keeps each level's
+// CoarseLevel plus a per-fine-arc slot map into the coarse arc-weight array,
+// so a later round re-propagates all weights in O(fine arcs) with no
+// matching, hashing or sorting. Pnr::repartition owns the staleness policy
+// (evict on partition-boundary churn or weight drift); the cache itself is a
+// dumb container owned by whoever owns the graph (pared::Session, svc graph
+// sessions, benches).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coarsen.hpp"
+#include "graph/csr.hpp"
+
+namespace pnr::core {
+
+struct CachedLevel {
+  graph::CoarseLevel level;
+  /// Fine arc index -> index into level.graph's arc-weight array (the coarse
+  /// arc this fine arc folds into), or -1 for arcs internal to a matched
+  /// group. Both directions of every fine edge carry a slot, so one
+  /// accumulation pass fills both directions of every coarse arc equally.
+  std::vector<std::int64_t> arc_slot;
+};
+
+struct HierarchyCache {
+  std::vector<CachedLevel> levels;
+  void clear() { levels.clear(); }
+};
+
+/// Wrap a freshly contracted level with its fine-arc slot map (one binary
+/// search per fine arc, paid once per topology).
+CachedLevel make_cached_level(const graph::Graph& fine,
+                              graph::CoarseLevel level);
+
+/// Rewrite the level's vertex and arc weights from the fine graph through
+/// the cached maps. O(fine arcs); the contracted topology is untouched.
+void repropagate_weights(const graph::Graph& fine, CachedLevel& lvl);
+
+}  // namespace pnr::core

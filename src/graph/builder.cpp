@@ -248,10 +248,14 @@ Graph GraphBuilder::build() const {
     }
 
   // Sort each adjacency list by neighbor id (stable, deterministic layout).
+  // One scratch buffer reused across vertices: this serial path runs once
+  // per rebalance sweep on the processor quotient graph, where per-vertex
+  // allocations used to dominate.
+  std::vector<std::pair<VertexId, Weight>> tmp;
   for (std::size_t v = 0; v < n; ++v) {
     const auto b = static_cast<std::size_t>(xadj[v]);
     const auto e = static_cast<std::size_t>(xadj[v + 1]);
-    std::vector<std::pair<VertexId, Weight>> tmp;
+    tmp.clear();
     tmp.reserve(e - b);
     for (std::size_t k = b; k < e; ++k) tmp.emplace_back(adjncy[k], adjwgt[k]);
     std::sort(tmp.begin(), tmp.end());

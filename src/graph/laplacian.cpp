@@ -49,17 +49,22 @@ double dot(std::span<const double> a, std::span<const double> b) {
 }
 
 int laplacian_solve_cg(const Graph& g, std::span<const double> b,
-                       std::span<double> x, double tol, int max_iters) {
+                       std::span<double> x, double tol, int max_iters,
+                       CgScratch* scratch) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
   PNR_REQUIRE(b.size() == n && x.size() == n);
 
-  std::vector<double> r(b.begin(), b.end());
+  CgScratch local;
+  CgScratch& ws = scratch ? *scratch : local;
+  std::vector<double>& r = ws.r;
+  r.assign(b.begin(), b.end());
   deflate_constant(r);
-  std::vector<double> ax(n);
   for (double& v : x) v = 0.0;
 
-  std::vector<double> p(r);
-  std::vector<double> ap(n);
+  std::vector<double>& p = ws.p;
+  p.assign(r.begin(), r.end());
+  std::vector<double>& ap = ws.ap;
+  ap.assign(n, 0.0);
   double rr = dot(r, r);
   const double b_norm = std::sqrt(dot(r, r));
   if (b_norm == 0.0) return 0;

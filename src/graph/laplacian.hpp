@@ -24,11 +24,19 @@ double normalize(std::span<double> x);
 
 double dot(std::span<const double> a, std::span<const double> b);
 
+/// Reusable CG work vectors for callers that solve in a tight loop (the
+/// rebalancer solves one p-vertex system per sweep).
+struct CgScratch {
+  std::vector<double> r, p, ap;
+};
+
 /// Conjugate gradient for L x = b restricted to the subspace orthogonal to
 /// ones (b must sum to 0 on each connected component; caller guarantees a
 /// connected graph). Returns iterations used, or -1 if not converged.
+/// `scratch`, when given, supplies the work vectors instead of fresh
+/// allocations; contents on entry are ignored.
 int laplacian_solve_cg(const Graph& g, std::span<const double> b,
                        std::span<double> x, double tol = 1e-10,
-                       int max_iters = 10000);
+                       int max_iters = 10000, CgScratch* scratch = nullptr);
 
 }  // namespace pnr::graph

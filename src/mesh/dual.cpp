@@ -83,6 +83,42 @@ graph::Graph nested_dual_graph(const TetMesh& mesh) {
   return nested_dual_impl2(mesh);
 }
 
+namespace {
+
+template <typename Mesh>
+bool apply_dual_delta_impl(const Mesh& mesh, const DualWeightDelta& delta,
+                           graph::Graph& g) {
+  PNR_PROF_SPAN("mesh.dual_delta");
+  PNR_REQUIRE(g.num_vertices() == mesh.num_initial_elements());
+  for (const ElemIdx c : delta.vertices) {
+    g.set_vertex_weight(c, mesh.leaf_count(c));
+    // Every interface whose weight moved has at least one endpoint in the
+    // dirty set (only bisection/coarsening under an endpoint can change the
+    // adjacent-leaf-pair count), so refreshing each dirty vertex's full
+    // adjacency covers all edge changes. A conforming mesh keeps every M^0
+    // interface populated, so a zero here means `g` is not this mesh's dual.
+    for (const graph::VertexId x : g.neighbors(c)) {
+      const std::int64_t w =
+          mesh.coarse_interface_weight(c, static_cast<ElemIdx>(x));
+      if (w <= 0) return false;
+      if (!g.set_edge_weight(c, x, w)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool apply_dual_delta(const TriMesh& mesh, const DualWeightDelta& delta,
+                      graph::Graph& g) {
+  return apply_dual_delta_impl(mesh, delta, g);
+}
+
+bool apply_dual_delta(const TetMesh& mesh, const DualWeightDelta& delta,
+                      graph::Graph& g) {
+  return apply_dual_delta_impl(mesh, delta, g);
+}
+
 std::vector<double> leaf_centroids(const TriMesh& mesh,
                                    const std::vector<ElemIdx>& elems) {
   std::vector<double> coords(elems.size() * 2);

@@ -33,6 +33,32 @@ FineDual fine_dual_graph(const TetMesh& mesh);
 graph::Graph nested_dual_graph(const TriMesh& mesh);
 graph::Graph nested_dual_graph(const TetMesh& mesh);
 
+/// The weight changes of G accumulated by a mesh between two drains of
+/// TriMesh/TetMesh::drain_dual_delta(). `vertices` lists, sorted and
+/// deduplicated, the initial elements whose refinement trees were touched by
+/// bisection or coarsening; only their leaf-count vertex weights and the
+/// edge weights of interfaces incident to them can have moved. G's topology
+/// never changes (Section 5: M^0 is fixed), so a consumer holding a graph
+/// that was current at `prev_epoch` reaches `epoch` by re-propagating those
+/// weights in place. Any epoch gap means another consumer drained the mesh
+/// in between and a full nested_dual_graph rebuild is required.
+struct DualWeightDelta {
+  std::vector<ElemIdx> vertices;
+  std::uint64_t prev_epoch = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Re-propagate the delta's vertex weights and incident interface weights
+/// into `g`, a nested_dual_graph of `mesh` current at `delta.prev_epoch`.
+/// Returns false — with `g` partially updated, caller must rebuild — if the
+/// mesh disagrees with g's fixed topology (an interface weight at zero or an
+/// adjacency g does not know about), which indicates the graph was not built
+/// from this mesh.
+bool apply_dual_delta(const TriMesh& mesh, const DualWeightDelta& delta,
+                      graph::Graph& g);
+bool apply_dual_delta(const TetMesh& mesh, const DualWeightDelta& delta,
+                      graph::Graph& g);
+
 /// Leaf centroids in dense dual-vertex order (row-major n×2 / n×3), for the
 /// geometric partitioner.
 std::vector<double> leaf_centroids(const TriMesh& mesh,

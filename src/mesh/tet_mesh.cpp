@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "check/level.hpp"
+#include "mesh/dual.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::mesh {
@@ -38,6 +39,7 @@ void TetMesh::finalize() {
   PNR_REQUIRE_MSG(!tets_.empty(), "empty mesh");
   num_initial_ = static_cast<ElemIdx>(tets_.size());
   leaf_count_.assign(static_cast<std::size_t>(num_initial_), 1);
+  dual_dirty_mark_.assign(static_cast<std::size_t>(num_initial_), false);
   num_leaves_ = num_initial_;
 
   for (ElemIdx e = 0; e < num_initial_; ++e) {
@@ -272,6 +274,7 @@ void TetMesh::bisect(ElemIdx e, VertIdx a, VertIdx b, VertIdx m) {
 
   ++num_leaves_;
   ++leaf_count_[static_cast<std::size_t>(parent.coarse)];
+  mark_dual_dirty(parent.coarse);
 }
 
 std::int64_t TetMesh::refine(const std::vector<ElemIdx>& marked) {
@@ -322,6 +325,7 @@ std::int64_t TetMesh::refine(const std::vector<ElemIdx>& marked) {
     }
     stack.pop_back();
   }
+  if (bisections > 0) ++adapt_version_;
   PNR_CHECK2_AUDIT("TetMesh::refine", check_invariants());
   return bisections;
 }
@@ -382,12 +386,33 @@ std::int64_t TetMesh::coarsen(const std::vector<ElemIdx>& marked) {
       maps_add(p);
       --num_leaves_;
       --leaf_count_[static_cast<std::size_t>(parent.coarse)];
+      mark_dual_dirty(parent.coarse);
       ++merges;
     }
     release_vertex(m);
   }
+  if (merges > 0) ++adapt_version_;
   PNR_CHECK2_AUDIT("TetMesh::coarsen", check_invariants());
   return merges;
+}
+
+// ---- dual-delta bookkeeping -------------------------------------------------
+
+std::int64_t TetMesh::coarse_interface_weight(ElemIdx c1, ElemIdx c2) const {
+  const auto it = coarse_interface_.find(edge_key(c1, c2));
+  return it == coarse_interface_.end() ? 0 : it->second;
+}
+
+DualWeightDelta TetMesh::drain_dual_delta() {
+  DualWeightDelta delta;
+  delta.prev_epoch = dual_drains_;
+  delta.epoch = ++dual_drains_;
+  delta.vertices = std::move(dual_dirty_);
+  dual_dirty_.clear();
+  std::sort(delta.vertices.begin(), delta.vertices.end());
+  for (const ElemIdx c : delta.vertices)
+    dual_dirty_mark_[static_cast<std::size_t>(c)] = false;
+  return delta;
 }
 
 // ---- validation -------------------------------------------------------------

@@ -18,6 +18,8 @@
 
 namespace pnr::mesh {
 
+struct DualWeightDelta;  // mesh/dual.hpp
+
 class TetMesh {
  public:
   struct Tet {
@@ -69,6 +71,19 @@ class TetMesh {
   std::int64_t leaf_count(ElemIdx coarse) const {
     return leaf_count_[static_cast<std::size_t>(coarse)];
   }
+
+  /// Current adjacent-leaf-pair count across the {c1, c2} interface; 0 when
+  /// the two initial elements are not adjacent.
+  std::int64_t coarse_interface_weight(ElemIdx c1, ElemIdx c2) const;
+
+  /// Monotone counter bumped by every refine/coarsen call that changed the
+  /// mesh (see TriMesh::adapt_version).
+  std::uint64_t adapt_version() const { return adapt_version_; }
+
+  /// Hand over the set of initial elements whose refinement trees changed
+  /// since the previous drain (see DualWeightDelta in mesh/dual.hpp) and
+  /// reset it.
+  DualWeightDelta drain_dual_delta();
 
   double signed_volume(ElemIdx e) const;
   Point3 centroid(ElemIdx e) const;
@@ -125,6 +140,14 @@ class TetMesh {
 
   void bisect(ElemIdx e, VertIdx a, VertIdx b, VertIdx m);
 
+  /// See TriMesh::mark_dual_dirty.
+  void mark_dual_dirty(ElemIdx coarse) {
+    if (!dual_dirty_mark_[static_cast<std::size_t>(coarse)]) {
+      dual_dirty_mark_[static_cast<std::size_t>(coarse)] = true;
+      dual_dirty_.push_back(coarse);
+    }
+  }
+
   std::vector<Point3> verts_;
   std::vector<char> vert_alive_;
   std::vector<Tet> tets_;
@@ -139,6 +162,12 @@ class TetMesh {
   /// Leaf tets incident to each leaf edge (needed to gather the bisection
   /// "edge star" during refinement).
   std::unordered_map<std::uint64_t, std::vector<ElemIdx>> edge_tets_;
+
+  /// Dirty set for DualWeightDelta (see TriMesh).
+  std::vector<char> dual_dirty_mark_;
+  std::vector<ElemIdx> dual_dirty_;
+  std::uint64_t dual_drains_ = 0;
+  std::uint64_t adapt_version_ = 0;
 
   ElemIdx num_initial_ = 0;
   std::int64_t num_leaves_ = 0;

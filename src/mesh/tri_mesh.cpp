@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "check/level.hpp"
+#include "mesh/dual.hpp"
 #include "util/assert.hpp"
 
 namespace pnr::mesh {
@@ -31,6 +32,7 @@ void TriMesh::finalize() {
   PNR_REQUIRE_MSG(!tris_.empty(), "empty mesh");
   num_initial_ = static_cast<ElemIdx>(tris_.size());
   leaf_count_.assign(static_cast<std::size_t>(num_initial_), 1);
+  dual_dirty_mark_.assign(static_cast<std::size_t>(num_initial_), false);
   num_leaves_ = num_initial_;
 
   for (ElemIdx e = 0; e < num_initial_; ++e) {
@@ -247,6 +249,7 @@ void TriMesh::bisect(ElemIdx e, VertIdx a, VertIdx b, VertIdx m) {
 
   ++num_leaves_;  // two children replace one leaf
   ++leaf_count_[static_cast<std::size_t>(parent.coarse)];
+  mark_dual_dirty(parent.coarse);
 }
 
 std::int64_t TriMesh::refine(const std::vector<ElemIdx>& marked) {
@@ -287,6 +290,7 @@ std::int64_t TriMesh::refine(const std::vector<ElemIdx>& marked) {
     }
     stack.pop_back();
   }
+  if (bisections > 0) ++adapt_version_;
   PNR_CHECK2_AUDIT("TriMesh::refine", check_invariants());
   return bisections;
 }
@@ -351,12 +355,33 @@ std::int64_t TriMesh::coarsen(const std::vector<ElemIdx>& marked) {
       edge_map_add(p);
       --num_leaves_;
       --leaf_count_[static_cast<std::size_t>(parent.coarse)];
+      mark_dual_dirty(parent.coarse);
       ++merges;
     }
     release_vertex(m);
   }
+  if (merges > 0) ++adapt_version_;
   PNR_CHECK2_AUDIT("TriMesh::coarsen", check_invariants());
   return merges;
+}
+
+// ---- dual-delta bookkeeping -------------------------------------------------
+
+std::int64_t TriMesh::coarse_interface_weight(ElemIdx c1, ElemIdx c2) const {
+  const auto it = coarse_interface_.find(edge_key(c1, c2));
+  return it == coarse_interface_.end() ? 0 : it->second;
+}
+
+DualWeightDelta TriMesh::drain_dual_delta() {
+  DualWeightDelta delta;
+  delta.prev_epoch = dual_drains_;
+  delta.epoch = ++dual_drains_;
+  delta.vertices = std::move(dual_dirty_);
+  dual_dirty_.clear();
+  std::sort(delta.vertices.begin(), delta.vertices.end());
+  for (const ElemIdx c : delta.vertices)
+    dual_dirty_mark_[static_cast<std::size_t>(c)] = false;
+  return delta;
 }
 
 // ---- validation -------------------------------------------------------------

@@ -22,6 +22,8 @@
 
 namespace pnr::mesh {
 
+struct DualWeightDelta;  // mesh/dual.hpp
+
 class TriMesh {
  public:
   struct Tri {
@@ -84,6 +86,21 @@ class TriMesh {
   std::int64_t leaf_count(ElemIdx coarse) const {
     return leaf_count_[static_cast<std::size_t>(coarse)];
   }
+
+  /// Current adjacent-leaf-pair count across the {c1, c2} interface; 0 when
+  /// the two initial elements are not adjacent.
+  std::int64_t coarse_interface_weight(ElemIdx c1, ElemIdx c2) const;
+
+  /// Monotone counter bumped by every refine/coarsen call that changed the
+  /// mesh. Consumers of derived state (dual graphs, cached step metrics) use
+  /// it to detect staleness.
+  std::uint64_t adapt_version() const { return adapt_version_; }
+
+  /// Hand over the set of initial elements whose refinement trees changed
+  /// since the previous drain (see DualWeightDelta in mesh/dual.hpp) and
+  /// reset it. Single-consumer: the delta's epoch pair chains consecutive
+  /// drains so a second consumer can detect the gap and rebuild.
+  DualWeightDelta drain_dual_delta();
 
   double signed_area(ElemIdx e) const;
   Point2 centroid(ElemIdx e) const;
@@ -153,6 +170,16 @@ class TriMesh {
   /// Split leaf `e` by edge {a,b} using midpoint vertex m.
   void bisect(ElemIdx e, VertIdx a, VertIdx b, VertIdx m);
 
+  /// Record that `coarse`'s subtree changed shape: its dual vertex weight
+  /// and any incident interface weight may move, nothing else can (the
+  /// coarse topology is fixed).
+  void mark_dual_dirty(ElemIdx coarse) {
+    if (!dual_dirty_mark_[static_cast<std::size_t>(coarse)]) {
+      dual_dirty_mark_[static_cast<std::size_t>(coarse)] = true;
+      dual_dirty_.push_back(coarse);
+    }
+  }
+
   std::vector<Point2> verts_;
   std::vector<char> vert_alive_;
   std::vector<Tri> tris_;
@@ -165,6 +192,13 @@ class TriMesh {
   /// (lo coarse id, hi coarse id) -> adjacent leaf pairs across the
   /// interface; kept in sync by edge_map_add/edge_map_remove.
   std::unordered_map<std::uint64_t, std::int64_t> coarse_interface_;
+
+  /// Dirty set for DualWeightDelta: initial elements touched by bisect /
+  /// coarsen since the last drain, plus the drain epoch counter.
+  std::vector<char> dual_dirty_mark_;
+  std::vector<ElemIdx> dual_dirty_;
+  std::uint64_t dual_drains_ = 0;
+  std::uint64_t adapt_version_ = 0;
 
   ElemIdx num_initial_ = 0;
   std::int64_t num_leaves_ = 0;

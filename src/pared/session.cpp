@@ -62,20 +62,61 @@ std::int64_t count_moves(const std::vector<part::PartId>& a,
 }  // namespace
 
 template <typename Mesh>
+void Session<Mesh>::refresh_coarse_graph(Mesh& mesh) {
+  PNR_PROF_SPAN("session.coarse_dual");
+  const auto delta = mesh.drain_dual_delta();
+  bool rebuild = !coarse_graph_valid_ || delta.prev_epoch != dual_epoch_ ||
+                 coarse_graph_.num_vertices() != mesh.num_initial_elements();
+  if (!rebuild && !delta.vertices.empty()) {
+    prof::count("session.dual_delta_vertices",
+                static_cast<std::int64_t>(delta.vertices.size()));
+    rebuild = !mesh::apply_dual_delta(mesh, delta, coarse_graph_);
+  }
+  if (rebuild) {
+    coarse_graph_ = mesh::nested_dual_graph(mesh);
+    coarse_graph_valid_ = true;
+    prof::count("session.dual_rebuilds", 1);
+  }
+  dual_epoch_ = delta.epoch;
+  // Level-2 cross-check: the incrementally patched G must equal a
+  // from-scratch rebuild, array for array (same deterministic assembler, so
+  // even the adjacency layout must agree).
+  if constexpr (check::kLevel >= 2) {
+    const auto fresh = mesh::nested_dual_graph(mesh);
+    std::string violation;
+    if (coarse_graph_.xadj() != fresh.xadj() ||
+        coarse_graph_.adjncy() != fresh.adjncy())
+      violation = "incremental coarse dual topology diverged from rebuild";
+    else if (coarse_graph_.vwgt() != fresh.vwgt())
+      violation = "incremental coarse dual vertex weights diverged";
+    else if (coarse_graph_.adjwgt() != fresh.adjwgt())
+      violation = "incremental coarse dual edge weights diverged";
+    check::enforce_empty(violation, "session.coarse_dual");
+  }
+}
+
+template <typename Mesh>
 StepReport Session<Mesh>::step(Mesh& mesh) {
   PNR_PROF_SPAN("session.step");
   StepReport report;
   const auto elems = mesh.leaf_elements();
   report.elements = static_cast<std::int64_t>(elems.size());
 
-  const auto dual = [&] {
-    PNR_PROF_SPAN("session.dual_graph");
-    return mesh::fine_dual_graph(mesh);
-  }();
+  // Built on first use: PNR partitions the persistent coarse graph, so with
+  // deferred metrics its steady-state step never touches the fine dual.
+  std::optional<mesh::FineDual> dual;
+  const auto ensure_dual = [&]() -> const mesh::FineDual& {
+    if (!dual) {
+      PNR_PROF_SPAN("session.dual_graph");
+      dual.emplace(mesh::fine_dual_graph(mesh));
+    }
+    return *dual;
+  };
+
   auto carried = carried_assignment(mesh, elems);
-  if (carried) {
+  if (carried && !defer_metrics_) {
     part::Partition prev(p_, *carried);
-    report.cut_prev = part::cut_size(dual.graph, prev);
+    report.cut_prev = part::cut_size(ensure_dual().graph, prev);
   }
 
   std::vector<part::PartId> fine_new;  // the freshly computed partition Π̂
@@ -91,13 +132,13 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
     case Strategy::kMlklRemap: {
       part::Partition pi =
           (strategy_ == Strategy::kRSB || strategy_ == Strategy::kRsbRemap)
-              ? part::rsb(dual.graph, p_, rng_)
-              : part::multilevel_kl(dual.graph, p_, rng_);
+              ? part::rsb(ensure_dual().graph, p_, rng_)
+              : part::multilevel_kl(ensure_dual().graph, p_, rng_);
       fine_new = pi.assign;
       if (carried) {
         part::Partition prev(p_, *carried);
         const auto remapped =
-            part::remap_to_minimize_migration(dual.graph, prev, pi);
+            part::remap_to_minimize_migration(ensure_dual().graph, prev, pi);
         report.migrated = count_moves(*carried, pi.assign);
         report.migrated_remapped = count_moves(*carried, remapped.assign);
         adopted = (strategy_ == Strategy::kRsbRemap ||
@@ -113,12 +154,12 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
     case Strategy::kMlDiffusion: {
       part::Partition pi =
           carried ? part::Partition(p_, *carried)
-                  : part::multilevel_kl(dual.graph, p_, rng_);
+                  : part::multilevel_kl(ensure_dual().graph, p_, rng_);
       if (carried) {
         if (strategy_ == Strategy::kDiffusion)
-          part::diffusion_rebalance(dual.graph, pi);
+          part::diffusion_rebalance(ensure_dual().graph, pi);
         else
-          part::multilevel_diffusion(dual.graph, pi, rng_);
+          part::multilevel_diffusion(ensure_dual().graph, pi, rng_);
         report.migrated = count_moves(*carried, pi.assign);
         report.migrated_remapped = report.migrated;  // already incremental
       }
@@ -127,24 +168,29 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
       break;
     }
     case Strategy::kPNR: {
-      const auto coarse = mesh::nested_dual_graph(mesh);
+      refresh_coarse_graph(mesh);
       if (first_) {
-        coarse_assign_ = pnr_.initial_partition(coarse, rng_).assign;
+        coarse_assign_ = pnr_.initial_partition(coarse_graph_, rng_).assign;
       } else {
         part::Partition current(p_, coarse_assign_);
-        coarse_assign_ = pnr_.repartition(coarse, current, rng_).assign;
+        coarse_assign_ = pnr_.repartition(coarse_graph_, current, rng_,
+                                          nullptr, &hier_cache_)
+                             .assign;
       }
       adopted = mesh::project_coarse_assignment(mesh, elems, coarse_assign_);
       fine_new = adopted;
       if (carried) {
         report.migrated = count_moves(*carried, adopted);
-        // The optimal relabeling is the identity for PNR (Figure 5): moves
-        // are already minimal, but we report it for completeness.
-        part::Partition prev(p_, *carried);
-        part::Partition next(p_, adopted);
-        const auto remapped =
-            part::remap_to_minimize_migration(dual.graph, prev, next);
-        report.migrated_remapped = count_moves(*carried, remapped.assign);
+        if (!defer_metrics_) {
+          // The optimal relabeling is the identity for PNR (Figure 5):
+          // moves are already minimal, but we report it for completeness.
+          part::Partition prev(p_, *carried);
+          part::Partition next(p_, adopted);
+          const auto remapped =
+              part::remap_to_minimize_migration(ensure_dual().graph, prev,
+                                                next);
+          report.migrated_remapped = count_moves(*carried, remapped.assign);
+        }
       }
       break;
     }
@@ -152,33 +198,43 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
 
   partition_span.reset();
 
-  PNR_PROF_SPAN("session.metrics");
-  part::Partition adopted_pi(p_, adopted);
-  report.cut_new = part::cut_size(dual.graph, part::Partition(p_, fine_new));
-  report.imbalance = part::imbalance(dual.graph, adopted_pi);
-  report.shared_vertices = mesh::shared_vertices(mesh, elems, adopted);
+  if (!defer_metrics_) {
+    PNR_PROF_SPAN("session.metrics");
+    part::Partition adopted_pi(p_, adopted);
+    report.cut_new =
+        part::cut_size(ensure_dual().graph, part::Partition(p_, fine_new));
+    report.imbalance = part::imbalance(ensure_dual().graph, adopted_pi);
+    report.shared_vertices = mesh::shared_vertices(mesh, elems, adopted);
+  }
   adopt(mesh, elems, adopted);
   first_ = false;
+  last_report_ = report;
+  last_had_carried_ = carried.has_value();
+  last_carried_ = carried ? std::move(*carried) : std::vector<part::PartId>{};
+  last_deferred_ = defer_metrics_;
+  last_adapt_version_ = mesh.adapt_version();
+  have_last_ = true;
   // Level-2 phase-boundary audit: the session is the one place that holds
   // every structure at once, so the full cross-structure contract (mesh ↔
   // refinement forest ↔ dual graph ↔ adopted partition) is checked here.
   if constexpr (check::kLevel >= 2) {
+    const auto& dg = ensure_dual().graph;
+    part::Partition adopted_pi(p_, adopted);
     check::enforce(check::check_mesh(mesh), "session.step");
-    check::enforce(check::check_graph(dual.graph), "session.step");
+    check::enforce(check::check_graph(dg), "session.step");
     check::enforce(check::check_forest(mesh, mesh::nested_dual_graph(mesh)),
                    "session.step");
-    check::enforce(check::check_partition(dual.graph, adopted_pi),
-                   "session.step");
+    check::enforce(check::check_partition(dg, adopted_pi), "session.step");
     // Determinism cross-check for the pnr::exec runtime: recompute the
     // pooled partition metrics inside a SerialRegion (forcing the inline
     // single-chunk path) and demand bitwise-equal results. Integer
     // reductions commute, so any difference is a runtime bug.
-    const part::Weight cut_par = part::cut_size(dual.graph, adopted_pi);
-    const auto weights_par = part::part_weights(dual.graph, adopted_pi);
+    const part::Weight cut_par = part::cut_size(dg, adopted_pi);
+    const auto weights_par = part::part_weights(dg, adopted_pi);
     {
       exec::SerialRegion serial;
-      const part::Weight cut_ser = part::cut_size(dual.graph, adopted_pi);
-      const auto weights_ser = part::part_weights(dual.graph, adopted_pi);
+      const part::Weight cut_ser = part::cut_size(dg, adopted_pi);
+      const auto weights_ser = part::part_weights(dg, adopted_pi);
       std::string violation;
       if (cut_par != cut_ser)
         violation = "parallel cut_size " + std::to_string(cut_par) +
@@ -188,6 +244,41 @@ StepReport Session<Mesh>::step(Mesh& mesh) {
       check::enforce_empty(violation, "session.step exec cross-check");
     }
   }
+  return report;
+}
+
+template <typename Mesh>
+StepReport Session<Mesh>::metrics(const Mesh& mesh) {
+  PNR_REQUIRE_MSG(have_last_, "metrics() before any step()");
+  PNR_REQUIRE_MSG(mesh.adapt_version() == last_adapt_version_,
+                  "mesh adapted since the last step; deferred metrics are "
+                  "unrecoverable");
+  if (!last_deferred_) return last_report_;
+  PNR_PROF_SPAN("session.metrics");
+  const auto elems = mesh.leaf_elements();
+  const auto dual = mesh::fine_dual_graph(mesh);
+  // Everything deferred is recomputable from the adopted tags: adoption
+  // only ever relabels the freshly computed Π̂, and cut, imbalance and
+  // shared vertices are invariant under subset relabeling.
+  std::vector<part::PartId> adopted(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i)
+    adopted[i] = mesh.tag(elems[i]);
+  part::Partition adopted_pi(p_, adopted);
+  StepReport report = last_report_;
+  if (last_had_carried_) {
+    part::Partition prev(p_, last_carried_);
+    report.cut_prev = part::cut_size(dual.graph, prev);
+    if (strategy_ == Strategy::kPNR) {
+      const auto remapped =
+          part::remap_to_minimize_migration(dual.graph, prev, adopted_pi);
+      report.migrated_remapped = count_moves(last_carried_, remapped.assign);
+    }
+  }
+  report.cut_new = part::cut_size(dual.graph, adopted_pi);
+  report.imbalance = part::imbalance(dual.graph, adopted_pi);
+  report.shared_vertices = mesh::shared_vertices(mesh, elems, adopted);
+  last_report_ = report;
+  last_deferred_ = false;  // cached: later calls return it directly
   return report;
 }
 

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "core/hierarchy_cache.hpp"
 #include "core/pnr.hpp"
 #include "mesh/dual.hpp"
 #include "mesh/metrics.hpp"
@@ -71,14 +72,53 @@ class Session {
   /// the element tags for the next step) and report the step's measures.
   StepReport step(Mesh& mesh);
 
+  /// Defer the fine-dual metrics tail of step(): with deferral on, step()
+  /// fills only `elements` and `migrated` (plus whatever the strategy
+  /// computes anyway) and leaves cut/imbalance/shared-vertices at zero until
+  /// metrics() asks for them. For PNR this removes the fine dual-graph build
+  /// from the steady-state step entirely — the strategy itself only touches
+  /// the persistent coarse graph.
+  void set_defer_metrics(bool defer) { defer_metrics_ = defer; }
+  bool defer_metrics() const { return defer_metrics_; }
+
+  /// The most recent step's full report, computing any deferred metrics on
+  /// demand (and caching them). The mesh must not have been adapted since
+  /// that step — the deferred quantities would be unrecoverable.
+  StepReport metrics(const Mesh& mesh);
+
+  /// True when metrics() is callable: at least one step has run and the
+  /// mesh has not been adapted since.
+  bool metrics_current(const Mesh& mesh) const {
+    return have_last_ && mesh.adapt_version() == last_adapt_version_;
+  }
+
  private:
+  /// Bring the persistent coarse dual graph up to date: apply the mesh's
+  /// weight delta in place, or rebuild from scratch on the first step /
+  /// after a drain-epoch gap.
+  void refresh_coarse_graph(Mesh& mesh);
+
   Strategy strategy_;
   part::PartId p_;
   util::Rng rng_;
   core::Pnr pnr_;
   bool first_ = true;
+  bool defer_metrics_ = false;
   /// PNR keeps its assignment on the (persistent) coarse vertices.
   std::vector<part::PartId> coarse_assign_;
+  /// Persistent repartition state (PNR only): G built once, weight-patched
+  /// per round; the contraction hierarchy cached across rounds.
+  graph::Graph coarse_graph_;
+  bool coarse_graph_valid_ = false;
+  std::uint64_t dual_epoch_ = 0;
+  core::HierarchyCache hier_cache_;
+  /// Deferred-metrics state for metrics().
+  StepReport last_report_;
+  std::vector<part::PartId> last_carried_;
+  bool last_had_carried_ = false;
+  bool last_deferred_ = false;
+  bool have_last_ = false;
+  std::uint64_t last_adapt_version_ = 0;
 };
 
 using Session2D = Session<mesh::TriMesh>;

@@ -1,8 +1,11 @@
 #include "partition/conn.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "graph/builder.hpp"
 #include "util/assert.hpp"
+#include "util/prof.hpp"
 
 namespace pnr::part {
 
@@ -54,6 +57,72 @@ void conn_apply_move(ConnTable& conn, const Graph& g, graph::VertexId v,
     conn.add(adj.nbrs[k], from, -adj.wgts[k]);
     conn.add(adj.nbrs[k], to, adj.wgts[k]);
   }
+}
+
+void QuotientGraph::build(const Graph& g, const std::vector<PartId>& assign,
+                          PartId num_parts) {
+  p_ = num_parts;
+  cross_.assign(static_cast<std::size_t>(p_) * static_cast<std::size_t>(p_),
+                0);
+  unit_valid_ = false;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const PartId pv = assign[static_cast<std::size_t>(v)];
+    const auto adj = g.adjacency(v);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const PartId pu = assign[static_cast<std::size_t>(adj.nbrs[k])];
+      if (adj.nbrs[k] > v && pu != pv) at(pv, pu) += adj.wgts[k];
+    }
+  }
+}
+
+void QuotientGraph::touch(PartId a, PartId b, Weight delta) {
+  Weight& w = at(a, b);
+  const bool was_zero = w == 0;
+  w += delta;
+  PNR_ASSERT(w >= 0);
+  if (was_zero != (w == 0)) unit_valid_ = false;  // adjacency pattern moved
+}
+
+void QuotientGraph::apply_move(const ConnTable& conn, graph::VertexId v,
+                               PartId from, PartId to) {
+  for (const ConnTable::Slot& s : conn.entries(v)) {
+    if (s.part == from) {
+      // v's edges into its old subset turn into cut between from and to.
+      touch(from, to, s.weight);
+    } else if (s.part == to) {
+      // Formerly cut edges into the destination become internal.
+      touch(from, to, -s.weight);
+    } else {
+      touch(from, s.part, -s.weight);
+      touch(to, s.part, s.weight);
+    }
+  }
+}
+
+const graph::Graph& QuotientGraph::unit_graph() {
+  if (!unit_valid_) {
+    graph::GraphBuilder builder(p_);
+    for (PartId a = 0; a < p_; ++a)
+      for (PartId b = static_cast<PartId>(a + 1); b < p_; ++b)
+        if (at(a, b) > 0) builder.add_edge(a, b, 1);
+    unit_ = builder.build();
+    unit_valid_ = true;
+    prof::count("rebalance.quotient_rebuilds", 1);
+  }
+  return unit_;
+}
+
+std::string QuotientGraph::violation(const Graph& g,
+                                     const Partition& pi) const {
+  QuotientGraph fresh;
+  fresh.build(g, pi.assign, pi.num_parts);
+  if (fresh.p_ != p_) return "quotient graph part count diverged";
+  for (PartId a = 0; a < p_; ++a)
+    for (PartId b = static_cast<PartId>(a + 1); b < p_; ++b)
+      if (fresh.cross(a, b) != cross(a, b))
+        return "quotient cut weight diverged from recompute for pair (" +
+               std::to_string(a) + "," + std::to_string(b) + ")";
+  return {};
 }
 
 }  // namespace pnr::part

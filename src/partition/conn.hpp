@@ -59,6 +59,9 @@ class ConnTable {
 
   bool empty() const { return offset_.empty(); }
 
+  /// Number of rows (vertices of the graph the table was built for).
+  std::size_t rows() const { return offset_.size(); }
+
  private:
   std::vector<std::int64_t> offset_;  ///< row start in pool_
   std::vector<std::int32_t> count_;   ///< live slots per row
@@ -72,6 +75,80 @@ class ConnTable {
 /// updated by the caller.
 void conn_apply_move(ConnTable& conn, const Graph& g, graph::VertexId v,
                      PartId from, PartId to);
+
+/// Incrementally maintained processor quotient graph: the dense p×p cut
+/// weight between every subset pair, kept exact under vertex moves straight
+/// from the mover's conn row (O(row) per move, vs. the O(E) full-graph scan
+/// of processor_graph). The rebalancer consumes only H's adjacency pattern
+/// (which neighbor pairs exist), so the unit-weight CSR it hands to Hu–Blake
+/// is rebuilt lazily and only when some pair crossed zero — by construction
+/// bit-identical to re-deriving H from scratch every sweep.
+class QuotientGraph {
+ public:
+  /// (Re)build the dense cut weights from scratch. O(E).
+  void build(const Graph& g, const std::vector<PartId>& assign,
+             PartId num_parts);
+
+  /// Account for moving v from `from` to `to`, reading v's conn row (which
+  /// the move itself never changes — it describes v's neighbors). Call once
+  /// per move, any time around the matching conn_apply_move.
+  void apply_move(const ConnTable& conn, graph::VertexId v, PartId from,
+                  PartId to);
+
+  /// Unit-weight processor connectivity graph (neighbors sorted, all edge
+  /// weights 1) for the Hu–Blake solve; cached while the adjacency pattern
+  /// is unchanged. Counts "rebalance.quotient_rebuilds" on each rebuild.
+  const graph::Graph& unit_graph();
+
+  /// Cut weight between subsets a and b (a != b).
+  Weight cross(PartId a, PartId b) const {
+    return a < b ? cross_[static_cast<std::size_t>(a) *
+                              static_cast<std::size_t>(p_) +
+                          static_cast<std::size_t>(b)]
+                 : cross_[static_cast<std::size_t>(b) *
+                              static_cast<std::size_t>(p_) +
+                          static_cast<std::size_t>(a)];
+  }
+
+  /// Empty string when the dense weights equal a from-scratch recompute for
+  /// the given assignment (level-2 audit), else the first violation.
+  std::string violation(const Graph& g, const Partition& pi) const;
+
+ private:
+  Weight& at(PartId a, PartId b) {
+    return a < b ? cross_[static_cast<std::size_t>(a) *
+                              static_cast<std::size_t>(p_) +
+                          static_cast<std::size_t>(b)]
+                 : cross_[static_cast<std::size_t>(b) *
+                              static_cast<std::size_t>(p_) +
+                          static_cast<std::size_t>(a)];
+  }
+  void touch(PartId a, PartId b, Weight delta);
+
+  PartId p_ = 0;
+  std::vector<Weight> cross_;  ///< upper triangle of the p×p cut matrix
+  graph::Graph unit_;
+  bool unit_valid_ = false;
+};
+
+/// Exact connectivity state handed along the rebalance → refine chain that
+/// the uncoarsening loop runs at every level. Both passes keep the conn
+/// table (and, when valid, the quotient graph) exact under every move they
+/// apply — rollbacks included — so the next pass in the chain adopts the
+/// state instead of re-scanning the graph. The owner must call invalidate()
+/// whenever the graph or the assignment changes outside those passes (e.g.
+/// when projecting to the next level).
+struct SharedConnState {
+  ConnTable conn;
+  QuotientGraph quotient;
+  bool conn_valid = false;
+  bool quotient_valid = false;
+
+  void invalidate() {
+    conn_valid = false;
+    quotient_valid = false;
+  }
+};
 
 /// Dense O(1) membership set over vertex ids with an iterable item list
 /// (swap-with-last removal; order is deterministic given the op sequence).

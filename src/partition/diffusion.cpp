@@ -29,22 +29,32 @@ graph::Graph processor_graph(const Graph& g, const Partition& pi) {
 
 std::vector<double> hu_blake_potentials(const graph::Graph& h,
                                         const std::vector<double>& load) {
-  const auto p = static_cast<std::size_t>(h.num_vertices());
-  PNR_REQUIRE(load.size() == p);
   // Hu–Blake uses the unweighted Laplacian of H; rebuild H with unit edge
   // weights so heavily-connected neighbors are not favored.
   graph::GraphBuilder builder(h.num_vertices());
   for (graph::VertexId v = 0; v < h.num_vertices(); ++v)
     for (graph::VertexId u : h.neighbors(v))
       if (u > v) builder.add_edge(v, u, 1);
-  const graph::Graph unit = builder.build();
+  return hu_blake_potentials_unit(builder.build(), load);
+}
 
-  std::vector<double> lambda(p, 0.0);
+std::vector<double> hu_blake_potentials_unit(const graph::Graph& unit,
+                                             const std::vector<double>& load) {
+  HuBlakeScratch scratch;
+  if (!hu_blake_potentials_unit(unit, load, scratch)) return {};
+  return std::move(scratch.lambda);
+}
+
+bool hu_blake_potentials_unit(const graph::Graph& unit,
+                              const std::vector<double>& load,
+                              HuBlakeScratch& scratch) {
+  const auto p = static_cast<std::size_t>(unit.num_vertices());
+  PNR_REQUIRE(load.size() == p);
+  scratch.lambda.assign(p, 0.0);
   const int iters =
-      graph::laplacian_solve_cg(unit, load, lambda, 1e-10,
-                                static_cast<int>(p) * 40 + 100);
-  if (iters < 0) return {};
-  return lambda;
+      graph::laplacian_solve_cg(unit, load, scratch.lambda, 1e-10,
+                                static_cast<int>(p) * 40 + 100, &scratch.cg);
+  return iters >= 0;
 }
 
 DiffusionResult diffusion_rebalance(const Graph& g, Partition& pi,

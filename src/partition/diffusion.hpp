@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/laplacian.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,25 @@ graph::Graph processor_graph(const Graph& g, const Partition& pi);
 /// Returns λ (empty on CG failure, e.g. disconnected H).
 std::vector<double> hu_blake_potentials(const graph::Graph& h,
                                         const std::vector<double>& load);
+
+/// Same solve for a caller who already holds the *unit-weight* connectivity
+/// graph (e.g. an incrementally maintained QuotientGraph), skipping the
+/// re-unitizing rebuild above.
+std::vector<double> hu_blake_potentials_unit(const graph::Graph& unit,
+                                             const std::vector<double>& load);
+
+/// Work vectors for the sweep-loop variant below.
+struct HuBlakeScratch {
+  std::vector<double> lambda;
+  graph::CgScratch cg;
+};
+
+/// Allocation-free variant for callers solving once per sweep: the result
+/// lands in scratch.lambda. Returns false when the solve fails (disconnected
+/// processor graph), in which case scratch.lambda is unspecified.
+bool hu_blake_potentials_unit(const graph::Graph& unit,
+                              const std::vector<double>& load,
+                              HuBlakeScratch& scratch);
 
 struct DiffusionOptions {
   int max_sweeps = 12;       ///< outer migrate-and-recompute iterations

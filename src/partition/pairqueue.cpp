@@ -1,5 +1,7 @@
 #include "partition/pairqueue.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace pnr::part {
@@ -13,7 +15,7 @@ PairQueueTable::PairQueueTable(PartId num_parts, graph::VertexId num_vertices)
 
 void PairQueueTable::sift_up(std::size_t i) {
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
+    const std::size_t parent = (i - 1) / kArity;
     if (!better(heap_[i], heap_[parent])) break;
     std::swap(heap_[i], heap_[parent]);
     pos_[slot(heap_[i].v, heap_[i].to)] = static_cast<std::int32_t>(i);
@@ -25,9 +27,10 @@ void PairQueueTable::sift_up(std::size_t i) {
 void PairQueueTable::sift_down(std::size_t i) {
   for (;;) {
     std::size_t best = i;
-    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
-    if (l < heap_.size() && better(heap_[l], heap_[best])) best = l;
-    if (r < heap_.size() && better(heap_[r], heap_[best])) best = r;
+    const std::size_t first = kArity * i + 1;
+    const std::size_t last = std::min(first + kArity, heap_.size());
+    for (std::size_t c = first; c < last; ++c)
+      if (better(heap_[c], heap_[best])) best = c;
     if (best == i) break;
     std::swap(heap_[i], heap_[best]);
     pos_[slot(heap_[i].v, heap_[i].to)] = static_cast<std::int32_t>(i);
@@ -96,7 +99,7 @@ std::string PairQueueTable::self_check() const {
     if (item.from < 0 || item.from >= p_ || item.to < 0 || item.to >= p_ ||
         item.from == item.to)
       return "heap entry " + std::to_string(i) + " has bad subset pair";
-    if (i > 0 && better(item, heap_[(i - 1) / 2]))
+    if (i > 0 && better(item, heap_[(i - 1) / kArity]))
       return "heap property violated at index " + std::to_string(i);
     if (pos_[slot(item.v, item.to)] != static_cast<std::int32_t>(i))
       return "position index stale for heap entry " + std::to_string(i);

@@ -5,7 +5,7 @@
 // candidate across the whole table.
 //
 // The paper sketches this as a p×p grid of queues; here all cells share one
-// *indexed* binary heap. The refiner only ever asks for the global best head,
+// *indexed* d-ary heap. The refiner only ever asks for the global best head,
 // so per-cell heaps would just turn every pop into an O(p²) scan of heads —
 // measured as the dominant queue cost once gains became exact. A candidate is
 // addressed by (vertex, to) and can be re-keyed or removed in place in
@@ -84,10 +84,17 @@ class PairQueueTable {
   }
 
   /// True iff a ranks strictly better than b (larger gain, earlier order).
+  /// This is a *total* order, so the pop sequence is independent of the
+  /// heap's internal shape — the arity below is a pure perf knob.
   static bool better(const Item& a, const Item& b) {
     if (a.gain != b.gain) return a.gain > b.gain;
     return a.order < b.order;
   }
+
+  /// 4-ary: half the sift depth of a binary heap, and the four children sit
+  /// in adjacent cache lines. Pops (full-depth sift_down) outnumber pushes
+  /// in the refiner's exact-gain mode, which is the trade d-ary heaps win.
+  static constexpr std::size_t kArity = 4;
 
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);

@@ -24,17 +24,33 @@ namespace {
 struct SweepState {
   std::vector<Weight> weights;
   std::vector<std::int64_t> counts;
-  std::vector<char> moved;
+  /// Sweep id of v's last move; "moved this sweep" is a stamp compare, so
+  /// starting a sweep costs O(1) instead of an O(n) refill.
+  std::vector<std::int32_t> moved_sweep;
+  std::int32_t sweep_id = 0;
   ConnTable conn;
-  VertexSet boundary;
+  /// Boundary vertices bucketed by their current subset: the candidate scan
+  /// for pair (i, j) walks only subset i's bucket. Membership moves with
+  /// the vertex; the outcome is unchanged because candidates are fully
+  /// sorted before use.
+  std::vector<VertexSet> boundary;
+  QuotientGraph quotient;
+  /// Per-sweep scratch, hoisted so the sweep loop is allocation-free.
+  std::vector<double> load;
+  HuBlakeScratch hu_blake;
 };
 
+/// Refresh v's membership in its *current* subset's bucket. A mover's old
+/// bucket is cleaned up at the move site (the only place a vertex changes
+/// buckets).
 void update_boundary(const Partition& pi, SweepState& state,
                      graph::VertexId v) {
-  if (state.conn.is_boundary(v, pi.assign[static_cast<std::size_t>(v)]))
-    state.boundary.insert(v);
+  const PartId own = pi.assign[static_cast<std::size_t>(v)];
+  auto& bucket = state.boundary[static_cast<std::size_t>(own)];
+  if (state.conn.is_boundary(v, own))
+    bucket.insert(v);
   else
-    state.boundary.erase(v);
+    bucket.erase(v);
 }
 
 std::int64_t run_sweep(const Graph& g, Partition& pi,
@@ -42,17 +58,28 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
                        const std::vector<Weight>& targets, SweepState& state,
                        Weight& weight_moved) {
   const auto p = static_cast<std::size_t>(pi.num_parts);
-  std::vector<double> load(p);
+  state.load.resize(p);
   for (std::size_t i = 0; i < p; ++i)
-    load[i] = static_cast<double>(state.weights[i]) -
-              static_cast<double>(targets[i]);
+    state.load[i] = static_cast<double>(state.weights[i]) -
+                    static_cast<double>(targets[i]);
 
-  const auto h = processor_graph(g, pi);
-  const auto lambda = hu_blake_potentials(h, load);
-  if (lambda.empty()) return 0;  // disconnected processor graph
+  // The incrementally maintained quotient graph replaces the per-sweep
+  // O(E) processor_graph scan; its unit CSR is cached across sweeps while
+  // the adjacency pattern holds.
+  const graph::Graph& h = state.quotient.unit_graph();
+  if (!hu_blake_potentials_unit(h, state.load, state.hu_blake))
+    return 0;  // disconnected processor graph
+  const std::vector<double>& lambda = state.hu_blake.lambda;
 
-  std::fill(state.moved.begin(), state.moved.end(), false);
+  ++state.sweep_id;
   std::int64_t moves = 0;
+
+  struct Cand {
+    double gain;
+    Weight w;
+    graph::VertexId v;
+  };
+  std::vector<Cand> cands;
 
   for (PartId i = 0; i < pi.num_parts; ++i) {
     for (const graph::VertexId j : h.neighbors(i)) {
@@ -61,17 +88,13 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
       if (flow <= 0.5) continue;
 
       // Candidates of subset i on the boundary with subset j, by gain. The
-      // boundary set iterates in history order; the total-order sort below
-      // makes the outcome independent of it.
-      struct Cand {
-        double gain;
-        Weight w;
-        graph::VertexId v;
-      };
-      std::vector<Cand> cands;
-      for (const graph::VertexId v : state.boundary.items()) {
+      // boundary bucket iterates in history order; the total-order sort
+      // below makes the outcome independent of it.
+      cands.clear();
+      for (const graph::VertexId v :
+           state.boundary[static_cast<std::size_t>(i)].items()) {
         const auto sv = static_cast<std::size_t>(v);
-        if (pi.assign[sv] != i || state.moved[sv]) continue;
+        if (state.moved_sweep[sv] == state.sweep_id) continue;
         const Weight to_j = state.conn.get(v, static_cast<PartId>(j));
         if (to_j == 0) continue;
         const Weight internal = state.conn.get(v, i);
@@ -93,11 +116,16 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
       auto apply = [&](const Cand& c) {
         const auto sv = static_cast<std::size_t>(c.v);
         pi.assign[sv] = static_cast<PartId>(j);
-        state.moved[sv] = true;
+        state.moved_sweep[sv] = state.sweep_id;
+        state.boundary[static_cast<std::size_t>(i)].erase(c.v);
         state.weights[static_cast<std::size_t>(i)] -= c.w;
         state.weights[static_cast<std::size_t>(j)] += c.w;
         --state.counts[static_cast<std::size_t>(i)];
         ++state.counts[static_cast<std::size_t>(j)];
+        // Before conn_apply_move: the quotient deltas read v's own row,
+        // which conn_apply_move never touches, but keeping this first makes
+        // the data dependency explicit.
+        state.quotient.apply_move(state.conn, c.v, i, static_cast<PartId>(j));
         conn_apply_move(state.conn, g, c.v, i, static_cast<PartId>(j));
         for (const graph::VertexId u : g.neighbors(c.v))
           update_boundary(pi, state, u);
@@ -152,18 +180,22 @@ std::int64_t run_sweep(const Graph& g, Partition& pi,
                std::to_string(v);
     if (state.conn.entries(v).size() != fresh.entries(v).size())
       return "conn row has phantom slots at vertex " + std::to_string(v);
-    if (state.boundary.contains(v) !=
-        fresh.is_boundary(v, pi.assign[static_cast<std::size_t>(v)]))
-      return "boundary set diverged from recompute at vertex " +
-             std::to_string(v);
+    const PartId own = pi.assign[static_cast<std::size_t>(v)];
+    for (PartId q = 0; q < pi.num_parts; ++q) {
+      const bool want = q == own && fresh.is_boundary(v, own);
+      if (state.boundary[static_cast<std::size_t>(q)].contains(v) != want)
+        return "boundary bucket diverged from recompute at vertex " +
+               std::to_string(v);
+    }
   }
-  return {};
+  return state.quotient.violation(g, pi);
 }
 
 }  // namespace
 
 RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
-                                 const RebalanceOptions& options) {
+                                 const RebalanceOptions& options,
+                                 SharedConnState* shared) {
   PNR_PROF_SPAN("rebalance.greedy");
   RebalanceResult result;
   const auto n = static_cast<std::size_t>(g.num_vertices());
@@ -185,9 +217,20 @@ RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
   state.weights = part_weights(g, pi);
   state.counts.assign(p, 0);
   for (const PartId q : pi.assign) ++state.counts[static_cast<std::size_t>(q)];
-  state.moved.assign(n, false);
-  state.conn.build(g, pi.assign, pi.num_parts);
-  state.boundary.reset(n);
+  state.moved_sweep.assign(n, 0);
+  state.sweep_id = 0;
+  if (shared && shared->conn_valid) {
+    PNR_ASSERT(shared->conn.rows() == n);
+    state.conn = std::move(shared->conn);
+  } else {
+    state.conn.build(g, pi.assign, pi.num_parts);
+  }
+  if (shared && shared->quotient_valid)
+    state.quotient = std::move(shared->quotient);
+  else
+    state.quotient.build(g, pi.assign, pi.num_parts);
+  state.boundary.resize(p);
+  for (auto& bucket : state.boundary) bucket.reset(n);
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
     update_boundary(pi, state, v);
 
@@ -218,6 +261,12 @@ RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
   if constexpr (check::kLevel >= 2)
     check::enforce_empty(sweep_state_violation(g, pi, state),
                          "rebalance.greedy");
+  if (shared) {
+    shared->conn = std::move(state.conn);
+    shared->quotient = std::move(state.quotient);
+    shared->conn_valid = true;
+    shared->quotient_valid = true;
+  }
   prof::count("rebalance.sweeps", sweeps);
   prof::count("rebalance.moves", result.moves);
   return result;

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "partition/conn.hpp"
 #include "partition/partition.hpp"
 
 namespace pnr::part {
@@ -31,7 +32,11 @@ struct RebalanceResult {
   bool balanced = false;  ///< all subsets within tolerance at exit
 };
 
+/// `shared`, when given, carries the exact conn table and quotient graph
+/// across the per-level rebalance → refine chain: valid state is adopted
+/// instead of rebuilt, and the (still exact) state is handed back on return.
 RebalanceResult rebalance_greedy(const Graph& g, Partition& pi,
-                                 const RebalanceOptions& options = {});
+                                 const RebalanceOptions& options = {},
+                                 SharedConnState* shared = nullptr);
 
 }  // namespace pnr::part

@@ -21,10 +21,12 @@ struct MoveRecord {
 
 class Refiner {
  public:
-  Refiner(const Graph& g, Partition& pi, const RefineOptions& opt)
+  Refiner(const Graph& g, Partition& pi, const RefineOptions& opt,
+          SharedConnState* shared)
       : g_(g),
         pi_(pi),
         opt_(opt),
+        shared_(shared),
         n_(static_cast<std::size_t>(g.num_vertices())),
         weights_(part_weights(g, pi)),
         locked_(n_, false),
@@ -55,10 +57,24 @@ class Refiner {
 
     count_.assign(np, 0);
     for (PartId p : pi_.assign) ++count_[static_cast<std::size_t>(p)];
-    // One-time conn build; kept exact by delta updates from here on.
+    // One-time conn build; kept exact by delta updates from here on. A
+    // carried table is NOT adopted here: its row slots sit in move order,
+    // and seeding pushes candidates in row order, so adopting would change
+    // the queue's FIFO tie-breaking — the build keeps refinement invariant
+    // of the chain. (The rebalancer reads rows only through get(), so the
+    // reverse hand-off below is order-insensitive and safe.)
     conn_.build(g_, pi_.assign, pi_.num_parts);
+    maintain_quotient_ = shared_ && shared_->quotient_valid;
     active_.reset(n_);
     for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) update_active(v);
+  }
+
+  /// Hand the (still exact) connectivity state back to the chain. Call once,
+  /// after run().
+  void release_shared() {
+    if (!shared_) return;
+    shared_->conn = std::move(conn_);
+    shared_->conn_valid = true;
   }
 
   RefineResult run() {
@@ -175,6 +191,9 @@ class Refiner {
   /// false) skip the queue, which is rebuilt at the next pass anyway.
   void apply_move(graph::VertexId v, PartId from, PartId to,
                   bool during_pass) {
+    // Reads v's own conn row, which the move leaves untouched (it describes
+    // v's neighbors) — rollback calls keep the quotient exact the same way.
+    if (maintain_quotient_) shared_->quotient.apply_move(conn_, v, from, to);
     pi_.assign[static_cast<std::size_t>(v)] = to;
     const Weight w = g_.vertex_weight(v);
     weights_[static_cast<std::size_t>(from)] -= w;
@@ -216,8 +235,10 @@ class Refiner {
     if constexpr (check::kLevel >= 2)
       check::enforce_empty(queue_.self_check(), "kl.refine/seed");
 
-    std::vector<MoveRecord> log;
-    std::vector<PairQueueTable::Entry> deferred;
+    std::vector<MoveRecord>& log = log_;
+    log.clear();
+    std::vector<PairQueueTable::Entry>& deferred = deferred_;
+    deferred.clear();
     double cum_gain = 0.0;
     double best_gain = 0.0;
     std::size_t best_prefix = 0;
@@ -236,7 +257,14 @@ class Refiner {
       // pass is over.
       if (!entry) break;
       const auto sv = static_cast<std::size_t>(entry->v);
-      PNR_ASSERT(!locked_[sv] && pi_.assign[sv] == entry->from);
+      // A locked vertex's remaining candidates are not removed when it
+      // locks — they surface here eventually and are skipped, which costs
+      // the same sift a removal would but is free for every entry still
+      // queued when the pass ends (clear() drops them wholesale). Skipping
+      // is side-effect-free, so the pop order of live entries — a total
+      // order on (gain, arrival) — is exactly that of eager removal.
+      if (locked_[sv]) continue;
+      PNR_ASSERT(pi_.assign[sv] == entry->from);
 
       double now = entry->gain;
       if (!exact) {
@@ -253,7 +281,6 @@ class Refiner {
         continue;
       }
 
-      queue_.remove_all(entry->v, entry->from);
       locked_[sv] = true;
       apply_move(entry->v, entry->from, entry->to, true);
       log.push_back({entry->v, entry->from, entry->to});
@@ -318,11 +345,16 @@ class Refiner {
     const auto fresh_weights = part_weights(g_, pi_);
     PNR_REQUIRE_MSG(weights_ == fresh_weights,
                     "subset weights diverged from recompute");
+    if (maintain_quotient_)
+      PNR_REQUIRE_MSG(shared_->quotient.violation(g_, pi_).empty(),
+                      "carried quotient graph diverged from recompute");
   }
 
   const Graph& g_;
   Partition& pi_;
   const RefineOptions& opt_;
+  SharedConnState* shared_;
+  bool maintain_quotient_ = false;
   std::size_t n_;
   std::vector<Weight> weights_;
   std::vector<std::int64_t> count_;
@@ -331,6 +363,8 @@ class Refiner {
   ConnTable conn_;
   VertexSet active_;
   std::vector<graph::VertexId> seed_order_;
+  std::vector<MoveRecord> log_;
+  std::vector<PairQueueTable::Entry> deferred_;
   std::vector<Weight> targets_;
   std::vector<Weight> caps_;
   std::int64_t abandon_after_ = 0;
@@ -339,11 +373,13 @@ class Refiner {
 }  // namespace
 
 RefineResult refine_partition(const Graph& g, Partition& pi,
-                              const RefineOptions& options) {
+                              const RefineOptions& options,
+                              SharedConnState* shared) {
   if (g.num_vertices() == 0) return {};
   PNR_PROF_SPAN("kl.refine");
-  Refiner refiner(g, pi, options);
+  Refiner refiner(g, pi, options, shared);
   const RefineResult result = refiner.run();
+  refiner.release_shared();
   // Per-pass statistics are accumulated inside the pass loop and emitted
   // once here so the hot path stays probe-free.
   prof::count("kl.passes", result.passes);

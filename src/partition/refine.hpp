@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "partition/conn.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
 
@@ -69,7 +70,12 @@ struct RefineResult {
   std::int64_t gain_recomputes = 0;   ///< on-pop gain recomputations (β > 0)
 };
 
+/// `shared`, when given, carries exact connectivity state along the
+/// per-level rebalance → refine chain: a valid conn table is adopted instead
+/// of rebuilt, a valid quotient graph is kept exact under every applied move
+/// (rollbacks included), and both are handed back still exact on return.
 RefineResult refine_partition(const Graph& g, Partition& pi,
-                              const RefineOptions& options);
+                              const RefineOptions& options,
+                              SharedConnState* shared = nullptr);
 
 }  // namespace pnr::part

@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "check/check.hpp"
+#include "core/hierarchy_cache.hpp"
 #include "graph/algorithms.hpp"
 #include "mesh/dual.hpp"
 #include "util/prof.hpp"
@@ -52,6 +53,9 @@ struct GraphState {
   util::Rng rng;
   core::RepartitionStats last_stats;
   bool has_stats = false;
+  /// Contraction hierarchy carried across repartition calls (the uploaded
+  /// graph's topology is fixed, so the cache stays warm for the session).
+  core::HierarchyCache cache;
 };
 
 using Body = std::variant<Transient2DState, Transient3DState, Corner2DState,
@@ -123,6 +127,16 @@ std::vector<part::PartId> leaf_assignment(const Mesh& mesh) {
   for (const mesh::ElemIdx e : mesh.leaf_elements())
     assign.push_back(mesh.tag(e));
   return assign;
+}
+
+/// Registry sessions defer the fine-dual metrics tail of step(): the step
+/// reply carries the cheap fields (elements, migrated), and kOpGetMetrics
+/// computes the rest on demand. get_metrics is not logged, so deferral is
+/// replay-neutral for checkpoints.
+template <typename S>
+S deferred(S session) {
+  session.set_defer_metrics(true);
+  return session;
 }
 
 bool is_mutating_op(std::uint16_t op) {
@@ -334,12 +348,12 @@ Reply Registry::op_create_workload(const Bytes& payload) {
   popt.alpha = spec->alpha;
   popt.beta = spec->beta;
   const auto session2d = [&] {
-    return pared::Session2D(spec->strategy, spec->parts, spec->session_seed,
-                            popt);
+    return deferred(pared::Session2D(spec->strategy, spec->parts,
+                                     spec->session_seed, popt));
   };
   const auto session3d = [&] {
-    return pared::Session3D(spec->strategy, spec->parts, spec->session_seed,
-                            popt);
+    return deferred(pared::Session3D(spec->strategy, spec->parts,
+                                     spec->session_seed, popt));
   };
 
   // A TransientRun refines toward its depth cap *inside its constructor*,
@@ -458,8 +472,8 @@ Reply Registry::op_create_mesh(const Bytes& payload) {
       return make_error(Err::kBadPayload, "parts exceeds element count");
     body.emplace(Mesh2DState{
         std::move(*mesh),
-        pared::Session2D(head->strategy, head->parts, head->session_seed,
-                         popt)});
+        deferred(pared::Session2D(head->strategy, head->parts,
+                                  head->session_seed, popt))});
   } else {
     auto mesh = build_tet_mesh(*flat, &why);
     if (!mesh) {
@@ -473,8 +487,8 @@ Reply Registry::op_create_mesh(const Bytes& payload) {
       return make_error(Err::kBadPayload, "parts exceeds element count");
     body.emplace(Mesh3DState{
         std::move(*mesh),
-        pared::Session3D(head->strategy, head->parts, head->session_seed,
-                         popt)});
+        deferred(pared::Session3D(head->strategy, head->parts,
+                                  head->session_seed, popt))});
   }
 
   auto st = std::make_unique<SessionState>(std::move(*body));
@@ -714,7 +728,8 @@ Reply Registry::op_repartition(const Bytes& payload) {
                       "repartition applies to graph sessions only");
 
   core::RepartitionStats stats;
-  s->partition = s->pnr.repartition(s->g, s->partition, s->rng, &stats);
+  s->partition =
+      s->pnr.repartition(s->g, s->partition, s->rng, &stats, &s->cache);
   s->last_stats = stats;
   s->has_stats = true;
   log_op(*st, kOpRepartition, payload);
@@ -736,6 +751,23 @@ Reply Registry::op_get_metrics(const Bytes& payload) {
     return make_error(Err::kBadPayload, "get_metrics expects {u32 session}");
   SessionState* st = find(*id);
   if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  // Settle any deferred step metrics now (and cache them in the session).
+  // After a post-step adaptation the deferred quantities are unrecoverable;
+  // the reply then carries the partial report unchanged.
+  std::visit(
+      [&](auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Mesh2DState> ||
+                      std::is_same_v<T, Mesh3DState>) {
+          if (s.session.metrics_current(s.mesh))
+            st->last_report = s.session.metrics(s.mesh);
+        } else if constexpr (!std::is_same_v<T, GraphState>) {
+          if (s.session.metrics_current(s.run.mesh()))
+            st->last_report = s.session.metrics(s.run.mesh());
+        }
+      },
+      st->body);
 
   par::Writer w;
   par::put_string(w, kind_name(st->body));

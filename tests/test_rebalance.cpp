@@ -5,6 +5,7 @@
 
 #include "graph/builder.hpp"
 #include "partition/rebalance.hpp"
+#include "util/rng.hpp"
 
 namespace pnr::part {
 namespace {
@@ -130,6 +131,84 @@ TEST(Rebalance, MigrationGainPrefersHomecoming) {
       displaced_restored +=
           pi.assign[static_cast<std::size_t>(j * 8 + i)] == 1;
   EXPECT_GT(displaced_restored, 8);
+}
+
+TEST(QuotientGraph, StaysExactUnderRandomMoves) {
+  const Graph g = grid_graph(12, 12);
+  const PartId p = 5;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  util::Rng rng(17);
+  Partition pi(p, std::vector<PartId>(n));
+  for (auto& a : pi.assign)
+    a = static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(p)));
+
+  ConnTable conn;
+  conn.build(g, pi.assign, p);
+  QuotientGraph quotient;
+  quotient.build(g, pi.assign, p);
+
+  for (int move = 0; move < 500; ++move) {
+    const auto v = static_cast<graph::VertexId>(rng.next_below(n));
+    const PartId from = pi.assign[static_cast<std::size_t>(v)];
+    PartId to =
+        static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(p)));
+    if (to == from) to = static_cast<PartId>((to + 1) % p);
+    quotient.apply_move(conn, v, from, to);
+    conn_apply_move(conn, g, v, from, to);
+    pi.assign[static_cast<std::size_t>(v)] = to;
+    if (move % 50 == 0) ASSERT_EQ(quotient.violation(g, pi), "");
+  }
+  EXPECT_EQ(quotient.violation(g, pi), "");
+
+  QuotientGraph fresh;
+  fresh.build(g, pi.assign, p);
+  for (PartId a = 0; a < p; ++a)
+    for (PartId b = static_cast<PartId>(a + 1); b < p; ++b)
+      EXPECT_EQ(quotient.cross(a, b), fresh.cross(a, b));
+  // The lazily rebuilt unit CSR (cached across zero-crossings) must equal a
+  // from-scratch derivation's adjacency pattern.
+  const graph::Graph& unit = quotient.unit_graph();
+  const graph::Graph& unit_fresh = fresh.unit_graph();
+  EXPECT_EQ(unit.xadj(), unit_fresh.xadj());
+  EXPECT_EQ(unit.adjncy(), unit_fresh.adjncy());
+}
+
+TEST(Rebalance, SharedStateAdoptedAndHandedBackExact) {
+  const Graph g = grid_graph(10, 10);
+  Partition pi(2, std::vector<PartId>(100));
+  for (int j = 0; j < 10; ++j)
+    for (int i = 0; i < 10; ++i)
+      pi.assign[static_cast<std::size_t>(j * 10 + i)] = i >= 7 ? 1 : 0;
+
+  SharedConnState chain;
+  RebalanceOptions opt;
+  opt.tol = 0.02;
+  const auto with_chain = rebalance_greedy(g, pi, opt, &chain);
+  EXPECT_TRUE(chain.conn_valid);
+  EXPECT_TRUE(chain.quotient_valid);
+  // The handed-back state is exact for the final assignment...
+  EXPECT_EQ(chain.quotient.violation(g, pi), "");
+  ConnTable fresh;
+  fresh.build(g, pi.assign, pi.num_parts);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(chain.conn.entries(v).size(), fresh.entries(v).size());
+    for (const ConnTable::Slot& s : fresh.entries(v))
+      EXPECT_EQ(chain.conn.get(v, s.part), s.weight);
+  }
+  // ...and the chained call produces the same partition as a cold one.
+  Partition pi_cold(2, std::vector<PartId>(100));
+  for (int j = 0; j < 10; ++j)
+    for (int i = 0; i < 10; ++i)
+      pi_cold.assign[static_cast<std::size_t>(j * 10 + i)] = i >= 7 ? 1 : 0;
+  const auto cold = rebalance_greedy(g, pi_cold, opt);
+  EXPECT_EQ(with_chain.moves, cold.moves);
+  EXPECT_EQ(pi.assign, pi_cold.assign);
+  // A second chained call adopts the carried state instead of rebuilding and
+  // must behave like a no-op on the already balanced partition.
+  const auto again = rebalance_greedy(g, pi, opt, &chain);
+  EXPECT_TRUE(again.balanced);
+  EXPECT_EQ(again.moves, 0);
+  EXPECT_EQ(chain.quotient.violation(g, pi), "");
 }
 
 }  // namespace

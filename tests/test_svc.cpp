@@ -573,15 +573,19 @@ TEST(SvcParity, Transient2DOverTheWireIsBitIdentical) {
   const WorkloadSpec spec = small_transient2d();
   constexpr int kSteps = 3;
 
-  // In-process reference.
+  // In-process reference, mirroring the registry's deferred-metrics setup:
+  // step reports carry only the cheap fields; metrics() settles the rest.
   std::vector<pared::StepReport> expected;
+  pared::StepReport expected_full;
   {
     pared::TransientRun run(spec.transient);
     pared::Session2D session(spec.strategy, spec.parts, spec.session_seed);
+    session.set_defer_metrics(true);
     for (int i = 0; i < kSteps; ++i) {
       run.advance();
       expected.push_back(session.step(run.mutable_mesh()));
     }
+    expected_full = session.metrics(run.mesh());
   }
 
   Server server;
@@ -603,6 +607,10 @@ TEST(SvcParity, Transient2DOverTheWireIsBitIdentical) {
   const auto metrics = client.get_metrics(created->session);
   ASSERT_TRUE(metrics);
   EXPECT_EQ(static_cast<std::int64_t>(assign->size()), metrics->elements);
+  // get_metrics settles the deferred quantities — bit-identical to the
+  // in-process session's metrics().
+  ASSERT_TRUE(metrics->last_report);
+  expect_report_eq(*metrics->last_report, expected_full);
   for (const auto p : *assign) {
     EXPECT_GE(p, 0);
     EXPECT_LT(p, spec.parts);
@@ -624,6 +632,7 @@ TEST(SvcParity, Transient3DOverTheWireIsBitIdentical) {
   {
     pared::TransientRun3D run(spec.transient);
     pared::Session3D session(spec.strategy, spec.parts, spec.session_seed);
+    session.set_defer_metrics(true);
     for (int i = 0; i < kSteps; ++i) {
       run.advance();
       expected.push_back(session.step(run.mutable_mesh()));
@@ -652,6 +661,7 @@ TEST(SvcParity, MlklRemapStrategyAlsoMatches) {
   {
     pared::TransientRun run(spec.transient);
     pared::Session2D session(spec.strategy, spec.parts, spec.session_seed);
+    session.set_defer_metrics(true);
     for (int i = 0; i < kSteps; ++i) {
       run.advance();
       expected.push_back(session.step(run.mutable_mesh()));
