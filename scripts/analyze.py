@@ -1,0 +1,714 @@
+#!/usr/bin/env python3
+"""pnr-lint stage 2: semantic checks over declarations and function bodies.
+
+Where scripts/lint.py greps single lines for conventions, this analyzer
+understands just enough structure — record members, function bodies, token
+streams — to enforce rules that need context:
+
+  unchecked-tryreader     an std::optional produced by a par::TryReader (a
+                          `r.get<T>()` call, or a decode helper taking the
+                          reader) is dereferenced with `*x` / `x->` before
+                          any null check. This is the hostile-reply bug
+                          class: TryReader exists precisely so truncated
+                          input yields nullopt instead of UB, and an
+                          unchecked deref reintroduces the UB.
+  unguarded-mutex-member  a record declares a raw std::mutex member (which
+                          cannot carry thread-safety annotations — use
+                          util::Mutex), or a util::Mutex member that no
+                          sibling field names in PNR_GUARDED_BY /
+                          PNR_PT_GUARDED_BY. A mutex that guards nothing
+                          visible is either dead weight or missing
+                          annotations.
+  ref-capture-in-submit   a lambda passed to a detached-task submit() has a
+                          by-reference capture (`[&]`, `[&x]`). Detached
+                          tasks outlive the enqueuing scope; references to
+                          locals or to non-atomic state dangle or race.
+                          Capture by value (or `this` plus lock-guarded
+                          state) instead.
+
+Two interchangeable frontends feed one rule engine:
+
+  * libclang (preferred): functions and records are discovered from the
+    AST via python3-clang + compile_commands.json (pass --compile-commands;
+    CMAKE_EXPORT_COMPILE_COMMANDS=ON writes it), so macros, templates and
+    odd formatting cannot fool the chunker. Token streams still come from
+    the raw lexer, so PNR_* annotation macros are visible pre-expansion.
+  * textual (fallback): a self-contained tokenizer + brace-matching
+    chunker. Used automatically when libclang is unavailable (the local
+    toolchain is GCC-only); CI runs the clang frontend.
+
+Both frontends produce the same IR, so scripts/test_analyze.py exercises
+the rules identically under either. A finding can be waived with a comment
+on the same or the preceding line, naming the rule:
+
+    std::mutex legacy_;  // pnr-analyze: allow(unguarded-mutex-member) why...
+
+Exit status: 0 clean, 1 findings, 2 usage/frontend failure. Default file
+set is src/ only (tests may legitimately ref-capture and join).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob as globmod
+import pathlib
+import re
+import sys
+from typing import NamedTuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from lint import strip_comments_and_strings  # noqa: E402  (stage-1 stripper)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXTS = {".hpp", ".cpp"}
+
+RULES = ("unchecked-tryreader", "unguarded-mutex-member",
+         "ref-capture-in-submit")
+
+WAIVER = re.compile(r"pnr-analyze:\s*allow\(([^)]*)\)")
+
+TOKEN = re.compile(
+    r"[A-Za-z_]\w*"          # identifier / keyword
+    r"|\d[\w.]*"             # number (good enough: never rule-relevant)
+    r"|::|->|\+\+|--|&&|\|\||==|!=|<=|>=|<<|>>"
+    r"|[-{}()\[\];:,<>.*&=!+/%^|~?#]")
+
+
+class Tok(NamedTuple):
+    text: str
+    line: int
+
+
+class Member(NamedTuple):
+    """One record field: its declaration tokens plus derived facts."""
+    tokens: tuple[Tok, ...]
+    name: str
+    line: int
+
+
+class Record(NamedTuple):
+    name: str
+    line: int
+    members: tuple[Member, ...]
+
+
+class Function(NamedTuple):
+    name: str
+    line: int
+    tokens: tuple[Tok, ...]  # body tokens, nested blocks flattened in order
+
+
+class FileIR(NamedTuple):
+    path: pathlib.Path
+    rel: str
+    tokens: tuple[Tok, ...]          # whole file (comments/strings stripped)
+    records: tuple[Record, ...]
+    functions: tuple[Function, ...]
+    waivers: dict[int, set[str]]     # line -> waived rule names
+
+
+class Finding(NamedTuple):
+    rel: str
+    line: int
+    rule: str
+    message: str
+
+
+# ---- tokenizing -------------------------------------------------------------
+
+
+def scan_waivers(lines: list[str]) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        m = WAIVER.search(raw)
+        if m:
+            waivers[lineno] = {r.strip() for r in m.group(1).split(",")}
+    return waivers
+
+
+def tokenize(text: str) -> list[Tok]:
+    tokens: list[Tok] = []
+    in_block = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        for m in TOKEN.finditer(code):
+            tokens.append(Tok(m.group(0), lineno))
+    return tokens
+
+
+def match_brace(tokens: list[Tok], open_idx: int) -> int:
+    """Index of the `}` matching tokens[open_idx] == `{` (len() if unclosed)."""
+    depth = 0
+    for i in range(open_idx, len(tokens)):
+        if tokens[i].text == "{":
+            depth += 1
+        elif tokens[i].text == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(tokens)
+
+
+def skip_template_args(tokens: list[Tok], i: int) -> int:
+    """With tokens[i] == `<`, return the index just past the matching close.
+    `>>` closes two levels (C++11). Gives up (returns i) on `;`/`{` — then it
+    was a comparison, not template args."""
+    depth = 0
+    j = i
+    while j < len(tokens):
+        t = tokens[j].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j + 1
+        elif t in (";", "{"):
+            return i
+        j += 1
+    return i
+
+
+# ---- textual frontend -------------------------------------------------------
+
+#: Tokens allowed between a function's `)` and its `{`: qualifiers, the
+#: ctor-init `:` (handled by paren skipping), trailing-return arrows, and
+#: annotation macros like PNR_EXCLUDES(...).
+_FN_TAIL_OK = {"const", "noexcept", "override", "final", "mutable", "try",
+               ":", "->", "::", "&", "&&", "*", "<", ">", ">>", ",", "="}
+
+
+def _find_function_bodies(tokens: list[Tok]) -> list[Function]:
+    """Heuristic chunker: IDENT (args) [tail] { body }. Nested bodies (and
+    lambdas) stay inside the enclosing chunk, which is what the rules want:
+    a lambda shares its enclosing function's locals."""
+    functions: list[Function] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text == "(" and i > 0 and re.fullmatch(
+                r"[A-Za-z_]\w*", tokens[i - 1].text):
+            name_tok = tokens[i - 1]
+            if name_tok.text in ("if", "while", "for", "switch", "return",
+                                 "catch", "sizeof", "alignof", "decltype"):
+                i += 1
+                continue
+            # Skip the parameter list.
+            depth = 0
+            j = i
+            while j < n:
+                if tokens[j].text == "(":
+                    depth += 1
+                elif tokens[j].text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            j += 1
+            # Walk the tail: qualifiers / macros / ctor-init until `{` or a
+            # token that proves this was not a function definition.
+            while j < n:
+                t = tokens[j].text
+                if t == "{":
+                    end = match_brace(tokens, j)
+                    functions.append(Function(
+                        name_tok.text, name_tok.line,
+                        tuple(tokens[j + 1:end])))
+                    i = end
+                    break
+                if t == "(":  # macro args / ctor-init initializer
+                    d = 0
+                    while j < n:
+                        if tokens[j].text == "(":
+                            d += 1
+                        elif tokens[j].text == ")":
+                            d -= 1
+                            if d == 0:
+                                break
+                        j += 1
+                    j += 1
+                    continue
+                if t in _FN_TAIL_OK or re.fullmatch(r"[A-Za-z_]\w*", t):
+                    j += 1
+                    continue
+                break  # `;`, `,`, ... — a declaration or an expression
+        i += 1
+    return functions
+
+
+def _parse_members(body: list[Tok]) -> list[Member]:
+    """Split a record body into member declarations. Nested records and
+    member-function bodies are skipped (brace groups not followed by `;`);
+    brace initializers (`{0}` followed by `;`) stay in the declaration."""
+    members: list[Member] = []
+    stmt: list[Tok] = []
+    i = 0
+    n = len(body)
+    while i < n:
+        t = body[i]
+        if t.text == "{":
+            end = match_brace(body, i)
+            if end + 1 < n and body[end + 1].text == ";":
+                members.append(_make_member(stmt, t.line))
+                stmt = []
+                i = end + 2
+            else:  # nested record / inline method body: not a data member
+                stmt = []
+                i = end + 1
+            continue
+        if t.text == ";":
+            if stmt:
+                members.append(_make_member(stmt, t.line))
+            stmt = []
+            i += 1
+            continue
+        stmt.append(t)
+        i += 1
+    return [m for m in members if m.tokens]
+
+
+def _make_member(stmt: list[Tok], endline: int) -> Member:
+    # The member name: the last identifier at paren/angle depth 0 that is
+    # not inside an annotation macro's argument list and not a type keyword.
+    name = ""
+    depth = 0
+    for i, t in enumerate(stmt):
+        if t.text in ("(", "[", "<"):
+            depth += 1
+        elif t.text in (")", "]", ">"):
+            depth -= 1
+        elif t.text == ">>":
+            depth -= 2
+        elif depth <= 0 and re.fullmatch(r"[A-Za-z_]\w*", t.text):
+            nxt = stmt[i + 1].text if i + 1 < len(stmt) else ";"
+            if t.text.startswith("PNR_"):
+                break  # annotations trail the declarator
+            if nxt in (";", "=", "{", "[") or (
+                    i + 1 == len(stmt)) or nxt.startswith("PNR_"):
+                name = t.text
+    line = stmt[0].line if stmt else endline
+    return Member(tuple(stmt), name, line)
+
+
+def _find_records(tokens: list[Tok]) -> list[Record]:
+    records: list[Record] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        if tokens[i].text in ("struct", "class"):
+            j = i + 1
+            name_parts: list[str] = []
+            while j < n and tokens[j].text not in ("{", ";", ":", "("):
+                name_parts.append(tokens[j].text)
+                j += 1
+            if j < n and tokens[j].text == ":":  # base clause
+                while j < n and tokens[j].text != "{":
+                    j += 1
+            if j < n and tokens[j].text == "{" and name_parts:
+                end = match_brace(tokens, j)
+                body = tokens[j + 1:end]
+                # Class-head attribute macros (PNR_CAPABILITY("x")) precede
+                # the name; the name is the last plain identifier.
+                idents = [p for p in name_parts
+                          if IDENT.match(p) and not p.startswith("PNR_")]
+                name = idents[-1] if idents else "".join(name_parts)
+                records.append(Record(name, tokens[i].line,
+                                      tuple(_parse_members(body))))
+                # Do not skip the body: nested records are found by the
+                # same scan.
+        i += 1
+    return records
+
+
+def build_ir_textual(path: pathlib.Path) -> FileIR:
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    tokens = tokenize(text)
+    rel = _rel(path)
+    return FileIR(path, rel, tuple(tokens), tuple(_find_records(tokens)),
+                  tuple(_find_function_bodies(tokens)), scan_waivers(lines))
+
+
+# ---- libclang frontend ------------------------------------------------------
+
+
+def load_libclang():
+    """Import clang.cindex and make sure the shared library resolves.
+    Returns the module or None."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None
+    try:
+        ci.Index.create()
+        return ci
+    except Exception:
+        pass
+    candidates = sorted(
+        globmod.glob("/usr/lib/llvm-*/lib/libclang*.so*")
+        + globmod.glob("/usr/lib/*/libclang*.so*"), reverse=True)
+    for lib in candidates:
+        try:
+            ci.Config.loaded = False
+            ci.Config.set_library_file(lib)
+            ci.Index.create()
+            return ci
+        except Exception:
+            continue
+    return None
+
+
+def _compile_args(ci, cc_path: pathlib.Path | None, path: pathlib.Path):
+    fallback = ["-std=c++20", "-xc++", f"-I{ROOT / 'src'}"]
+    if cc_path is None:
+        return fallback
+    try:
+        cdb = ci.CompilationDatabase.fromDirectory(str(cc_path.parent))
+        cmds = cdb.getCompileCommands(str(path))
+    except Exception:
+        return fallback
+    if not cmds:
+        return fallback
+    args = list(cmds[0].arguments)[1:]  # drop the compiler
+    out, skip = [], False
+    for a in args:
+        if skip:
+            skip = False
+            continue
+        if a in ("-c", str(path)) or a == path.name:
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        out.append(a)
+    return out
+
+
+_FN_KINDS = ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR", "DESTRUCTOR",
+             "FUNCTION_TEMPLATE", "CONVERSION_FUNCTION")
+_REC_KINDS = ("STRUCT_DECL", "CLASS_DECL", "CLASS_TEMPLATE")
+
+
+def build_ir_clang(path: pathlib.Path, ci,
+                   cc_path: pathlib.Path | None) -> FileIR:
+    index = ci.Index.create()
+    tu = index.parse(str(path), args=_compile_args(ci, cc_path, path))
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    functions: list[Function] = []
+    records: list[Record] = []
+
+    def toks(cursor) -> list[Tok]:
+        return [Tok(t.spelling, t.location.line)
+                for t in cursor.get_tokens()]
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or loc.file.name != str(path):
+                # Still descend: namespaces spanning includes etc.
+                if child.kind.name in ("NAMESPACE", "TRANSLATION_UNIT"):
+                    walk(child)
+                continue
+            kind = child.kind.name
+            if kind in _FN_KINDS and child.is_definition():
+                body = toks(child)
+                # Trim to the braces so parameters do not look like locals.
+                opens = [i for i, t in enumerate(body) if t.text == "{"]
+                if opens:
+                    body = body[opens[0] + 1:]
+                functions.append(Function(child.spelling, loc.line, tuple(body)))
+            elif kind in _REC_KINDS and child.is_definition():
+                body = toks(child)
+                opens = [i for i, t in enumerate(body) if t.text == "{"]
+                inner = body[opens[0] + 1:-1] if opens else []
+                records.append(Record(child.spelling, loc.line,
+                                      tuple(_parse_members(inner))))
+                walk(child)  # nested records and methods
+            else:
+                walk(child)
+
+    walk(tu.cursor)
+    return FileIR(path, _rel(path), tuple(tokenize(text)), tuple(records),
+                  tuple(functions), scan_waivers(lines))
+
+
+# ---- rules ------------------------------------------------------------------
+
+IDENT = re.compile(r"[A-Za-z_]\w*\Z")
+
+#: Tokens that may directly precede a unary `*` (deref) rather than a
+#: binary `*` (multiply).
+_DEREF_PRECEDERS = {"(", "=", ",", "return", "{", ";", "&&", "||", "!",
+                    "==", "!=", "<", ">", "<=", ">=", "+", "-", "[", ":",
+                    "?", "co_return"}
+
+_CHECK_MACROS = {"if", "while", "PNR_REQUIRE", "PNR_ASSERT", "PNR_CHECK"}
+
+
+def _is_checked_use(tokens: list[Tok], i: int) -> bool:
+    """tokens[i] is an optional-holding var: does this use test it?"""
+    prev = tokens[i - 1].text if i > 0 else ""
+    nxt = tokens[i + 1].text if i + 1 < len(tokens) else ""
+    nxt2 = tokens[i + 2].text if i + 2 < len(tokens) else ""
+    if prev == "!":
+        return True
+    if nxt in ("==", "!="):
+        return True
+    if nxt == "." and nxt2 in ("has_value", "value_or"):
+        return True
+    if nxt in ("&&", "||", "?"):
+        return True
+    if prev == "(" and i >= 2 and tokens[i - 2].text in _CHECK_MACROS \
+            and nxt in (")", "&&", "||"):
+        return True
+    return False
+
+
+def rule_unchecked_tryreader(ir: FileIR) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in ir.functions:
+        toks = list(fn.tokens)
+        readers: set[str] = set()
+        # TryReader declarations (locals and reference parameters are both
+        # introduced as `TryReader [&] name`; parameters live in the token
+        # stream of call sites inside the body only for locals, so also
+        # accept any `name.get<` where name was seen as a reader).
+        for i, t in enumerate(toks):
+            if t.text == "TryReader":
+                j = i + 1
+                while j < len(toks) and toks[j].text in ("&", "&&", "*",
+                                                         "const"):
+                    j += 1
+                if j < len(toks) and IDENT.match(toks[j].text):
+                    readers.add(toks[j].text)
+        pending: dict[str, int] = {}  # optional var -> decl line
+        checked: set[str] = set()
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            # Direct deref of a fresh reader call: `*r.get<T>()`.
+            if (t.text == "*" and i + 2 < len(toks)
+                    and toks[i + 1].text in readers
+                    and toks[i + 2].text == "."
+                    and (i == 0
+                         or toks[i - 1].text in _DEREF_PRECEDERS)):
+                findings.append(Finding(
+                    ir.rel, t.line, "unchecked-tryreader",
+                    "result of a TryReader accessor dereferenced directly; "
+                    "bind it and test for nullopt first"))
+                i += 3
+                continue
+            # New optional-producing declaration:
+            #   [const] auto NAME = r.get<...>(   or   NAME = helper(..r..)
+            if (IDENT.match(t.text) and i + 1 < len(toks)
+                    and toks[i + 1].text == "="
+                    and i >= 1 and toks[i - 1].text in ("auto", "&")
+                    or (IDENT.match(t.text) and i + 1 < len(toks)
+                        and toks[i + 1].text == "=" and i >= 2
+                        and toks[i - 1].text == ">"  # optional<T> name =
+                        )):
+                rhs_reads_reader = _rhs_uses_reader(toks, i + 2, readers)
+                if rhs_reads_reader:
+                    pending[t.text] = t.line
+                    checked.discard(t.text)
+            name = t.text
+            if name in pending:
+                prev = toks[i - 1].text if i > 0 else ""
+                nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+                deref = (nxt == "->"
+                         or (prev == "*" and (i < 2 or toks[i - 2].text
+                                              in _DEREF_PRECEDERS)))
+                if deref and name not in checked:
+                    findings.append(Finding(
+                        ir.rel, t.line, "unchecked-tryreader",
+                        f"optional '{name}' from a TryReader is "
+                        "dereferenced before any nullopt check"))
+                    checked.add(name)  # report once per variable
+                elif _is_checked_use(toks, i):
+                    checked.add(name)
+            i += 1
+    return findings
+
+
+def _rhs_uses_reader(toks: list[Tok], start: int, readers: set[str]) -> bool:
+    """True when the initializer starting at `start` calls into a reader:
+    `r.get<...>(...)` or `helper(r, ...)` up to the terminating `;`."""
+    depth = 0
+    j = start
+    while j < len(toks):
+        t = toks[j].text
+        if t == ";" and depth == 0:
+            return False
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif t in readers:
+            nxt = toks[j + 1].text if j + 1 < len(toks) else ""
+            if nxt == "." or (depth > 0 and nxt in (",", ")")):
+                return True
+        j += 1
+    return False
+
+
+_MUTEX_TYPES = {("std", "::", "mutex"): "raw",
+                ("util", "::", "Mutex"): "annotated",
+                ("Mutex",): "annotated"}
+
+
+def _member_mutex_kind(member: Member) -> str | None:
+    texts = [t.text for t in member.tokens]
+    for pattern, kind in _MUTEX_TYPES.items():
+        for i in range(len(texts) - len(pattern) + 1):
+            if tuple(texts[i:i + len(pattern)]) == pattern:
+                nxt = texts[i + len(pattern)] if i + len(pattern) < len(
+                    texts) else ""
+                if nxt in ("&", "&&", "*"):
+                    return None  # reference/pointer: not an owned mutex
+                return kind
+    return None
+
+
+def _guard_targets(member: Member) -> set[str]:
+    targets: set[str] = set()
+    texts = [t.text for t in member.tokens]
+    for i, t in enumerate(texts):
+        if t in ("PNR_GUARDED_BY", "PNR_PT_GUARDED_BY") \
+                and i + 2 < len(texts) and texts[i + 1] == "(":
+            targets.add(texts[i + 2])
+    return targets
+
+
+def rule_unguarded_mutex_member(ir: FileIR) -> list[Finding]:
+    findings: list[Finding] = []
+    for record in ir.records:
+        guarded_by: set[str] = set()
+        for member in record.members:
+            guarded_by |= _guard_targets(member)
+        for member in record.members:
+            kind = _member_mutex_kind(member)
+            if kind == "raw":
+                findings.append(Finding(
+                    ir.rel, member.line, "unguarded-mutex-member",
+                    f"'{record.name}::{member.name}' is a raw std::mutex, "
+                    "which cannot carry thread-safety annotations; use "
+                    "util::Mutex (util/mutex.hpp)"))
+            elif kind == "annotated" and member.name not in guarded_by:
+                findings.append(Finding(
+                    ir.rel, member.line, "unguarded-mutex-member",
+                    f"mutex '{record.name}::{member.name}' guards no "
+                    "sibling field — annotate the data it protects with "
+                    f"PNR_GUARDED_BY({member.name}) or waive with a "
+                    "justification"))
+    return findings
+
+
+def rule_ref_capture_in_submit(ir: FileIR) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = ir.tokens
+    for i, t in enumerate(toks):
+        if t.text != "submit":
+            continue
+        if i + 2 >= len(toks) or toks[i + 1].text != "(" \
+                or toks[i + 2].text != "[":
+            continue
+        j = i + 3
+        bad = None
+        while j < len(toks) and toks[j].text != "]":
+            if toks[j].text in ("&", "&&"):
+                nxt = toks[j + 1].text if j + 1 < len(toks) else "]"
+                bad = "&" + (nxt if IDENT.match(nxt) else "")
+                break
+            j += 1
+        if bad:
+            findings.append(Finding(
+                ir.rel, toks[i + 2].line, "ref-capture-in-submit",
+                f"detached-task lambda captures by reference ([{bad}...]); "
+                "the task outlives the enqueuing scope — capture by value "
+                "(or `this` and touch only lock-guarded/atomic state)"))
+    return findings
+
+
+def run_rules(ir: FileIR) -> list[Finding]:
+    findings = (rule_unchecked_tryreader(ir)
+                + rule_unguarded_mutex_member(ir)
+                + rule_ref_capture_in_submit(ir))
+    kept = []
+    for f in findings:
+        waived = (ir.waivers.get(f.line, set())
+                  | ir.waivers.get(f.line - 1, set()))
+        if f.rule in waived or "*" in waived:
+            continue
+        kept.append(f)
+    return kept
+
+
+# ---- driver -----------------------------------------------------------------
+
+
+def _rel(path: pathlib.Path) -> str:
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def analyze_file(path: pathlib.Path, ci, cc_path) -> list[Finding]:
+    if ci is not None:
+        ir = build_ir_clang(path, ci, cc_path)
+    else:
+        ir = build_ir_textual(path)
+    return run_rules(ir)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="files to analyze "
+                    "(default: all of src/)")
+    ap.add_argument("--compile-commands", type=pathlib.Path, default=None,
+                    help="path to compile_commands.json (libclang frontend)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "textual"),
+                    default="auto")
+    args = ap.parse_args(argv)
+
+    ci = None
+    if args.frontend in ("auto", "clang"):
+        ci = load_libclang()
+        if ci is None and args.frontend == "clang":
+            print("analyze: libclang requested but not available", file=sys.stderr)
+            return 2
+    if args.frontend == "textual":
+        ci = None
+
+    if args.files:
+        files = [pathlib.Path(f).resolve() for f in args.files]
+    else:
+        files = sorted(p for p in (ROOT / "src").rglob("*")
+                       if p.suffix in EXTS)
+
+    cc = args.compile_commands
+    if cc is None and (ROOT / "build" / "compile_commands.json").exists():
+        cc = ROOT / "build" / "compile_commands.json"
+
+    all_findings: list[Finding] = []
+    for path in files:
+        try:
+            all_findings.extend(analyze_file(path, ci, cc))
+        except UnicodeDecodeError:
+            all_findings.append(Finding(_rel(path), 1, "encoding",
+                                        "not valid UTF-8"))
+    for f in all_findings:
+        print(f"{f.rel}:{f.line}: {f.rule}: {f.message}")
+    frontend = "clang" if ci is not None else "textual"
+    print(f"analyze: {len(files)} files ({frontend} frontend), "
+          f"{len(all_findings)} finding(s)")
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

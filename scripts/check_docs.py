@@ -13,6 +13,10 @@ Three checks over every committed *.md file:
   3. Every committed BENCH_*.json at the repo root must have its "schema"
      string documented in docs/OBSERVABILITY.md, so a bench can't change
      its output format without the schema reference following.
+  4. Every committed script under scripts/ must be referenced from at
+     least one *.md file outside scripts/ (by its scripts/<name> path), so
+     tooling cannot be added without documenting what it is for and how to
+     run it.
 
 Run from anywhere inside the repo; paths resolve against the git root.
 Exit 0 = docs consistent, 1 = stale references (each printed), 2 = cannot
@@ -117,6 +121,21 @@ def check_bench_schemas(root, files, errors):
                 f"{f}: schema {schema!r} not documented in {obs_path}")
 
 
+def check_scripts_documented(root, files, errors):
+    docs = [f for f in files
+            if f.endswith(".md") and not f.startswith("scripts/")
+            and f != "ISSUE.md"]
+    corpus = "\n".join(
+        open(os.path.join(root, d), encoding="utf-8").read() for d in docs)
+    for f in sorted(files):
+        if not f.startswith("scripts/"):
+            continue
+        if f not in corpus:
+            errors.append(
+                f"{f}: not referenced from any doc — every script needs a "
+                "home in the documentation (what it checks, how to run it)")
+
+
 def main():
     root = git_root()
     files = set(committed_files(root))
@@ -127,6 +146,7 @@ def main():
                      if f.endswith(".md") and f != "ISSUE.md"):
         check_markdown(root, md, files, errors)
     check_bench_schemas(root, files, errors)
+    check_scripts_documented(root, files, errors)
     if errors:
         for e in errors:
             print(e, file=sys.stderr)

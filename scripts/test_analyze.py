@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Self-checks for scripts/analyze.py: every rule must fire on a seeded
+negative snippet and stay quiet on the matching clean version, and waiver
+comments must suppress exactly the named rule. The suite runs once per
+available frontend — always the textual fallback, plus the libclang
+frontend when python3-clang can load a libclang (the CI clang-analysis leg
+proves that path; GCC-only dev boxes prove the fallback).
+
+    python3 scripts/test_analyze.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+SCRIPT = os.path.join(SCRIPTS, "analyze.py")
+
+# Each snippet is a standalone translation unit: the libclang frontend
+# really parses them, so they must be valid C++ on their own.
+PRELUDE = """\
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <functional>
+
+#define PNR_GUARDED_BY(x)
+#define PNR_PT_GUARDED_BY(x)
+namespace util { using Mutex = std::mutex; }
+namespace par {
+struct TryReader {
+  explicit TryReader(int) {}
+  template <typename T> std::optional<T> get() { return T{}; }
+};
+}
+"""
+
+UNCHECKED_DEREF = PRELUDE + """
+std::uint32_t broken(int payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  return *id;  // seeded bug: no nullopt check
+}
+"""
+
+CHECKED_DEREF = PRELUDE + """
+std::uint32_t fine(int payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id) return 0;
+  return *id;
+}
+"""
+
+DIRECT_DEREF = PRELUDE + """
+std::uint32_t broken(int payload) {
+  par::TryReader r(payload);
+  return *r.get<std::uint32_t>();  // seeded bug: deref of the temporary
+}
+"""
+
+HELPER_DEREF = PRELUDE + """
+std::optional<int> decode_thing(par::TryReader& r) { return r.get<int>(); }
+int broken(int payload) {
+  par::TryReader r(payload);
+  const auto thing = decode_thing(r);
+  return thing->operator int();  // seeded bug: -> before any check
+}
+"""
+
+ARROW_CHECKED = PRELUDE + """
+std::optional<int> decode_thing(par::TryReader& r) { return r.get<int>(); }
+int fine(int payload) {
+  par::TryReader r(payload);
+  const auto thing = decode_thing(r);
+  if (!thing) return 0;
+  return *thing;
+}
+"""
+
+RAW_MUTEX_MEMBER = PRELUDE + """
+struct Queue {
+  std::mutex mutex;  // seeded bug: raw std::mutex member
+  std::deque<int> items PNR_GUARDED_BY(mutex);
+};
+"""
+
+UNGUARDED_MUTEX = PRELUDE + """
+struct Queue {
+  util::Mutex mutex;  // seeded bug: guards no sibling
+  std::deque<int> items;
+};
+"""
+
+GUARDED_MUTEX = PRELUDE + """
+struct Queue {
+  util::Mutex mutex;
+  std::deque<int> items PNR_GUARDED_BY(mutex);
+};
+"""
+
+WAIVED_MUTEX = PRELUDE + """
+struct Rendezvous {
+  // The guarded condition lives behind other locks.
+  // pnr-analyze: allow(unguarded-mutex-member)
+  util::Mutex mutex;
+};
+"""
+
+WAIVER_WRONG_RULE = PRELUDE + """
+struct Rendezvous {
+  // pnr-analyze: allow(ref-capture-in-submit)
+  util::Mutex mutex;  // waiver names another rule: must still fire
+};
+"""
+
+REF_CAPTURE = PRELUDE + """
+struct Pool { void submit(std::function<void()>) {} };
+void broken(Pool& pool) {
+  int local = 3;
+  pool.submit([&local] { (void)local; });  // seeded bug: dangling capture
+}
+"""
+
+DEFAULT_REF_CAPTURE = PRELUDE + """
+struct Pool { void submit(std::function<void()>) {} };
+void broken(Pool& pool) {
+  int local = 3;
+  pool.submit([&] { (void)local; });  // seeded bug: default ref capture
+}
+"""
+
+VALUE_CAPTURE = PRELUDE + """
+struct Pool { void submit(std::function<void()>) {} };
+struct Server {
+  Pool pool;
+  void kick(int s) { pool.submit([this, s] { (void)s; (void)this; }); }
+};
+"""
+
+CASES = [
+    # (name, source, rule expected to fire or None)
+    ("unchecked deref fires", UNCHECKED_DEREF, "unchecked-tryreader"),
+    ("checked deref is clean", CHECKED_DEREF, None),
+    ("direct temporary deref fires", DIRECT_DEREF, "unchecked-tryreader"),
+    ("helper-returned optional -> fires", HELPER_DEREF,
+     "unchecked-tryreader"),
+    ("helper-returned optional checked is clean", ARROW_CHECKED, None),
+    ("raw std::mutex member fires", RAW_MUTEX_MEMBER,
+     "unguarded-mutex-member"),
+    ("mutex guarding nothing fires", UNGUARDED_MUTEX,
+     "unguarded-mutex-member"),
+    ("guarded mutex is clean", GUARDED_MUTEX, None),
+    ("waiver comment suppresses", WAIVED_MUTEX, None),
+    ("waiver for another rule does not suppress", WAIVER_WRONG_RULE,
+     "unguarded-mutex-member"),
+    ("named ref capture in submit fires", REF_CAPTURE,
+     "ref-capture-in-submit"),
+    ("default ref capture in submit fires", DEFAULT_REF_CAPTURE,
+     "ref-capture-in-submit"),
+    ("value/this capture is clean", VALUE_CAPTURE, None),
+]
+
+
+def run_analyze(source: str, frontend: str):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "snippet.cpp")
+        with open(path, "w") as f:
+            f.write(source)
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--frontend", frontend, path],
+            capture_output=True, text=True)
+
+
+def check(name, ok, detail=""):
+    if not ok:
+        print(f"FAIL: {name}\n{detail}")
+        return 1
+    print(f"ok: {name}")
+    return 0
+
+
+def clang_available() -> bool:
+    sys.path.insert(0, SCRIPTS)
+    import analyze
+    return analyze.load_libclang() is not None
+
+
+def run_suite(frontend: str) -> int:
+    failures = 0
+    for name, source, rule in CASES:
+        r = run_analyze(source, frontend)
+        label = f"[{frontend}] {name}"
+        if rule is None:
+            failures += check(label, r.returncode == 0,
+                              r.stdout + r.stderr)
+        else:
+            failures += check(
+                label, r.returncode == 1 and rule in r.stdout,
+                r.stdout + r.stderr)
+    return failures
+
+
+def main():
+    failures = run_suite("textual")
+
+    if clang_available():
+        failures += run_suite("clang")
+    elif os.environ.get("PNR_REQUIRE_CLANG"):
+        print("FAIL: PNR_REQUIRE_CLANG is set but libclang is unavailable")
+        failures += 1
+    else:
+        print("note: libclang unavailable — clang frontend suite skipped "
+              "(CI's clang-analysis leg runs it)")
+
+    # The live tree must be clean: a rule that fires on checked-in code is
+    # either a real bug (fix it) or a bad rule (fix that).
+    r = subprocess.run([sys.executable, SCRIPT], capture_output=True,
+                       text=True)
+    failures += check("live src/ tree is clean", r.returncode == 0,
+                      r.stdout + r.stderr)
+
+    if failures:
+        print(f"{failures} analyze check(s) failed")
+        return 1
+    print("all analyze checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

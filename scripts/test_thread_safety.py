@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Self-check for the -Wthread-safety gate: prove the analysis actually
+fires on this repo's annotated lock types before trusting a clean build.
+
+A CI leg that compiles with -Wthread-safety -Werror proves nothing if the
+annotations never took effect (wrong macro guard, wrong flags, GCC
+silently accepting the attributes as no-ops). This script compiles two
+snippets against the real src/util/mutex.hpp with the same flags the
+clang-analysis leg uses:
+
+  * a seeded negative — a PNR_GUARDED_BY field written without its lock —
+    which MUST fail to compile with a thread-safety diagnostic;
+  * the locked version, which MUST compile clean.
+
+Needs clang++; on GCC-only machines it reports a skip and exits 0 (the CI
+clang-analysis leg is the enforcing run — set PNR_REQUIRE_CLANG=1 there so
+a missing compiler fails loudly instead of skipping).
+
+    python3 scripts/test_thread_safety.py
+"""
+
+import glob
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+NEGATIVE = """\
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+struct Account {
+  pnr::util::Mutex mutex;
+  int balance PNR_GUARDED_BY(mutex) = 0;
+
+  void deposit(int amount) {
+    balance += amount;  // seeded bug: guarded field, lock not held
+  }
+};
+"""
+
+POSITIVE = """\
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+struct Account {
+  pnr::util::Mutex mutex;
+  int balance PNR_GUARDED_BY(mutex) = 0;
+
+  void deposit(int amount) {
+    pnr::util::MutexLock lock(mutex);
+    balance += amount;
+  }
+};
+"""
+
+FLAGS = ["-std=c++20", "-fsyntax-only", f"-I{ROOT}/src",
+         "-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
+
+
+def find_clang():
+    for name in ["clang++"] + sorted(
+            (os.path.basename(p) for p in glob.glob("/usr/bin/clang++-*")),
+            reverse=True):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_snippet(clang, source):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "snippet.cpp")
+        with open(path, "w") as f:
+            f.write(source)
+        return subprocess.run([clang, *FLAGS, path],
+                              capture_output=True, text=True)
+
+
+def check(name, ok, detail=""):
+    if not ok:
+        print(f"FAIL: {name}\n{detail}")
+        return 1
+    print(f"ok: {name}")
+    return 0
+
+
+def main():
+    clang = find_clang()
+    if clang is None:
+        if os.environ.get("PNR_REQUIRE_CLANG"):
+            print("FAIL: PNR_REQUIRE_CLANG is set but no clang++ was found")
+            return 1
+        print("note: no clang++ on this machine — thread-safety self-test "
+              "skipped (the CI clang-analysis leg runs it)")
+        return 0
+
+    failures = 0
+    r = compile_snippet(clang, NEGATIVE)
+    failures += check(
+        "unlocked write to a guarded field fails to compile",
+        r.returncode != 0 and "-Wthread-safety" in r.stderr,
+        r.stderr)
+    r = compile_snippet(clang, POSITIVE)
+    failures += check("locked write compiles clean", r.returncode == 0,
+                      r.stderr)
+
+    if failures:
+        print(f"{failures} thread-safety check(s) failed")
+        return 1
+    print("all thread-safety checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

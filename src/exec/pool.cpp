@@ -27,6 +27,8 @@ std::uint64_t now_ns() {
 }
 
 int env_default_threads() {
+  // Read once at startup before any worker exists; nothing in-process
+  // calls setenv. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* s = std::getenv("PNR_THREADS");
   if (s == nullptr || *s == '\0') return 1;
   const int n = std::atoi(s);
@@ -63,33 +65,38 @@ Pool::Pool(int threads) : target_threads_(std::max(1, threads)) {}
 Pool::~Pool() { shutdown(); }
 
 void Pool::shutdown() {
-  // Region workers.
-  if (!workers_.empty()) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
+  // Region workers. Holding region_mutex_ here means teardown waits for an
+  // in-flight region to finish instead of racing it — the same serialization
+  // ensure_started() relies on when it reads workers_.
+  {
+    util::MutexLock region_guard(region_mutex_);
+    if (!workers_.empty()) {
+      {
+        util::MutexLock lock(mutex_);
+        stop_ = true;
+      }
+      work_cv_.notify_all();
+      for (std::thread& w : workers_) w.join();
+      workers_.clear();
+      util::MutexLock lock(mutex_);
+      stop_ = false;
     }
-    work_cv_.notify_all();
-    for (std::thread& w : workers_) w.join();
-    workers_.clear();
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = false;
   }
   // Detached-task workers: let the queue drain (tasks may chain more tasks;
-  // the predicate re-evaluates), then stop and join. The pool stays usable —
+  // the loop re-evaluates), then stop and join. The pool stays usable —
   // the next submit() respawns workers.
   std::vector<std::thread> taskers;
   {
-    std::unique_lock<std::mutex> lock(task_mutex_);
+    util::MutexLock lock(task_mutex_);
     if (task_workers_.empty()) return;
-    task_done_cv_.wait(
-        lock, [&] { return task_queue_.empty() && tasks_active_ == 0; });
+    while (!task_queue_.empty() || tasks_active_ != 0)
+      task_done_cv_.wait(task_mutex_);
     task_stop_ = true;
     taskers.swap(task_workers_);
   }
   task_cv_.notify_all();
   for (std::thread& t : taskers) t.join();
-  std::lock_guard<std::mutex> lock(task_mutex_);
+  util::MutexLock lock(task_mutex_);
   task_stop_ = false;
   task_idle_ = 0;
 }
@@ -105,10 +112,16 @@ void Pool::ensure_started() {
   // Capture the epoch at launch: after a shutdown()+restart the counter is
   // not zero, and a fresh worker assuming seen_epoch = 0 would "wake" into
   // a region that does not exist (stale chunk count, null region_fn_) and
-  // corrupt the workers_in_region_ accounting. epoch_ is stable here: it
-  // only changes under region_mutex_, which run() already holds.
+  // corrupt the workers_in_region_ accounting. epoch_ cannot advance here
+  // (it only changes under region_mutex_, which our caller run() holds),
+  // but it is guarded by mutex_, so read it under that lock.
+  std::uint64_t birth_epoch = 0;
+  {
+    util::MutexLock lock(mutex_);
+    birth_epoch = epoch_;
+  }
   for (int t = 0; t < target_threads_ - 1; ++t)
-    workers_.emplace_back([this, e = epoch_] { worker_main(e); });
+    workers_.emplace_back([this, birth_epoch] { worker_main(birth_epoch); });
 }
 
 std::uint64_t Pool::work_through(std::int64_t chunks,
@@ -127,7 +140,7 @@ std::uint64_t Pool::work_through(std::int64_t chunks,
         fn(c);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
       // Skip the remaining chunks; already-running ones finish normally.
       next_chunk_.store(chunks, std::memory_order_relaxed);
@@ -138,20 +151,24 @@ std::uint64_t Pool::work_through(std::int64_t chunks,
 
 void Pool::worker_main(std::uint64_t birth_epoch) {
   std::uint64_t seen_epoch = birth_epoch;
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-    if (stop_) return;
-    seen_epoch = epoch_;
-    const std::int64_t chunks = region_chunks_;
-    const auto* fn = region_fn_;
-    const bool measure = region_measure_;
-    lock.unlock();
+    std::int64_t chunks = 0;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    bool measure = false;
+    {
+      util::MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.wait(mutex_);
+      if (stop_) return;
+      seen_epoch = epoch_;
+      chunks = region_chunks_;
+      fn = region_fn_;
+      measure = region_measure_;
+    }
     t_in_worker = true;
     const std::uint64_t busy = work_through(chunks, *fn, measure);
     t_in_worker = false;
     if (busy > 0) busy_ns_.fetch_add(busy, std::memory_order_relaxed);
-    lock.lock();
+    util::MutexLock lock(mutex_);
     if (--workers_in_region_ == 0) done_cv_.notify_one();
   }
 }
@@ -161,13 +178,13 @@ void Pool::run(std::int64_t chunks,
   // One region at a time: concurrent callers (e.g. simulator ranks that did
   // not open a SerialRegion) queue here rather than corrupting the shared
   // region state.
-  std::lock_guard<std::mutex> region_guard(region_mutex_);
+  util::MutexLock region_guard(region_mutex_);
   ensure_started();
   const bool measure = prof::enabled();
   const std::uint64_t wall_start = measure ? now_ns() : 0;
   int participants = 1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     region_chunks_ = chunks;
     region_fn_ = &fn;
     region_measure_ = measure;
@@ -185,10 +202,10 @@ void Pool::run(std::int64_t chunks,
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     // Wait for every signalled worker to leave the region so the next
     // region (and the destruction of `fn`) cannot race a stale claim loop.
-    done_cv_.wait(lock, [&] { return workers_in_region_ == 0; });
+    while (workers_in_region_ != 0) done_cv_.wait(mutex_);
     region_fn_ = nullptr;
     error = error_;
     error_ = nullptr;
@@ -212,7 +229,7 @@ void Pool::run(std::int64_t chunks,
 
 void Pool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(task_mutex_);
+    util::MutexLock lock(task_mutex_);
     task_queue_.push_back(std::move(task));
     // Spawn another worker only when every existing one is busy and the
     // pool width allows it; a 1-thread pool still gets one task worker so
@@ -227,9 +244,9 @@ void Pool::submit(std::function<void()> task) {
 void Pool::wait_detached() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(task_mutex_);
-    task_done_cv_.wait(
-        lock, [&] { return task_queue_.empty() && tasks_active_ == 0; });
+    util::MutexLock lock(task_mutex_);
+    while (!task_queue_.empty() || tasks_active_ != 0)
+      task_done_cv_.wait(task_mutex_);
     error = task_error_;
     task_error_ = nullptr;
   }
@@ -237,26 +254,28 @@ void Pool::wait_detached() {
 }
 
 void Pool::task_worker_main() {
-  std::unique_lock<std::mutex> lock(task_mutex_);
   for (;;) {
-    ++task_idle_;
-    task_cv_.wait(lock, [&] { return task_stop_ || !task_queue_.empty(); });
-    --task_idle_;
-    if (task_stop_) return;
-    std::function<void()> task = std::move(task_queue_.front());
-    task_queue_.pop_front();
-    ++tasks_active_;
-    lock.unlock();
+    std::function<void()> task;
+    {
+      util::MutexLock lock(task_mutex_);
+      ++task_idle_;
+      while (!task_stop_ && task_queue_.empty()) task_cv_.wait(task_mutex_);
+      --task_idle_;
+      if (task_stop_) return;
+      task = std::move(task_queue_.front());
+      task_queue_.pop_front();
+      ++tasks_active_;
+    }
     t_in_worker = true;
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> elock(task_mutex_);
+      util::MutexLock elock(task_mutex_);
       if (!task_error_) task_error_ = std::current_exception();
     }
     t_in_worker = false;
     prof::count("exec.detached_tasks");
-    lock.lock();
+    util::MutexLock lock(task_mutex_);
     if (--tasks_active_ == 0 && task_queue_.empty())
       task_done_cv_.notify_all();
   }

@@ -28,18 +28,18 @@
 // processes, not a performance device).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pnr::exec {
 
@@ -89,10 +89,10 @@ class Pool {
 
   /// Join and discard the workers. The pool stays usable: the next parallel
   /// region lazily restarts them with the same thread count.
-  void shutdown();
+  void shutdown() PNR_EXCLUDES(region_mutex_);
 
   /// Change the thread count (joins current workers first).
-  void resize(int threads);
+  void resize(int threads) PNR_EXCLUDES(region_mutex_);
 
   /// True when parallel_* on this pool would run inline on the calling
   /// thread: a 1-thread pool, a nested call, or an open SerialRegion.
@@ -188,9 +188,10 @@ class Pool {
   /// Execute chunk_fn(c) for every c in [0, chunks) across the workers and
   /// the calling thread; blocks until all chunks ran and every signalled
   /// worker left the region. Rethrows the first stored exception.
-  void run(std::int64_t chunks, const std::function<void(std::int64_t)>& fn);
+  void run(std::int64_t chunks, const std::function<void(std::int64_t)>& fn)
+      PNR_EXCLUDES(region_mutex_);
 
-  void ensure_started();
+  void ensure_started() PNR_REQUIRES(region_mutex_);
   /// `birth_epoch` is the region epoch at launch time: a worker restarted
   /// after shutdown() must not treat the pool's accumulated epoch count as
   /// a pending region.
@@ -201,37 +202,49 @@ class Pool {
                              const std::function<void(std::int64_t)>& fn,
                              bool measure);
 
+  /// Written only by resize() between regions ("not safe concurrently with
+  /// running regions" is the documented contract); read lock-free by
+  /// num_threads()/serial()/submit().
   int target_threads_;
-  std::vector<std::thread> workers_;
 
-  std::mutex region_mutex_;  ///< serializes whole regions across callers
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< signals a new region (or stop)
-  std::condition_variable done_cv_;  ///< signals workers leaving the region
-  bool stop_ = false;
-  std::uint64_t epoch_ = 0;  ///< bumped per region; workers wait on it
-  std::int64_t region_chunks_ = 0;
-  const std::function<void(std::int64_t)>* region_fn_ = nullptr;
-  bool region_measure_ = false;
-  int workers_in_region_ = 0;
+  /// Region-lifecycle lock: held for a whole parallel region, and by
+  /// shutdown()/ensure_started() while spawning or joining the region
+  /// workers, so a region can never race worker teardown. Always acquired
+  /// before mutex_ (never the other way around — workers take only mutex_).
+  util::Mutex region_mutex_ PNR_ACQUIRED_BEFORE(mutex_);
+  std::vector<std::thread> workers_ PNR_GUARDED_BY(region_mutex_);
+
+  /// Region-state lock: everything the workers and the caller share while a
+  /// region runs.
+  util::Mutex mutex_;
+  util::CondVar work_cv_;  ///< signals a new region (or stop)
+  util::CondVar done_cv_;  ///< signals workers leaving the region
+  bool stop_ PNR_GUARDED_BY(mutex_) = false;
+  /// Bumped per region; workers wait on it.
+  std::uint64_t epoch_ PNR_GUARDED_BY(mutex_) = 0;
+  std::int64_t region_chunks_ PNR_GUARDED_BY(mutex_) = 0;
+  const std::function<void(std::int64_t)>* region_fn_
+      PNR_GUARDED_BY(mutex_) = nullptr;
+  bool region_measure_ PNR_GUARDED_BY(mutex_) = false;
+  int workers_in_region_ PNR_GUARDED_BY(mutex_) = 0;
   std::atomic<std::int64_t> next_chunk_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
-  std::exception_ptr error_;
+  std::exception_ptr error_ PNR_GUARDED_BY(mutex_);
 
   // Detached-task machinery (submit/wait_detached). Guarded by task_mutex_;
   // independent of the region state above so regions and tasks never
   // contend on one lock.
   void task_worker_main();
 
-  std::mutex task_mutex_;
-  std::condition_variable task_cv_;       ///< new task queued (or stop)
-  std::condition_variable task_done_cv_;  ///< queue drained and workers idle
-  std::vector<std::thread> task_workers_;
-  std::deque<std::function<void()>> task_queue_;
-  int task_idle_ = 0;     ///< task workers blocked waiting for work
-  int tasks_active_ = 0;  ///< tasks currently executing
-  bool task_stop_ = false;
-  std::exception_ptr task_error_;
+  util::Mutex task_mutex_;
+  util::CondVar task_cv_;       ///< new task queued (or stop)
+  util::CondVar task_done_cv_;  ///< queue drained and workers idle
+  std::vector<std::thread> task_workers_ PNR_GUARDED_BY(task_mutex_);
+  std::deque<std::function<void()>> task_queue_ PNR_GUARDED_BY(task_mutex_);
+  int task_idle_ PNR_GUARDED_BY(task_mutex_) = 0;      ///< blocked for work
+  int tasks_active_ PNR_GUARDED_BY(task_mutex_) = 0;   ///< executing now
+  bool task_stop_ PNR_GUARDED_BY(task_mutex_) = false;
+  std::exception_ptr task_error_ PNR_GUARDED_BY(task_mutex_);
 };
 
 /// The process-wide default pool every instrumented kernel uses. Sized on

@@ -5,13 +5,14 @@
 // all-reduce, gather and broadcast, mirroring the MPI subset PARED uses.
 // All traffic is counted so the benches can report logical message volume.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pnr::par {
 
@@ -75,23 +76,24 @@ class World {
   friend class Comm;
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
+    util::Mutex mutex;
+    util::CondVar cv;
     // (src, tag) -> FIFO queue
-    std::map<std::pair<int, int>, std::deque<Bytes>> queues;
+    std::map<std::pair<int, int>, std::deque<Bytes>> queues
+        PNR_GUARDED_BY(mutex);
   };
 
   void deliver(int dest, int src, int tag, Bytes data);
   Bytes take(int dest, int src, int tag);
-  void barrier_wait();
+  void barrier_wait() PNR_EXCLUDES(barrier_mutex_);
 
   int num_ranks_;
   std::vector<Mailbox> mailboxes_;
 
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_generation_ = 0;
+  util::Mutex barrier_mutex_;
+  util::CondVar barrier_cv_;
+  int barrier_count_ PNR_GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_generation_ PNR_GUARDED_BY(barrier_mutex_) = 0;
 
   std::int64_t total_bytes_ = 0;
   std::int64_t total_messages_ = 0;

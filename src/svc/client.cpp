@@ -38,6 +38,8 @@ bool Client::connect_unix(const std::string& path, std::string* error) {
   }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
+    // Single-threaded setup path (no syscall between errno and here).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (error) *error = std::strerror(errno);
     return false;
   }
@@ -45,6 +47,8 @@ bool Client::connect_unix(const std::string& path, std::string* error) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
+    // Single-threaded setup path (no syscall between errno and here).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (error) *error = std::strerror(errno);
     ::close(fd);
     return false;

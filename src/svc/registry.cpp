@@ -8,6 +8,7 @@
 #include "core/hierarchy_cache.hpp"
 #include "graph/algorithms.hpp"
 #include "mesh/dual.hpp"
+#include "util/mutex.hpp"
 #include "util/prof.hpp"
 
 namespace pnr::svc {
@@ -166,7 +167,9 @@ struct Registry::SessionState {
 
   /// Mid-restore marker: the session exists (its id is allocated, it counts
   /// toward max_sessions) but find() pretends it does not — except for the
-  /// restore replay itself — until the replay completes.
+  /// restore replay itself — until the replay completes. Guarded by the
+  /// owning Shard's mutex (a cross-object guard PNR_GUARDED_BY cannot
+  /// express); every read/write happens inside a shard-locked section.
   bool hidden = false;
   /// body_elements(body), maintained by every element-changing op so
   /// list_sessions can report sizes without touching a body that a shard
@@ -188,8 +191,9 @@ struct Registry::SessionState {
 /// only the map structure and the hidden flags — a session's body is owned
 /// by whichever single request is operating on it.
 struct Registry::Shard {
-  mutable std::mutex mutex;
-  std::map<std::uint32_t, std::unique_ptr<SessionState>> sessions;
+  mutable util::Mutex mutex;
+  std::map<std::uint32_t, std::unique_ptr<SessionState>> sessions
+      PNR_GUARDED_BY(mutex);
 };
 
 const char* op_span_name(std::uint16_t op) {
@@ -281,7 +285,7 @@ Registry::SessionState* Registry::find(std::uint32_t id) {
   // advance/adapt overflow path), and the concurrency contract allows at
   // most one in-flight request per session.
   Shard& sh = *shards_[static_cast<std::size_t>(shard_of(id))];
-  std::lock_guard<std::mutex> lock(sh.mutex);
+  util::MutexLock lock(sh.mutex);
   const auto it = sh.sessions.find(id);
   if (it == sh.sessions.end()) return nullptr;
   SessionState* st = it->second.get();
@@ -292,7 +296,7 @@ Registry::SessionState* Registry::find(std::uint32_t id) {
 
 bool Registry::erase_session(std::uint32_t id, bool even_hidden) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_of(id))];
-  std::lock_guard<std::mutex> lock(sh.mutex);
+  util::MutexLock lock(sh.mutex);
   const auto it = sh.sessions.find(id);
   if (it == sh.sessions.end()) return false;
   if (it->second->hidden && !even_hidden) return false;
@@ -324,7 +328,7 @@ std::uint32_t Registry::register_session(std::unique_ptr<SessionState> st) {
   st->cached_elements.store(body_elements(st->body),
                             std::memory_order_relaxed);
   Shard& sh = *shards_[static_cast<std::size_t>(shard_of(id))];
-  std::lock_guard<std::mutex> lock(sh.mutex);
+  util::MutexLock lock(sh.mutex);
   sh.sessions.emplace(id, std::move(st));
   num_sessions_.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -898,7 +902,7 @@ Reply Registry::op_restore(const Bytes& payload) {
   // Reveal: from here on every shard worker can reach the session.
   {
     Shard& sh = *shards_[static_cast<std::size_t>(shard_of(*new_id))];
-    std::lock_guard<std::mutex> lock(sh.mutex);
+    util::MutexLock lock(sh.mutex);
     sh.sessions.find(*new_id)->second->hidden = false;
   }
   restoring_id_.store(0, std::memory_order_relaxed);
@@ -937,7 +941,7 @@ Reply Registry::op_list_sessions(const Bytes& payload) {
   std::vector<Row> rows;
   rows.reserve(num_sessions());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     for (const auto& [id, st] : shard->sessions) {
       if (st->hidden) continue;
       rows.push_back({id, kind_name(st->body),

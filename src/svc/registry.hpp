@@ -32,13 +32,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "svc/codec.hpp"
 #include "svc/wire.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pnr::svc {
 
@@ -126,6 +126,8 @@ class Registry {
   std::uint32_t register_session(std::unique_ptr<SessionState> st);
 
   Limits limits_;
+  /// Immutable after the constructor (only the Shards' mutex-guarded
+  /// contents change); each Shard carries its own annotated lock.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint32_t next_id_ = 1;      ///< control-plane thread only
   bool hide_next_create_ = false;  ///< control-plane thread only (restore)

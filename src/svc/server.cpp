@@ -87,6 +87,8 @@ bool Server::listen_unix(const std::string& path, std::string* error) {
   }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
+    // Single-threaded setup path (no syscall between errno and here).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (error) *error = std::strerror(errno);
     return false;
   }
@@ -95,6 +97,8 @@ bool Server::listen_unix(const std::string& path, std::string* error) {
   ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(fd, 16) < 0 || !set_nonblocking(fd)) {
+    // Single-threaded setup path (no syscall between errno and here).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (error) *error = std::strerror(errno);
     ::close(fd);
     return false;
@@ -348,7 +352,7 @@ void Server::enqueue_request(Conn& conn, int s, std::uint16_t op,
   bool submit = false;
   std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.queue.push_back(Request{conn.id, op, std::move(payload)});
     depth = shard.queue.size();
     if (!shard.scheduled) {
@@ -368,7 +372,7 @@ void Server::drain_shard(int s) {
   for (;;) {
     Request req;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      util::MutexLock lock(shard.mutex);
       if (shard.queue.empty()) {
         // Clear-and-exit under the same lock as the enqueue check, so a
         // request arriving now either sees scheduled == true (this loop
@@ -388,15 +392,15 @@ void Server::drain_shard(int s) {
     post_completion(req.conn, encode_frame(reply.type, reply.payload));
   }
   // Tell a quiescing poll thread this shard went idle. Locking the mutex
-  // (without holding any shard lock) pairs with the wait's predicate check
-  // so the notification cannot slip between check and sleep.
-  std::lock_guard<std::mutex> lock(quiesce_mutex_);
+  // (without holding any shard lock) pairs with the wait's re-check so the
+  // notification cannot slip between check and sleep.
+  util::MutexLock lock(quiesce_mutex_);
   quiesce_cv_.notify_all();
 }
 
 void Server::post_completion(std::uint64_t conn_id, Bytes frame) {
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    util::MutexLock lock(completions_mutex_);
     completions_.push_back(Completion{conn_id, std::move(frame)});
   }
   // One byte wakes a blocked poll; EAGAIN means a wakeup is already
@@ -408,7 +412,7 @@ void Server::post_completion(std::uint64_t conn_id, Bytes frame) {
 std::vector<int> Server::deliver_completions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    util::MutexLock lock(completions_mutex_);
     batch.swap(completions_);
   }
   std::vector<int> touched;
@@ -446,14 +450,19 @@ int Server::drain_completions_and_service() {
 
 void Server::quiesce_shards() {
   if (threads_ == 0) return;
-  std::unique_lock<std::mutex> lock(quiesce_mutex_);
-  quiesce_cv_.wait(lock, [&] {
+  util::MutexLock lock(quiesce_mutex_);
+  for (;;) {
+    bool idle = true;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> g(shard->mutex);
-      if (shard->scheduled || !shard->queue.empty()) return false;
+      util::MutexLock g(shard->mutex);
+      if (shard->scheduled || !shard->queue.empty()) {
+        idle = false;
+        break;
+      }
     }
-    return true;
-  });
+    if (idle) return;
+    quiesce_cv_.wait(quiesce_mutex_);
+  }
 }
 
 }  // namespace pnr::svc

@@ -33,17 +33,17 @@
 // connection lives on. This file is the only place in the tree allowed to
 // make raw socket/poll syscalls (scripts/lint.py, rule raw-socket).
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "exec/pool.hpp"
 #include "svc/registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pnr::svc {
 
@@ -122,9 +122,9 @@ class Server {
   /// is pending or running for this shard; at most one runs at a time, so
   /// the per-session FIFO order is preserved.
   struct Shard {
-    std::mutex mutex;
-    std::deque<Request> queue;
-    bool scheduled = false;
+    util::Mutex mutex;
+    std::deque<Request> queue PNR_GUARDED_BY(mutex);
+    bool scheduled PNR_GUARDED_BY(mutex) = false;
   };
 
   void accept_ready();
@@ -159,18 +159,23 @@ class Server {
   /// Detached-task body: drain shard `s` FIFO until its queue is empty.
   void drain_shard(int s);
   /// Worker side: queue an encoded reply frame and wake the poll loop.
-  void post_completion(std::uint64_t conn_id, Bytes frame);
+  void post_completion(std::uint64_t conn_id, Bytes frame)
+      PNR_EXCLUDES(completions_mutex_);
   /// Poll side: move queued completions onto their connections' output
   /// buffers (dropping those whose connection is gone). Returns the fds
   /// that received replies.
-  std::vector<int> deliver_completions();
+  std::vector<int> deliver_completions() PNR_EXCLUDES(completions_mutex_);
   /// deliver_completions + flush/resume each touched connection. Returns
   /// the number of replies delivered.
   int drain_completions_and_service();
   /// Block until every shard queue is empty and no drain task is running.
   /// Poll thread only (nothing enqueues while it blocks here).
-  void quiesce_shards();
+  void quiesce_shards() PNR_EXCLUDES(quiesce_mutex_);
 
+  // Poll-thread-only state: the poll loop owns connections, fd bookkeeping
+  // and session-id allocation outright, so none of it needs a lock — shard
+  // workers communicate with it exclusively through the completions_ queue
+  // and the self-pipe below.
   ServerOptions options_;
   int threads_ = 0;
   Registry registry_;
@@ -182,12 +187,22 @@ class Server {
   bool shutdown_flagged_ = false;
 
   std::unique_ptr<exec::Pool> task_pool_;  ///< drain-task workers (sharded)
+  /// The shard vector itself is immutable after the constructor (only the
+  /// Shards' guarded contents change); each Shard's queue has its own lock.
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
+  /// Completion path: shard workers push encoded reply frames under
+  /// completions_mutex_, then poke the self-pipe; the poll thread swaps the
+  /// batch out under the same lock in deliver_completions().
+  util::Mutex completions_mutex_;
+  std::vector<Completion> completions_ PNR_GUARDED_BY(completions_mutex_);
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] worker side
-  std::mutex quiesce_mutex_;
-  std::condition_variable quiesce_cv_;
+  /// Shard-idle rendezvous for quiesce_shards(): drain tasks notify under
+  /// quiesce_mutex_ when their shard empties; the waiting poll thread
+  /// re-checks every shard queue (under the shard locks) on each wake. The
+  /// condition it guards is "all shard queues empty" — state owned by the
+  /// Shards' own locks, so no sibling field can name it.
+  util::Mutex quiesce_mutex_;  // pnr-analyze: allow(unguarded-mutex-member)
+  util::CondVar quiesce_cv_;
 };
 
 }  // namespace pnr::svc

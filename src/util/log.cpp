@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pnr::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+/// Serializes whole lines onto stderr; nothing else is guarded by it, so a
+/// bare capability (no GUARDED_BY siblings) is the honest annotation.
+Mutex g_mutex;
 const char* level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug: return "debug";
@@ -25,7 +29,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[pnr %s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <ostream>
 
 #include "util/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/table.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -27,10 +28,10 @@ struct SpanAgg {
 /// granularity, not per edge, so contention is negligible even with the
 /// simulator's ranks recording concurrently.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, SpanAgg> spans;
-  std::map<std::string, std::int64_t> counters;
-  std::map<std::string, std::int64_t> gauges;
+  util::Mutex mutex;
+  std::map<std::string, SpanAgg> spans PNR_GUARDED_BY(mutex);
+  std::map<std::string, std::int64_t> counters PNR_GUARDED_BY(mutex);
+  std::map<std::string, std::int64_t> gauges PNR_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -60,7 +61,7 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void reset() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   r.spans.clear();
   r.counters.clear();
   r.gauges.clear();
@@ -69,7 +70,7 @@ void reset() {
 Report snapshot() {
   Report out;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   out.spans.reserve(r.spans.size());
   for (const auto& [path, agg] : r.spans)
     out.spans.push_back({path, agg.calls, static_cast<double>(agg.ns) * 1e-9});
@@ -100,14 +101,14 @@ std::int64_t peak_rss_bytes() {
 void count(const char* name, std::int64_t delta) {
   if (!enabled()) return;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   r.counters[name] += delta;
 }
 
 void gauge_max(const char* name, std::int64_t value) {
   if (!enabled()) return;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   auto [it, inserted] = r.gauges.emplace(name, value);
   if (!inserted) it->second = std::max(it->second, value);
 }
@@ -127,7 +128,7 @@ Span::~Span() {
   const std::uint64_t elapsed = now_ns() - start_ns_;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    util::MutexLock lock(r.mutex);
     SpanAgg& agg = r.spans[t_path];
     ++agg.calls;
     agg.ns += elapsed;

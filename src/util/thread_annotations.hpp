@@ -1,0 +1,82 @@
+#pragma once
+// Clang Thread Safety Analysis annotations (docs/STATIC_ANALYSIS.md,
+// "Compiler-enforced lock discipline"). These macros let the *compiler*
+// prove the lock discipline that used to live in comments: every
+// mutex-guarded field names its mutex with PNR_GUARDED_BY, every function
+// that expects a lock held says so with PNR_REQUIRES, and Clang's
+// -Wthread-safety turns any mismatch into a build error on the
+// clang-analysis CI leg. The annotations mirror the paper's
+// correctness-by-construction framing: like the pnr::check validators,
+// they move an invariant ("incremental state equals rebuilt state" there,
+// "this field is only touched under this lock" here) from hope to a gate.
+//
+// Off Clang (GCC builds, which the default toolchain uses) every macro
+// expands to nothing, so the annotations are free and cannot change
+// behavior. The annotated pnr::util::Mutex / MutexLock / CondVar wrappers
+// in util/mutex.hpp are the intended way to consume these; annotating raw
+// std::mutex members does nothing because libstdc++'s lock types carry no
+// annotations themselves.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md for the full guide):
+//   * PNR_GUARDED_BY(mu) on a field: reads and writes require mu held.
+//   * PNR_PT_GUARDED_BY(mu) on a pointer field: the *pointee* requires mu.
+//   * PNR_REQUIRES(mu) on a function: callers must already hold mu.
+//   * PNR_ACQUIRE/PNR_RELEASE on a function: it takes/drops mu itself.
+//   * PNR_EXCLUDES(mu) on a function: callers must NOT hold mu (deadlock
+//     guard for functions that acquire mu internally).
+//   * PNR_NO_THREAD_SAFETY_ANALYSIS is the waiver of last resort; every
+//     use must carry a comment justifying why the analysis cannot see the
+//     discipline (and should name the lock that actually protects it).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PNR_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define PNR_THREAD_ANNOTATION_IMPL(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" is the conventional
+/// description string Clang prints in diagnostics).
+#define PNR_CAPABILITY(x) PNR_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PNR_SCOPED_CAPABILITY PNR_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Field annotation: access requires the named capability held.
+#define PNR_GUARDED_BY(x) PNR_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires the capability.
+#define PNR_PT_GUARDED_BY(x) PNR_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Lock-ordering hints for deadlock detection.
+#define PNR_ACQUIRED_BEFORE(...) \
+  PNR_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define PNR_ACQUIRED_AFTER(...) \
+  PNR_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+/// Function annotation: the caller must hold the capability on entry (and
+/// still holds it on exit).
+#define PNR_REQUIRES(...) \
+  PNR_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function annotations: the function itself acquires/releases.
+#define PNR_ACQUIRE(...) \
+  PNR_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define PNR_RELEASE(...) \
+  PNR_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define PNR_TRY_ACQUIRE(...) \
+  PNR_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability (the
+/// function acquires it itself; holding it on entry would deadlock).
+#define PNR_EXCLUDES(...) \
+  PNR_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the named capability (for accessor functions).
+#define PNR_RETURN_CAPABILITY(x) \
+  PNR_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Waiver of last resort: the function's locking is correct but outside
+/// what the analysis can express. Every use MUST carry a comment naming
+/// the discipline that actually protects it.
+#define PNR_NO_THREAD_SAFETY_ANALYSIS \
+  PNR_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
