@@ -8,16 +8,23 @@
 //                    [--strategy=pnr] [--parts=8] [--seed=1] [--steps=100]
 //                    [--grid-n=N] [--max-level=N] [--refine-threshold=X]
 //                    [--coarsen-threshold=X] [--tau=X] [--decay=X]
-//                    [--alpha=0.1] [--beta=0.8]
+//                    [--alpha=0.1] [--beta=0.8] [--engine=NAME]
 //   create-mesh      --mesh=BASENAME [--dim=2|3] [--strategy=..] [--parts=..]
+//                    [--engine=NAME]
 //                    (reads BASENAME.node/.ele — Triangle or TetGen format)
-//   create-graph     --graph=FILE [--parts=..]  (METIS format, PNR strategy)
+//   create-graph     --graph=FILE [--parts=..] [--engine=NAME]
+//                    (METIS format, PNR strategy)
 //   advance          --session=N [--count=1]
 //   step             --session=N [--count=1]
 //   run              --session=N --steps=K   (advance+step per time step,
 //                    printing one StepReport line per step)
-//   repartition      --session=N
+//   repartition      --session=N [--engine=NAME]
 //   metrics          --session=N
+//
+// --engine selects the repartitioner backend per request: mlkl, sfc-morton,
+// sfc-hilbert, rib, or default (the server's --default-engine). The
+// geometric engines on graph sessions need a mesh-derived coordinate block,
+// which the METIS reader cannot supply — use workload/mesh sessions there.
 //   assignment       --session=N [--out=FILE]
 //   checkpoint       --session=N --out=FILE
 //   restore          --in=FILE
@@ -30,6 +37,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/engine.hpp"
 #include "graph/io.hpp"
 #include "mesh/io.hpp"
 #include "svc/client.hpp"
@@ -59,6 +67,24 @@ int fail(const svc::Client& client, const char* what) {
     std::fprintf(stderr, "pnr_client: %s: %s: %s\n", what,
                  svc::err_name(e.code), e.detail.c_str());
   return 1;
+}
+
+/// --engine flag -> wire byte ("default" = let the server choose).
+std::optional<std::uint8_t> engine_from_flags(const util::Cli& cli) {
+  const std::string name = cli.get("engine", "default");
+  if (name == "default") return svc::kEngineDefault;
+  engine::Kind kind;
+  if (!engine::parse_kind(name, kind)) {
+    std::fprintf(stderr, "pnr_client: unknown engine '%s'\n", name.c_str());
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(kind);
+}
+
+const char* engine_label(std::uint8_t wire) {
+  return wire == svc::kEngineDefault
+             ? "default"
+             : engine::kind_name(static_cast<engine::Kind>(wire));
 }
 
 std::optional<svc::WorkloadSpec> spec_from_flags(const util::Cli& cli) {
@@ -98,6 +124,9 @@ std::optional<svc::WorkloadSpec> spec_from_flags(const util::Cli& cli) {
   spec.corner_grid_n = cli.get_int("grid-n", 0);
   spec.alpha = cli.get_double("alpha", spec.alpha);
   spec.beta = cli.get_double("beta", spec.beta);
+  const auto eng = engine_from_flags(cli);
+  if (!eng) return std::nullopt;
+  spec.engine = *eng;
   return spec;
 }
 
@@ -113,6 +142,9 @@ std::optional<svc::CreateHead> head_from_flags(const util::Cli& cli) {
   head.session_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   head.alpha = cli.get_double("alpha", head.alpha);
   head.beta = cli.get_double("beta", head.beta);
+  const auto eng = engine_from_flags(cli);
+  if (!eng) return std::nullopt;
+  head.engine = *eng;
   return head;
 }
 
@@ -234,24 +266,28 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cmd == "repartition") {
-    const auto info = client.repartition(session);
+    const auto eng = engine_from_flags(cli);
+    if (!eng) return 2;
+    const auto info = client.repartition(session, *eng);
     if (!info) return fail(client, "repartition");
     std::printf(
         "cut_before=%lld cut_after=%lld migrate=%lld imbalance_before=%.6f "
-        "imbalance_after=%.6f levels=%d\n",
+        "imbalance_after=%.6f levels=%d engine=%s\n",
         static_cast<long long>(info->cut_before),
         static_cast<long long>(info->cut_after),
         static_cast<long long>(info->migrate), info->imbalance_before,
-        info->imbalance_after, info->levels);
+        info->imbalance_after, info->levels, engine_label(info->engine));
     return 0;
   }
   if (cmd == "metrics") {
     const auto m = client.get_metrics(session);
     if (!m) return fail(client, "metrics");
-    std::printf("kind=%s strategy=%s parts=%d elements=%lld ops=%lld\n",
-                m->kind.c_str(), pared::strategy_name(m->strategy), m->parts,
-                static_cast<long long>(m->elements),
-                static_cast<long long>(m->ops_applied));
+    std::printf(
+        "kind=%s strategy=%s engine=%s parts=%d elements=%lld ops=%lld\n",
+        m->kind.c_str(), pared::strategy_name(m->strategy),
+        engine_label(m->engine), m->parts,
+        static_cast<long long>(m->elements),
+        static_cast<long long>(m->ops_applied));
     if (m->last_report) print_report(m->ops_applied, *m->last_report);
     return 0;
   }

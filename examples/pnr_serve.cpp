@@ -5,16 +5,20 @@
 //
 //   pnr_serve --socket=/tmp/pnr.sock [--max-sessions=64] [--max-elements=N]
 //             [--max-frame-mb=64] [--max-parts=1024] [--shards=N]
-//             [--threads=N] [--prof]
+//             [--threads=N] [--default-engine=mlkl] [--prof]
 //
 // --shards=N runs the sharded server: N session shards drained by N worker
 // threads (docs/SERVICE.md, "Sharding"); 0 (the default) is the serial
 // poll-thread server. --threads=N sizes the default pnr::exec pool used by
 // the kernels inside each request, independent of --shards.
+// --default-engine names the repartitioner backend (mlkl, sfc-morton,
+// sfc-hilbert, rib) substituted when a create or repartition request
+// carries the "server default" engine byte (docs/SERVICE.md, "Engines").
 
 #include <cstdio>
 #include <iostream>
 
+#include "engine/engine.hpp"
 #include "exec/pool.hpp"
 #include "svc/server.hpp"
 #include "util/cli.hpp"
@@ -28,7 +32,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pnr_serve --socket=PATH [--max-sessions=N] "
                  "[--max-elements=N] [--max-frame-mb=N] [--max-parts=N] "
-                 "[--shards=N] [--threads=N] [--prof]\n");
+                 "[--shards=N] [--threads=N] [--default-engine=NAME] "
+                 "[--prof]\n");
     return 2;
   }
   if (const int threads = cli.get_int("threads", 0); threads > 0)
@@ -44,6 +49,15 @@ int main(int argc, char** argv) {
       cli.get_int("max-elements",
                   static_cast<int>(options.limits.max_elements));
   options.limits.max_parts = cli.get_int("max-parts", 1024);
+  if (const std::string name = cli.get("default-engine", "mlkl");
+      !name.empty()) {
+    engine::Kind kind;
+    if (!engine::parse_kind(name, kind)) {
+      std::fprintf(stderr, "pnr_serve: unknown engine '%s'\n", name.c_str());
+      return 2;
+    }
+    options.limits.default_engine = static_cast<std::uint8_t>(kind);
+  }
   options.threads = cli.get_int("shards", 0);
 
   svc::Server server(options);

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Gate a freshly-run BENCH_engines.json (schema pnr.bench_engines.v1) in CI.
+
+    python3 scripts/engine_gate.py BASELINE.json CURRENT.json
+        [--cut-factor=2.5] [--migrate-factor=3.0]
+        [--min-sfc-speedup=5.0] [--max-imbalance=0.15]
+
+Checks, in severity order:
+
+  1. Determinism (hard): CURRENT's "deterministic" flag must be true — the
+     benchmark sets it false (and exits 2 itself) when any engine's
+     assignment-trajectory fingerprint differs across exec thread counts.
+  2. Quality bounds vs the MLKL baseline engine, per workload (hard, but
+     intra-run so machine-independent): every engine's mean cut must stay
+     within --cut-factor of MLKL's, its total migration within
+     --migrate-factor of MLKL's, and its worst imbalance under
+     --max-imbalance. The factors are deliberately loose: the geometric
+     engines trade cut/migration quality for planning speed, and only a
+     real regression — a broken curve order, a lost remap — can trip them.
+  3. SFC planning speed (hard, intra-run): both SFC engines must plan at
+     least --min-sfc-speedup times faster than MLKL at the first sweep
+     width. Near-free planning is the entire reason the SFC backends exist.
+
+The per-engine fingerprints are diffed against BASELINE when both runs used
+the same mode; a mismatch is printed as information (compilers may contract
+floating point differently across machines), never gated. Exit 0 = pass,
+1 = gate tripped, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: {e}")
+    schema = doc.get("schema", "")
+    if not schema.startswith("pnr.bench_engines."):
+        sys.exit(f"{path}: unexpected schema {schema!r}")
+    return doc
+
+
+def engines_of(workload):
+    return {e.get("engine", "?"): e for e in workload.get("engines", [])}
+
+
+def first_width_seconds(entry):
+    cells = entry.get("cells", [])
+    if not cells:
+        return 0.0
+    return float(cells[0].get("planning_seconds", 0.0))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--cut-factor", type=float, default=2.5,
+                        help="max mean cut relative to MLKL")
+    parser.add_argument("--migrate-factor", type=float, default=3.0,
+                        help="max total migration relative to MLKL")
+    parser.add_argument("--min-sfc-speedup", type=float, default=5.0,
+                        help="min SFC planning speedup over MLKL")
+    parser.add_argument("--max-imbalance", type=float, default=0.15,
+                        help="max per-engine worst-step imbalance")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    if current.get("schema") != "pnr.bench_engines.v1":
+        sys.exit(f"{args.current}: expected schema pnr.bench_engines.v1")
+    failed = False
+    if not current.get("deterministic", False):
+        print("FAIL: engine fingerprints differ across thread counts",
+              file=sys.stderr)
+        return 1
+
+    baseline_workloads = {w.get("name"): w
+                          for w in baseline.get("workloads", [])}
+    same_mode = baseline.get("mode") == current.get("mode")
+
+    for workload in current.get("workloads", []):
+        name = workload.get("name", "?")
+        engines = engines_of(workload)
+        mlkl = engines.get("mlkl")
+        if mlkl is None:
+            print(f"FAIL: {name}: no mlkl baseline engine", file=sys.stderr)
+            failed = True
+            continue
+        mlkl_cut = float(mlkl.get("cut_mean", 0.0))
+        mlkl_migrate = float(mlkl.get("migrate_total", 0))
+        mlkl_plan = first_width_seconds(mlkl)
+        print(f"-- {name}")
+        for engine, entry in engines.items():
+            cut = float(entry.get("cut_mean", 0.0))
+            migrate = float(entry.get("migrate_total", 0))
+            imbalance = float(entry.get("imbalance_max", 0.0))
+            plan = first_width_seconds(entry)
+            speedup = mlkl_plan / plan if plan > 0 else 0.0
+            print(f"  {engine:>12}  plan {plan * 1e3:8.2f} ms "
+                  f"({speedup:5.1f}x mlkl)  cut {cut:8.1f}  "
+                  f"migrated {migrate:10.0f}  imb {imbalance:.3f}")
+            if mlkl_cut > 0 and cut > mlkl_cut * args.cut_factor:
+                print(f"FAIL: {name}/{engine}: mean cut {cut:.1f} exceeds "
+                      f"{args.cut_factor}x mlkl ({mlkl_cut:.1f})",
+                      file=sys.stderr)
+                failed = True
+            if mlkl_migrate > 0 and migrate > mlkl_migrate * args.migrate_factor:
+                print(f"FAIL: {name}/{engine}: migration {migrate:.0f} "
+                      f"exceeds {args.migrate_factor}x mlkl "
+                      f"({mlkl_migrate:.0f})", file=sys.stderr)
+                failed = True
+            if imbalance > args.max_imbalance:
+                print(f"FAIL: {name}/{engine}: imbalance {imbalance:.3f} "
+                      f"over {args.max_imbalance}", file=sys.stderr)
+                failed = True
+            if engine.startswith("sfc-") and speedup < args.min_sfc_speedup:
+                print(f"FAIL: {name}/{engine}: planning only {speedup:.1f}x "
+                      f"faster than mlkl (need "
+                      f">= {args.min_sfc_speedup:.1f}x)", file=sys.stderr)
+                failed = True
+            if same_mode and name in baseline_workloads:
+                old = engines_of(baseline_workloads[name]).get(engine, {})
+                if old.get("fingerprint") not in (None,
+                                                  entry.get("fingerprint")):
+                    print(f"  note: {name}/{engine} fingerprint differs from "
+                          f"baseline ({old.get('fingerprint')} -> "
+                          f"{entry.get('fingerprint')}); informational only")
+
+    if failed:
+        return 1
+    print("engine gate: OK (deterministic, quality within bounds, "
+          "SFC planning fast)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

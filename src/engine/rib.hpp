@@ -1,0 +1,25 @@
+#pragma once
+// Parallel recursive inertial bisection (Parma-style RIB): repeatedly split
+// each subdomain by the principal axis of its weighted inertia tensor until
+// p parts remain, then relabel against Π^{t-1} with the Hungarian remap.
+// Parallelism is level-synchronous — every bisection of one recursion level
+// is an independent grain-1 task on pnr::exec, and each task's math runs
+// serially on global coordinates, so the assignment is bitwise identical
+// for any thread count (the subsystem's determinism contract). Unlike
+// part::inertial_partition, no induced subgraphs are built: a bisection
+// needs only vertex weights and centroids, so tasks carry plain global
+// vertex-id lists.
+
+#include "engine/engine.hpp"
+
+namespace pnr::engine {
+
+class RibRepartitioner final : public Repartitioner {
+ public:
+  Kind kind() const override { return Kind::kRib; }
+  bool needs_coords() const override { return true; }
+  part::Partition run(const Input& in,
+                      core::RepartitionStats* stats) const override;
+};
+
+}  // namespace pnr::engine

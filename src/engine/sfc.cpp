@@ -1,0 +1,246 @@
+#include "engine/sfc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "exec/pool.hpp"
+#include "partition/remap.hpp"
+#include "util/assert.hpp"
+#include "util/prof.hpp"
+
+namespace pnr::engine {
+
+namespace {
+
+// Bits per axis: 2·31 = 62 (2-D) and 3·21 = 63 (3-D) key bits, both inside
+// a u64 with room to spare.
+int bits_per_axis(int dim) { return dim == 2 ? 31 : 21; }
+
+// Quantize one point to the per-axis grid. `lo`/`inv_extent` describe the
+// bounding box; a degenerate axis (zero extent) maps to cell 0.
+std::array<std::uint32_t, 3> quantize(std::span<const double> coords,
+                                      std::size_t v, int dim,
+                                      const std::array<double, 3>& lo,
+                                      const std::array<double, 3>& inv_extent,
+                                      std::uint32_t cells) {
+  std::array<std::uint32_t, 3> q{0, 0, 0};
+  for (int d = 0; d < dim; ++d) {
+    const double u =
+        (coords[v * static_cast<std::size_t>(dim) +
+                static_cast<std::size_t>(d)] -
+         lo[static_cast<std::size_t>(d)]) *
+        inv_extent[static_cast<std::size_t>(d)];
+    const double scaled = u * static_cast<double>(cells);
+    const auto cell = scaled <= 0.0 ? std::uint32_t{0}
+                                    : static_cast<std::uint32_t>(scaled);
+    q[static_cast<std::size_t>(d)] = std::min(cell, cells - 1);
+  }
+  return q;
+}
+
+std::uint64_t morton_key(const std::array<std::uint32_t, 3>& q, int dim,
+                         int bits) {
+  std::uint64_t key = 0;
+  for (int j = bits - 1; j >= 0; --j)
+    for (int d = 0; d < dim; ++d)
+      key = (key << 1) |
+            ((q[static_cast<std::size_t>(d)] >> j) & std::uint32_t{1});
+  return key;
+}
+
+// Skilling's AxesToTranspose (from "Programming the Hilbert curve", AIP
+// 2004): turn axis coordinates into the transpose-format Hilbert index in
+// place, then interleave the transpose bits into a single key.
+std::uint64_t hilbert_key(std::array<std::uint32_t, 3> x, int dim, int bits) {
+  const std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  const auto n = static_cast<std::size_t>(dim);
+  // Inverse undo of the excess work.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::size_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1)
+    if (x[n - 1] & q) t ^= q - 1;
+  for (std::size_t i = 0; i < n; ++i) x[i] ^= t;
+  // Transpose to a single index: bit j of axis i lands at dim*j + (dim-1-i).
+  std::uint64_t key = 0;
+  for (int j = bits - 1; j >= 0; --j)
+    for (std::size_t i = 0; i < n; ++i)
+      key = (key << 1) | ((x[i] >> j) & std::uint32_t{1});
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sfc_keys(std::span<const double> coords,
+                                    std::size_t n, int dim, bool hilbert) {
+  PNR_REQUIRE(dim == 2 || dim == 3);
+  PNR_REQUIRE(coords.size() == n * static_cast<std::size_t>(dim));
+  const int bits = bits_per_axis(dim);
+  const std::uint32_t cells = std::uint32_t{1} << bits;
+
+  std::array<double, 3> lo{0.0, 0.0, 0.0};
+  std::array<double, 3> hi{0.0, 0.0, 0.0};
+  for (int d = 0; d < dim; ++d) {
+    lo[static_cast<std::size_t>(d)] = std::numeric_limits<double>::infinity();
+    hi[static_cast<std::size_t>(d)] = -std::numeric_limits<double>::infinity();
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    for (int d = 0; d < dim; ++d) {
+      const double c = coords[v * static_cast<std::size_t>(dim) +
+                              static_cast<std::size_t>(d)];
+      lo[static_cast<std::size_t>(d)] =
+          std::min(lo[static_cast<std::size_t>(d)], c);
+      hi[static_cast<std::size_t>(d)] =
+          std::max(hi[static_cast<std::size_t>(d)], c);
+    }
+  std::array<double, 3> inv_extent{0.0, 0.0, 0.0};
+  for (int d = 0; d < dim; ++d) {
+    const double extent = hi[static_cast<std::size_t>(d)] -
+                          lo[static_cast<std::size_t>(d)];
+    inv_extent[static_cast<std::size_t>(d)] =
+        extent > 0.0 ? 1.0 / extent : 0.0;
+  }
+
+  std::vector<std::uint64_t> keys(n);
+  // Disjoint writes: deterministic for any pool size.
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(n),
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto v = static_cast<std::size_t>(i);
+          const auto q = quantize(coords, v, dim, lo, inv_extent, cells);
+          keys[v] = hilbert ? hilbert_key(q, dim, bits)
+                            : morton_key(q, dim, bits);
+        }
+      });
+  prof::count("engine.sfc.keys", static_cast<std::int64_t>(n));
+  return keys;
+}
+
+part::Partition sfc_split(const graph::Graph& g,
+                          const std::vector<std::uint64_t>& keys,
+                          part::PartId parts,
+                          const part::Partition* previous, double tol) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(parts >= 1 && keys.size() == n);
+
+  std::vector<graph::VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](graph::VertexId a, graph::VertexId b) {
+              const std::uint64_t ka = keys[static_cast<std::size_t>(a)];
+              const std::uint64_t kb = keys[static_cast<std::size_t>(b)];
+              if (ka != kb) return ka < kb;
+              return a < b;  // stable under duplicate keys
+            });
+
+  // Prefix weights in curve order: W[pos] = weight of the first pos
+  // vertices, so segment boundaries are positions in [1, n).
+  std::vector<graph::Weight> prefix(n + 1, 0);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    prefix[pos + 1] = prefix[pos] + g.vertex_weight(order[pos]);
+  const graph::Weight total = prefix[n];
+
+  // Boundary hysteresis (Burstedde & Holke's stabilized splits): the coarse
+  // forest and therefore the curve order are fixed across adaptations, so
+  // when Π^{t-1} is itself curve-contiguous its boundaries are candidate
+  // positions. Reusing a previous boundary whose cumulative weight is
+  // within `tol`·(total/p) of the ideal quota keeps sub-tolerance weight
+  // jitter from shifting every segment — and migrating their elements —
+  // each round.
+  std::vector<std::size_t> prev_end;
+  if (previous != nullptr && previous->num_parts == parts && tol > 0.0 &&
+      previous->assign.size() == n) {
+    prev_end.reserve(static_cast<std::size_t>(parts));
+    for (std::size_t pos = 1; pos < n; ++pos)
+      if (previous->assign[static_cast<std::size_t>(order[pos])] !=
+          previous->assign[static_cast<std::size_t>(order[pos - 1])])
+        prev_end.push_back(pos);
+    // Usable only when the previous partition is exactly p contiguous
+    // segments along this curve (engine switches mid-session are not).
+    if (prev_end.size() != static_cast<std::size_t>(parts) - 1)
+      prev_end.clear();
+  }
+  const double slack = tol * (static_cast<double>(total) /
+                              static_cast<double>(parts));
+
+  std::vector<part::PartId> assign(n, 0);
+  std::size_t lo = 0;  // end of the previous segment
+  for (part::PartId k = 0; k + 1 < parts; ++k) {
+    // Admissible boundary range: at least one vertex in this segment, at
+    // least one left for every remaining segment.
+    const std::size_t min_pos = lo + 1;
+    const std::size_t max_pos = n - (static_cast<std::size_t>(parts) - 1 -
+                                     static_cast<std::size_t>(k));
+    // Ideal greedy close: the first position whose cumulative weight
+    // reaches the (k+1)/p quota.
+    const auto quota = static_cast<double>(total) *
+                       (static_cast<double>(k) + 1.0) /
+                       static_cast<double>(parts);
+    std::size_t pos = min_pos;
+    while (pos < max_pos && static_cast<__int128>(prefix[pos]) * parts <
+                                static_cast<__int128>(k + 1) * total)
+      ++pos;
+    if (!prev_end.empty()) {
+      const std::size_t cand = prev_end[static_cast<std::size_t>(k)];
+      if (cand >= min_pos && cand <= max_pos &&
+          std::abs(static_cast<double>(prefix[cand]) - quota) <= slack)
+        pos = cand;
+    }
+    for (std::size_t i = lo; i < pos; ++i)
+      assign[static_cast<std::size_t>(order[i])] = k;
+    lo = pos;
+  }
+  for (std::size_t i = lo; i < n; ++i)
+    assign[static_cast<std::size_t>(order[i])] =
+        static_cast<part::PartId>(parts - 1);
+  return part::Partition(parts, std::move(assign));
+}
+
+part::Partition SfcRepartitioner::run(const Input& in,
+                                      core::RepartitionStats* stats) const {
+  PNR_PROF_SPAN("engine.sfc");
+  prof::count("engine.runs");
+  const graph::Graph& g = *in.graph;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  PNR_REQUIRE(in.dim == 2 || in.dim == 3);
+  PNR_REQUIRE(in.coords.size() == n * static_cast<std::size_t>(in.dim));
+
+  const auto keys = sfc_keys(in.coords, n, in.dim, hilbert_);
+  part::Partition pi = sfc_split(g, keys, in.parts, in.previous,
+                                 in.options.imbalance_tol);
+  if (in.previous != nullptr) {
+    PNR_PROF_SPAN("engine.remap");
+    pi = part::remap_to_minimize_migration(g, *in.previous, pi);
+  }
+
+  if (stats != nullptr) {
+    *stats = {};
+    if (in.previous != nullptr) {
+      stats->cut_before = part::cut_size(g, *in.previous);
+      stats->imbalance_before = part::imbalance(g, *in.previous);
+      stats->migrate = part::migration_cost(g, *in.previous, pi);
+    }
+    stats->cut_after = part::cut_size(g, pi);
+    stats->imbalance_after = part::imbalance(g, pi);
+    stats->levels = 0;  // no multilevel hierarchy
+  }
+  return pi;
+}
+
+}  // namespace pnr::engine

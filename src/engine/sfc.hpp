@@ -1,0 +1,52 @@
+#pragma once
+// Space-filling-curve repartitioner (Burstedde & Holke, arXiv:1611.02929):
+// order the coarse elements along a Morton or Hilbert curve over their
+// quantized centroids, split the curve into p contiguous weight-balanced
+// segments, and relabel against Π^{t-1} with the Hungarian remap so stable
+// curves migrate almost nothing. Planning is O(n log n) — one key per
+// element plus a sort — independent of the adapted mesh size.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace pnr::engine {
+
+/// Curve keys for n points (`coords` is n*dim, dim 2 or 3), quantized to a
+/// per-axis grid over the bounding box. Hilbert keys use Skilling's
+/// transpose algorithm; Morton keys interleave the raw axis bits. Exposed
+/// for tests; deterministic and thread-count independent.
+std::vector<std::uint64_t> sfc_keys(std::span<const double> coords,
+                                    std::size_t n, int dim, bool hilbert);
+
+/// Split the curve order (ids sorted by key, ties by id) into p contiguous
+/// segments with near-equal vertex-weight sums; segment k closes once its
+/// cumulative weight reaches (k+1)/p of the total, while always leaving one
+/// vertex for every remaining segment. When `previous` is itself p
+/// contiguous segments along the same curve, a previous boundary whose
+/// cumulative weight is within `tol`·(total/p) of the ideal quota is kept
+/// in place (boundary hysteresis), so sub-tolerance weight jitter does not
+/// migrate elements. Exposed for tests.
+part::Partition sfc_split(const graph::Graph& g,
+                          const std::vector<std::uint64_t>& keys,
+                          part::PartId parts,
+                          const part::Partition* previous = nullptr,
+                          double tol = 0.0);
+
+class SfcRepartitioner final : public Repartitioner {
+ public:
+  explicit SfcRepartitioner(bool hilbert) : hilbert_(hilbert) {}
+  Kind kind() const override {
+    return hilbert_ ? Kind::kSfcHilbert : Kind::kSfcMorton;
+  }
+  bool needs_coords() const override { return true; }
+  part::Partition run(const Input& in,
+                      core::RepartitionStats* stats) const override;
+
+ private:
+  bool hilbert_;
+};
+
+}  // namespace pnr::engine

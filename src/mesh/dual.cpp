@@ -152,6 +152,37 @@ std::vector<double> leaf_centroids(const TetMesh& mesh,
   return coords;
 }
 
+std::vector<double> coarse_centroids(const TriMesh& mesh) {
+  const auto n = static_cast<std::size_t>(mesh.num_initial_elements());
+  std::vector<double> coords(n * 2);
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(n), [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          const Point2 c = mesh.centroid(static_cast<ElemIdx>(k));
+          coords[i * 2] = c.x;
+          coords[i * 2 + 1] = c.y;
+        }
+      });
+  return coords;
+}
+
+std::vector<double> coarse_centroids(const TetMesh& mesh) {
+  const auto n = static_cast<std::size_t>(mesh.num_initial_elements());
+  std::vector<double> coords(n * 3);
+  exec::default_pool().parallel_for(
+      static_cast<std::int64_t>(n), [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          const Point3 c = mesh.centroid(static_cast<ElemIdx>(k));
+          coords[i * 3] = c.x;
+          coords[i * 3 + 1] = c.y;
+          coords[i * 3 + 2] = c.z;
+        }
+      });
+  return coords;
+}
+
 std::vector<part::PartId> project_coarse_assignment(
     const TriMesh& mesh, const std::vector<ElemIdx>& elems,
     std::span<const part::PartId> coarse_assign) {

@@ -66,6 +66,12 @@ std::vector<double> leaf_centroids(const TriMesh& mesh,
 std::vector<double> leaf_centroids(const TetMesh& mesh,
                                    const std::vector<ElemIdx>& elems);
 
+/// Initial-element centroids in nested-dual vertex order (row-major n×2 /
+/// n×3), for the geometric engines over the coarse graph. M^0 is fixed, so
+/// one computation per session suffices.
+std::vector<double> coarse_centroids(const TriMesh& mesh);
+std::vector<double> coarse_centroids(const TetMesh& mesh);
+
 /// Expand a partition of the nested coarse graph to the fine leaves: leaf i
 /// (dense order of `elems`) inherits the subset of its level-0 ancestor.
 std::vector<part::PartId> project_coarse_assignment(

@@ -20,6 +20,7 @@
 
 #include "core/hierarchy_cache.hpp"
 #include "core/pnr.hpp"
+#include "engine/engine.hpp"
 #include "mesh/dual.hpp"
 #include "mesh/metrics.hpp"
 #include "partition/diffusion.hpp"
@@ -59,14 +60,18 @@ template <typename Mesh>
 class Session {
  public:
   Session(Strategy strategy, part::PartId p, std::uint64_t seed,
-          core::PnrOptions pnr_options = {})
+          core::PnrOptions pnr_options = {},
+          engine::Kind engine = engine::Kind::kMlkl)
       : strategy_(strategy),
         p_(p),
         rng_(seed),
-        pnr_(p, pnr_options) {}
+        pnr_(p, pnr_options),
+        engine_(engine) {}
 
   Strategy strategy() const { return strategy_; }
   part::PartId num_parts() const { return p_; }
+  /// Backend used by the kPNR strategy (other strategies ignore it).
+  engine::Kind engine() const { return engine_; }
 
   /// Partition the mesh's current leaves, adopt the result (writing it into
   /// the element tags for the next step) and report the step's measures.
@@ -102,6 +107,7 @@ class Session {
   part::PartId p_;
   util::Rng rng_;
   core::Pnr pnr_;
+  engine::Kind engine_ = engine::Kind::kMlkl;
   bool first_ = true;
   bool defer_metrics_ = false;
   /// PNR keeps its assignment on the (persistent) coarse vertices.
@@ -111,6 +117,10 @@ class Session {
   graph::Graph coarse_graph_;
   bool coarse_graph_valid_ = false;
   std::uint64_t dual_epoch_ = 0;
+  /// Initial-element centroids for the geometric engines; M^0 never
+  /// changes, so they are computed once on first use.
+  std::vector<double> coarse_coords_;
+  bool coarse_coords_valid_ = false;
   core::HierarchyCache hier_cache_;
   /// Deferred-metrics state for metrics().
   StepReport last_report_;

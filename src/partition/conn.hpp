@@ -60,7 +60,8 @@ class ConnTable {
   bool empty() const { return offset_.empty(); }
 
   /// Number of rows (vertices of the graph the table was built for).
-  std::size_t rows() const { return offset_.size(); }
+  /// offset_ is CSR-style with a trailing end sentinel, hence the -1.
+  std::size_t rows() const { return offset_.empty() ? 0 : offset_.size() - 1; }
 
  private:
   std::vector<std::int64_t> offset_;  ///< row start in pool_

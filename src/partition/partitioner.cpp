@@ -9,11 +9,16 @@
 namespace pnr::part {
 
 std::optional<Method> parse_method(const std::string& name) {
-  if (name == "mlkl" || name == "multilevel-kl") return Method::kMultilevelKL;
-  if (name == "rsb") return Method::kRSB;
-  if (name == "inertial" || name == "geometric") return Method::kInertial;
-  if (name == "rcb" || name == "coordinate") return Method::kRCB;
-  if (name == "random") return Method::kRandom;
+  // Accepts the method_name display names too, so the parse/name pair
+  // round-trips for every enum value.
+  if (name == "mlkl" || name == "multilevel-kl" || name == "Multilevel-KL")
+    return Method::kMultilevelKL;
+  if (name == "rsb" || name == "RSB") return Method::kRSB;
+  if (name == "inertial" || name == "geometric" || name == "Inertial")
+    return Method::kInertial;
+  if (name == "rcb" || name == "coordinate" || name == "RCB")
+    return Method::kRCB;
+  if (name == "random" || name == "Random") return Method::kRandom;
   return std::nullopt;
 }
 

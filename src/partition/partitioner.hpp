@@ -27,7 +27,10 @@ struct PartitionerOptions {
   int dim = 2;
 };
 
-/// Parse "mlkl" / "rsb" / "inertial" / "random"; nullopt on unknown.
+/// Parse "mlkl" / "rsb" / "inertial" / "rcb" / "random" (plus the aliases
+/// "multilevel-kl", "geometric", "coordinate" and the display names
+/// method_name prints, so parse_method(method_name(m)) == m for every
+/// Method); nullopt on unknown.
 std::optional<Method> parse_method(const std::string& name);
 const char* method_name(Method m);
 

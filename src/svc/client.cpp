@@ -224,11 +224,14 @@ std::optional<Client::Created> Client::create_mesh(const CreateHead& head,
   return parse_created(*body);
 }
 
-std::optional<Client::Created> Client::create_graph(const CreateHead& head,
-                                                    const graph::Graph& g) {
+std::optional<Client::Created> Client::create_graph(
+    const CreateHead& head, const graph::Graph& g,
+    const std::vector<double>& coords, int dim) {
   par::Writer w;
   encode_create_head(w, head);
   encode_graph(w, g);
+  w.put(static_cast<std::uint8_t>(dim));
+  w.put_vector(coords);
   const auto body = call(kOpCreateGraph, w.take());
   if (!body) return std::nullopt;
   return parse_created(*body);
@@ -281,12 +284,18 @@ std::optional<Client::AdaptInfo> Client::adapt(
 }
 
 std::optional<Client::RepartitionInfo> Client::repartition(
-    std::uint32_t session) {
-  const auto body = call_id(kOpRepartition, session);
+    std::uint32_t session, std::uint8_t engine) {
+  par::Writer w;
+  w.put(session);
+  w.put(engine);
+  const auto body = call(kOpRepartition, w.take());
   if (!body) return std::nullopt;
   par::TryReader r(*body);
   auto info = parse_repartition(r);
-  if (!info || !r.done()) return std::nullopt;
+  if (!info) return std::nullopt;
+  const auto eng = r.get<std::uint8_t>();
+  if (!eng || !r.done()) return std::nullopt;
+  info->engine = *eng;
   return info;
 }
 
@@ -297,14 +306,17 @@ std::optional<Client::Metrics> Client::get_metrics(std::uint32_t session) {
   Metrics m;
   auto kind = r.get_string(64);
   const auto strategy = r.get<std::uint8_t>();
+  const auto eng = r.get<std::uint8_t>();
   const auto parts = r.get<std::int32_t>();
   const auto elements = r.get<std::int64_t>();
   const auto ops = r.get<std::int64_t>();
   const auto has_report = r.get<std::uint8_t>();
-  if (!kind || !strategy || !parts || !elements || !ops || !has_report)
+  if (!kind || !strategy || !eng || !parts || !elements || !ops ||
+      !has_report)
     return std::nullopt;
   m.kind = std::move(*kind);
   m.strategy = static_cast<pared::Strategy>(*strategy);
+  m.engine = *eng;
   m.parts = *parts;
   m.elements = *elements;
   m.ops_applied = *ops;

@@ -79,10 +79,15 @@ class Client {
     double imbalance_before = 0.0;
     double imbalance_after = 0.0;
     std::int32_t levels = 0;
+    /// Wire value of the engine that actually ran (repartition replies
+    /// only; kEngineDefault inside Metrics::last_repartition, where the
+    /// stats block carries no engine echo).
+    std::uint8_t engine = kEngineDefault;
   };
   struct Metrics {
     std::string kind;
     pared::Strategy strategy = pared::Strategy::kPNR;
+    std::uint8_t engine = 0;  ///< session-default engine wire value
     std::int32_t parts = 0;
     std::int64_t elements = 0;
     std::int64_t ops_applied = 0;
@@ -106,14 +111,21 @@ class Client {
   std::optional<Created> create_workload(const WorkloadSpec& spec);
   std::optional<Created> create_mesh(const CreateHead& head,
                                      const FlatMesh& mesh);
+  /// `coords`/`dim` attach the optional coordinate block the geometric
+  /// engines need (dim 0 = none; else coords must be n×dim centroids).
   std::optional<Created> create_graph(const CreateHead& head,
-                                      const graph::Graph& g);
+                                      const graph::Graph& g,
+                                      const std::vector<double>& coords = {},
+                                      int dim = 0);
   std::optional<AdvanceInfo> advance(std::uint32_t session);
   std::optional<pared::StepReport> step(std::uint32_t session);
   /// mode 0 = refine, 1 = coarsen.
   std::optional<AdaptInfo> adapt(std::uint32_t session, std::uint8_t mode,
                                  const std::vector<mesh::ElemIdx>& marks);
-  std::optional<RepartitionInfo> repartition(std::uint32_t session);
+  /// `engine` is an engine::Kind wire value; kEngineDefault keeps the
+  /// session's default backend.
+  std::optional<RepartitionInfo> repartition(
+      std::uint32_t session, std::uint8_t engine = kEngineDefault);
   std::optional<Metrics> get_metrics(std::uint32_t session);
   std::optional<std::vector<part::PartId>> get_assignment(
       std::uint32_t session);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "check/check.hpp"
+#include "engine/engine.hpp"
 #include "exec/pool.hpp"
 #include "mesh/build.hpp"
 #include "mesh/types.hpp"
@@ -287,6 +288,7 @@ void encode_workload_spec(par::Writer& w, const WorkloadSpec& spec) {
   w.put(spec.corner_grid_n);
   w.put(spec.alpha);
   w.put(spec.beta);
+  w.put(spec.engine);
 }
 
 std::optional<WorkloadSpec> decode_workload_spec(par::TryReader& r,
@@ -321,7 +323,15 @@ std::optional<WorkloadSpec> decode_workload_spec(par::TryReader& r,
   const auto corner_grid = r.get<std::int32_t>();
   const auto alpha = r.get<double>();
   const auto beta = r.get<double>();
-  if (!beta) return std::nullopt;
+  const auto eng = r.get<std::uint8_t>();
+  // Every optional is checked: a failed TryReader read does not advance
+  // the cursor, so after a mid-payload truncation a *narrower* later
+  // field (the u8 engine) can still read successfully — checking only
+  // the last field would let truncated specs through.
+  if (!steps || !t_begin || !t_end || !refine || !coarsen || !max_level ||
+      !grid_n || !tseed || !tau || !decay || !slack || !cseed ||
+      !corner_grid || !alpha || !beta || !eng)
+    return std::nullopt;
 
   // Bounds that keep a hostile spec from exploding the server: positive
   // refine threshold and a modest depth cap bound mesh growth; step counts
@@ -341,6 +351,7 @@ std::optional<WorkloadSpec> decode_workload_spec(par::TryReader& r,
   if (*corner_grid < 0 || *corner_grid > 128) return std::nullopt;
   if (!finite_in(*alpha, 0.0, 100.0) || !finite_in(*beta, 0.0, 100.0))
     return std::nullopt;
+  if (*eng != kEngineDefault && !engine::valid_kind(*eng)) return std::nullopt;
 
   spec.transient.steps = *steps;
   spec.transient.t_begin = *t_begin;
@@ -357,6 +368,7 @@ std::optional<WorkloadSpec> decode_workload_spec(par::TryReader& r,
   spec.corner_grid_n = *corner_grid;
   spec.alpha = *alpha;
   spec.beta = *beta;
+  spec.engine = *eng;
   return spec;
 }
 
@@ -366,6 +378,7 @@ void encode_create_head(par::Writer& w, const CreateHead& head) {
   w.put(head.session_seed);
   w.put(head.alpha);
   w.put(head.beta);
+  w.put(head.engine);
 }
 
 std::optional<CreateHead> decode_create_head(par::TryReader& r,
@@ -376,17 +389,23 @@ std::optional<CreateHead> decode_create_head(par::TryReader& r,
   const auto seed = r.get<std::uint64_t>();
   const auto alpha = r.get<double>();
   const auto beta = r.get<double>();
-  if (!beta) return std::nullopt;
+  const auto eng = r.get<std::uint8_t>();
+  // All optionals checked for the same truncation reason as
+  // decode_workload_spec above.
+  if (!strategy || !parts || !seed || !alpha || !beta || !eng)
+    return std::nullopt;
   if (*strategy > static_cast<std::uint8_t>(pared::Strategy::kMlDiffusion))
     return std::nullopt;
   if (*parts < 1 || *parts > limits.max_parts) return std::nullopt;
   if (!finite_in(*alpha, 0.0, 100.0) || !finite_in(*beta, 0.0, 100.0))
     return std::nullopt;
+  if (*eng != kEngineDefault && !engine::valid_kind(*eng)) return std::nullopt;
   head.strategy = static_cast<pared::Strategy>(*strategy);
   head.parts = *parts;
   head.session_seed = *seed;
   head.alpha = *alpha;
   head.beta = *beta;
+  head.engine = *eng;
   return head;
 }
 

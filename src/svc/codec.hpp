@@ -92,11 +92,22 @@ struct WorkloadSpec {
   std::int32_t corner_grid_n = 0;     ///< 0 = the kind's default
   double alpha = 0.1;                 ///< core::PnrOptions for kPNR
   double beta = 0.8;
+  /// engine::Kind wire value for the kPNR strategy; kEngineDefault asks the
+  /// server to substitute its configured default.
+  std::uint8_t engine = kEngineDefault;
 };
 
 void encode_workload_spec(par::Writer& w, const WorkloadSpec& spec);
 std::optional<WorkloadSpec> decode_workload_spec(par::TryReader& r,
                                                  const Limits& limits);
+
+/// Fixed byte offset of WorkloadSpec::engine inside an encoded spec (every
+/// earlier field is fixed width; the engine byte is encoded last).
+inline constexpr std::size_t kWorkloadSpecEngineOffset =
+    1 + 1 + 4 + 8 +              // kind, strategy, parts, session_seed
+    4 + 8 + 8 + 8 + 8 + 4 + 4 + 8 +  // transient
+    8 + 8 + 4 + 8 +              // corner
+    4 + 8 + 8;                   // corner_grid_n, alpha, beta
 
 /// Shared head of kOpCreateMesh / kOpCreateGraph payloads.
 struct CreateHead {
@@ -105,7 +116,14 @@ struct CreateHead {
   std::uint64_t session_seed = 1;
   double alpha = 0.1;
   double beta = 0.8;
+  /// engine::Kind wire value (kEngineDefault = server default). Encoded
+  /// last, at byte offset kCreateHeadEngineOffset of the payload.
+  std::uint8_t engine = kEngineDefault;
 };
+
+/// Fixed byte offset of CreateHead::engine inside an encoded create
+/// payload: u8 strategy + i32 parts + u64 seed + f64 alpha + f64 beta.
+inline constexpr std::size_t kCreateHeadEngineOffset = 1 + 4 + 8 + 8 + 8;
 
 void encode_create_head(par::Writer& w, const CreateHead& head);
 std::optional<CreateHead> decode_create_head(par::TryReader& r,

@@ -1,11 +1,13 @@
 #include "svc/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <variant>
 
 #include "check/check.hpp"
 #include "core/hierarchy_cache.hpp"
+#include "engine/engine.hpp"
 #include "graph/algorithms.hpp"
 #include "mesh/dual.hpp"
 #include "util/mutex.hpp"
@@ -57,6 +59,13 @@ struct GraphState {
   /// Contraction hierarchy carried across repartition calls (the uploaded
   /// graph's topology is fixed, so the cache stays warm for the session).
   core::HierarchyCache cache;
+  /// Session-default backend; per-request override via the repartition op.
+  engine::Kind engine = engine::Kind::kMlkl;
+  /// Optional vertex coordinates uploaded with the graph (n×dim, row
+  /// major); empty with dim == 0 when the client sent none, in which case
+  /// the geometric engines are unavailable for this session.
+  std::vector<double> coords;
+  int dim = 0;
 };
 
 using Body = std::variant<Transient2DState, Transient3DState, Corner2DState,
@@ -155,11 +164,26 @@ Reply make_ok(std::uint16_t op, Bytes payload) {
                std::move(payload)};
 }
 
+/// Substitute the server default for kEngineDefault. The wire byte is
+/// validated by the codecs, so the cast is safe.
+engine::Kind resolve_engine(std::uint8_t wire, const Limits& limits) {
+  return static_cast<engine::Kind>(wire == kEngineDefault
+                                       ? limits.default_engine
+                                       : wire);
+}
+
+bool geometric_engine(engine::Kind k) {
+  return engine::repartitioner(k).needs_coords();
+}
+
 }  // namespace
 
 struct Registry::SessionState {
   std::uint32_t id = 0;
   pared::Strategy strategy = pared::Strategy::kPNR;
+  /// Resolved session-default engine (never kEngineDefault), reported by
+  /// kOpGetMetrics.
+  engine::Kind engine = engine::Kind::kMlkl;
   std::int32_t parts = 1;
   Body body;
   std::int64_t ops_applied = 0;
@@ -218,6 +242,9 @@ const char* op_span_name(std::uint16_t op) {
 }
 
 Registry::Registry(Limits limits, int shards) : limits_(limits) {
+  // A misconfigured default must never make resolve_engine cast garbage.
+  if (!engine::valid_kind(limits_.default_engine))
+    limits_.default_engine = static_cast<std::uint8_t>(engine::Kind::kMlkl);
   shards_.reserve(static_cast<std::size_t>(std::max(1, shards)));
   for (int s = 0; s < std::max(1, shards); ++s)
     shards_.push_back(std::make_unique<Shard>());
@@ -351,13 +378,14 @@ Reply Registry::op_create_workload(const Bytes& payload) {
   core::PnrOptions popt;
   popt.alpha = spec->alpha;
   popt.beta = spec->beta;
+  const engine::Kind eng = resolve_engine(spec->engine, limits_);
   const auto session2d = [&] {
     return deferred(pared::Session2D(spec->strategy, spec->parts,
-                                     spec->session_seed, popt));
+                                     spec->session_seed, popt, eng));
   };
   const auto session3d = [&] {
     return deferred(pared::Session3D(spec->strategy, spec->parts,
-                                     spec->session_seed, popt));
+                                     spec->session_seed, popt, eng));
   };
 
   // A TransientRun refines toward its depth cap *inside its constructor*,
@@ -435,9 +463,14 @@ Reply Registry::op_create_workload(const Bytes& payload) {
 
   auto st = std::make_unique<SessionState>(std::move(*body));
   st->strategy = spec->strategy;
+  st->engine = eng;
   st->parts = spec->parts;
   st->create_op = kOpCreateWorkload;
   st->create_payload = payload;
+  // Canonicalize the stored engine byte so a checkpoint replays to the
+  // same backend on a server with a different --default-engine.
+  st->create_payload[kWorkloadSpecEngineOffset] =
+      static_cast<std::uint8_t>(eng);
   const std::uint32_t id = register_session(std::move(st));
 
   par::Writer w;
@@ -459,6 +492,7 @@ Reply Registry::op_create_mesh(const Bytes& payload) {
   core::PnrOptions popt;
   popt.alpha = head->alpha;
   popt.beta = head->beta;
+  const engine::Kind eng = resolve_engine(head->engine, limits_);
 
   std::optional<Body> body;
   std::string why;
@@ -477,7 +511,7 @@ Reply Registry::op_create_mesh(const Bytes& payload) {
     body.emplace(Mesh2DState{
         std::move(*mesh),
         deferred(pared::Session2D(head->strategy, head->parts,
-                                  head->session_seed, popt))});
+                                  head->session_seed, popt, eng))});
   } else {
     auto mesh = build_tet_mesh(*flat, &why);
     if (!mesh) {
@@ -492,14 +526,16 @@ Reply Registry::op_create_mesh(const Bytes& payload) {
     body.emplace(Mesh3DState{
         std::move(*mesh),
         deferred(pared::Session3D(head->strategy, head->parts,
-                                  head->session_seed, popt))});
+                                  head->session_seed, popt, eng))});
   }
 
   auto st = std::make_unique<SessionState>(std::move(*body));
   st->strategy = head->strategy;
+  st->engine = eng;
   st->parts = head->parts;
   st->create_op = kOpCreateMesh;
   st->create_payload = payload;
+  st->create_payload[kCreateHeadEngineOffset] = static_cast<std::uint8_t>(eng);
   const std::uint32_t id = register_session(std::move(st));
 
   par::Writer w;
@@ -514,11 +550,25 @@ Reply Registry::op_create_graph(const Bytes& payload) {
   if (!head) return make_error(Err::kBadPayload, "malformed create head");
   std::string why;
   auto g = decode_graph(r, limits_, &why);
-  if (!g || !r.done()) {
+  if (!g) {
     const bool audit = why == "graph audit failed";
     return make_error(audit ? Err::kAuditFailed : Err::kBadPayload,
                       why.empty() ? "malformed graph payload" : why);
   }
+  // Optional coordinate block for the geometric engines: u8 dim (0 = none)
+  // followed by the n×dim centroid vector.
+  const auto cdim = r.get<std::uint8_t>();
+  auto coords = r.get_vector<double>(
+      static_cast<std::uint64_t>(limits_.max_graph_vertices) * 3);
+  if (!cdim || !coords || !r.done() ||
+      (*cdim != 0 && *cdim != 2 && *cdim != 3))
+    return make_error(Err::kBadPayload, "malformed graph payload");
+  if (coords->size() != static_cast<std::size_t>(g->num_vertices()) * *cdim)
+    return make_error(Err::kBadPayload,
+                      "coordinate block does not match vertex count");
+  for (const double c : *coords)
+    if (!std::isfinite(c))
+      return make_error(Err::kBadPayload, "non-finite vertex coordinate");
   if (num_sessions() >= limits_.max_sessions)
     return make_error(Err::kLimitExceeded, "session limit reached");
   if (head->strategy != pared::Strategy::kPNR)
@@ -539,18 +589,36 @@ Reply Registry::op_create_graph(const Bytes& payload) {
   core::PnrOptions popt;
   popt.alpha = head->alpha;
   popt.beta = head->beta;
+  const engine::Kind eng = resolve_engine(head->engine, limits_);
+  if (geometric_engine(eng) && *cdim == 0)
+    return make_error(Err::kBadPayload,
+                      "geometric engine requires a coordinate block");
   core::Pnr pnr(head->parts, popt);
   util::Rng rng(head->session_seed);
-  part::Partition partition = pnr.initial_partition(*g, rng);
+  engine::Input in;
+  in.graph = &*g;
+  in.coords = *coords;
+  in.dim = *cdim;
+  in.previous = nullptr;
+  in.parts = head->parts;
+  in.options = popt;
+  in.rng = &rng;
+  part::Partition partition =
+      engine::repartitioner(eng).run(in, /*stats=*/nullptr);
   const std::int64_t n = g->num_vertices();
 
-  auto st = std::make_unique<SessionState>(
-      Body(GraphState{std::move(*g), std::move(pnr), std::move(partition),
-                      std::move(rng), core::RepartitionStats{}, false}));
+  GraphState graph_state{std::move(*g),  std::move(pnr),
+                         std::move(partition), std::move(rng),
+                         core::RepartitionStats{}, false,
+                         core::HierarchyCache{}, eng,
+                         std::move(*coords), *cdim};
+  auto st = std::make_unique<SessionState>(Body(std::move(graph_state)));
   st->strategy = head->strategy;
+  st->engine = eng;
   st->parts = head->parts;
   st->create_op = kOpCreateGraph;
   st->create_payload = payload;
+  st->create_payload[kCreateHeadEngineOffset] = static_cast<std::uint8_t>(eng);
   const std::uint32_t id = register_session(std::move(st));
 
   par::Writer w;
@@ -722,8 +790,12 @@ Reply Registry::op_adapt(const Bytes& payload) {
 Reply Registry::op_repartition(const Bytes& payload) {
   par::TryReader r(payload);
   const auto id = r.get<std::uint32_t>();
-  if (!id || !r.done())
-    return make_error(Err::kBadPayload, "repartition expects {u32 session}");
+  const auto eng_byte = r.get<std::uint8_t>();
+  if (!id || !eng_byte || !r.done())
+    return make_error(Err::kBadPayload,
+                      "repartition expects {u32 session, u8 engine}");
+  if (*eng_byte != kEngineDefault && !engine::valid_kind(*eng_byte))
+    return make_error(Err::kBadPayload, "unknown engine");
   SessionState* st = find(*id);
   if (!st) return make_error(Err::kUnknownSession, "no such session");
   auto* s = std::get_if<GraphState>(&st->body);
@@ -731,9 +803,30 @@ Reply Registry::op_repartition(const Bytes& payload) {
     return make_error(Err::kBadState,
                       "repartition applies to graph sessions only");
 
+  const engine::Kind eng = *eng_byte == kEngineDefault
+                               ? s->engine
+                               : static_cast<engine::Kind>(*eng_byte);
   core::RepartitionStats stats;
-  s->partition =
-      s->pnr.repartition(s->g, s->partition, s->rng, &stats, &s->cache);
+  if (eng == engine::Kind::kMlkl) {
+    // Drive core::Pnr directly so the session's hierarchy cache stays warm
+    // and the reply bytes match pre-engine servers.
+    s->partition =
+        s->pnr.repartition(s->g, s->partition, s->rng, &stats, &s->cache);
+  } else {
+    if (geometric_engine(eng) && s->dim == 0)
+      return make_error(Err::kBadState,
+                        "session was created without coordinates; "
+                        "geometric engines unavailable");
+    engine::Input in;
+    in.graph = &s->g;
+    in.coords = s->coords;
+    in.dim = s->dim;
+    in.previous = &s->partition;
+    in.parts = st->parts;
+    in.options = s->pnr.options();
+    in.rng = &s->rng;
+    s->partition = engine::repartitioner(eng).run(in, &stats);
+  }
   s->last_stats = stats;
   s->has_stats = true;
   log_op(*st, kOpRepartition, payload);
@@ -745,6 +838,8 @@ Reply Registry::op_repartition(const Bytes& payload) {
   w.put(stats.imbalance_before);
   w.put(stats.imbalance_after);
   w.put(static_cast<std::int32_t>(stats.levels));
+  // Echo the backend that actually ran, proving the selection round-trips.
+  w.put(static_cast<std::uint8_t>(eng));
   return make_ok(kOpRepartition, w.take());
 }
 
@@ -776,6 +871,7 @@ Reply Registry::op_get_metrics(const Bytes& payload) {
   par::Writer w;
   par::put_string(w, kind_name(st->body));
   w.put(static_cast<std::uint8_t>(st->strategy));
+  w.put(static_cast<std::uint8_t>(st->engine));
   w.put(st->parts);
   w.put(body_elements(st->body));
   w.put(st->ops_applied);

@@ -29,7 +29,11 @@ namespace pnr::svc {
 using par::Bytes;
 
 inline constexpr std::uint32_t kMagic = 0x53524e50u;  // "PNRS" little-endian
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2: engine byte appended to WorkloadSpec / CreateHead, repartition
+// request became {u32 session, u8 engine} with the ran-engine byte echoed
+// in the reply, get_metrics reply carries the session engine after the
+// strategy byte (docs/SERVICE.md, "Engines").
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 /// Request operations. A success reply echoes the op with kReplyBit set.
@@ -83,7 +87,14 @@ struct Limits {
   std::int32_t max_parts = 1024;
   std::uint32_t max_oplog_entries = 65536;  ///< checkpoint replay-log cap
   std::int32_t max_workload_steps = 4096;
+  /// engine::Kind (as its u8 wire value) substituted when a create payload
+  /// carries kEngineDefault. Raw u8 so the wire layer stays engine-free.
+  std::uint8_t default_engine = 0;  ///< Kind::kMlkl
 };
+
+/// Wire value meaning "use the server's default engine" on create /
+/// repartition ops; any other value must be a registered engine::Kind.
+inline constexpr std::uint8_t kEngineDefault = 255;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);

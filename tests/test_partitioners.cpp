@@ -169,6 +169,20 @@ TEST(Facade, ParsesAndRuns) {
   EXPECT_TRUE(pi.valid_for(g));
 }
 
+TEST(Facade, ParseNameRoundTripsForEveryMethod) {
+  // parse_method must invert method_name for every enum value, including
+  // the coordinate methods and the documented aliases.
+  for (const Method m : {Method::kMultilevelKL, Method::kRSB,
+                         Method::kInertial, Method::kRCB, Method::kRandom}) {
+    const auto parsed = parse_method(method_name(m));
+    ASSERT_TRUE(parsed.has_value()) << method_name(m);
+    EXPECT_EQ(*parsed, m) << method_name(m);
+  }
+  EXPECT_EQ(parse_method("multilevel-kl"), Method::kMultilevelKL);
+  EXPECT_EQ(parse_method("geometric"), Method::kInertial);
+  EXPECT_EQ(parse_method("coordinate"), Method::kRCB);
+}
+
 TEST(MeshIntegration, MlklPartitionsAdaptedTriDual) {
   auto mesh = mesh::structured_tri_mesh(8, 8, 0.2, 21);
   for (int round = 0; round < 3; ++round) {

@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "engine/engine.hpp"
 #include "mesh/dual.hpp"
 #include "mesh/generate.hpp"
 #include "svc/codec.hpp"
@@ -826,6 +827,157 @@ TEST(SvcUpload, DisconnectedGraphIsRefused) {
   EXPECT_EQ(client.last_error().code, Err::kBadPayload);
 }
 
+// ---- engines ----------------------------------------------------------------
+
+std::uint8_t wire_engine(engine::Kind k) { return static_cast<std::uint8_t>(k); }
+
+TEST(SvcEngine, WorkloadSessionRunsTheRequestedEngineBitIdentically) {
+  WorkloadSpec spec = small_transient2d();
+  spec.engine = wire_engine(engine::Kind::kSfcHilbert);
+  constexpr int kSteps = 3;
+
+  // In-process reference on the same engine.
+  std::vector<pared::StepReport> expected;
+  {
+    pared::TransientRun run(spec.transient);
+    pared::Session2D session(spec.strategy, spec.parts, spec.session_seed, {},
+                             engine::Kind::kSfcHilbert);
+    session.set_defer_metrics(true);
+    for (int i = 0; i < kSteps; ++i) {
+      run.advance();
+      expected.push_back(session.step(run.mutable_mesh()));
+    }
+  }
+
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+  const auto created = client.create_workload(spec);
+  ASSERT_TRUE(created);
+  for (int i = 0; i < kSteps; ++i) {
+    ASSERT_TRUE(client.advance(created->session));
+    const auto report = client.step(created->session);
+    ASSERT_TRUE(report);
+    expect_report_eq(*report, expected[static_cast<std::size_t>(i)]);
+  }
+  const auto metrics = client.get_metrics(created->session);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->engine, spec.engine);
+}
+
+TEST(SvcEngine, ServerDefaultSubstitutionSurvivesCheckpointRestore) {
+  // A spec carrying the "server default" sentinel must be resolved at
+  // create time and canonicalized into the stored create payload, so a
+  // checkpoint restored on a server with a *different* default keeps the
+  // engine that actually ran.
+  ServerOptions morton_opts;
+  morton_opts.limits.default_engine = wire_engine(engine::Kind::kSfcMorton);
+  Server morton_server(morton_opts);
+  Client morton_client;
+  ASSERT_TRUE(connect_loopback(morton_server, morton_client));
+
+  WorkloadSpec spec = small_transient2d();
+  spec.engine = kEngineDefault;
+  const auto created = morton_client.create_workload(spec);
+  ASSERT_TRUE(created);
+  const auto metrics = morton_client.get_metrics(created->session);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->engine, wire_engine(engine::Kind::kSfcMorton));
+
+  ASSERT_TRUE(morton_client.advance(created->session));
+  const auto before = morton_client.step(created->session);
+  ASSERT_TRUE(before);
+  const auto ckpt = morton_client.checkpoint(created->session);
+  ASSERT_TRUE(ckpt);
+  ASSERT_TRUE(morton_client.advance(created->session));
+  const auto after = morton_client.step(created->session);
+  ASSERT_TRUE(after);
+
+  ServerOptions rib_opts;
+  rib_opts.limits.default_engine = wire_engine(engine::Kind::kRib);
+  Server rib_server(rib_opts);
+  Client rib_client;
+  ASSERT_TRUE(connect_loopback(rib_server, rib_client));
+  const auto restored = rib_client.restore(*ckpt);
+  ASSERT_TRUE(restored);
+  const auto restored_metrics = rib_client.get_metrics(restored->session);
+  ASSERT_TRUE(restored_metrics);
+  EXPECT_EQ(restored_metrics->engine, wire_engine(engine::Kind::kSfcMorton));
+  ASSERT_TRUE(rib_client.advance(restored->session));
+  const auto replayed = rib_client.step(restored->session);
+  ASSERT_TRUE(replayed);
+  expect_report_eq(*replayed, *after);
+}
+
+TEST(SvcEngine, GraphSessionTakesCoordsAndPerRequestEngineOverrides) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+
+  const auto mesh = mesh::structured_tri_mesh(8, 8, 0.25, 4);
+  const auto dual = mesh::fine_dual_graph(mesh);
+  const auto coords = mesh::leaf_centroids(mesh, dual.elems);
+  CreateHead head;
+  head.parts = 4;
+  head.engine = wire_engine(engine::Kind::kRib);
+  const auto created = client.create_graph(head, dual.graph, coords, 2);
+  ASSERT_TRUE(created);
+
+  // No override: the session's engine runs, and the reply says which.
+  const auto info = client.repartition(created->session);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->engine, wire_engine(engine::Kind::kRib));
+  EXPECT_GE(info->cut_after, 0);
+
+  // Per-request overrides round-trip on the wire, geometric and MLKL both.
+  const auto hilbert =
+      client.repartition(created->session, wire_engine(engine::Kind::kSfcHilbert));
+  ASSERT_TRUE(hilbert);
+  EXPECT_EQ(hilbert->engine, wire_engine(engine::Kind::kSfcHilbert));
+  const auto mlkl =
+      client.repartition(created->session, wire_engine(engine::Kind::kMlkl));
+  ASSERT_TRUE(mlkl);
+  EXPECT_EQ(mlkl->engine, wire_engine(engine::Kind::kMlkl));
+
+  // The session default is unchanged by overrides.
+  const auto metrics = client.get_metrics(created->session);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->engine, wire_engine(engine::Kind::kRib));
+
+  // An unregistered engine byte is a typed error, not an abort.
+  EXPECT_FALSE(client.repartition(created->session, 77));
+  EXPECT_EQ(client.last_error().code, Err::kBadPayload);
+}
+
+TEST(SvcEngine, GeometricEnginesWithoutCoordsAreRefused) {
+  Server server;
+  Client client;
+  ASSERT_TRUE(connect_loopback(server, client));
+
+  const auto mesh = mesh::structured_tri_mesh(8, 8, 0.25, 4);
+  const graph::Graph g = mesh::fine_dual_graph(mesh).graph;
+  CreateHead head;
+  head.parts = 4;
+
+  // Creating a geometric-engine session without a coordinate block fails.
+  head.engine = wire_engine(engine::Kind::kSfcMorton);
+  EXPECT_FALSE(client.create_graph(head, g));
+  EXPECT_EQ(client.last_error().code, Err::kBadPayload);
+
+  // An MLKL session without coords exists happily — until a repartition
+  // asks it to run a geometric engine.
+  head.engine = wire_engine(engine::Kind::kMlkl);
+  const auto created = client.create_graph(head, g);
+  ASSERT_TRUE(created);
+  EXPECT_FALSE(
+      client.repartition(created->session, wire_engine(engine::Kind::kRib)));
+  EXPECT_EQ(client.last_error().code, Err::kBadState);
+  // The session still works on its own engine afterwards.
+  const auto info = client.repartition(created->session);
+  ASSERT_TRUE(info);
+  EXPECT_EQ(info->engine, wire_engine(engine::Kind::kMlkl));
+}
+
 // ---- sharded server ---------------------------------------------------------
 
 std::size_t complete_frames(const Bytes& buf) {
@@ -884,6 +1036,18 @@ std::vector<Bytes> parity_script() {
   encode_workload_spec(w2, small_transient2d());
   frames.push_back(encode_frame(kOpCreateWorkload, w2.take()));  // id 2
   frames.push_back(frame_id(kOpCloseSession, 2));
+  // A non-default engine session: the sharded gate must also hold for the
+  // geometric path (engine byte on create, engine echo in metrics).
+  WorkloadSpec sfc = small_transient2d();
+  sfc.engine = static_cast<std::uint8_t>(engine::Kind::kSfcHilbert);
+  par::Writer w3;
+  encode_workload_spec(w3, sfc);
+  frames.push_back(encode_frame(kOpCreateWorkload, w3.take()));  // id 3
+  frames.push_back(frame_id(kOpAdvance, 3));
+  frames.push_back(frame_id(kOpStep, 3));
+  frames.push_back(frame_id(kOpGetMetrics, 3));
+  frames.push_back(frame_id(kOpGetAssignment, 3));
+  frames.push_back(frame_id(kOpCloseSession, 3));
   return frames;
 }
 
