@@ -1,0 +1,277 @@
+// Federation equivalence benchmark + hard gate (docs/FEDERATION.md). For
+// each transient workload and each shard count N in --shard-sweep, N real
+// in-process Servers (socketpair loopback — the same poll loop, codec and
+// registry a pnr_serve daemon runs) are driven by one fed::Coordinator
+// through full federated repartition rounds: lockstep adaptation,
+// interface gather + audit, migration-plan push, subtree exchange,
+// commit barrier. A fed-free reference loop (pared::TransientRun +
+// pared::Session, no svc anywhere) runs the identical workload and the
+// chained trajectory fingerprints must match bit for bit at every shard
+// count — the federation equivalence gate; any mismatch exits 2.
+//
+// Emits BENCH_federation.json (schema "pnr.bench_federation.v1",
+// documented in docs/OBSERVABILITY.md); the committed copy at the repo
+// root is the baseline scripts/fed_gate.py hard-gates on the CI release
+// leg.
+//
+//   --quick          reduced rounds/grid for CI smoke runs
+//   --rounds=N       federated rounds per run (default 24; quick 10)
+//   --grid=N         2D transient grid (default 16; 3D uses its default)
+//   --shard-sweep=L  comma-separated shard counts (default 2,4)
+//   --check-level=N  coordinator conformity checks (default 1)
+//   --out=<path>     output JSON (default BENCH_federation.json)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fed/coordinator.hpp"
+#include "svc/loopback.hpp"
+#include "svc/server.hpp"
+#include "util/fnv.hpp"
+#include "util/json.hpp"
+
+using namespace pnr;
+
+namespace {
+
+struct RunPoint {
+  int shards = 0;
+  int rounds = 0;
+  std::uint64_t trajectory_fp = 0;
+  std::int64_t trees_moved = 0;
+  std::int64_t elements_moved = 0;
+  std::int64_t payload_bytes = 0;
+  std::int64_t elements_final = 0;
+  double seconds = 0.0;
+  bool ok = false;
+  std::string why;
+};
+
+/// The fed-free reference: the identical transient run and session stepped
+/// directly, chaining the same (assign_fp, mesh_fp) digest the coordinator
+/// chains. No fed:: or svc:: state influences the trajectory — this is the
+/// single-process baseline the federation must reproduce bitwise.
+template <typename Run>
+std::uint64_t reference_trajectory(const svc::WorkloadSpec& spec,
+                                   engine::Kind engine, int rounds,
+                                   std::int64_t* elements_final) {
+  using Mesh = typename fed::CoordinatorT<Run>::Mesh;
+  Run run(spec.transient);
+  core::PnrOptions popt;
+  popt.alpha = spec.alpha;
+  popt.beta = spec.beta;
+  pared::Session<Mesh> session(spec.strategy, spec.parts, spec.session_seed,
+                               popt, engine);
+  std::uint64_t fp = util::kFnvSeed;
+  for (int i = 0; i < rounds && !run.done(); ++i) {
+    run.advance();
+    session.step(run.mutable_mesh());
+    fp = util::fnv1a_value(
+        fed::assignment_fingerprint(session.coarse_assignment()), fp);
+    fp = util::fnv1a_value(fed::mesh_fingerprint(run.mesh()), fp);
+  }
+  if (elements_final) *elements_final = run.mesh().num_leaves();
+  return fp;
+}
+
+/// One federated run: `shards` loopback servers, one coordinator.
+template <typename Run>
+RunPoint federated_run(const svc::WorkloadSpec& spec, engine::Kind engine,
+                       int shards, int rounds, int check_level) {
+  RunPoint point;
+  point.shards = shards;
+
+  std::vector<std::unique_ptr<svc::Server>> servers;
+  std::vector<std::unique_ptr<svc::Client>> clients;
+  std::vector<svc::Client*> daemons;
+  for (int i = 0; i < shards; ++i) {
+    svc::ServerOptions options;
+    servers.push_back(std::make_unique<svc::Server>(options));
+    clients.push_back(std::make_unique<svc::Client>());
+    if (!svc::connect_loopback(*servers.back(), *clients.back())) {
+      point.why = "loopback connect failed";
+      return point;
+    }
+    daemons.push_back(clients.back().get());
+  }
+
+  fed::CoordinatorOptions fopt;
+  fopt.check_level = check_level;
+  fed::CoordinatorT<Run> coord(spec, engine, std::move(daemons), fopt);
+
+  util::Timer timer;
+  std::string why;
+  if (!coord.attach(&why)) {
+    point.why = "attach: " + why;
+    return point;
+  }
+  for (int i = 0; i < rounds && !coord.finished(); ++i) {
+    const fed::RoundResult r = coord.round();
+    if (!r.ok) {
+      point.why = "round " + std::to_string(i + 1) + ": " + r.why;
+      return point;
+    }
+    point.trees_moved += r.trees_moved;
+    point.elements_moved += r.elements_moved;
+    point.payload_bytes += r.payload_bytes;
+    point.elements_final = r.elements;
+  }
+  point.rounds = coord.rounds();
+  point.trajectory_fp = coord.trajectory_fingerprint();
+  if (!coord.finish(/*shutdown_daemons=*/true, &why)) {
+    point.why = "teardown: " + why;
+    return point;
+  }
+  point.seconds = timer.seconds();
+  point.ok = true;
+  return point;
+}
+
+std::vector<int> parse_sweep(const std::string& list) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick");
+  const int rounds = cli.get_int("rounds", quick ? 10 : 24);
+  const int grid = cli.get_int("grid", 16);
+  const int check_level = cli.get_int("check-level", 1);
+  const std::string out = cli.get("out", "BENCH_federation.json");
+  const std::vector<int> sweep = parse_sweep(cli.get("shard-sweep", "2,4"));
+
+  bench::banner("Socket federation",
+                "N live servers, one coordinator; trajectory must equal the "
+                "fed-free single-process session bit for bit");
+
+  const engine::Kind engine = engine::Kind::kMlkl;
+  bool all_equivalent = true;
+
+  util::Json doc = util::Json::object();
+  doc["schema"] = "pnr.bench_federation.v1";
+  doc["binary"] = "bench_federation";
+  doc["mode"] = quick ? "quick" : "default";
+  doc["rounds"] = static_cast<std::int64_t>(rounds);
+  doc["check_level"] = static_cast<std::int64_t>(check_level);
+  util::Json workloads = util::Json::array();
+
+  const auto run_workload = [&](const char* name, auto* run_tag,
+                                svc::WorkloadSpec spec) {
+    using Run = std::remove_pointer_t<decltype(run_tag)>;
+    util::Table table({"shards", "rounds", "trees", "elements", "payload B",
+                       "seconds", "reference", "trajectory", "equal"});
+    util::Json runs = util::Json::array();
+    char fp_str[32];
+    char ref_str[32];
+
+    util::Json wl = util::Json::object();
+    wl["kind"] = name;
+
+    for (const int shards : sweep) {
+      // The equivalence claim is per shard count: an N-shard federation
+      // must match the single-process session partitioning into N parts.
+      spec.parts = shards;
+      std::int64_t ref_elements = 0;
+      const std::uint64_t ref_fp = reference_trajectory<Run>(
+          spec, engine, rounds, &ref_elements);
+      const RunPoint p = federated_run<Run>(spec, engine, shards, rounds,
+                                            check_level);
+      if (!p.ok) {
+        std::fprintf(stderr, "FATAL: [%s] shards=%d: %s\n", name, shards,
+                     p.why.c_str());
+        std::exit(1);
+      }
+      const bool equal = p.trajectory_fp == ref_fp &&
+                         p.elements_final == ref_elements;
+      all_equivalent = all_equivalent && equal;
+      std::snprintf(ref_str, sizeof(ref_str), "%016llx",
+                    static_cast<unsigned long long>(ref_fp));
+      std::snprintf(fp_str, sizeof(fp_str), "%016llx",
+                    static_cast<unsigned long long>(p.trajectory_fp));
+      table.row()
+          .cell(p.shards)
+          .cell(p.rounds)
+          .cell(p.trees_moved)
+          .cell(p.elements_moved)
+          .cell(p.payload_bytes)
+          .cell(p.seconds, 3)
+          .cell(ref_str)
+          .cell(fp_str)
+          .cell(equal ? "yes" : "NO");
+      util::Json row = util::Json::object();
+      row["shards"] = static_cast<std::int64_t>(p.shards);
+      row["rounds"] = static_cast<std::int64_t>(p.rounds);
+      row["trees_moved"] = p.trees_moved;
+      row["elements_moved"] = p.elements_moved;
+      row["payload_bytes"] = p.payload_bytes;
+      row["total_seconds"] = p.seconds;
+      row["reference_fp"] = std::string(ref_str);
+      row["reference_elements"] = ref_elements;
+      row["trajectory_fp"] = std::string(fp_str);
+      row["equivalent"] = equal;
+      runs.push_back(std::move(row));
+    }
+    table.print(std::cout);
+    wl["runs"] = std::move(runs);
+    workloads.push_back(std::move(wl));
+  };
+
+  {
+    svc::WorkloadSpec spec;
+    spec.kind = svc::WorkloadKind::kTransient2D;
+    spec.strategy = pared::Strategy::kPNR;
+    spec.session_seed = 1;
+    spec.transient.grid_n = quick ? 12 : grid;
+    spec.transient.max_level = 4;
+    spec.transient.steps = rounds + 1;
+    spec.engine = static_cast<std::uint8_t>(engine);
+    run_workload("transient2d", static_cast<pared::TransientRun*>(nullptr),
+                 spec);
+  }
+  {
+    svc::WorkloadSpec spec;
+    spec.kind = svc::WorkloadKind::kTransient3D;
+    spec.strategy = pared::Strategy::kPNR;
+    spec.session_seed = 1;
+    spec.transient = pared::TransientRun3D::default_options();
+    spec.transient.steps = rounds + 1;
+    spec.engine = static_cast<std::uint8_t>(engine);
+    run_workload("transient3d", static_cast<pared::TransientRun3D*>(nullptr),
+                 spec);
+  }
+
+  doc["workloads"] = std::move(workloads);
+  doc["equivalent"] = all_equivalent;
+
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  file << doc.dump(2) << "\n";
+  std::printf("wrote %s\n", out.c_str());
+  if (!all_equivalent) {
+    std::fprintf(stderr,
+                 "FATAL: a federated trajectory diverged from the "
+                 "single-process session\n");
+    return 2;
+  }
+  return 0;
+}

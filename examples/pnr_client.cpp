@@ -1,6 +1,12 @@
 // pnr_client: command-line client for pnr_serve (docs/SERVICE.md).
 //
 //   pnr_client --socket=PATH COMMAND [flags]
+//   pnr_client --tcp=PORT [--host=127.0.0.1] COMMAND [flags]
+//
+// Either form accepts --connect-retry-ms=N (keep retrying a refused or
+// missing endpoint for up to N ms, exponential backoff from
+// --connect-backoff-ms, default 10) — useful when racing a daemon's
+// startup from a script.
 //
 // Commands:
 //   ping
@@ -153,9 +159,11 @@ std::optional<svc::CreateHead> head_from_flags(const util::Cli& cli) {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const std::string socket = cli.get("socket", "");
-  if (socket.empty() || cli.positional().empty()) {
+  const int tcp_port = cli.get_int("tcp", -1);
+  if (socket.empty() == (tcp_port < 0) || cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: pnr_client --socket=PATH COMMAND [flags] "
+                 "usage: pnr_client --socket=PATH | --tcp=PORT [--host=ADDR] "
+                 "COMMAND [flags] "
                  "(see the header of examples/pnr_client.cpp)\n");
     return 2;
   }
@@ -163,9 +171,22 @@ int main(int argc, char** argv) {
   const auto session =
       static_cast<std::uint32_t>(cli.get_int("session", 0));
 
+  svc::ConnectOptions retry;
+  retry.retry_ms = cli.get_int("connect-retry-ms", 0);
+  retry.backoff_ms = cli.get_int("connect-backoff-ms", 10);
+
   svc::Client client;
   std::string error;
-  if (!client.connect_unix(socket, &error)) {
+  if (tcp_port >= 0) {
+    const std::string host = cli.get("host", "127.0.0.1");
+    if (tcp_port > 65535 ||
+        !client.connect_tcp(host, static_cast<std::uint16_t>(tcp_port),
+                            &error, retry)) {
+      std::fprintf(stderr, "pnr_client: cannot connect to %s:%d: %s\n",
+                   host.c_str(), tcp_port, error.c_str());
+      return 1;
+    }
+  } else if (!client.connect_unix(socket, &error, retry)) {
     std::fprintf(stderr, "pnr_client: cannot connect to %s: %s\n",
                  socket.c_str(), error.c_str());
     return 1;

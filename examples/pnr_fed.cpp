@@ -1,0 +1,194 @@
+// pnr_fed: federation coordinator for pnr_serve daemons
+// (docs/FEDERATION.md). Connects to N daemons — each becomes one shard of
+// a replicated transient workload — and drives federated repartition
+// rounds: lockstep adaptation, interface gather + audit, one PNR step on
+// the coordinator's replica, migration-plan push, subtree exchange, commit
+// barrier. The resulting assignment trajectory is bitwise identical to a
+// single-process pared::Session run; the final line prints the chained
+// trajectory fingerprint the equivalence gate compares.
+//
+//   pnr_fed --sockets=/tmp/a.sock,/tmp/b.sock [flags]
+//   pnr_fed --endpoints=127.0.0.1:7000,127.0.0.1:7001 [flags]
+//
+// Flags: --kind=transient2d|transient3d --steps=N --seed=N --grid-n=N
+//        --max-level=N --refine-threshold=X --coarsen-threshold=X
+//        --alpha=X --beta=X --engine=mlkl --check-level=1
+//        --connect-retry-ms=N --connect-backoff-ms=N --shutdown
+//
+// --shutdown also stops the daemons after the run (sessions are always
+// closed first — the graceful teardown ordering). --connect-retry-ms lets
+// the coordinator race daemon startup in scripts.
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "fed/coordinator.hpp"
+#include "svc/client.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace pnr;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::optional<svc::WorkloadSpec> spec_from_flags(const util::Cli& cli,
+                                                 int parts) {
+  svc::WorkloadSpec spec;
+  const std::string kind = cli.get("kind", "transient2d");
+  if (kind == "transient2d") {
+    spec.kind = svc::WorkloadKind::kTransient2D;
+  } else if (kind == "transient3d") {
+    spec.kind = svc::WorkloadKind::kTransient3D;
+    spec.transient = pared::TransientRun3D::default_options();
+  } else {
+    std::fprintf(stderr,
+                 "pnr_fed: only the transient workloads federate, not '%s'\n",
+                 kind.c_str());
+    return std::nullopt;
+  }
+  spec.strategy = pared::Strategy::kPNR;
+  spec.parts = parts;
+  spec.session_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  spec.transient.steps = cli.get_int("steps", spec.transient.steps);
+  spec.transient.grid_n = cli.get_int("grid-n", spec.transient.grid_n);
+  spec.transient.max_level =
+      cli.get_int("max-level", spec.transient.max_level);
+  spec.transient.refine_threshold =
+      cli.get_double("refine-threshold", spec.transient.refine_threshold);
+  spec.transient.coarsen_threshold =
+      cli.get_double("coarsen-threshold", spec.transient.coarsen_threshold);
+  spec.alpha = cli.get_double("alpha", spec.alpha);
+  spec.beta = cli.get_double("beta", spec.beta);
+  return spec;
+}
+
+template <typename Coordinator>
+int run_fed(svc::WorkloadSpec spec, engine::Kind engine,
+            std::vector<svc::Client*> daemons, fed::CoordinatorOptions fopt,
+            bool shutdown) {
+  Coordinator coord(std::move(spec), engine, std::move(daemons), fopt);
+  std::string why;
+  if (!coord.attach(&why)) {
+    std::fprintf(stderr, "pnr_fed: attach failed: %s\n", why.c_str());
+    return 1;
+  }
+  while (!coord.finished()) {
+    const fed::RoundResult r = coord.round();
+    if (!r.ok) {
+      std::fprintf(stderr, "pnr_fed: round failed: %s\n", r.why.c_str());
+      for (const auto& v : r.violations)
+        std::fprintf(stderr, "pnr_fed:   %s: %s\n", v.code.c_str(),
+                     v.message.c_str());
+      coord.finish(shutdown, nullptr);
+      return 1;
+    }
+    std::printf(
+        "step=%d t=%.4f elements=%lld refined=%lld coarsened=%lld "
+        "trees_moved=%lld elements_moved=%lld payload_bytes=%lld "
+        "cut=%lld migrated=%lld assign_fp=%016llx\n",
+        r.step, r.t, static_cast<long long>(r.elements),
+        static_cast<long long>(r.refined),
+        static_cast<long long>(r.coarsened),
+        static_cast<long long>(r.trees_moved),
+        static_cast<long long>(r.elements_moved),
+        static_cast<long long>(r.payload_bytes),
+        static_cast<long long>(r.report.cut_new),
+        static_cast<long long>(r.report.migrated),
+        static_cast<unsigned long long>(r.assign_fp));
+  }
+  const std::uint64_t fp = coord.trajectory_fingerprint();
+  if (!coord.finish(shutdown, &why)) {
+    std::fprintf(stderr, "pnr_fed: teardown failed: %s\n", why.c_str());
+    return 1;
+  }
+  std::printf("rounds=%d trajectory_fp=%016llx\n", coord.rounds(),
+              static_cast<unsigned long long>(fp));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto sockets = split_list(cli.get("sockets", ""));
+  const auto endpoints = split_list(cli.get("endpoints", ""));
+  if (sockets.empty() == endpoints.empty()) {
+    std::fprintf(stderr,
+                 "usage: pnr_fed --sockets=PATH,PATH,... | "
+                 "--endpoints=HOST:PORT,... [flags] "
+                 "(see the header of examples/pnr_fed.cpp)\n");
+    return 2;
+  }
+
+  svc::ConnectOptions retry;
+  retry.retry_ms = cli.get_int("connect-retry-ms", 0);
+  retry.backoff_ms = cli.get_int("connect-backoff-ms", 10);
+
+  std::vector<std::unique_ptr<svc::Client>> owned;
+  std::vector<svc::Client*> daemons;
+  std::string error;
+  for (const auto& path : sockets) {
+    auto client = std::make_unique<svc::Client>();
+    if (!client->connect_unix(path, &error, retry)) {
+      std::fprintf(stderr, "pnr_fed: cannot connect to %s: %s\n",
+                   path.c_str(), error.c_str());
+      return 1;
+    }
+    daemons.push_back(client.get());
+    owned.push_back(std::move(client));
+  }
+  for (const auto& ep : endpoints) {
+    const std::size_t colon = ep.rfind(':');
+    const int port =
+        colon == std::string::npos ? -1 : std::atoi(ep.c_str() + colon + 1);
+    if (port < 0 || port > 65535) {
+      std::fprintf(stderr, "pnr_fed: bad endpoint '%s'\n", ep.c_str());
+      return 2;
+    }
+    auto client = std::make_unique<svc::Client>();
+    if (!client->connect_tcp(ep.substr(0, colon),
+                             static_cast<std::uint16_t>(port), &error,
+                             retry)) {
+      std::fprintf(stderr, "pnr_fed: cannot connect to %s: %s\n", ep.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    daemons.push_back(client.get());
+    owned.push_back(std::move(client));
+  }
+
+  const auto spec = spec_from_flags(cli, static_cast<int>(daemons.size()));
+  if (!spec) return 2;
+  engine::Kind engine;
+  if (!engine::parse_kind(cli.get("engine", "mlkl"), engine)) {
+    std::fprintf(stderr, "pnr_fed: unknown engine\n");
+    return 2;
+  }
+  svc::WorkloadSpec wire_spec = *spec;
+  wire_spec.engine = static_cast<std::uint8_t>(engine);
+
+  fed::CoordinatorOptions fopt;
+  fopt.check_level = cli.get_int("check-level", 1);
+  const bool shutdown = cli.get_bool("shutdown");
+  if (wire_spec.kind == svc::WorkloadKind::kTransient2D)
+    return run_fed<fed::Coordinator2D>(std::move(wire_spec), engine,
+                                       std::move(daemons), fopt, shutdown);
+  return run_fed<fed::Coordinator3D>(std::move(wire_spec), engine,
+                                     std::move(daemons), fopt, shutdown);
+}

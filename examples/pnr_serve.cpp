@@ -6,7 +6,12 @@
 //   pnr_serve --socket=/tmp/pnr.sock [--max-sessions=64] [--max-elements=N]
 //             [--max-frame-mb=64] [--max-parts=1024] [--shards=N]
 //             [--threads=N] [--default-engine=mlkl] [--prof]
+//   pnr_serve --tcp=PORT [--host=127.0.0.1] [same flags]
 //
+// --tcp listens on TCP instead of a Unix socket — how a federation
+// coordinator (pnr_fed, docs/FEDERATION.md) reaches daemons on other
+// hosts. Port 0 lets the kernel pick; the chosen port is printed on the
+// "listening" line so harnesses can parse it.
 // --shards=N runs the sharded server: N session shards drained by N worker
 // threads (docs/SERVICE.md, "Sharding"); 0 (the default) is the serial
 // poll-thread server. --threads=N sizes the default pnr::exec pool used by
@@ -28,9 +33,11 @@ int main(int argc, char** argv) {
   using namespace pnr;
   util::Cli cli(argc, argv);
   const std::string socket = cli.get("socket", "");
-  if (socket.empty()) {
+  const int tcp_port = cli.get_int("tcp", -1);
+  if (socket.empty() == (tcp_port < 0)) {
     std::fprintf(stderr,
-                 "usage: pnr_serve --socket=PATH [--max-sessions=N] "
+                 "usage: pnr_serve --socket=PATH | --tcp=PORT "
+                 "[--host=ADDR] [--max-sessions=N] "
                  "[--max-elements=N] [--max-frame-mb=N] [--max-parts=N] "
                  "[--shards=N] [--threads=N] [--default-engine=NAME] "
                  "[--prof]\n");
@@ -62,12 +69,27 @@ int main(int argc, char** argv) {
 
   svc::Server server(options);
   std::string error;
-  if (!server.listen_unix(socket, &error)) {
-    std::fprintf(stderr, "pnr_serve: cannot listen on %s: %s\n",
-                 socket.c_str(), error.c_str());
-    return 1;
+  if (tcp_port >= 0) {
+    const std::string host = cli.get("host", "127.0.0.1");
+    if (tcp_port > 65535 ||
+        !server.listen_tcp(static_cast<std::uint16_t>(tcp_port), &error,
+                           host)) {
+      std::fprintf(stderr, "pnr_serve: cannot listen on %s:%d: %s\n",
+                   host.c_str(), tcp_port, error.c_str());
+      return 1;
+    }
+    // The port is parsed by harnesses (scripts/fed_smoke.py) when --tcp=0
+    // lets the kernel pick; keep the "port=N" token stable.
+    std::fprintf(stderr, "pnr_serve: listening on %s port=%u\n", host.c_str(),
+                 server.bound_port());
+  } else {
+    if (!server.listen_unix(socket, &error)) {
+      std::fprintf(stderr, "pnr_serve: cannot listen on %s: %s\n",
+                   socket.c_str(), error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "pnr_serve: listening on %s\n", socket.c_str());
   }
-  std::fprintf(stderr, "pnr_serve: listening on %s\n", socket.c_str());
   server.run();
   std::fprintf(stderr, "pnr_serve: shut down cleanly\n");
   if (cli.get_bool("prof")) prof::write_summary(std::cerr);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate a freshly-run BENCH_federation.json (schema pnr.bench_federation.v1).
+
+    python3 scripts/fed_gate.py CURRENT.json
+
+One hard check: every federated run must be bitwise-equivalent to its
+fed-free single-process reference — the per-run "equivalent" flag and the
+document-level "equivalent" flag must all be true, and each run's
+trajectory_fp string must literally equal its reference_fp. There is no
+tolerance and no baseline diff: the federation either reproduces the
+single-process pared::Session trajectory exactly or the gate fails.
+
+A secondary sanity check rejects degenerate runs (zero rounds, empty
+sweep, missing workloads) so a benchmark that silently did nothing cannot
+pass. Exit 0 = pass, 1 = gate tripped, 2 = bad input.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: {e}")
+    if doc.get("schema") != "pnr.bench_federation.v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    path = sys.argv[1]
+    doc = load(path)
+
+    workloads = doc.get("workloads", [])
+    if not workloads:
+        sys.exit(f"{path}: no workloads")
+
+    failed = 0
+    total = 0
+    for wl in workloads:
+        kind = wl.get("kind", "?")
+        runs = wl.get("runs", [])
+        if not runs:
+            sys.exit(f"{path}: workload {kind!r} has no runs")
+        for run in runs:
+            total += 1
+            shards = run.get("shards", "?")
+            ref = run.get("reference_fp", "")
+            got = run.get("trajectory_fp", "")
+            rounds = int(run.get("rounds", 0))
+            equivalent = bool(run.get("equivalent", False))
+            ok = equivalent and ref and ref == got and rounds > 0
+            mark = "ok " if ok else "FAIL"
+            print(f"  {mark} {kind:<12} shards={shards:>2} rounds={rounds:>3} "
+                  f"reference={ref} trajectory={got}")
+            if not ok:
+                failed += 1
+
+    if not doc.get("equivalent", False):
+        print("FAIL: document-level equivalent flag is false",
+              file=sys.stderr)
+        failed += 1
+
+    if failed:
+        print(f"FAIL: {failed} federated run(s) diverged from the "
+              f"single-process session", file=sys.stderr)
+        return 1
+    print(f"fed gate: {total} runs, all bitwise-equivalent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

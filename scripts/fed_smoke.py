@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Multi-daemon federation smoke test (docs/FEDERATION.md).
+
+    python3 scripts/fed_smoke.py --build=build [--shards=2] [--tcp]
+
+Launches N real pnr_serve daemon processes — Unix-domain sockets by
+default, loopback TCP with --tcp (each daemon binds --tcp=0 and the
+kernel-chosen port is parsed from the stable "port=N" token on its
+"listening" line) — then runs the pnr_fed coordinator against them with
+--shutdown. The test passes when the coordinator exits 0, prints a final
+"trajectory_fp=" line, and every daemon exits 0 after the coordinated
+shutdown (sessions closed before daemons stop: the graceful teardown
+ordering). Any daemon needing SIGKILL, a nonzero exit, or a missing
+trajectory line fails the smoke.
+
+Run once with --tcp and once without in CI to cover both transports.
+Exit 0 = pass, 1 = fail, 2 = bad usage / missing binaries.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def wait_for(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    sys.exit(f"timed out waiting for {what}")
+
+
+def parse_port(stderr_path):
+    """The daemon prints 'pnr_serve: listening on HOST port=N' once bound."""
+    try:
+        with open(stderr_path) as f:
+            match = re.search(r"port=(\d+)", f.read())
+            return int(match.group(1)) if match else None
+    except OSError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build", default="build",
+                        help="CMake build directory")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="daemon count (2-4)")
+    parser.add_argument("--tcp", action="store_true",
+                        help="use loopback TCP instead of Unix sockets")
+    parser.add_argument("--steps", type=int, default=6)
+    parser.add_argument("--grid-n", type=int, default=12)
+    args = parser.parse_args()
+    if not 2 <= args.shards <= 4:
+        sys.exit("--shards must be 2-4")
+
+    serve = os.path.join(args.build, "examples", "pnr_serve")
+    fed = os.path.join(args.build, "examples", "pnr_fed")
+    for binary in (serve, fed):
+        if not os.access(binary, os.X_OK):
+            sys.exit(f"missing binary {binary} (build the repo first)")
+
+    daemons = []
+    status = 1
+    with tempfile.TemporaryDirectory(prefix="pnr_fed_smoke.") as tmp:
+        try:
+            targets = []
+            for i in range(args.shards):
+                log = open(os.path.join(tmp, f"daemon{i}.log"), "w+")
+                if args.tcp:
+                    cmd = [serve, "--tcp=0", "--host=127.0.0.1"]
+                else:
+                    sock = os.path.join(tmp, f"shard{i}.sock")
+                    cmd = [serve, f"--socket={sock}"]
+                    targets.append(sock)
+                proc = subprocess.Popen(cmd, stdout=log, stderr=log)
+                daemons.append((proc, log))
+
+            if args.tcp:
+                for i, (proc, log) in enumerate(daemons):
+                    wait_for(lambda: parse_port(log.name) is not None, 10,
+                             f"daemon {i} to print its port")
+                    targets.append(f"127.0.0.1:{parse_port(log.name)}")
+            else:
+                for sock in targets:
+                    wait_for(lambda s=sock: os.path.exists(s), 10,
+                             f"socket {sock}")
+
+            flag = ("--endpoints=" if args.tcp else "--sockets=") \
+                + ",".join(targets)
+            cmd = [fed, flag, "--kind=transient2d",
+                   f"--steps={args.steps}", f"--grid-n={args.grid_n}",
+                   "--connect-retry-ms=5000", "--shutdown"]
+            print("+", " ".join(cmd))
+            result = subprocess.run(cmd, capture_output=True, text=True,
+                                    timeout=120)
+            sys.stdout.write(result.stdout)
+            sys.stderr.write(result.stderr)
+            if result.returncode != 0:
+                print(f"FAIL: pnr_fed exited {result.returncode}",
+                      file=sys.stderr)
+                return 1
+            if "trajectory_fp=" not in result.stdout:
+                print("FAIL: no trajectory_fp line in coordinator output",
+                      file=sys.stderr)
+                return 1
+
+            # --shutdown stopped the daemons; they must exit 0 on their own.
+            for i, (proc, _log) in enumerate(daemons):
+                try:
+                    code = proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    print(f"FAIL: daemon {i} did not exit after shutdown",
+                          file=sys.stderr)
+                    return 1
+                if code != 0:
+                    print(f"FAIL: daemon {i} exited {code}", file=sys.stderr)
+                    return 1
+            fp = re.search(r"trajectory_fp=([0-9a-f]+)", result.stdout)
+            print(f"fed smoke: {args.shards} daemons "
+                  f"({'tcp' if args.tcp else 'unix'}), trajectory_fp="
+                  f"{fp.group(1)}")
+            status = 0
+        finally:
+            for proc, log in daemons:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+                log.close()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+#pragma once
+// Cross-shard conformity validators for the socket federation
+// (docs/FEDERATION.md). Each federated repartition round, every shard
+// reports the coarse-graph weights of the trees it owns; the coordinator
+// audits the union before any partitioner sees it:
+//
+//   check_fed_reports   every coarse vertex owned exactly once with a
+//                       positive leaf count, interface edges well-formed,
+//                       and every cross-shard edge reported identically by
+//                       both endpoint owners (the primary/echo agreement);
+//   check_fed_commit    after the ownership flip: no leaf lost or counted
+//                       twice across shards, and every shard adopted the
+//                       same assignment digest the coordinator computed.
+//
+// Like every pnr::check validator these never abort — the coordinator
+// decides whether a violation kills the round or just the report.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "check/report.hpp"
+#include "graph/csr.hpp"
+#include "mesh/types.hpp"
+
+namespace pnr::check {
+
+/// One interface edge of the coarse graph as a shard reports it:
+/// a < b, w = adjacent leaf pairs across the {a, b} interface.
+struct FedEdge {
+  mesh::ElemIdx a = 0;
+  mesh::ElemIdx b = 0;
+  graph::Weight w = 0;
+};
+static_assert(sizeof(FedEdge) == 16, "FedEdge must be packed for the wire");
+
+/// One shard's P1/P2 report: the coarse vertices it owns with their leaf
+/// counts, the interface edges it is primary for (it owns min(a, b)), and
+/// an echo of every edge whose max(a, b) endpoint it owns but whose
+/// min(a, b) endpoint it does not — the redundancy that lets the
+/// coordinator prove two shards agree on every cross-shard interface.
+struct FedShardReport {
+  std::vector<mesh::ElemIdx> owned;
+  std::vector<graph::Weight> owned_weights;
+  std::vector<FedEdge> primary;
+  std::vector<FedEdge> echo;
+};
+
+/// Audit the union of all shards' reports against a coarse graph with
+/// `coarse` vertices. Codes: fed.vertex.range, fed.vertex.shape,
+/// fed.vertex.duplicate, fed.vertex.missing, fed.vertex.weight,
+/// fed.edge.range, fed.edge.order, fed.edge.duplicate, fed.edge.weight,
+/// fed.edge.owner, fed.edge.unmatched.
+CheckReport check_fed_reports(mesh::ElemIdx coarse,
+                              std::span<const FedShardReport> reports);
+
+/// Audit the post-commit barrier: `owned_leaves[i]` is shard i's owned leaf
+/// total (must sum to `total_leaves` — no lost or duplicated leaves) and
+/// `assign_fps[i]` its adopted-assignment digest (must all equal
+/// `expect_fp`, the coordinator's own). Codes: fed.leaves.sum,
+/// fed.assign.divergent.
+CheckReport check_fed_commit(std::int64_t total_leaves,
+                             std::span<const std::int64_t> owned_leaves,
+                             std::span<const std::uint64_t> assign_fps,
+                             std::uint64_t expect_fp);
+
+}  // namespace pnr::check

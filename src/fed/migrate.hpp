@@ -1,0 +1,121 @@
+#pragma once
+// Federation migration payloads: refinement-history subtrees as wire bytes.
+//
+// A federated shard holds a *replicated* mesh (the PARED replication
+// invariant — every daemon adapts the identical mesh deterministically) but
+// each refinement tree is owned by exactly one shard. Migration therefore
+// ships real serialized subtree bytes, and the receiver proves the payload
+// matches its replica bit for bit (ids, topology, levels, geometry) before
+// accepting ownership. The byte layout is exactly par::ParedRankT's
+// serialize_tree, so the simulator and the socket federation measure the
+// same payload volumes:
+//
+//   u64 node_count, then per node (DFS, child[1] before child[0] popped):
+//   i32 elem, kVertsPerElem × i32 vert, i16 level, u8 leaf,
+//   kVertsPerElem × kDim × f64 coords.
+//
+// Unlike the simulator's aborting validator, verify_subtree answers a trust
+// boundary: payloads arrive over sockets, so every mismatch is a returned
+// diagnosis, never a crash.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mesh/tet_mesh.hpp"
+#include "mesh/tri_mesh.hpp"
+#include "partition/partition.hpp"
+
+namespace pnr::fed {
+
+using Bytes = std::vector<std::uint8_t>;
+
+namespace detail {
+
+/// The slice of mesh API the migration codec needs, specialized per mesh
+/// family (kept local so pnr_fed does not depend on the simulator or fem).
+template <typename Mesh>
+struct MeshTraits;
+
+template <>
+struct MeshTraits<mesh::TriMesh> {
+  static constexpr int kVertsPerElem = 3;
+  static constexpr int kDim = 2;
+  static const auto& elem(const mesh::TriMesh& m, mesh::ElemIdx e) {
+    return m.tri(e);
+  }
+  static void coords(const mesh::TriMesh& m, mesh::VertIdx v, double* out) {
+    const auto& p = m.vertex(v);
+    out[0] = p.x;
+    out[1] = p.y;
+  }
+  template <typename F>
+  static void for_each_interface(const mesh::TriMesh& m, F&& f) {
+    m.for_each_leaf_edge([&](mesh::VertIdx, mesh::VertIdx, mesh::ElemIdx e1,
+                             mesh::ElemIdx e2) { f(e1, e2); });
+  }
+};
+
+template <>
+struct MeshTraits<mesh::TetMesh> {
+  static constexpr int kVertsPerElem = 4;
+  static constexpr int kDim = 3;
+  static const auto& elem(const mesh::TetMesh& m, mesh::ElemIdx e) {
+    return m.tet(e);
+  }
+  static void coords(const mesh::TetMesh& m, mesh::VertIdx v, double* out) {
+    const auto& p = m.vertex(v);
+    out[0] = p.x;
+    out[1] = p.y;
+    out[2] = p.z;
+  }
+  template <typename F>
+  static void for_each_interface(const mesh::TetMesh& m, F&& f) {
+    m.for_each_leaf_face([&](mesh::VertIdx, mesh::VertIdx, mesh::VertIdx,
+                             mesh::ElemIdx e1, mesh::ElemIdx e2) {
+      f(e1, e2);
+    });
+  }
+};
+
+}  // namespace detail
+
+/// Serialize the refinement-history subtree rooted at initial element
+/// `root` (which must be alive) into a migration payload.
+template <typename Mesh>
+Bytes pack_subtree(const Mesh& mesh, mesh::ElemIdx root);
+
+/// What a verified payload contained.
+struct SubtreeInfo {
+  std::int64_t nodes = 0;   ///< history nodes (interior + leaves)
+  std::int64_t leaves = 0;  ///< current finest-mesh members
+};
+
+/// Prove `data` is exactly pack_subtree(mesh, root) — element ids in range,
+/// every node matching the replica bit for bit, no trailing bytes. Returns
+/// nullopt with `why` set on the first mismatch; never aborts (payloads
+/// cross a process trust boundary).
+template <typename Mesh>
+std::optional<SubtreeInfo> verify_subtree(const Mesh& mesh,
+                                          mesh::ElemIdx root,
+                                          const std::uint8_t* data,
+                                          std::size_t size,
+                                          std::string* why = nullptr);
+
+/// Digest of the current leaves (ids, ancestry, levels, geometry bits) in
+/// deterministic leaf order. Replicated meshes agree on this after every
+/// adaptation round; any divergence between daemons is caught here before
+/// it can corrupt a migration plan.
+template <typename Mesh>
+std::uint64_t mesh_fingerprint(const Mesh& mesh);
+
+/// Digest of an assignment vector (leaf/coarse order as passed).
+std::uint64_t assignment_fingerprint(std::span<const part::PartId> assign);
+
+/// Current element tags in dense leaf order (the adopted assignment).
+template <typename Mesh>
+std::vector<part::PartId> leaf_tags(const Mesh& mesh);
+
+}  // namespace pnr::fed

@@ -1,0 +1,192 @@
+#include "fed/shard.hpp"
+
+#include <algorithm>
+
+#include "mesh/dual.hpp"
+
+namespace pnr::fed {
+
+namespace {
+
+void fail(std::string* why, std::string reason) {
+  if (why) *why = std::move(reason);
+}
+
+}  // namespace
+
+template <typename Run>
+ShardT<Run>::ShardT(Run run, int rank, int count)
+    : run_(std::move(run)), rank_(rank), count_(count) {
+  const auto roots =
+      static_cast<std::size_t>(run_.mesh().num_initial_elements());
+  ownership_.reserve(roots);
+  for (std::size_t c = 0; c < roots; ++c)
+    ownership_.push_back(static_cast<part::PartId>(
+        c % static_cast<std::size_t>(count_)));
+  // Tags mirror ownership from the start so round 0 reports are honest.
+  const auto leaves = run_.mesh().leaf_elements();
+  const auto fine =
+      mesh::project_coarse_assignment(run_.mesh(), leaves, ownership_);
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    run_.mutable_mesh().set_tag(leaves[i], fine[i]);
+}
+
+template <typename Run>
+std::optional<typename ShardT<Run>::AdvanceResult> ShardT<Run>::advance(
+    std::string* why) {
+  if (staged_) {
+    fail(why, "migration round in flight: commit or abandon the plan first");
+    return std::nullopt;
+  }
+  if (run_.done()) {
+    fail(why, "workload finished");
+    return std::nullopt;
+  }
+  const auto info = run_.advance();
+  AdvanceResult out;
+  out.step = info.step;
+  out.t = info.t;
+  out.bisections = info.bisections;
+  out.merges = info.merges;
+  out.elements = run_.mesh().num_leaves();
+  out.mesh_fp = mesh_fingerprint(run_.mesh());
+  return out;
+}
+
+template <typename Run>
+check::FedShardReport ShardT<Run>::interface_report() const {
+  const Mesh& mesh = run_.mesh();
+  check::FedShardReport report;
+  const auto roots = mesh.num_initial_elements();
+  for (mesh::ElemIdx c = 0; c < roots; ++c) {
+    if (ownership_[static_cast<std::size_t>(c)] != rank_) continue;
+    report.owned.push_back(c);
+    report.owned_weights.push_back(mesh.leaf_count(c));
+  }
+  mesh.for_each_coarse_interface(
+      [&](mesh::ElemIdx c1, mesh::ElemIdx c2, std::int64_t w) {
+        const part::PartId lo = ownership_[static_cast<std::size_t>(c1)];
+        const part::PartId hi = ownership_[static_cast<std::size_t>(c2)];
+        if (lo == rank_)
+          report.primary.push_back({c1, c2, w});
+        else if (hi == rank_)
+          report.echo.push_back({c1, c2, w});
+      });
+  const auto by_endpoints = [](const check::FedEdge& x,
+                               const check::FedEdge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  };
+  std::sort(report.primary.begin(), report.primary.end(), by_endpoints);
+  std::sort(report.echo.begin(), report.echo.end(), by_endpoints);
+  return report;
+}
+
+template <typename Run>
+std::optional<typename ShardT<Run>::PlanResult> ShardT<Run>::apply_plan(
+    std::span<const part::PartId> next, std::string* why) {
+  if (staged_) {
+    fail(why, "plan already staged");
+    return std::nullopt;
+  }
+  const Mesh& mesh = run_.mesh();
+  const auto roots = static_cast<std::size_t>(mesh.num_initial_elements());
+  if (next.size() != roots) {
+    fail(why, "plan names " + std::to_string(next.size()) + " trees of " +
+                  std::to_string(roots));
+    return std::nullopt;
+  }
+  for (const part::PartId p : next)
+    if (p < 0 || p >= count_) {
+      fail(why, "plan assigns a tree to shard " + std::to_string(p) +
+                    " outside [0," + std::to_string(count_) + ")");
+      return std::nullopt;
+    }
+  PlanResult out;
+  for (std::size_t c = 0; c < roots; ++c) {
+    if (ownership_[c] != rank_ || next[c] == rank_) continue;
+    const auto root = static_cast<mesh::ElemIdx>(c);
+    Outgoing o;
+    o.dest = next[c];
+    o.root = root;
+    o.payload = pack_subtree(mesh, root);
+    out.outgoing.push_back(std::move(o));
+    ++out.trees_out;
+    out.elements_out += mesh.leaf_count(root);
+  }
+  staged_.emplace(next.begin(), next.end());
+  return out;
+}
+
+template <typename Run>
+std::optional<typename ShardT<Run>::IngestResult> ShardT<Run>::ingest(
+    int src, mesh::ElemIdx root, const std::uint8_t* data, std::size_t size,
+    std::string* why) {
+  if (!staged_) {
+    fail(why, "no migration plan staged");
+    return std::nullopt;
+  }
+  if (src < 0 || src >= count_ || src == rank_) {
+    fail(why, "bad source shard " + std::to_string(src));
+    return std::nullopt;
+  }
+  const Mesh& mesh = run_.mesh();
+  if (root < 0 || root >= mesh.num_initial_elements()) {
+    fail(why, "root " + std::to_string(root) + " is not an initial element");
+    return std::nullopt;
+  }
+  const auto c = static_cast<std::size_t>(root);
+  if (ownership_[c] != src) {
+    fail(why, "tree " + std::to_string(root) + " is owned by shard " +
+                  std::to_string(ownership_[c]) + ", not the sender");
+    return std::nullopt;
+  }
+  if ((*staged_)[c] != rank_) {
+    fail(why, "tree " + std::to_string(root) +
+                  " is not planned for this shard");
+    return std::nullopt;
+  }
+  const auto info = verify_subtree(mesh, root, data, size, why);
+  if (!info) return std::nullopt;
+  IngestResult out;
+  out.nodes = info->nodes;
+  out.leaves = info->leaves;
+  return out;
+}
+
+template <typename Run>
+std::optional<typename ShardT<Run>::CommitResult> ShardT<Run>::commit(
+    std::string* why) {
+  if (!staged_) {
+    fail(why, "no migration plan staged");
+    return std::nullopt;
+  }
+  ownership_ = std::move(*staged_);
+  staged_.reset();
+  const auto leaves = run_.mesh().leaf_elements();
+  const auto fine =
+      mesh::project_coarse_assignment(run_.mesh(), leaves, ownership_);
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    run_.mutable_mesh().set_tag(leaves[i], fine[i]);
+  CommitResult out;
+  out.elements = run_.mesh().num_leaves();
+  out.owned_leaves = owned_leaves();
+  out.assign_fp = assign_fp();
+  out.mesh_fp = mesh_fp();
+  return out;
+}
+
+template <typename Run>
+std::int64_t ShardT<Run>::owned_leaves() const {
+  const Mesh& mesh = run_.mesh();
+  std::int64_t sum = 0;
+  const auto roots = mesh.num_initial_elements();
+  for (mesh::ElemIdx c = 0; c < roots; ++c)
+    if (ownership_[static_cast<std::size_t>(c)] == rank_)
+      sum += mesh.leaf_count(c);
+  return sum;
+}
+
+template class ShardT<pared::TransientRun>;
+template class ShardT<pared::TransientRun3D>;
+
+}  // namespace pnr::fed

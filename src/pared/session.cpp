@@ -96,6 +96,20 @@ void Session<Mesh>::refresh_coarse_graph(Mesh& mesh) {
 }
 
 template <typename Mesh>
+bool Session<Mesh>::adopt_federated_graph(Mesh& mesh, graph::Graph g) {
+  refresh_coarse_graph(mesh);
+  // After this refresh the next step()'s own refresh drains an empty delta
+  // against a matching epoch — a no-op — so adopting here cannot shift the
+  // trajectory even by a refresh reordering.
+  if (g.xadj() != coarse_graph_.xadj() ||
+      g.adjncy() != coarse_graph_.adjncy() ||
+      g.adjwgt() != coarse_graph_.adjwgt() || g.vwgt() != coarse_graph_.vwgt())
+    return false;
+  coarse_graph_ = std::move(g);
+  return true;
+}
+
+template <typename Mesh>
 StepReport Session<Mesh>::step(Mesh& mesh) {
   PNR_PROF_SPAN("session.step");
   StepReport report;

@@ -97,6 +97,20 @@ class Session {
     return have_last_ && mesh.adapt_version() == last_adapt_version_;
   }
 
+  /// Federation hook: swap in a coarse graph assembled from shard reports
+  /// (the coordinator's federated gather). The graph must equal the
+  /// session's own refresh array-for-array; on any difference it is
+  /// rejected and the session state is untouched, so an adopted graph can
+  /// never perturb the single-process trajectory — that equality is
+  /// exactly what the federation's bitwise-equivalence gate proves.
+  bool adopt_federated_graph(Mesh& mesh, graph::Graph g);
+
+  /// PNR's persistent assignment on the coarse vertices (empty before the
+  /// first kPNR step).
+  const std::vector<part::PartId>& coarse_assignment() const {
+    return coarse_assign_;
+  }
+
  private:
   /// Bring the persistent coarse dual graph up to date: apply the mesh's
   /// weight delta in place, or rebuild from scratch on the first step /

@@ -1,11 +1,14 @@
 #include "svc/client.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,6 +19,27 @@ namespace {
 bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+/// Run one-shot `attempt` until it yields an fd or the retry budget is
+/// spent. Sleeps via poll(2) with exponential backoff (capped at 32× the
+/// base) so a coordinator racing daemon startup neither spins nor waits a
+/// whole backoff past the deadline.
+template <typename Fn>
+int connect_with_retry(Fn&& attempt, ConnectOptions retry,
+                       std::string* error) {
+  const int base = std::max(retry.backoff_ms, 1);
+  int backoff = base;
+  int waited = 0;
+  while (true) {
+    const int fd = attempt(error);
+    if (fd >= 0) return fd;
+    if (waited >= retry.retry_ms) return -1;
+    const int nap = std::min(backoff, retry.retry_ms - waited);
+    ::poll(nullptr, 0, nap);
+    waited += nap;
+    backoff = std::min(backoff * 2, base * 32);
+  }
 }
 
 }  // namespace
@@ -30,29 +54,70 @@ void Client::close() {
   in_.clear();
 }
 
-bool Client::connect_unix(const std::string& path, std::string* error) {
+bool Client::connect_unix(const std::string& path, std::string* error,
+                          ConnectOptions retry) {
   sockaddr_un addr{};
   if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
     if (error) *error = "socket path empty or too long";
     return false;
   }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    // Single-threaded setup path (no syscall between errno and here).
-    // NOLINTNEXTLINE(concurrency-mt-unsafe)
-    if (error) *error = std::strerror(errno);
-    return false;
-  }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    // Single-threaded setup path (no syscall between errno and here).
-    // NOLINTNEXTLINE(concurrency-mt-unsafe)
-    if (error) *error = std::strerror(errno);
-    ::close(fd);
+  const auto attempt = [&addr](std::string* why) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      // Single-threaded setup path (no syscall between errno and here).
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
+      if (why) *why = std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      // Single-threaded setup path (no syscall between errno and here).
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
+      if (why) *why = std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+  const int fd = connect_with_retry(attempt, retry, error);
+  if (fd < 0) return false;
+  set_nonblocking(fd);
+  close();
+  fd_ = fd;
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host, std::uint16_t port,
+                         std::string* error, ConnectOptions retry) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "host must be an IPv4 address";
     return false;
   }
+  const auto attempt = [&addr](std::string* why) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      // Single-threaded setup path (no syscall between errno and here).
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
+      if (why) *why = std::strerror(errno);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      // Single-threaded setup path (no syscall between errno and here).
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
+      if (why) *why = std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+  const int fd = connect_with_retry(attempt, retry, error);
+  if (fd < 0) return false;
   set_nonblocking(fd);
   close();
   fd_ = fd;
@@ -398,6 +463,111 @@ std::optional<std::vector<Client::SessionInfo>> Client::list_sessions() {
 
 bool Client::shutdown_server() {
   return call(kOpShutdown, Bytes{}).has_value();
+}
+
+// ---- federation RPCs --------------------------------------------------------
+
+std::optional<Client::FedAttached> Client::fed_attach(const FedAttach& attach) {
+  par::Writer w;
+  encode_fed_attach(w, attach);
+  const auto body = call(kOpFedAttach, w.take());
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  FedAttached out;
+  const auto id = r.get<std::uint32_t>();
+  const auto elements = r.get<std::int64_t>();
+  const auto fp = r.get<std::uint64_t>();
+  if (!id || !elements || !fp || !r.done()) return std::nullopt;
+  out.session = *id;
+  out.elements = *elements;
+  out.mesh_fp = *fp;
+  return out;
+}
+
+std::optional<Client::FedAdvanceInfo> Client::fed_advance(
+    std::uint32_t session) {
+  const auto body = call_id(kOpFedAdvance, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  FedAdvanceInfo info;
+  const auto elements = r.get<std::int64_t>();
+  const auto refined = r.get<std::int64_t>();
+  const auto coarsened = r.get<std::int64_t>();
+  const auto t = r.get<double>();
+  const auto step = r.get<std::int32_t>();
+  const auto fp = r.get<std::uint64_t>();
+  if (!elements || !refined || !coarsened || !t || !step || !fp || !r.done())
+    return std::nullopt;
+  info.elements = *elements;
+  info.refined = *refined;
+  info.coarsened = *coarsened;
+  info.t = *t;
+  info.step = *step;
+  info.mesh_fp = *fp;
+  return info;
+}
+
+std::optional<check::FedShardReport> Client::fed_interface(
+    std::uint32_t session) {
+  const auto body = call_id(kOpFedInterface, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  // Client-side decodes bound allocations with the default limits; a report
+  // larger than that would have been refused by the server anyway.
+  auto report = decode_fed_report(r, Limits{});
+  if (!report || !r.done()) return std::nullopt;
+  return report;
+}
+
+std::optional<FedPlanReply> Client::fed_plan(
+    std::uint32_t session, const std::vector<part::PartId>& next) {
+  par::Writer w;
+  w.put(session);
+  w.put_vector(next);
+  const auto body = call(kOpFedPlan, w.take());
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  auto reply = decode_fed_plan_reply(r, Limits{});
+  if (!reply || !r.done()) return std::nullopt;
+  return reply;
+}
+
+std::optional<Client::FedExchangeInfo> Client::fed_exchange(
+    std::uint32_t session, std::int32_t src, const std::vector<FedTree>& trees) {
+  par::Writer w;
+  w.put(session);
+  FedExchange ex;
+  ex.src = src;
+  ex.trees = trees;
+  encode_fed_exchange(w, ex);
+  const auto body = call(kOpFedExchange, w.take());
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  FedExchangeInfo info;
+  const auto accepted = r.get<std::int64_t>();
+  const auto leaves = r.get<std::int64_t>();
+  if (!accepted || !leaves || !r.done()) return std::nullopt;
+  info.accepted = *accepted;
+  info.leaves_in = *leaves;
+  return info;
+}
+
+std::optional<Client::FedCommitInfo> Client::fed_commit(std::uint32_t session) {
+  const auto body = call_id(kOpFedCommit, session);
+  if (!body) return std::nullopt;
+  par::TryReader r(*body);
+  FedCommitInfo info;
+  const auto elements = r.get<std::int64_t>();
+  const auto owned = r.get<std::int64_t>();
+  const auto assign_fp = r.get<std::uint64_t>();
+  const auto mesh_fp = r.get<std::uint64_t>();
+  if (!elements || !owned || !assign_fp || !mesh_fp || !r.done())
+    return std::nullopt;
+  info.elements = *elements;
+  info.owned_leaves = *owned;
+  info.assign_fp = *assign_fp;
+  info.mesh_fp = *mesh_fp;
+  return info;
 }
 
 }  // namespace pnr::svc

@@ -22,6 +22,15 @@
 
 namespace pnr::svc {
 
+/// Connection retry policy. A federation coordinator races its daemons'
+/// startup, so connect may keep retrying refused/missing endpoints for up
+/// to retry_ms, sleeping backoff_ms between attempts (doubling up to
+/// 32× so a long deadline does not spin). 0 = one attempt (legacy).
+struct ConnectOptions {
+  int retry_ms = 0;
+  int backoff_ms = 10;
+};
+
 class Client {
  public:
   Client() = default;
@@ -30,7 +39,12 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connect to a daemon's Unix-domain socket.
-  bool connect_unix(const std::string& path, std::string* error = nullptr);
+  bool connect_unix(const std::string& path, std::string* error = nullptr,
+                    ConnectOptions retry = {});
+
+  /// Connect to a daemon's TCP listener (Server::listen_tcp).
+  bool connect_tcp(const std::string& host, std::uint16_t port,
+                   std::string* error = nullptr, ConnectOptions retry = {});
 
   /// Take ownership of a connected stream fd (socketpair end).
   void adopt(int fd);
@@ -106,6 +120,30 @@ class Client {
     std::int64_t elements = 0;
     std::uint32_t replayed = 0;
   };
+  // ---- federation (docs/FEDERATION.md) --------------------------------------
+  struct FedAttached {
+    std::uint32_t session = 0;
+    std::int64_t elements = 0;
+    std::uint64_t mesh_fp = 0;  ///< replica fingerprint for cross-shard audit
+  };
+  struct FedAdvanceInfo {
+    std::int64_t elements = 0;
+    std::int64_t refined = 0;
+    std::int64_t coarsened = 0;
+    double t = 0.0;
+    std::int32_t step = 0;
+    std::uint64_t mesh_fp = 0;
+  };
+  struct FedExchangeInfo {
+    std::int64_t accepted = 0;   ///< subtrees verified against the replica
+    std::int64_t leaves_in = 0;  ///< leaves whose ownership arrives on commit
+  };
+  struct FedCommitInfo {
+    std::int64_t elements = 0;
+    std::int64_t owned_leaves = 0;
+    std::uint64_t assign_fp = 0;  ///< fingerprint of the committed ownership
+    std::uint64_t mesh_fp = 0;
+  };
 
   bool ping();
   std::optional<Created> create_workload(const WorkloadSpec& spec);
@@ -134,6 +172,24 @@ class Client {
   bool close_session(std::uint32_t session);
   std::optional<std::vector<SessionInfo>> list_sessions();
   bool shutdown_server();
+
+  /// Attach this daemon as shard `rank` of `count` for a federated transient
+  /// workload. spec.parts must equal `count`.
+  std::optional<FedAttached> fed_attach(const FedAttach& attach);
+  std::optional<FedAdvanceInfo> fed_advance(std::uint32_t session);
+  /// The shard's view of the federated coarse graph: owned vertices plus
+  /// primary/echo interface edges (read-only, never logged).
+  std::optional<check::FedShardReport> fed_interface(std::uint32_t session);
+  /// Stage a migration plan (`next[c]` = destination shard for coarse root
+  /// c); the reply carries the serialized subtrees this shard must ship.
+  std::optional<FedPlanReply> fed_plan(std::uint32_t session,
+                                       const std::vector<part::PartId>& next);
+  /// Deliver subtrees shipped by shard `src`; the shard verifies each one
+  /// bit-for-bit against its replica before accepting.
+  std::optional<FedExchangeInfo> fed_exchange(std::uint32_t session,
+                                              std::int32_t src,
+                                              const std::vector<FedTree>& trees);
+  std::optional<FedCommitInfo> fed_commit(std::uint32_t session);
 
  private:
   bool send_all(const Bytes& frame);

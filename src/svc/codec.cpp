@@ -409,4 +409,164 @@ std::optional<CreateHead> decode_create_head(par::TryReader& r,
   return head;
 }
 
+// ---- federation (docs/FEDERATION.md) ----------------------------------------
+
+void encode_fed_attach(par::Writer& w, const FedAttach& a) {
+  encode_workload_spec(w, a.spec);
+  w.put(a.rank);
+  w.put(a.count);
+}
+
+std::optional<FedAttach> decode_fed_attach(par::TryReader& r,
+                                           const Limits& limits,
+                                           std::string* why) {
+  auto spec = decode_workload_spec(r, limits);
+  if (!spec) {
+    fail(why, "bad workload spec");
+    return std::nullopt;
+  }
+  const auto rank = r.get<std::uint16_t>();
+  const auto count = r.get<std::uint16_t>();
+  if (!rank || !count) {
+    fail(why, "truncated shard slot");
+    return std::nullopt;
+  }
+  if (spec->kind != WorkloadKind::kTransient2D &&
+      spec->kind != WorkloadKind::kTransient3D) {
+    fail(why, "only transient workloads can federate");
+    return std::nullopt;
+  }
+  if (*count < 1 ||
+      static_cast<std::int64_t>(*count) > limits.max_parts) {
+    fail(why, "shard count out of range");
+    return std::nullopt;
+  }
+  if (*rank >= *count) {
+    fail(why, "shard rank outside [0, count)");
+    return std::nullopt;
+  }
+  if (spec->parts != static_cast<std::int32_t>(*count)) {
+    fail(why, "spec parts must equal the shard count");
+    return std::nullopt;
+  }
+  FedAttach a;
+  a.spec = *spec;
+  a.rank = *rank;
+  a.count = *count;
+  return a;
+}
+
+void encode_fed_report(par::Writer& w, const check::FedShardReport& rep) {
+  w.put_vector(rep.owned);
+  w.put_vector(rep.owned_weights);
+  w.put_vector(rep.primary);
+  w.put_vector(rep.echo);
+}
+
+std::optional<check::FedShardReport> decode_fed_report(par::TryReader& r,
+                                                       const Limits& limits) {
+  const auto max_v = static_cast<std::uint64_t>(limits.max_graph_vertices);
+  const auto max_e = static_cast<std::uint64_t>(limits.max_graph_edges);
+  auto owned = r.get_vector<mesh::ElemIdx>(max_v);
+  if (!owned) return std::nullopt;
+  auto weights = r.get_vector<graph::Weight>(max_v);
+  if (!weights) return std::nullopt;
+  auto primary = r.get_vector<check::FedEdge>(max_e);
+  if (!primary) return std::nullopt;
+  auto echo = r.get_vector<check::FedEdge>(max_e);
+  if (!echo) return std::nullopt;
+  if (owned->size() != weights->size()) return std::nullopt;
+  check::FedShardReport rep;
+  rep.owned = std::move(*owned);
+  rep.owned_weights = std::move(*weights);
+  rep.primary = std::move(*primary);
+  rep.echo = std::move(*echo);
+  return rep;
+  // Deep semantics (ownership, ordering, echo agreement) are audited by
+  // check::check_fed_reports at the coordinator, not per decode.
+}
+
+namespace {
+
+std::optional<std::vector<FedTree>> decode_fed_trees(par::TryReader& r,
+                                                     const Limits& limits,
+                                                     bool with_dest) {
+  // One subtree per coarse vertex is the structural ceiling; each payload
+  // count is validated against the remaining frame bytes before any
+  // allocation, so a hostile count cannot balloon memory.
+  const auto n = r.get<std::uint64_t>();
+  if (!n || *n > static_cast<std::uint64_t>(limits.max_graph_vertices))
+    return std::nullopt;
+  // Every tree costs at least a root id and a payload length (+ dest), so
+  // a count the remaining bytes cannot possibly hold is hostile — reject
+  // it before reserve() turns an 8-byte claim into a huge allocation.
+  const std::size_t min_tree_bytes = sizeof(mesh::ElemIdx) +
+                                     sizeof(std::uint64_t) +
+                                     (with_dest ? sizeof(std::int32_t) : 0);
+  if (*n > r.remaining() / min_tree_bytes) return std::nullopt;
+  std::vector<FedTree> trees;
+  trees.reserve(static_cast<std::size_t>(*n));
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    FedTree t;
+    if (with_dest) {
+      const auto dest = r.get<std::int32_t>();
+      if (!dest) return std::nullopt;
+      t.dest = *dest;
+    }
+    const auto root = r.get<mesh::ElemIdx>();
+    if (!root) return std::nullopt;
+    t.root = *root;
+    auto payload = r.get_vector<std::uint8_t>(limits.max_frame_bytes);
+    if (!payload) return std::nullopt;
+    t.payload = std::move(*payload);
+    trees.push_back(std::move(t));
+  }
+  return trees;
+}
+
+}  // namespace
+
+void encode_fed_plan_reply(par::Writer& w, const FedPlanReply& rep) {
+  w.put(rep.elements_out);
+  w.put(static_cast<std::uint64_t>(rep.outgoing.size()));
+  for (const FedTree& t : rep.outgoing) {
+    w.put(t.dest);
+    w.put(t.root);
+    w.put_vector(t.payload);
+  }
+}
+
+std::optional<FedPlanReply> decode_fed_plan_reply(par::TryReader& r,
+                                                  const Limits& limits) {
+  const auto elements_out = r.get<std::int64_t>();
+  if (!elements_out || *elements_out < 0) return std::nullopt;
+  auto trees = decode_fed_trees(r, limits, /*with_dest=*/true);
+  if (!trees) return std::nullopt;
+  FedPlanReply rep;
+  rep.elements_out = *elements_out;
+  rep.outgoing = std::move(*trees);
+  return rep;
+}
+
+void encode_fed_exchange(par::Writer& w, const FedExchange& ex) {
+  w.put(ex.src);
+  w.put(static_cast<std::uint64_t>(ex.trees.size()));
+  for (const FedTree& t : ex.trees) {
+    w.put(t.root);
+    w.put_vector(t.payload);
+  }
+}
+
+std::optional<FedExchange> decode_fed_exchange(par::TryReader& r,
+                                               const Limits& limits) {
+  const auto src = r.get<std::int32_t>();
+  if (!src || *src < 0 || *src >= limits.max_parts) return std::nullopt;
+  auto trees = decode_fed_trees(r, limits, /*with_dest=*/false);
+  if (!trees) return std::nullopt;
+  FedExchange ex;
+  ex.src = *src;
+  ex.trees = std::move(*trees);
+  return ex;
+}
+
 }  // namespace pnr::svc

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check_fed.hpp"
 #include "graph/csr.hpp"
 #include "mesh/tet_mesh.hpp"
 #include "mesh/tri_mesh.hpp"
@@ -128,5 +129,60 @@ inline constexpr std::size_t kCreateHeadEngineOffset = 1 + 4 + 8 + 8 + 8;
 void encode_create_head(par::Writer& w, const CreateHead& head);
 std::optional<CreateHead> decode_create_head(par::TryReader& r,
                                              const Limits& limits);
+
+// ---- federation (docs/FEDERATION.md) ----------------------------------------
+
+/// kOpFedAttach payload: the replicated workload spec plus this daemon's
+/// shard slot. Only the transient kinds federate — replication needs a
+/// deterministic server-side workload, so uploaded meshes/graphs cannot.
+/// The spec is encoded first, so its engine byte sits at the same
+/// kWorkloadSpecEngineOffset the checkpoint canonicalizer expects.
+struct FedAttach {
+  WorkloadSpec spec;
+  std::uint16_t rank = 0;
+  std::uint16_t count = 1;
+};
+
+void encode_fed_attach(par::Writer& w, const FedAttach& a);
+/// Decode + validate: full WorkloadSpec bounds (as kOpCreateWorkload),
+/// transient kind only, count in [1, max_parts], rank < count, and
+/// spec.parts == count (shards are the parts).
+std::optional<FedAttach> decode_fed_attach(par::TryReader& r,
+                                           const Limits& limits,
+                                           std::string* why = nullptr);
+
+/// kOpFedInterface success reply: one shard's coarse-graph slice.
+void encode_fed_report(par::Writer& w, const check::FedShardReport& rep);
+std::optional<check::FedShardReport> decode_fed_report(par::TryReader& r,
+                                                       const Limits& limits);
+
+/// One migrating refinement-history subtree on the wire.
+struct FedTree {
+  std::int32_t dest = 0;   ///< destination shard (kOpFedPlan replies only)
+  mesh::ElemIdx root = 0;  ///< initial element rooting the subtree
+  std::vector<std::uint8_t> payload;  ///< fed::pack_subtree bytes
+};
+
+/// kOpFedPlan success reply: the leaves this plan moves off the shard and
+/// the packed subtrees, ready to be relayed to their destinations.
+struct FedPlanReply {
+  std::int64_t elements_out = 0;
+  std::vector<FedTree> outgoing;
+};
+
+void encode_fed_plan_reply(par::Writer& w, const FedPlanReply& rep);
+std::optional<FedPlanReply> decode_fed_plan_reply(par::TryReader& r,
+                                                  const Limits& limits);
+
+/// kOpFedExchange request body (after the u32 session id): the source
+/// shard and the subtrees it shipped here (dest fields unused).
+struct FedExchange {
+  std::int32_t src = 0;
+  std::vector<FedTree> trees;
+};
+
+void encode_fed_exchange(par::Writer& w, const FedExchange& ex);
+std::optional<FedExchange> decode_fed_exchange(par::TryReader& r,
+                                               const Limits& limits);
 
 }  // namespace pnr::svc

@@ -7,6 +7,7 @@
 
 #include "check/check.hpp"
 #include "core/hierarchy_cache.hpp"
+#include "fed/shard.hpp"
 #include "engine/engine.hpp"
 #include "graph/algorithms.hpp"
 #include "mesh/dual.hpp"
@@ -47,6 +48,16 @@ struct Corner3DState {
   pared::Session3D session;
 };
 
+/// Federated shard session (docs/FEDERATION.md): one daemon's slice of a
+/// socket federation. The shard owns its replicated workload run and the
+/// tree-ownership vector; a remote coordinator sequences the round ops.
+struct Fed2DState {
+  fed::Shard2D shard;
+};
+struct Fed3DState {
+  fed::Shard3D shard;
+};
+
 /// Partition-only session over an uploaded weighted graph (the PNR coarse
 /// graph of some external mesh).
 struct GraphState {
@@ -69,7 +80,14 @@ struct GraphState {
 };
 
 using Body = std::variant<Transient2DState, Transient3DState, Corner2DState,
-                          Corner3DState, Mesh2DState, Mesh3DState, GraphState>;
+                          Corner3DState, Mesh2DState, Mesh3DState, GraphState,
+                          Fed2DState, Fed3DState>;
+
+/// True for the federated shard states — the ones whose lifecycle is the
+/// fed round protocol rather than the advance/step session loop.
+template <typename T>
+inline constexpr bool kIsFedState =
+    std::is_same_v<T, Fed2DState> || std::is_same_v<T, Fed3DState>;
 
 const char* kind_name(const Body& body) {
   struct V {
@@ -80,6 +98,8 @@ const char* kind_name(const Body& body) {
     const char* operator()(const Mesh2DState&) { return "mesh2d"; }
     const char* operator()(const Mesh3DState&) { return "mesh3d"; }
     const char* operator()(const GraphState&) { return "graph"; }
+    const char* operator()(const Fed2DState&) { return "fed2d"; }
+    const char* operator()(const Fed3DState&) { return "fed3d"; }
   };
   return std::visit(V{}, body);
 }
@@ -108,6 +128,8 @@ std::int64_t body_elements(const Body& body) {
     std::int64_t operator()(const GraphState& s) {
       return s.g.num_vertices();
     }
+    std::int64_t operator()(const Fed2DState& s) { return s.shard.elements(); }
+    std::int64_t operator()(const Fed3DState& s) { return s.shard.elements(); }
   };
   return std::visit(V{}, body);
 }
@@ -150,8 +172,12 @@ S deferred(S session) {
 }
 
 bool is_mutating_op(std::uint16_t op) {
+  // kOpFedExchange is deliberately absent: ingest is pure validation (the
+  // replica already holds every element), so it never enters the oplog and
+  // a checkpoint replay of advance/plan/commit reconstructs the shard.
   return op == kOpAdvance || op == kOpStep || op == kOpAdapt ||
-         op == kOpRepartition;
+         op == kOpRepartition || op == kOpFedAdvance || op == kOpFedPlan ||
+         op == kOpFedCommit;
 }
 
 Reply make_error(Err code, std::string detail) {
@@ -237,6 +263,12 @@ const char* op_span_name(std::uint16_t op) {
     case kOpCloseSession: return "svc.op.close_session";
     case kOpListSessions: return "svc.op.list_sessions";
     case kOpShutdown: return "svc.op.shutdown";
+    case kOpFedAttach: return "svc.op.fed_attach";
+    case kOpFedAdvance: return "svc.op.fed_advance";
+    case kOpFedInterface: return "svc.op.fed_interface";
+    case kOpFedPlan: return "svc.op.fed_plan";
+    case kOpFedExchange: return "svc.op.fed_exchange";
+    case kOpFedCommit: return "svc.op.fed_commit";
     default: return "svc.op.unknown";
   }
 }
@@ -261,6 +293,24 @@ bool Registry::is_session_op(std::uint16_t op) {
     case kOpGetAssignment:
     case kOpCheckpoint:
     case kOpCloseSession:
+    case kOpFedAdvance:
+    case kOpFedInterface:
+    case kOpFedPlan:
+    case kOpFedExchange:
+    case kOpFedCommit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Registry::is_queued_control_op(std::uint16_t op) {
+  switch (op) {
+    case kOpCreateWorkload:
+    case kOpCreateMesh:
+    case kOpCreateGraph:
+    case kOpRestore:
+    case kOpFedAttach:
       return true;
     default:
       return false;
@@ -300,6 +350,12 @@ Reply Registry::dispatch(std::uint16_t op, const Bytes& payload) {
     case kOpCloseSession: return op_close_session(payload);
     case kOpListSessions: return op_list_sessions(payload);
     case kOpShutdown: return op_shutdown(payload);
+    case kOpFedAttach: return op_fed_attach(payload);
+    case kOpFedAdvance: return op_fed_advance(payload);
+    case kOpFedInterface: return op_fed_interface(payload);
+    case kOpFedPlan: return op_fed_plan(payload);
+    case kOpFedExchange: return op_fed_exchange(payload);
+    case kOpFedCommit: return op_fed_commit(payload);
     default:
       return make_error(Err::kBadOp,
                         "unknown op " + std::to_string(op));
@@ -453,6 +509,8 @@ Reply Registry::op_create_workload(const Bytes& payload) {
                       std::is_same_v<T, Mesh2DState> ||
                       std::is_same_v<T, Mesh3DState>)
           return 0;
+        else if constexpr (kIsFedState<T>)
+          return count_roots(s.shard.run().mesh());
         else
           return count_roots(s.run.mesh());
       },
@@ -708,7 +766,7 @@ Reply Registry::op_step(const Bytes& payload) {
         if constexpr (std::is_same_v<T, Mesh2DState> ||
                       std::is_same_v<T, Mesh3DState>)
           report = s.session.step(s.mesh);
-        else if constexpr (!std::is_same_v<T, GraphState>)
+        else if constexpr (!std::is_same_v<T, GraphState> && !kIsFedState<T>)
           report = s.session.step(s.run.mutable_mesh());
       },
       st->body);
@@ -861,7 +919,8 @@ Reply Registry::op_get_metrics(const Bytes& payload) {
                       std::is_same_v<T, Mesh3DState>) {
           if (s.session.metrics_current(s.mesh))
             st->last_report = s.session.metrics(s.mesh);
-        } else if constexpr (!std::is_same_v<T, GraphState>) {
+        } else if constexpr (!std::is_same_v<T, GraphState> &&
+                             !kIsFedState<T>) {
           if (s.session.metrics_current(s.run.mesh()))
             st->last_report = s.session.metrics(s.run.mesh());
         }
@@ -907,6 +966,10 @@ Reply Registry::op_get_assignment(const Bytes& payload) {
         else if constexpr (std::is_same_v<T, Mesh2DState> ||
                            std::is_same_v<T, Mesh3DState>)
           return leaf_assignment(s.mesh);
+        else if constexpr (kIsFedState<T>)
+          // Leaf tags mirror the committed tree ownership, so this is the
+          // shard's adopted partition in dense leaf order.
+          return leaf_assignment(s.shard.run().mesh());
         else
           return leaf_assignment(s.run.mesh());
       },
@@ -944,7 +1007,7 @@ Reply Registry::op_restore(const Bytes& payload) {
   const auto create_op = r.get<std::uint16_t>();
   if (!create_op ||
       (*create_op != kOpCreateWorkload && *create_op != kOpCreateMesh &&
-       *create_op != kOpCreateGraph))
+       *create_op != kOpCreateGraph && *create_op != kOpFedAttach))
     return make_error(Err::kBadPayload, "checkpoint has no create record");
   auto create_payload = r.get_vector<std::uint8_t>(limits_.max_frame_bytes);
   const auto count = r.get<std::uint32_t>();
@@ -1008,6 +1071,279 @@ Reply Registry::op_restore(const Bytes& payload) {
   w.put(elements);
   w.put(replayed);
   return make_ok(kOpRestore, w.take());
+}
+
+// ---- federation ops (docs/FEDERATION.md) ------------------------------------
+
+namespace {
+
+/// Visit the Fed shard of a session body; f is called with fed::Shard2D& or
+/// fed::Shard3D&. Returns false (without calling f) for non-fed sessions.
+template <typename F>
+bool with_fed_shard(Body& body, F&& f) {
+  return std::visit(
+      [&](auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (kIsFedState<T>) {
+          f(s.shard);
+          return true;
+        } else {
+          return false;
+        }
+      },
+      body);
+}
+
+}  // namespace
+
+Reply Registry::op_fed_attach(const Bytes& payload) {
+  par::TryReader r(payload);
+  std::string why;
+  const auto att = decode_fed_attach(r, limits_, &why);
+  if (!att || !r.done())
+    return make_error(Err::kBadPayload,
+                      why.empty() ? "malformed fed attach" : why);
+  if (num_sessions() >= limits_.max_sessions)
+    return make_error(Err::kLimitExceeded, "session limit reached");
+
+  // Same pre-construction growth bound as op_create_workload: the run
+  // refines toward its depth cap inside its constructor, so the worst case
+  // must be bounded from the spec alone.
+  const auto transient_fits = [&](std::int64_t roots) {
+    return (roots << (att->spec.transient.max_level + 1)) <=
+           limits_.max_elements;
+  };
+  const std::int64_t n = att->spec.transient.grid_n;
+  const bool is3d = att->spec.kind == WorkloadKind::kTransient3D;
+  if (!transient_fits(is3d ? 6 * n * n * n : 2 * n * n))
+    return make_error(Err::kLimitExceeded,
+                      "fed attach: fully refined mesh would exceed "
+                      "max_elements");
+
+  const engine::Kind eng = resolve_engine(att->spec.engine, limits_);
+  std::optional<Body> body;
+  if (is3d)
+    body.emplace(Fed3DState{
+        fed::Shard3D(pared::TransientRun3D(att->spec.transient),
+                     att->rank, att->count)});
+  else
+    body.emplace(Fed2DState{
+        fed::Shard2D(pared::TransientRun(att->spec.transient),
+                     att->rank, att->count)});
+
+  const std::int64_t elements = body_elements(*body);
+  if (elements > limits_.max_elements)
+    return make_error(Err::kLimitExceeded,
+                      "workload mesh exceeds max_elements");
+  const std::int64_t roots = std::visit(
+      [](const auto& s) -> std::int64_t {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (kIsFedState<T>)
+          return count_roots(s.shard.run().mesh());
+        else
+          return 0;
+      },
+      *body);
+  if (att->count > roots)
+    return make_error(Err::kBadPayload,
+                      "shard count exceeds the workload's level-0 elements");
+
+  std::uint64_t mesh_fp = 0;
+  with_fed_shard(*body, [&](auto& shard) { mesh_fp = shard.mesh_fp(); });
+
+  auto st = std::make_unique<SessionState>(std::move(*body));
+  st->strategy = att->spec.strategy;
+  st->engine = eng;
+  st->parts = att->spec.parts;
+  st->create_op = kOpFedAttach;
+  st->create_payload = payload;
+  // The spec leads the attach payload, so the canonical engine byte sits at
+  // the same offset as in a kOpCreateWorkload record.
+  st->create_payload[kWorkloadSpecEngineOffset] =
+      static_cast<std::uint8_t>(eng);
+  const std::uint32_t id = register_session(std::move(st));
+
+  par::Writer w;
+  w.put(id);
+  w.put(elements);
+  w.put(mesh_fp);
+  return make_ok(kOpFedAttach, w.take());
+}
+
+Reply Registry::op_fed_advance(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "fed_advance expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  std::string why;
+  std::optional<fed::Shard2D::AdvanceResult> out;
+  const bool is_fed = with_fed_shard(st->body, [&](auto& shard) {
+    if (auto res = shard.advance(&why))
+      out = {res->step, res->t, res->bisections, res->merges, res->elements,
+             res->mesh_fp};
+  });
+  if (!is_fed)
+    return make_error(Err::kBadState, "not a federated shard session");
+  if (!out) return make_error(Err::kBadState, why);
+
+  const std::int64_t elements = out->elements;
+  if (elements > limits_.max_elements) {
+    erase_session(*id, /*even_hidden=*/false);
+    return make_error(Err::kLimitExceeded,
+                      "adapted mesh exceeds max_elements; session closed");
+  }
+  st->cached_elements.store(elements, std::memory_order_relaxed);
+  log_op(*st, kOpFedAdvance, payload);
+
+  par::Writer w;
+  w.put(elements);
+  w.put(out->bisections);
+  w.put(out->merges);
+  w.put(out->t);
+  w.put(static_cast<std::int32_t>(out->step));
+  w.put(out->mesh_fp);
+  return make_ok(kOpFedAdvance, w.take());
+}
+
+Reply Registry::op_fed_interface(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload,
+                      "fed_interface expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  std::optional<check::FedShardReport> rep;
+  const bool is_fed = with_fed_shard(
+      st->body, [&](auto& shard) { rep = shard.interface_report(); });
+  if (!is_fed)
+    return make_error(Err::kBadState, "not a federated shard session");
+
+  // Read-only gather: not logged, invisible to checkpoints.
+  par::Writer w;
+  encode_fed_report(w, *rep);
+  return make_ok(kOpFedInterface, w.take());
+}
+
+Reply Registry::op_fed_plan(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id)
+    return make_error(Err::kBadPayload,
+                      "fed_plan expects {u32 session, i32[] assignment}");
+  auto next = decode_assignment(
+      r, static_cast<std::uint64_t>(limits_.max_graph_vertices));
+  if (!next || !r.done())
+    return make_error(Err::kBadPayload,
+                      "fed_plan expects {u32 session, i32[] assignment}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  std::string why;
+  std::optional<FedPlanReply> rep;
+  bool staged = false;
+  const bool is_fed = with_fed_shard(st->body, [&](auto& shard) {
+    staged = shard.plan_staged();
+    if (staged) return;
+    if (auto res = shard.apply_plan(*next, &why)) {
+      FedPlanReply out;
+      out.elements_out = res->elements_out;
+      out.outgoing.reserve(res->outgoing.size());
+      for (auto& o : res->outgoing)
+        out.outgoing.push_back(
+            FedTree{o.dest, o.root, std::move(o.payload)});
+      rep = std::move(out);
+    }
+  });
+  if (!is_fed)
+    return make_error(Err::kBadState, "not a federated shard session");
+  if (staged)
+    return make_error(Err::kBadState, "a migration plan is already staged");
+  if (!rep) return make_error(Err::kBadPayload, why);
+  log_op(*st, kOpFedPlan, payload);
+
+  par::Writer w;
+  encode_fed_plan_reply(w, *rep);
+  return make_ok(kOpFedPlan, w.take());
+}
+
+Reply Registry::op_fed_exchange(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id)
+    return make_error(Err::kBadPayload,
+                      "fed_exchange expects {u32 session, exchange body}");
+  const auto ex = decode_fed_exchange(r, limits_);
+  if (!ex || !r.done())
+    return make_error(Err::kBadPayload, "malformed fed exchange");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  // Pure validation: the replica already holds every element, so a hostile
+  // payload is rejected with a typed error and the session stays live with
+  // no state change (ownership flips only at commit).
+  std::string why;
+  bool staged = true;
+  std::int64_t accepted = 0;
+  std::int64_t leaves_in = 0;
+  bool rejected = false;
+  const bool is_fed = with_fed_shard(st->body, [&](auto& shard) {
+    if (!shard.plan_staged()) {
+      staged = false;
+      return;
+    }
+    for (const FedTree& t : ex->trees) {
+      const auto info = shard.ingest(ex->src, t.root, t.payload.data(),
+                                     t.payload.size(), &why);
+      if (!info) {
+        rejected = true;
+        return;
+      }
+      ++accepted;
+      leaves_in += info->leaves;
+    }
+  });
+  if (!is_fed)
+    return make_error(Err::kBadState, "not a federated shard session");
+  if (!staged)
+    return make_error(Err::kBadState, "no migration plan staged");
+  if (rejected) return make_error(Err::kAuditFailed, why);
+
+  par::Writer w;
+  w.put(accepted);
+  w.put(leaves_in);
+  return make_ok(kOpFedExchange, w.take());
+}
+
+Reply Registry::op_fed_commit(const Bytes& payload) {
+  par::TryReader r(payload);
+  const auto id = r.get<std::uint32_t>();
+  if (!id || !r.done())
+    return make_error(Err::kBadPayload, "fed_commit expects {u32 session}");
+  SessionState* st = find(*id);
+  if (!st) return make_error(Err::kUnknownSession, "no such session");
+
+  std::string why;
+  std::optional<fed::Shard2D::CommitResult> out;
+  const bool is_fed = with_fed_shard(st->body, [&](auto& shard) {
+    if (auto res = shard.commit(&why))
+      out = {res->elements, res->owned_leaves, res->assign_fp, res->mesh_fp};
+  });
+  if (!is_fed)
+    return make_error(Err::kBadState, "not a federated shard session");
+  if (!out) return make_error(Err::kBadState, why);
+  log_op(*st, kOpFedCommit, payload);
+
+  par::Writer w;
+  w.put(out->elements);
+  w.put(out->owned_leaves);
+  w.put(out->assign_fp);
+  w.put(out->mesh_fp);
+  return make_ok(kOpFedCommit, w.take());
 }
 
 Reply Registry::op_close_session(const Bytes& payload) {

@@ -18,9 +18,14 @@
 // Threading (docs/SERVICE.md, "Sharding"): sessions live in `shards`
 // fixed-size shards, pinned by id (shard_of). The contract mirrors the
 // sharded server's routing:
-//   * control-plane ops — ping, the three creates, restore, list_sessions,
-//     shutdown, unknown ops — must all be issued from one thread (the
-//     transport thread), which owns id allocation;
+//   * control-plane ops — ping, the three creates, fed attach, restore,
+//     list_sessions, shutdown, unknown ops — must all be issued from one
+//     *logical stream*: one caller at a time, each call fully ordered
+//     against the others (the server guarantees this by running the queued
+//     control ops — is_queued_control_op — on a single dedicated FIFO, and
+//     everything else control-plane on the poll thread, which also feeds
+//     that FIFO; id allocation therefore still happens in frame-arrival
+//     order);
 //   * session ops (is_session_op) may run concurrently from any threads
 //     provided at most one request per session id is in flight at a time —
 //     the server guarantees this by pinning each id to one shard queue and
@@ -87,6 +92,13 @@ class Registry {
   /// control plane.
   static bool is_session_op(std::uint16_t op);
 
+  /// Control-plane ops heavy enough to leave the poll thread (workload mesh
+  /// construction, checkpoint replay): the three creates, restore, and the
+  /// federation attach. The server runs these on one dedicated FIFO so the
+  /// poll thread stays pure I/O while id allocation keeps frame-arrival
+  /// order (create replies are shard-count-invariant).
+  static bool is_queued_control_op(std::uint16_t op);
+
   /// The leading u32 session id of a session-op payload, if present. A
   /// too-short payload yields nullopt (the op will fail validation wherever
   /// it runs, so routing it anywhere is fine).
@@ -113,6 +125,12 @@ class Registry {
   Reply op_close_session(const Bytes& payload);
   Reply op_list_sessions(const Bytes& payload);
   Reply op_shutdown(const Bytes& payload);
+  Reply op_fed_attach(const Bytes& payload);
+  Reply op_fed_advance(const Bytes& payload);
+  Reply op_fed_interface(const Bytes& payload);
+  Reply op_fed_plan(const Bytes& payload);
+  Reply op_fed_exchange(const Bytes& payload);
+  Reply op_fed_commit(const Bytes& payload);
 
   SessionState* find(std::uint32_t id);
   /// Remove a session (shard-locked). Hidden sessions — mid-restore — are
@@ -129,8 +147,11 @@ class Registry {
   /// Immutable after the constructor (only the Shards' mutex-guarded
   /// contents change); each Shard carries its own annotated lock.
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::uint32_t next_id_ = 1;      ///< control-plane thread only
-  bool hide_next_create_ = false;  ///< control-plane thread only (restore)
+  /// Touched only by the serialized control stream (the server's dedicated
+  /// control FIFO; a single task drains it, and the queue mutex handoff
+  /// orders successive tasks across pool workers).
+  std::uint32_t next_id_ = 1;
+  bool hide_next_create_ = false;  ///< restore replay marker
   /// Session id a restore replay is targeting: its own dispatches must see
   /// the hidden session, shard workers must not.
   std::atomic<std::uint32_t> restoring_id_{0};

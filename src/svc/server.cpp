@@ -1,6 +1,9 @@
 #include "svc/server.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -45,8 +48,11 @@ Server::Server(ServerOptions options)
     if (::pipe(wake_fds_) == 0 && set_nonblocking(wake_fds_[0]) &&
         set_nonblocking(wake_fds_[1])) {
       task_pool_ = std::make_unique<exec::Pool>(threads_);
-      shards_.reserve(static_cast<std::size_t>(threads_));
-      for (int s = 0; s < threads_; ++s)
+      // threads_ session shards plus one control FIFO at index threads_
+      // (creates/restore/fed attach off the poll thread, satellite of
+      // docs/FEDERATION.md).
+      shards_.reserve(static_cast<std::size_t>(threads_) + 1);
+      for (int s = 0; s < threads_ + 1; ++s)
         shards_.push_back(std::make_unique<Shard>());
     } else {
       if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
@@ -73,6 +79,7 @@ void Server::close_listener() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  bound_port_ = 0;
   if (!socket_path_.empty()) {
     ::unlink(socket_path_.c_str());
     socket_path_.clear();
@@ -106,6 +113,42 @@ bool Server::listen_unix(const std::string& path, std::string* error) {
   close_listener();
   listen_fd_ = fd;
   socket_path_ = path;
+  bound_port_ = 0;
+  return true;
+}
+
+bool Server::listen_tcp(std::uint16_t port, std::string* error,
+                        const std::string& host) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad listen address " + host;
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    // Single-threaded setup path (no syscall between errno and here).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (error) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0 || !set_nonblocking(fd) ||
+      ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) < 0) {
+    // Single-threaded setup path (no syscall between errno and here).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (error) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  close_listener();
+  listen_fd_ = fd;
+  bound_port_ = ntohs(bound.sin_port);
   return true;
 }
 
@@ -292,11 +335,20 @@ bool Server::drain_frames(Conn& conn) {
         s = registry_.shard_of(*sid);
       enqueue_request(conn, s, h->type, std::move(payload));
       continue;
+    } else if (threads_ > 0 && Registry::is_queued_control_op(h->type)) {
+      // Heavy control plane: workload-mesh construction and checkpoint
+      // replay leave the poll thread for the single control FIFO. One
+      // FIFO means session ids are still allocated in frame-arrival
+      // order, so create replies are shard-count-invariant.
+      enqueue_request(conn, threads_, h->type, std::move(payload));
+      continue;
     } else {
-      // Control plane (and the serial server): handled inline on the poll
-      // thread. A shutdown first waits for every shard to drain and
-      // delivers the finished replies, so no accepted request is answered
-      // kShuttingDown and no reply is reordered behind the shutdown ack.
+      // Light control plane (and the serial server): handled inline on the
+      // poll thread. A shutdown first waits for every shard — including
+      // the control FIFO — to drain and delivers the finished replies, so
+      // no accepted request is answered kShuttingDown, no reply is
+      // reordered behind the shutdown ack, and an in-flight federated
+      // migration round always quiesces before the daemon acks shutdown.
       if (threads_ > 0 && h->type == kOpShutdown) {
         quiesce_shards();
         deliver_completions();

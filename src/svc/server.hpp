@@ -13,16 +13,22 @@
 //   * sessions are pinned to shards by id (Registry::shard_of), so all
 //     requests for one session execute on one FIFO queue — a session's
 //     reply stream is byte-identical at any shard count;
-//   * control-plane ops (creates, restore, list, shutdown, ping) run inline
-//     on the poll thread, which owns session-id allocation — ids are
-//     assigned in frame-arrival order regardless of shard count;
+//   * heavy control-plane ops (the creates, restore, fed attach —
+//     Registry::is_queued_control_op) run on one dedicated control FIFO at
+//     index `threads` so workload-mesh construction never blocks the poll
+//     thread; the single FIFO still assigns session ids in frame-arrival
+//     order, so create replies are shard-count-invariant;
+//   * light control ops (ping, list, shutdown, unknown) stay inline on the
+//     poll thread;
 //   * backpressure reuses the max_output_backlog parking plumbing and adds
 //     a per-connection in-flight cap so a pipelining client cannot flood
 //     the shard queues.
 //
-// Two ways to get clients:
+// Three ways to get clients:
 //   * listen_unix(path): bind + listen for pnr_client over a filesystem
 //     socket;
+//   * listen_tcp(port): same over loopback/LAN TCP — how a federation
+//     coordinator reaches daemons on other hosts;
 //   * adopt(fd): take ownership of an already-connected stream fd (one end
 //     of a socketpair) — this is how the hermetic tests and bench drive a
 //     real server without touching the filesystem.
@@ -76,6 +82,15 @@ class Server {
   /// Bind + listen on a fresh Unix-domain socket at `path` (unlinked on
   /// destruction). False with *error set on any syscall failure.
   bool listen_unix(const std::string& path, std::string* error = nullptr);
+
+  /// Bind + listen on TCP `host:port` (host defaults to loopback; port 0
+  /// lets the kernel pick — read it back with bound_port()). False with
+  /// *error set on any syscall failure.
+  bool listen_tcp(std::uint16_t port, std::string* error = nullptr,
+                  const std::string& host = "127.0.0.1");
+
+  /// Port the TCP listener is bound to (0 when listening on Unix/none).
+  std::uint16_t bound_port() const { return bound_port_; }
 
   /// Take ownership of a connected stream fd (e.g. one end of a
   /// socketpair). The fd is switched to non-blocking.
@@ -181,6 +196,7 @@ class Server {
   Registry registry_;
   int listen_fd_ = -1;
   std::string socket_path_;
+  std::uint16_t bound_port_ = 0;
   std::map<int, Conn> conns_;
   std::map<std::uint64_t, int> conn_fd_by_id_;
   std::uint64_t next_conn_id_ = 1;
@@ -189,6 +205,9 @@ class Server {
   std::unique_ptr<exec::Pool> task_pool_;  ///< drain-task workers (sharded)
   /// The shard vector itself is immutable after the constructor (only the
   /// Shards' guarded contents change); each Shard's queue has its own lock.
+  /// Sized threads_ + 1: indices [0, threads_) are the session shards
+  /// (Registry::shard_of pins ids there) and index threads_ is the control
+  /// FIFO for the queued control ops (creates, restore, fed attach).
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Completion path: shard workers push encoded reply frames under
   /// completions_mutex_, then poke the self-pipe; the poll thread swaps the

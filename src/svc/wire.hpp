@@ -33,7 +33,13 @@ inline constexpr std::uint32_t kMagic = 0x53524e50u;  // "PNRS" little-endian
 // request became {u32 session, u8 engine} with the ran-engine byte echoed
 // in the reply, get_metrics reply carries the session engine after the
 // strategy byte (docs/SERVICE.md, "Engines").
-inline constexpr std::uint16_t kWireVersion = 2;
+// v3: federation ops 16-21 (docs/FEDERATION.md) — shard-role attach,
+// replicated advance, interface/weight gather, migration-plan push with
+// packed refinement-history subtrees, alltoall tree exchange, and the
+// ownership-commit barrier. Fed sessions checkpoint like any other
+// session; the attach payload's engine byte is canonicalized in the
+// stored create record exactly like the v2 creates.
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 /// Request operations. A success reply echoes the op with kReplyBit set.
@@ -53,8 +59,15 @@ enum Op : std::uint16_t {
   kOpCloseSession = 13,    ///< destroy one session
   kOpListSessions = 14,    ///< ids + kinds + sizes of live sessions
   kOpShutdown = 15,        ///< acknowledge, then stop the server loop
+  // ---- federation (docs/FEDERATION.md) --------------------------------------
+  kOpFedAttach = 16,    ///< create a federated shard session (spec+rank+count)
+  kOpFedAdvance = 17,   ///< replicated P0 adaptation of the shard's workload
+  kOpFedInterface = 18, ///< P1/P2: owned weights + interface edges (+echoes)
+  kOpFedPlan = 19,      ///< P3: push next assignment; reply packs out-trees
+  kOpFedExchange = 20,  ///< deliver migrated subtrees from one source shard
+  kOpFedCommit = 21,    ///< barrier: flip ownership, report conformity digest
 };
-inline constexpr std::uint16_t kOpMax = kOpShutdown;
+inline constexpr std::uint16_t kOpMax = kOpFedCommit;
 
 inline constexpr std::uint16_t kReplyBit = 0x8000;
 inline constexpr std::uint16_t kTypeError = 0xffff;

@@ -1,0 +1,36 @@
+#pragma once
+// FNV-1a fingerprinting, the repo-wide digest for determinism gates: the
+// benches hash reply streams and assignment trajectories with exactly these
+// constants, and the federation layer hashes replica meshes and adopted
+// assignments so divergence between processes is caught the round it
+// happens. Not cryptographic — a tripwire, not an authenticator.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pnr::util {
+
+inline constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                           std::uint64_t h = kFnvSeed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mix one trivially copyable value (its in-memory little-endian bytes —
+/// the same layout par::Writer pins on the wire) into a running digest.
+template <typename T>
+std::uint64_t fnv1a_value(const T& v, std::uint64_t h = kFnvSeed) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(&v, sizeof(T), h);
+}
+
+}  // namespace pnr::util

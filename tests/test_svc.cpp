@@ -1084,6 +1084,52 @@ TEST(SvcSharded, AnyShardCountIsByteIdenticalToTheSerialPath) {
   }
 }
 
+TEST(SvcSharded, PipelinedCreatesKeepFrameOrderAtAnyShardCount) {
+  // Creates (and fed attaches) are serialized on the control FIFO in
+  // frame-arrival order, so session-id allocation — and therefore every
+  // reply byte — must be independent of the shard count even when the
+  // creates are pipelined with no await between them.
+  std::vector<Bytes> burst;
+  for (int i = 0; i < 6; ++i) {
+    par::Writer w;
+    if (i % 2 == 0) {
+      encode_workload_spec(w, small_transient2d());
+      burst.push_back(encode_frame(kOpCreateWorkload, w.take()));
+    } else {
+      FedAttach att;
+      att.spec = small_transient2d();
+      att.spec.parts = 2;
+      att.rank = static_cast<std::uint16_t>(i % 4 == 1 ? 0 : 1);
+      att.count = 2;
+      encode_fed_attach(w, att);
+      burst.push_back(encode_frame(kOpFedAttach, w.take()));
+    }
+  }
+  const auto run = [&](int threads) {
+    ServerOptions opt;
+    opt.threads = threads;
+    Server server(opt);
+    const int fd = adopt_loopback_raw(server);
+    EXPECT_GE(fd, 0);
+    Bytes in;
+    for (const Bytes& f : burst) EXPECT_TRUE(raw_send(fd, f, server));
+    EXPECT_TRUE(recv_until(fd, server, in, burst.size()));
+    // Close synchronously: session ops ride per-shard queues whose reply
+    // interleaving across sessions is not part of the ordering contract.
+    std::size_t expect = burst.size();
+    for (std::uint32_t id = 1; id <= 6; ++id) {
+      EXPECT_TRUE(raw_send(fd, frame_id(kOpCloseSession, id), server));
+      EXPECT_TRUE(recv_until(fd, server, in, ++expect));
+    }
+    raw_close(fd);
+    return in;
+  };
+  const Bytes reference = run(0);
+  ASSERT_EQ(complete_frames(reference), burst.size() + 6);
+  for (const int threads : {1, 2, 4})
+    EXPECT_TRUE(run(threads) == reference) << "threads=" << threads;
+}
+
 TEST(SvcSharded, ManyPipelinedClientsKeepPerSessionOrderAndContent) {
   // Hundreds of concurrent loopback clients, each pipelining advance/step
   // bursts against its own session on a 4-shard server. Every connection

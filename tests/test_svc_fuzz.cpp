@@ -207,6 +207,129 @@ TEST(SvcFuzz, SocketLevelGarbageNeverKillsTheServer) {
   EXPECT_TRUE(client.step(created->session));
 }
 
+// ---- federation ops (docs/FEDERATION.md) ------------------------------------
+
+TEST(SvcFuzz, FedDecodersNeverAbortOnRandomBytes) {
+  util::Rng rng(90210);
+  const Limits limits = fuzz_limits();
+  for (int i = 0; i < 4000; ++i) {
+    const Bytes b = random_bytes(rng, rng.next_u64() % 256);
+    {
+      par::TryReader r(b);
+      std::string why;
+      decode_fed_attach(r, limits, &why);
+    }
+    {
+      par::TryReader r(b);
+      decode_fed_report(r, limits);
+    }
+    {
+      par::TryReader r(b);
+      decode_fed_plan_reply(r, limits);
+    }
+    {
+      par::TryReader r(b);
+      decode_fed_exchange(r, limits);
+    }
+  }
+}
+
+TEST(SvcFuzz, BitFlippedFedAttachFramesNeverCrashTheRegistry) {
+  Registry registry(fuzz_limits());
+  util::Rng rng(161616);
+
+  FedAttach att;
+  att.spec.kind = WorkloadKind::kTransient2D;
+  att.spec.parts = 2;
+  att.spec.transient.steps = 4;
+  att.spec.transient.grid_n = 6;
+  att.spec.transient.max_level = 3;
+  att.rank = 0;
+  att.count = 2;
+  par::Writer w;
+  encode_fed_attach(w, att);
+  const Bytes good = w.take();
+
+  for (int i = 0; i < 1200; ++i) {
+    Bytes mutated = good;
+    const int flips = 1 + static_cast<int>(rng.next_u64() % 4);
+    for (int f = 0; f < flips; ++f)
+      mutated[rng.next_u64() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng.next_u64() % 8));
+    const Reply reply = registry.handle(kOpFedAttach, mutated);
+    if (reply.type != kTypeError) {
+      par::TryReader r(reply.payload);
+      const auto id = r.get<std::uint32_t>();
+      ASSERT_TRUE(id);
+      par::Writer cw;
+      cw.put(*id);
+      registry.handle(kOpCloseSession, cw.take());
+    } else {
+      ASSERT_TRUE(decode_error(reply.payload));
+    }
+  }
+
+  // Truncations at every byte boundary.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    const Bytes prefix(good.begin(),
+                       good.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_EQ(registry.handle(kOpFedAttach, prefix).type, kTypeError);
+  }
+}
+
+TEST(SvcFuzz, HostileFedExchangeTreeCountsAreRejectedBeforeAllocation) {
+  Registry registry(fuzz_limits());
+  const Limits limits = fuzz_limits();
+
+  // A count far past max_graph_vertices.
+  par::Writer w1;
+  w1.put(std::uint32_t{1});             // session (never reached)
+  w1.put(std::int32_t{0});              // src
+  w1.put(std::uint64_t{1} << 40);       // hostile tree count
+  const Reply r1 = registry.handle(kOpFedExchange, w1.take());
+  ASSERT_EQ(r1.type, kTypeError);
+  const auto e1 = decode_error(r1.payload);
+  ASSERT_TRUE(e1);
+  EXPECT_EQ(e1->code, Err::kBadPayload);
+
+  // A count within the structural ceiling but impossible for the frame's
+  // remaining bytes: must be rejected before any proportional allocation.
+  par::Writer w2;
+  w2.put(std::uint32_t{1});
+  w2.put(std::int32_t{0});
+  w2.put(static_cast<std::uint64_t>(limits.max_graph_vertices));
+  const Reply r2 = registry.handle(kOpFedExchange, w2.take());
+  ASSERT_EQ(r2.type, kTypeError);
+  const auto e2 = decode_error(r2.payload);
+  ASSERT_TRUE(e2);
+  EXPECT_EQ(e2->code, Err::kBadPayload);
+  EXPECT_EQ(registry.num_sessions(), 0u);
+}
+
+TEST(SvcFuzz, ExplosiveFedAttachSpecsAreRejectedBeforeConstruction) {
+  // Same pre-construction growth bound as kOpCreateWorkload: a spec whose
+  // full refinement would blow past max_elements must die on the spec
+  // alone, since a TransientRun refines inside its constructor.
+  Registry registry(fuzz_limits());
+  FedAttach att;
+  att.spec.kind = WorkloadKind::kTransient2D;
+  att.spec.parts = 2;
+  att.spec.transient.steps = 4;
+  att.spec.transient.grid_n = 128;
+  att.spec.transient.max_level = 16;
+  att.spec.transient.refine_threshold = 1e-9;
+  att.rank = 1;
+  att.count = 2;
+  par::Writer w;
+  encode_fed_attach(w, att);
+  const Reply reply = registry.handle(kOpFedAttach, w.take());
+  ASSERT_EQ(reply.type, kTypeError);
+  const auto e = decode_error(reply.payload);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->code, Err::kLimitExceeded);
+  EXPECT_EQ(registry.num_sessions(), 0u);
+}
+
 TEST(SvcFuzz, RandomCheckpointsAreRejectedCleanly) {
   Registry registry(fuzz_limits());
   util::Rng rng(55);
